@@ -1,0 +1,81 @@
+// Command felipserver runs a FELIP aggregator service over HTTP: it
+// publishes the grid plan, accepts ε-LDP reports from devices, and answers
+// queries once the round is finalized (see internal/httpapi for the API).
+//
+// Start a round and let real clients report:
+//
+//	felipserver -addr :8377 -eps 1.0 -n 100000
+//
+// Or spin up a self-contained demo that simulates the population in-process,
+// finalizes, and then serves queries:
+//
+//	felipserver -addr :8377 -eps 1.0 -simulate 100000 -dataset ipums-sim
+//	curl 'http://localhost:8377/v1/query?where=num0%3D16..48'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/httpapi"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8377", "listen address")
+		eps      = flag.Float64("eps", 1.0, "privacy budget ε")
+		n        = flag.Int("n", 100000, "expected population size (used for grid planning)")
+		strategy = flag.String("strategy", "OHG", "FELIP strategy: OUG|OHG")
+		kNum     = flag.Int("knum", 3, "number of numerical attributes")
+		dNum     = flag.Int("dnum", 64, "numerical domain size")
+		kCat     = flag.Int("kcat", 3, "number of categorical attributes")
+		dCat     = flag.Int("dcat", 8, "categorical domain size")
+		sel      = flag.Float64("selectivity", 0.5, "grid-sizing selectivity prior")
+		seed     = flag.Uint64("seed", 0, "seed (0 = random)")
+		simulate = flag.Int("simulate", 0, "simulate this many users in-process and finalize before serving")
+		simData  = flag.String("dataset", "ipums-sim", "generator for -simulate: uniform|normal|ipums-sim|loan-sim")
+	)
+	flag.Parse()
+
+	var strat core.Strategy
+	switch *strategy {
+	case "OUG", "oug":
+		strat = core.OUG
+	case "OHG", "ohg":
+		strat = core.OHG
+	default:
+		fmt.Fprintf(os.Stderr, "felipserver: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	schema := dataset.MixedSchema(*kNum, *dNum, *kCat, *dCat)
+	planN := *n
+	if *simulate > 0 {
+		planN = *simulate
+	}
+	srv, err := httpapi.NewServer(schema, planN, core.Options{
+		Strategy:    strat,
+		Epsilon:     *eps,
+		Selectivity: *sel,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal("felipserver: ", err)
+	}
+
+	if *simulate > 0 {
+		log.Printf("felipserver: simulating %d %s users in-process", *simulate, *simData)
+		if err := httpapi.Simulate(srv, *simData, *simulate, *seed); err != nil {
+			log.Fatal("felipserver: ", err)
+		}
+		log.Printf("felipserver: round finalized; /v1/query is live")
+	}
+
+	log.Printf("felipserver: schema %v, ε=%v, strategy %v, listening on %s", schema, *eps, strat, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,3 @@
+module felip
+
+go 1.22

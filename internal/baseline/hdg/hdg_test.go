@@ -1,0 +1,205 @@
+package hdg
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"felip/internal/dataset"
+	"felip/internal/query"
+)
+
+func TestVariantString(t *testing.T) {
+	if TDG.String() != "TDG" || HDG.String() != "HDG" {
+		t.Error("variant names wrong")
+	}
+	if !strings.Contains(Variant(9).String(), "9") {
+		t.Error("unknown variant string")
+	}
+}
+
+func TestSnapPow2(t *testing.T) {
+	cases := map[float64]int{
+		0.5:  1,
+		1:    1,
+		1.6:  2,
+		3:    4, // log2(3)=1.585 → rounds to 2 → 4
+		5:    4,
+		6:    8,
+		11:   8, // log2(11)=3.46 → 8: the paper's example of suboptimality
+		25:   32,
+		1000: 64, // clamped to d=64
+	}
+	for x, want := range cases {
+		if got := snapPow2(x, 64); got != want {
+			t.Errorf("snapPow2(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestGranularities(t *testing.T) {
+	opts := Options{Variant: HDG, Epsilon: 1}
+	g1, g2, err := Granularities(opts, 6, 100, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 < g2 {
+		t.Errorf("g1 = %d < g2 = %d; 1-D grids should be finer", g1, g2)
+	}
+	// Powers of two.
+	for _, g := range []int{g1, g2} {
+		if g&(g-1) != 0 {
+			t.Errorf("granularity %d not a power of two", g)
+		}
+	}
+	if _, _, err := Granularities(Options{Variant: HDG}, 6, 100, 100); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	s := dataset.NumericSchema(3, 32)
+	ds := dataset.NewUniform().Generate(s, 1000, 1)
+	if _, err := Collect(ds, Options{Variant: TDG}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Collect(ds, Options{Variant: Variant(9), Epsilon: 1}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	mixed := dataset.MixedSchema(2, 32, 1, 4)
+	dsm := dataset.NewUniform().Generate(mixed, 1000, 1)
+	if _, err := Collect(dsm, Options{Variant: TDG, Epsilon: 1}); err == nil {
+		t.Error("categorical attribute accepted")
+	}
+	one := dataset.NumericSchema(1, 32)
+	ds1 := dataset.NewUniform().Generate(one, 100, 1)
+	if _, err := Collect(ds1, Options{Variant: TDG, Epsilon: 1}); err == nil {
+		t.Error("single attribute accepted")
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	s := dataset.NumericSchema(3, 64)
+	ds := dataset.NewUniform().Generate(s, 30000, 2)
+	tdg, err := Collect(ds, Options{Variant: TDG, Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdg.G1() != 0 {
+		t.Error("TDG should have no 1-D grids")
+	}
+	if tdg.G2() < 1 {
+		t.Error("TDG g2 < 1")
+	}
+	if tdg.N() != 30000 {
+		t.Error("N wrong")
+	}
+
+	h, err := Collect(ds, Options{Variant: HDG, Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.G1() < h.G2() {
+		t.Errorf("HDG g1 %d < g2 %d", h.G1(), h.G2())
+	}
+	for i := 0; i < 3; i++ {
+		if h.grids1[i] == nil {
+			t.Fatalf("HDG missing 1-D grid %d", i)
+		}
+	}
+}
+
+func TestGridsAreDistributions(t *testing.T) {
+	s := dataset.NumericSchema(3, 64)
+	ds := dataset.NewNormal().Generate(s, 30000, 5)
+	for _, v := range []Variant{TDG, HDG} {
+		agg, err := Collect(ds, Options{Variant: v, Epsilon: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(freq []float64, what string) {
+			var sum float64
+			for _, f := range freq {
+				if f < -1e-9 {
+					t.Errorf("%v %s: negative freq %v", v, what, f)
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("%v %s: sums to %v", v, what, sum)
+			}
+		}
+		for key, g2 := range agg.grids2 {
+			check(g2.Freq, "2-D "+string(rune('0'+key[0]))+string(rune('0'+key[1])))
+		}
+		for _, g1 := range agg.grids1 {
+			if g1 != nil {
+				check(g1.Freq, "1-D")
+			}
+		}
+	}
+}
+
+func TestAnswerAccuracy(t *testing.T) {
+	s := dataset.NumericSchema(3, 64)
+	ds := dataset.NewNormal().Generate(s, 60000, 11)
+	cols := [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2)}
+	qs := []query.Query{
+		{Preds: []query.Predicate{query.NewRange(0, 16, 47)}},
+		{Preds: []query.Predicate{query.NewRange(0, 16, 47), query.NewRange(1, 0, 31)}},
+		{Preds: []query.Predicate{query.NewRange(0, 16, 47), query.NewRange(1, 0, 31), query.NewRange(2, 16, 63)}},
+	}
+	for _, v := range []Variant{TDG, HDG} {
+		agg, err := Collect(ds, Options{Variant: v, Epsilon: 2, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			truth := query.Evaluate(q, cols)
+			got, err := agg.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-truth) > 0.1 {
+				t.Errorf("%v query %v: got %v, truth %v", v, q, got, truth)
+			}
+		}
+	}
+}
+
+func TestAnswerRejectsNonRange(t *testing.T) {
+	s := dataset.NumericSchema(2, 16)
+	ds := dataset.NewUniform().Generate(s, 2000, 17)
+	agg, err := Collect(ds, Options{Variant: TDG, Epsilon: 1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewIn(0, 1, 2)}}
+	if _, err := agg.Answer(q); err == nil {
+		t.Error("IN predicate accepted by TDG")
+	}
+	if _, err := agg.Answer(query.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestAnswerDeterministic(t *testing.T) {
+	s := dataset.NumericSchema(2, 32)
+	ds := dataset.NewUniform().Generate(s, 5000, 23)
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 4, 20), query.NewRange(1, 8, 30)}}
+	for _, v := range []Variant{TDG, HDG} {
+		a1, err := Collect(ds, Options{Variant: v, Epsilon: 1, Seed: 29})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _ := Collect(ds, Options{Variant: v, Epsilon: 1, Seed: 29})
+		r1, err := a1.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _ := a2.Answer(q)
+		if r1 != r2 {
+			t.Errorf("%v: same seed answers differ: %v vs %v", v, r1, r2)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package hio implements the HIO baseline (Wang et al., SIGMOD'19;
+// summarized in the FELIP paper §3.1): hierarchy-based answering of
+// multidimensional analytical queries under LDP.
+//
+// Each attribute gets a 1-D hierarchy of intervals with branching factor b
+// (two levels — root and leaves — for categorical attributes). A k-dim level
+// is one choice of per-attribute levels; users are divided uniformly across
+// all ∏(hᵢ+1) k-dim levels and report the identifier of their k-dim interval
+// at their assigned level through OLH. A query expands unqueried attributes
+// to the root interval, decomposes each constrained attribute into minimal
+// hierarchy intervals, and sums the estimated frequencies of the resulting
+// k-dim intervals.
+package hio
+
+import (
+	"fmt"
+
+	"felip/internal/domain"
+)
+
+// hierarchy describes one attribute's interval hierarchy.
+type hierarchy struct {
+	// levels counts hierarchy levels including the root (level 0).
+	levels int
+	// branching is the fanout below each interval (numerical attributes).
+	branching int
+	// domain is the attribute's true domain size d.
+	domain int
+	// padded is the hierarchy's covered domain: b^(levels-1) for numerical
+	// attributes (≥ d), or d for categorical ones.
+	padded int
+	// categorical marks the two-level {root, leaves} hierarchy.
+	categorical bool
+}
+
+// newHierarchy builds the hierarchy for one attribute.
+func newHierarchy(a domain.Attribute, b int) hierarchy {
+	if a.IsCategorical() {
+		levels := 2
+		if a.Size == 1 {
+			levels = 1 // the root already is a leaf
+		}
+		return hierarchy{levels: levels, branching: a.Size, domain: a.Size, padded: a.Size, categorical: true}
+	}
+	levels := 1
+	padded := 1
+	for padded < a.Size {
+		padded *= b
+		levels++
+	}
+	return hierarchy{levels: levels, branching: b, domain: a.Size, padded: padded}
+}
+
+// intervalsAt returns the number of intervals at a level.
+func (h hierarchy) intervalsAt(level int) int64 {
+	if level == 0 {
+		return 1
+	}
+	if h.categorical {
+		return int64(h.domain)
+	}
+	n := int64(1)
+	for i := 0; i < level; i++ {
+		n *= int64(h.branching)
+	}
+	return n
+}
+
+// width returns the number of (padded) domain values an interval at the
+// level covers. Categorical levels are root (whole domain) or leaves (1).
+func (h hierarchy) width(level int) int {
+	if level == 0 {
+		return h.padded
+	}
+	if h.categorical {
+		return 1
+	}
+	w := h.padded
+	for i := 0; i < level; i++ {
+		w /= h.branching
+	}
+	return w
+}
+
+// intervalOf returns the index of the interval containing value v at level.
+func (h hierarchy) intervalOf(level, v int) int64 {
+	return int64(v / h.width(level))
+}
+
+// interval is one node of a hierarchy: the intervals at `level` are numbered
+// left to right by `index`.
+type interval struct {
+	level int
+	index int64
+}
+
+// decomposeRange returns the minimal canonical set of hierarchy intervals
+// exactly covering the inclusive value range [lo, hi] (clipped to the true
+// domain; padded values beyond d hold no users, so including them in a
+// larger interval is harmless only when they are empty — the canonical
+// decomposition therefore never emits an interval extending past hi).
+func (h hierarchy) decomposeRange(lo, hi int) []interval {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= h.domain {
+		hi = h.domain - 1
+	}
+	if hi < lo {
+		return nil
+	}
+	if h.categorical {
+		if lo == 0 && hi == h.domain-1 {
+			return []interval{{level: 0, index: 0}}
+		}
+		out := make([]interval, 0, hi-lo+1)
+		for v := lo; v <= hi; v++ {
+			out = append(out, interval{level: 1, index: int64(v)})
+		}
+		return out
+	}
+	var out []interval
+	var rec func(level int, index int64)
+	rec = func(level int, index int64) {
+		w := h.width(level)
+		s := int(index) * w
+		e := s + w // half-open
+		if s > hi || e <= lo {
+			return
+		}
+		if s >= lo && e-1 <= hi {
+			out = append(out, interval{level: level, index: index})
+			return
+		}
+		if level == h.levels-1 {
+			return // leaf partially outside [lo,hi] cannot happen (leaves are width 1)
+		}
+		for c := int64(0); c < int64(h.branching); c++ {
+			rec(level+1, index*int64(h.branching)+c)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// decomposeSet returns the hierarchy intervals for a categorical IN set.
+func (h hierarchy) decomposeSet(values []int) ([]interval, error) {
+	if !h.categorical {
+		return nil, fmt.Errorf("hio: set decomposition on numerical hierarchy")
+	}
+	seen := make(map[int]bool, len(values))
+	for _, v := range values {
+		if v < 0 || v >= h.domain {
+			return nil, fmt.Errorf("hio: value %d outside domain %d", v, h.domain)
+		}
+		seen[v] = true
+	}
+	if len(seen) == h.domain {
+		return []interval{{level: 0, index: 0}}, nil
+	}
+	out := make([]interval, 0, len(seen))
+	for v := 0; v < h.domain; v++ {
+		if seen[v] {
+			out = append(out, interval{level: 1, index: int64(v)})
+		}
+	}
+	return out, nil
+}

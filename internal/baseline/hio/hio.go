@@ -1,0 +1,259 @@
+package hio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/fo"
+	"felip/internal/query"
+)
+
+// DefaultBranching is the branching factor the FELIP paper uses for HIO (§6.2).
+const DefaultBranching = 4
+
+// Options configures an HIO collection round.
+type Options struct {
+	// Epsilon is the per-user privacy budget ε.
+	Epsilon float64
+	// Branching is the hierarchy fanout b (default 4).
+	Branching int
+	// Seed makes the round deterministic. Zero draws a fresh seed.
+	Seed uint64
+}
+
+// report is one user's OLH report of their k-dim interval identifier.
+type report struct {
+	seed  uint64
+	value uint8
+}
+
+// group holds the reports of one k-dim level.
+type group struct {
+	reports []report
+}
+
+// Aggregator is HIO's server side after collection: it estimates frequencies
+// of arbitrary k-dim intervals and answers multidimensional queries.
+type Aggregator struct {
+	schema *domain.Schema
+	opts   Options
+	hiers  []hierarchy
+	// radix[i] = number of levels of attribute i; group ids are mixed-radix.
+	radix       []int64
+	totalGroups int64
+	groups      map[int64]*group
+	n           int
+	g           int
+	p           float64
+}
+
+// Collect runs a full HIO round over the dataset: every user is assigned a
+// uniform random k-dim level and reports, via OLH with budget ε, the
+// identifier of the k-dim interval containing their record at that level.
+func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
+	if opts.Epsilon <= 0 {
+		return nil, fmt.Errorf("hio: epsilon must be positive, got %v", opts.Epsilon)
+	}
+	if opts.Branching == 0 {
+		opts.Branching = DefaultBranching
+	}
+	if opts.Branching < 2 {
+		return nil, fmt.Errorf("hio: branching must be >= 2, got %d", opts.Branching)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = fo.AutoSeed()
+	}
+	schema := ds.Schema()
+	k := schema.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("hio: empty schema")
+	}
+
+	hiers := make([]hierarchy, k)
+	radix := make([]int64, k)
+	total := int64(1)
+	for i := 0; i < k; i++ {
+		hiers[i] = newHierarchy(schema.Attr(i), opts.Branching)
+		radix[i] = int64(hiers[i].levels)
+		if total > (1<<62)/radix[i] {
+			return nil, fmt.Errorf("hio: k-dim level count overflows")
+		}
+		total *= radix[i]
+	}
+
+	g := fo.OptimalG(opts.Epsilon)
+	ee := math.Exp(opts.Epsilon)
+	agg := &Aggregator{
+		schema:      schema,
+		opts:        opts,
+		hiers:       hiers,
+		radix:       radix,
+		totalGroups: total,
+		groups:      make(map[int64]*group),
+		n:           ds.N(),
+		g:           g,
+		p:           ee / (ee + float64(g) - 1),
+	}
+
+	rng := fo.NewRand(opts.Seed)
+	levels := make([]int, k)
+	for row := 0; row < ds.N(); row++ {
+		gid := int64(rng.IntN(int(total)))
+		decodeLevels(gid, radix, levels)
+		vid := uint64(0xABCD)
+		for i := 0; i < k; i++ {
+			vid = fo.MixID(vid, uint64(hiers[i].intervalOf(levels[i], ds.Value(row, i))))
+		}
+		seed := rng.Uint64()
+		hv := fo.OLHHash(seed, vid, g)
+		rep := hv
+		if rng.Float64() >= agg.p {
+			x := rng.IntN(g - 1)
+			if x >= hv {
+				x++
+			}
+			rep = x
+		}
+		grp := agg.groups[gid]
+		if grp == nil {
+			grp = &group{}
+			agg.groups[gid] = grp
+		}
+		grp.reports = append(grp.reports, report{seed: seed, value: uint8(rep)})
+	}
+	return agg, nil
+}
+
+// decodeLevels expands a mixed-radix group id into per-attribute levels.
+func decodeLevels(gid int64, radix []int64, out []int) {
+	for i := range radix {
+		out[i] = int(gid % radix[i])
+		gid /= radix[i]
+	}
+}
+
+// encodeLevels packs per-attribute levels into a group id.
+func encodeLevels(levels []int, radix []int64) int64 {
+	gid := int64(0)
+	mul := int64(1)
+	for i := range radix {
+		gid += int64(levels[i]) * mul
+		mul *= radix[i]
+	}
+	return gid
+}
+
+// estimate returns the estimated global frequencies of the given k-dim
+// interval ids using the reports of one group. Missing or empty groups
+// estimate zero.
+func (a *Aggregator) estimate(gid int64, vids []uint64) []float64 {
+	out := make([]float64, len(vids))
+	grp := a.groups[gid]
+	if grp == nil || len(grp.reports) == 0 {
+		return out
+	}
+	support := make([]int64, len(vids))
+	for _, rep := range grp.reports {
+		for i, vid := range vids {
+			if fo.OLHHash(rep.seed, vid, a.g) == int(rep.value) {
+				support[i]++
+			}
+		}
+	}
+	n := float64(len(grp.reports))
+	invg := 1 / float64(a.g)
+	for i := range out {
+		out[i] = (float64(support[i])/n - invg) / (a.p - invg)
+	}
+	return out
+}
+
+// N returns the population size.
+func (a *Aggregator) N() int { return a.n }
+
+// TotalGroups returns the number of k-dim levels (user groups).
+func (a *Aggregator) TotalGroups() int64 { return a.totalGroups }
+
+// Schema returns the schema the aggregator was built over.
+func (a *Aggregator) Schema() *domain.Schema { return a.schema }
+
+// Answer estimates the fractional answer of a query: the query is expanded
+// with root intervals for unqueried attributes, each predicate is decomposed
+// into minimal hierarchy intervals, and the noisy frequencies of all
+// resulting k-dim intervals are summed.
+func (a *Aggregator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(a.schema); err != nil {
+		return 0, err
+	}
+	k := a.schema.Len()
+	perAttr := make([][]interval, k)
+	for i := 0; i < k; i++ {
+		p, constrained := q.Predicate(i)
+		if !constrained {
+			perAttr[i] = []interval{{level: 0, index: 0}}
+			continue
+		}
+		switch p.Op {
+		case query.Between:
+			perAttr[i] = a.hiers[i].decomposeRange(p.Lo, p.Hi)
+		default:
+			ivs, err := a.hiers[i].decomposeSet(p.Values)
+			if err != nil {
+				return 0, err
+			}
+			perAttr[i] = ivs
+		}
+		if len(perAttr[i]) == 0 {
+			return 0, nil // empty range selects nothing
+		}
+	}
+
+	// Walk the cartesian product, bucketing k-dim intervals by group id.
+	byGroup := make(map[int64][]uint64)
+	levels := make([]int, k)
+	choice := make([]int, k)
+	var walk func(attr int)
+	walk = func(attr int) {
+		if attr == k {
+			vid := uint64(0xABCD)
+			for i := 0; i < k; i++ {
+				iv := perAttr[i][choice[i]]
+				levels[i] = iv.level
+				vid = fo.MixID(vid, uint64(iv.index))
+			}
+			gid := encodeLevels(levels, a.radix)
+			byGroup[gid] = append(byGroup[gid], vid)
+			return
+		}
+		for c := range perAttr[attr] {
+			choice[attr] = c
+			walk(attr + 1)
+		}
+	}
+	walk(0)
+
+	// Sum in sorted group order so answers are deterministic.
+	gids := make([]int64, 0, len(byGroup))
+	for gid := range byGroup {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	var total float64
+	for _, gid := range gids {
+		for _, f := range a.estimate(gid, byGroup[gid]) {
+			total += f
+		}
+	}
+	// The answer is a frequency; clamp the raw noisy sum to [0,1] (with many
+	// near-empty groups the unclamped sum can stray far outside).
+	if total < 0 {
+		total = 0
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}

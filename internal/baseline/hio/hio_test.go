@@ -1,0 +1,298 @@
+package hio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/query"
+)
+
+func numAttr(name string, d int) domain.Attribute {
+	return domain.Attribute{Name: name, Kind: domain.Numerical, Size: d}
+}
+
+func catAttr(name string, d int) domain.Attribute {
+	return domain.Attribute{Name: name, Kind: domain.Categorical, Size: d}
+}
+
+func TestNewHierarchyNumerical(t *testing.T) {
+	h := newHierarchy(numAttr("a", 64), 4)
+	if h.levels != 4 { // 64 = 4^3 → root + 3 levels
+		t.Errorf("levels = %d, want 4", h.levels)
+	}
+	if h.padded != 64 {
+		t.Errorf("padded = %d, want 64", h.padded)
+	}
+	if h.intervalsAt(0) != 1 || h.intervalsAt(3) != 64 {
+		t.Errorf("interval counts wrong: %d, %d", h.intervalsAt(0), h.intervalsAt(3))
+	}
+	if h.width(0) != 64 || h.width(1) != 16 || h.width(3) != 1 {
+		t.Error("widths wrong")
+	}
+	// Non-power domain pads up.
+	h = newHierarchy(numAttr("a", 100), 4)
+	if h.padded != 256 || h.levels != 5 {
+		t.Errorf("d=100: padded=%d levels=%d, want 256/5", h.padded, h.levels)
+	}
+}
+
+func TestNewHierarchyCategorical(t *testing.T) {
+	h := newHierarchy(catAttr("c", 8), 4)
+	if !h.categorical || h.levels != 2 || h.padded != 8 {
+		t.Errorf("categorical hierarchy wrong: %+v", h)
+	}
+	if h.intervalsAt(0) != 1 || h.intervalsAt(1) != 8 {
+		t.Error("categorical interval counts wrong")
+	}
+	if h.width(0) != 8 || h.width(1) != 1 {
+		t.Error("categorical widths wrong")
+	}
+	// Singleton domain collapses to the root.
+	h = newHierarchy(catAttr("c", 1), 4)
+	if h.levels != 1 {
+		t.Errorf("singleton levels = %d, want 1", h.levels)
+	}
+}
+
+func TestIntervalOf(t *testing.T) {
+	h := newHierarchy(numAttr("a", 64), 4)
+	if h.intervalOf(1, 17) != 1 { // width 16: 17 → interval 1
+		t.Error("intervalOf level 1 wrong")
+	}
+	if h.intervalOf(3, 63) != 63 {
+		t.Error("intervalOf leaf wrong")
+	}
+	if h.intervalOf(0, 42) != 0 {
+		t.Error("intervalOf root wrong")
+	}
+}
+
+// The canonical decomposition must exactly cover the range with whole
+// intervals and be minimal in count compared to leaves.
+func TestDecomposeRangeCoversExactly(t *testing.T) {
+	h := newHierarchy(numAttr("a", 64), 4)
+	check := func(lo, hi int) {
+		t.Helper()
+		ivs := h.decomposeRange(lo, hi)
+		covered := make([]bool, 64)
+		for _, iv := range ivs {
+			w := h.width(iv.level)
+			s := int(iv.index) * w
+			for v := s; v < s+w; v++ {
+				if v >= 64 {
+					t.Fatalf("[%d,%d]: interval %+v exceeds domain", lo, hi, iv)
+				}
+				if covered[v] {
+					t.Fatalf("[%d,%d]: value %d covered twice", lo, hi, v)
+				}
+				covered[v] = true
+			}
+		}
+		for v := 0; v < 64; v++ {
+			want := v >= lo && v <= hi
+			if covered[v] != want {
+				t.Fatalf("[%d,%d]: value %d covered=%v want %v", lo, hi, v, covered[v], want)
+			}
+		}
+	}
+	check(0, 63)
+	check(5, 38)
+	check(0, 0)
+	check(63, 63)
+	check(16, 31) // exactly one level-1 interval
+	check(1, 62)
+}
+
+func TestDecomposeRangeMinimal(t *testing.T) {
+	h := newHierarchy(numAttr("a", 64), 4)
+	// [16,31] is one level-1 interval; canonical must use exactly 1.
+	if ivs := h.decomposeRange(16, 31); len(ivs) != 1 || ivs[0].level != 1 {
+		t.Errorf("aligned range used %v", ivs)
+	}
+	// Full domain = root.
+	if ivs := h.decomposeRange(0, 63); len(ivs) != 1 || ivs[0].level != 0 {
+		t.Errorf("full domain used %v", ivs)
+	}
+}
+
+func TestDecomposeRangeClipsAndEmpty(t *testing.T) {
+	h := newHierarchy(numAttr("a", 64), 4)
+	if ivs := h.decomposeRange(-5, 70); len(ivs) != 1 || ivs[0].level != 0 {
+		t.Errorf("clipped full range = %v", ivs)
+	}
+	if ivs := h.decomposeRange(10, 5); ivs != nil {
+		t.Errorf("inverted range = %v", ivs)
+	}
+}
+
+func TestDecomposeSet(t *testing.T) {
+	h := newHierarchy(catAttr("c", 4), 4)
+	ivs, err := h.decomposeSet([]int{1, 3})
+	if err != nil || len(ivs) != 2 || ivs[0].level != 1 {
+		t.Errorf("set decomposition = %v, %v", ivs, err)
+	}
+	// Full set → root.
+	ivs, err = h.decomposeSet([]int{0, 1, 2, 3})
+	if err != nil || len(ivs) != 1 || ivs[0].level != 0 {
+		t.Errorf("full set = %v, %v", ivs, err)
+	}
+	if _, err := h.decomposeSet([]int{9}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	hn := newHierarchy(numAttr("a", 16), 4)
+	if _, err := hn.decomposeSet([]int{1}); err == nil {
+		t.Error("set decomposition on numerical hierarchy accepted")
+	}
+}
+
+func TestGroupCodecRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8) bool {
+		radix := []int64{4, 2, 5}
+		levels := []int{int(a % 4), int(b % 2), int(c % 5)}
+		out := make([]int, 3)
+		decodeLevels(encodeLevels(levels, radix), radix, out)
+		return out[0] == levels[0] && out[1] == levels[1] && out[2] == levels[2]
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	s := domain.MustSchema(numAttr("a", 16), catAttr("b", 4))
+	ds := dataset.NewUniform().Generate(s, 100, 1)
+	if _, err := Collect(ds, Options{}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Collect(ds, Options{Epsilon: 1, Branching: 1}); err == nil {
+		t.Error("branching=1 accepted")
+	}
+}
+
+func TestCollectGroupCount(t *testing.T) {
+	s := domain.MustSchema(numAttr("a", 16), catAttr("b", 4))
+	ds := dataset.NewUniform().Generate(s, 5000, 2)
+	agg, err := Collect(ds, Options{Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 16=4^2 → 3 levels; b: 2 levels → 6 k-dim levels.
+	if agg.TotalGroups() != 6 {
+		t.Errorf("TotalGroups = %d, want 6", agg.TotalGroups())
+	}
+	if agg.N() != 5000 {
+		t.Errorf("N = %d", agg.N())
+	}
+	if agg.Schema() != s {
+		t.Error("Schema not returned")
+	}
+	// Every group should have roughly n/6 users.
+	for gid, grp := range agg.groups {
+		if len(grp.reports) < 5000/6-200 || len(grp.reports) > 5000/6+200 {
+			t.Errorf("group %d has %d reports", gid, len(grp.reports))
+		}
+	}
+}
+
+func TestAnswerAccuracy(t *testing.T) {
+	s := domain.MustSchema(numAttr("a", 16), catAttr("b", 4))
+	ds := dataset.NewNormal().Generate(s, 60000, 7)
+	agg, err := Collect(ds, Options{Epsilon: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := [][]uint16{ds.Col(0), ds.Col(1)}
+	for _, q := range []query.Query{
+		{Preds: []query.Predicate{query.NewRange(0, 4, 11)}},
+		{Preds: []query.Predicate{query.NewIn(1, 0, 1)}},
+		{Preds: []query.Predicate{query.NewRange(0, 4, 11), query.NewIn(1, 0, 1)}},
+	} {
+		truth := query.Evaluate(q, cols)
+		got, err := agg.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 0.12 {
+			t.Errorf("query %v: got %v, truth %v", q, got, truth)
+		}
+	}
+}
+
+func TestAnswerDeterministic(t *testing.T) {
+	s := domain.MustSchema(numAttr("a", 16), numAttr("b", 16))
+	ds := dataset.NewUniform().Generate(s, 5000, 13)
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 3, 12), query.NewRange(1, 0, 7)}}
+	a1, _ := Collect(ds, Options{Epsilon: 1, Seed: 17})
+	a2, _ := Collect(ds, Options{Epsilon: 1, Seed: 17})
+	r1, err := a1.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := a2.Answer(q)
+	if r1 != r2 {
+		t.Errorf("same seed answers differ: %v vs %v", r1, r2)
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	s := domain.MustSchema(numAttr("a", 16), catAttr("b", 4))
+	ds := dataset.NewUniform().Generate(s, 1000, 19)
+	agg, err := Collect(ds, Options{Epsilon: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Answer(query.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := agg.Answer(query.Query{Preds: []query.Predicate{query.NewRange(1, 0, 2)}}); err == nil {
+		t.Error("range on categorical accepted")
+	}
+}
+
+// HIO's documented limitation (paper §3.1): error grows with domain size,
+// because users spread over more k-dim levels. Verify the group count grows.
+func TestGroupCountGrowsWithDomain(t *testing.T) {
+	small := domain.MustSchema(numAttr("a", 16), numAttr("b", 16))
+	large := domain.MustSchema(numAttr("a", 1024), numAttr("b", 1024))
+	dsS := dataset.NewUniform().Generate(small, 500, 1)
+	dsL := dataset.NewUniform().Generate(large, 500, 1)
+	aS, err := Collect(dsS, Options{Epsilon: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aL, err := Collect(dsL, Options{Epsilon: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aL.TotalGroups() <= aS.TotalGroups() {
+		t.Errorf("groups %d (d=1024) <= %d (d=16)", aL.TotalGroups(), aS.TotalGroups())
+	}
+}
+
+// Ten attributes with large domains must not overflow and must still answer.
+func TestHighDimensional(t *testing.T) {
+	attrs := make([]domain.Attribute, 10)
+	for i := range attrs {
+		attrs[i] = numAttr(string(rune('a'+i)), 256)
+	}
+	s := domain.MustSchema(attrs...)
+	ds := dataset.NewUniform().Generate(s, 2000, 3)
+	agg, err := Collect(ds, Options{Epsilon: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 = 4^4 → 5 levels each → 5^10 ≈ 9.7M groups.
+	if agg.TotalGroups() != 9765625 {
+		t.Errorf("TotalGroups = %d", agg.TotalGroups())
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 127), query.NewRange(5, 64, 191)}}
+	got, err := agg.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("non-finite answer %v", got)
+	}
+}

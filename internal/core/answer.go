@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"felip/internal/estimate"
+	"felip/internal/query"
+)
+
+// Answer estimates the fractional answer f_q of a multidimensional query
+// (§5.6): 1-D queries read the best marginal directly; λ ≥ 2 queries are
+// split into all C(λ,2) associated 2-D queries, answered per pair (directly
+// off the grid for OUG, via the response matrix for OHG), and recombined
+// with Algorithm 4.
+func (a *Aggregator) Answer(q query.Query) (float64, error) {
+	if err := q.Validate(a.schema); err != nil {
+		return 0, err
+	}
+	lambda := q.Lambda()
+	if lambda == 1 {
+		return a.answer1D(q.Preds[0])
+	}
+
+	attrs := q.Attrs()
+	sels := make(map[int][]bool, lambda)
+	for _, p := range q.Preds {
+		sels[p.Attr] = p.Selection(a.schema.Attr(p.Attr).Size)
+	}
+
+	var pairs []estimate.PairAnswer
+	for ii := 0; ii < lambda; ii++ {
+		for jj := ii + 1; jj < lambda; jj++ {
+			ai, aj := attrs[ii], attrs[jj]
+			pa, err := a.pairAnswer(ai, aj, sels[ai], sels[aj])
+			if err != nil {
+				return 0, err
+			}
+			pa.I, pa.J = ii, jj
+			pairs = append(pairs, pa)
+		}
+	}
+	threshold := 1 / float64(a.n)
+	return estimate.EstimateLambda(lambda, pairs, threshold, a.opts.LambdaMaxIter)
+}
+
+// ExpectedError returns an analytic a-priori estimate of the query's root
+// expected squared error, from the optimizer's per-grid minimized objectives
+// (§5.7: noise + sampling + non-uniformity; the λ-D estimation error is
+// dataset-dependent and not included). For λ = 1 it is the error of the
+// attribute's most precise grid; for λ ≥ 2 the per-pair errors of the
+// associated 2-D queries are summed. The estimate uses the selectivity prior
+// the grids were sized with, so it is a planning-time figure — useful for
+// choosing ε or judging whether a workload is feasible before collecting.
+func (a *Aggregator) ExpectedError(q query.Query) (float64, error) {
+	if err := q.Validate(a.schema); err != nil {
+		return 0, err
+	}
+	errOf := func(x, y int) (float64, bool) {
+		for _, sp := range a.specs {
+			if sp.AttrX == x && sp.AttrY == y {
+				return sp.ExpectedErr, true
+			}
+		}
+		return 0, false
+	}
+	attrs := q.Attrs()
+	if len(attrs) == 1 {
+		if e, ok := errOf(attrs[0], -1); ok {
+			return math.Sqrt(e), nil
+		}
+		for _, sp := range a.specs {
+			if !sp.Is1D() && (sp.AttrX == attrs[0] || sp.AttrY == attrs[0]) {
+				return math.Sqrt(sp.ExpectedErr), nil
+			}
+		}
+		return 0, fmt.Errorf("core: no grid covers attribute %d", attrs[0])
+	}
+	var total float64
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			e, ok := errOf(attrs[i], attrs[j])
+			if !ok {
+				return 0, fmt.Errorf("core: no 2-D grid for pair (%d,%d)", attrs[i], attrs[j])
+			}
+			total += e
+		}
+	}
+	return math.Sqrt(total), nil
+}
+
+// answer1D estimates a single-predicate query from the most precise marginal
+// available: the attribute's own 1-D grid under OHG, otherwise the marginal
+// of the first 2-D grid containing the attribute.
+func (a *Aggregator) answer1D(p query.Predicate) (float64, error) {
+	sel := p.Selection(a.schema.Attr(p.Attr).Size)
+	if g1, ok := a.grids1[p.Attr]; ok {
+		return g1.Mass(sel), nil
+	}
+	// Spec order keeps the grid choice (and the answer) deterministic.
+	for _, sp := range a.specs {
+		if sp.Is1D() || (sp.AttrX != p.Attr && sp.AttrY != p.Attr) {
+			continue
+		}
+		g2 := a.grids2[[2]int{sp.AttrX, sp.AttrY}]
+		marg, err := g2.ValueMarginal(p.Attr)
+		if err != nil {
+			return 0, err
+		}
+		return maskSum(marg, sel), nil
+	}
+	return 0, fmt.Errorf("core: no grid covers attribute %d", p.Attr)
+}
+
+func maskSum(vals []float64, sel []bool) float64 {
+	var s float64
+	for i, v := range vals {
+		if sel[i] {
+			s += v
+		}
+	}
+	return s
+}
+
+// pairAnswer computes the four sign-combination answers of the associated
+// 2-D query on attributes (i < j).
+func (a *Aggregator) pairAnswer(i, j int, selI, selJ []bool) (estimate.PairAnswer, error) {
+	notI := negate(selI)
+	notJ := negate(selJ)
+
+	if a.opts.Strategy == OHG && a.needsMatrix(i, j) {
+		m, err := a.responseMatrix(i, j)
+		if err != nil {
+			return estimate.PairAnswer{}, err
+		}
+		return estimate.PairAnswer{
+			PP: m.MaskSum(selI, selJ),
+			PN: m.MaskSum(selI, notJ),
+			NP: m.MaskSum(notI, selJ),
+			NN: m.MaskSum(notI, notJ),
+		}, nil
+	}
+
+	g2, ok := a.grids2[[2]int{i, j}]
+	if !ok {
+		return estimate.PairAnswer{}, fmt.Errorf("core: no 2-D grid for pair (%d,%d)", i, j)
+	}
+	return estimate.PairAnswer{
+		PP: g2.Mass(selI, selJ),
+		PN: g2.Mass(selI, notJ),
+		NP: g2.Mass(notI, selJ),
+		NN: g2.Mass(notI, notJ),
+	}, nil
+}
+
+func negate(sel []bool) []bool {
+	out := make([]bool, len(sel))
+	for i, b := range sel {
+		out[i] = !b
+	}
+	return out
+}
+
+// needsMatrix reports whether the pair benefits from a response matrix: at
+// least one related 1-D grid exists to refine the 2-D grid (§5.5). A
+// categorical×categorical grid is already its own response matrix.
+func (a *Aggregator) needsMatrix(i, j int) bool {
+	_, okI := a.grids1[i]
+	_, okJ := a.grids1[j]
+	return okI || okJ
+}
+
+// responseMatrix returns the per-value response matrix M(i,j) built from the
+// related grid set Γ (Algorithm 3), caching the result.
+func (a *Aggregator) responseMatrix(i, j int) (*estimate.Matrix, error) {
+	key := [2]int{i, j}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m, ok := a.matrices[key]; ok {
+		return m, nil
+	}
+	g2, ok := a.grids2[key]
+	if !ok {
+		return nil, fmt.Errorf("core: no 2-D grid for pair (%d,%d)", i, j)
+	}
+	di := a.schema.Attr(i).Size
+	dj := a.schema.Attr(j).Size
+	m, err := estimate.NewMatrix(di, dj)
+	if err != nil {
+		return nil, err
+	}
+
+	var cons []estimate.Constraint
+	// 2-D grid cells: δ(c) is the value rectangle of the cell.
+	lx, ly := g2.X.Cells(), g2.Y.Cells()
+	for cx := 0; cx < lx; cx++ {
+		xLo, xHi := g2.X.CellRange(cx)
+		for cy := 0; cy < ly; cy++ {
+			yLo, yHi := g2.Y.CellRange(cy)
+			cons = append(cons, estimate.Constraint{
+				R:      estimate.Rect{XLo: xLo, XHi: xHi, YLo: yLo, YHi: yHi},
+				Target: g2.At(cx, cy),
+			})
+		}
+	}
+	// Related 1-D grids add band constraints (Γ from §5.5: both 1-D grids
+	// for num×num, only the numerical one when the other attribute is
+	// categorical).
+	if g1, ok := a.grids1[i]; ok {
+		for c := 0; c < g1.L(); c++ {
+			lo, hi := g1.Axis.CellRange(c)
+			cons = append(cons, estimate.Constraint{
+				R:      estimate.Rect{XLo: lo, XHi: hi, YLo: 0, YHi: dj},
+				Target: g1.Freq[c],
+			})
+		}
+	}
+	if g1, ok := a.grids1[j]; ok {
+		for c := 0; c < g1.L(); c++ {
+			lo, hi := g1.Axis.CellRange(c)
+			cons = append(cons, estimate.Constraint{
+				R:      estimate.Rect{XLo: 0, XHi: di, YLo: lo, YHi: hi},
+				Target: g1.Freq[c],
+			})
+		}
+	}
+
+	m.Fit(cons, 1/float64(a.n), a.opts.MatrixMaxIter)
+	a.matrices[key] = m
+	return m, nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/estimate"
+	"felip/internal/fo"
+	"felip/internal/grid"
+	"felip/internal/postproc"
+)
+
+// Aggregator is the server side of FELIP after a completed collection round:
+// it holds the post-processed grids and answers multidimensional queries.
+// It is safe for concurrent use by multiple goroutines.
+type Aggregator struct {
+	schema *domain.Schema
+	opts   Options
+	specs  []GridSpec
+	n      int
+
+	grids1 map[int]*grid.Grid1D
+	grids2 map[[2]int]*grid.Grid2D
+	// var0 holds each grid's per-cell noise variance (keyed like grids).
+	var01 map[int]float64
+	var02 map[[2]int]float64
+
+	mu       sync.Mutex
+	matrices map[[2]int]*estimate.Matrix
+}
+
+// Collect runs a full FELIP round over the dataset: plan the grids (§5.2,
+// §5.3), divide the population into groups (§5.1), perturb every user's
+// report client-side under ε-LDP, estimate every grid's cell frequencies,
+// and post-process (§5.4). The returned Aggregator answers queries.
+func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	schema := ds.Schema()
+	n := ds.N()
+	specs, err := BuildPlan(schema, n, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	m := len(specs)
+	rng := fo.NewRand(opts.Seed)
+
+	// Group sizes and per-grid report streams.
+	var groupValues [][]int
+	var groupEps float64
+	if opts.DivideBudget {
+		// Ablation mode: every user reports every grid with ε/m.
+		groupEps = opts.Epsilon / float64(m)
+		groupValues = make([][]int, m)
+		for g := range specs {
+			vals := make([]int, n)
+			spec := specs[g]
+			for row := 0; row < n; row++ {
+				vals[row] = spec.CellOf(func(attr int) int { return ds.Value(row, attr) })
+			}
+			groupValues[g] = vals
+		}
+	} else {
+		// The paper's design: partition users uniformly into m groups.
+		groupEps = opts.Epsilon
+		assign := ds.Split(m, rng)
+		groupValues = make([][]int, m)
+		for g := range groupValues {
+			groupValues[g] = make([]int, 0, n/m+1)
+		}
+		for row, g := range assign {
+			spec := specs[g]
+			groupValues[g] = append(groupValues[g], spec.CellOf(func(attr int) int { return ds.Value(row, attr) }))
+		}
+	}
+
+	// Estimate all grids concurrently (bounded by GOMAXPROCS). Per-grid seeds
+	// are drawn sequentially first, so results are bit-identical regardless
+	// of scheduling.
+	seeds := make([]uint64, len(specs))
+	for g := range seeds {
+		seeds[g] = rng.Uint64()
+	}
+	freqs := make([][]float64, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for g := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			spec := specs[g]
+			freqs[g], errs[g] = fo.Estimate(spec.Proto, groupEps, spec.L(), groupValues[g], seeds[g])
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: grid %v: %w", specs[g], err)
+		}
+	}
+
+	groupNs := make([]int, m)
+	for g := range groupValues {
+		groupNs[g] = len(groupValues[g])
+	}
+	return assembleAggregator(schema, opts, specs, n, freqs, groupNs, groupEps)
+}
+
+// assembleAggregator attaches estimated frequency vectors to the planned
+// grids and runs post-processing. It is shared by the simulated path
+// (Collect) and the incremental report-driven path (Collector.Finalize).
+func assembleAggregator(schema *domain.Schema, opts Options, specs []GridSpec, n int, freqs [][]float64, groupNs []int, groupEps float64) (*Aggregator, error) {
+	agg := &Aggregator{
+		schema:   schema,
+		opts:     opts,
+		specs:    specs,
+		n:        n,
+		grids1:   make(map[int]*grid.Grid1D),
+		grids2:   make(map[[2]int]*grid.Grid2D),
+		var01:    make(map[int]float64),
+		var02:    make(map[[2]int]float64),
+		matrices: make(map[[2]int]*estimate.Matrix),
+	}
+	for g, spec := range specs {
+		freq := freqs[g]
+		var0 := spec.Proto.Variance(groupEps, spec.L(), max(groupNs[g], 1))
+		if spec.Is1D() {
+			g1 := grid.NewGrid1D(spec.AttrX, spec.AxisX)
+			if err := g1.SetFreq(freq); err != nil {
+				return nil, err
+			}
+			agg.grids1[spec.AttrX] = g1
+			agg.var01[spec.AttrX] = var0
+		} else {
+			key := [2]int{spec.AttrX, spec.AttrY}
+			g2 := grid.NewGrid2D(spec.AttrX, spec.AttrY, spec.AxisX, spec.AxisY)
+			if err := g2.SetFreq(freq); err != nil {
+				return nil, err
+			}
+			agg.grids2[key] = g2
+			agg.var02[key] = var0
+		}
+	}
+	agg.postProcess()
+	return agg, nil
+}
+
+// postProcess runs the interleaved consistency and Norm-Sub rounds (§5.4).
+func (a *Aggregator) postProcess() {
+	// Iterate in spec order everywhere: map iteration order would make the
+	// floating-point results run-to-run nondeterministic.
+	var attrViews [][]postproc.View
+	for attr := 0; attr < a.schema.Len(); attr++ {
+		var views []postproc.View
+		if g1, ok := a.grids1[attr]; ok {
+			views = append(views, postproc.View{
+				Axis: g1.Axis,
+				Freq: g1.Freq,
+				Cols: postproc.Columns1D(g1.L()),
+				Var0: a.var01[attr],
+			})
+		}
+		for _, sp := range a.specs {
+			if sp.Is1D() {
+				continue
+			}
+			key := [2]int{sp.AttrX, sp.AttrY}
+			g2 := a.grids2[key]
+			switch attr {
+			case g2.XAttr:
+				views = append(views, postproc.View{
+					Axis: g2.X,
+					Freq: g2.Freq,
+					Cols: postproc.ColumnsX(g2.X.Cells(), g2.Y.Cells()),
+					Var0: a.var02[key],
+				})
+			case g2.YAttr:
+				views = append(views, postproc.View{
+					Axis: g2.Y,
+					Freq: g2.Freq,
+					Cols: postproc.ColumnsY(g2.X.Cells(), g2.Y.Cells()),
+					Var0: a.var02[key],
+				})
+			}
+		}
+		if len(views) > 1 {
+			attrViews = append(attrViews, views)
+		}
+	}
+	var freqs [][]float64
+	for _, sp := range a.specs {
+		if sp.Is1D() {
+			freqs = append(freqs, a.grids1[sp.AttrX].Freq)
+		} else {
+			freqs = append(freqs, a.grids2[[2]int{sp.AttrX, sp.AttrY}].Freq)
+		}
+	}
+	postproc.Pipeline(attrViews, freqs, a.opts.PostProcessRounds)
+}
+
+// Schema returns the schema the aggregator was built over.
+func (a *Aggregator) Schema() *domain.Schema { return a.schema }
+
+// N returns the population size of the collection round.
+func (a *Aggregator) N() int { return a.n }
+
+// Specs returns the grid plan of the round (one spec per user group).
+func (a *Aggregator) Specs() []GridSpec {
+	out := make([]GridSpec, len(a.specs))
+	copy(out, a.specs)
+	return out
+}
+
+// Grid1D returns the post-processed 1-D grid of a numerical attribute, if
+// the strategy collected one.
+func (a *Aggregator) Grid1D(attr int) (*grid.Grid1D, bool) {
+	g, ok := a.grids1[attr]
+	return g, ok
+}
+
+// Grid2D returns the post-processed 2-D grid of an attribute pair (i < j).
+func (a *Aggregator) Grid2D(i, j int) (*grid.Grid2D, bool) {
+	g, ok := a.grids2[[2]int{i, j}]
+	return g, ok
+}

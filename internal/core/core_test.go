@@ -1,0 +1,487 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/fo"
+	"felip/internal/query"
+)
+
+func mixedSchema() *domain.Schema {
+	return dataset.MixedSchema(2, 32, 2, 4)
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o, err := Options{Strategy: OHG, Epsilon: 1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Selectivity != 0.5 || o.Alpha1 != 0.7 || o.Alpha2 != 0.03 ||
+		o.PostProcessRounds != 3 || o.MatrixMaxIter != 50 || o.LambdaMaxIter != 100 || o.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := (Options{Strategy: OUG}).withDefaults(); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := (Options{Strategy: OUG, Epsilon: -1}).withDefaults(); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, err := (Options{Strategy: Strategy(9), Epsilon: 1}).withDefaults(); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := (Options{Strategy: OUG, Epsilon: 1, Selectivity: 2}).withDefaults(); err == nil {
+		t.Error("selectivity > 1 accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if OUG.String() != "OUG" || OHG.String() != "OHG" {
+		t.Error("strategy names wrong")
+	}
+	if !strings.Contains(Strategy(9).String(), "9") {
+		t.Error("unknown strategy string")
+	}
+}
+
+func TestBuildPlanGroupCounts(t *testing.T) {
+	s := mixedSchema() // k=4: 2 numerical, 2 categorical
+	specs, err := BuildPlan(s, 100000, Options{Strategy: OUG, Epsilon: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 { // C(4,2)
+		t.Errorf("OUG specs = %d, want 6", len(specs))
+	}
+	for _, sp := range specs {
+		if sp.Is1D() {
+			t.Errorf("OUG produced 1-D grid %v", sp)
+		}
+	}
+
+	specs, err = BuildPlan(s, 100000, Options{Strategy: OHG, Epsilon: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 { // k_n + C(4,2) = 2 + 6
+		t.Errorf("OHG specs = %d, want 8", len(specs))
+	}
+	oneD := 0
+	for _, sp := range specs {
+		if sp.Is1D() {
+			oneD++
+			if !s.Attr(sp.AttrX).IsNumerical() {
+				t.Errorf("1-D grid on categorical attribute: %v", sp)
+			}
+		}
+	}
+	if oneD != 2 {
+		t.Errorf("OHG 1-D grids = %d, want 2", oneD)
+	}
+}
+
+func TestBuildPlanCategoricalGridsFullDomain(t *testing.T) {
+	s := mixedSchema()
+	specs, err := BuildPlan(s, 100000, Options{Strategy: OHG, Epsilon: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if sp.Is1D() {
+			continue
+		}
+		if s.Attr(sp.AttrX).IsCategorical() && sp.AxisX.Cells() != s.Attr(sp.AttrX).Size {
+			t.Errorf("categorical axis binned: %v", sp)
+		}
+		if s.Attr(sp.AttrY).IsCategorical() && sp.AxisY.Cells() != s.Attr(sp.AttrY).Size {
+			t.Errorf("categorical axis binned: %v", sp)
+		}
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	one := domain.MustSchema(domain.Attribute{Name: "a", Kind: domain.Numerical, Size: 8})
+	if _, err := BuildPlan(one, 100, Options{Strategy: OUG, Epsilon: 1}); err == nil {
+		t.Error("single-attribute schema accepted")
+	}
+	if _, err := BuildPlan(mixedSchema(), 0, Options{Strategy: OUG, Epsilon: 1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BuildPlan(mixedSchema(), 100, Options{Strategy: OUG}); err == nil {
+		t.Error("bad options accepted")
+	}
+}
+
+func TestBuildPlanForcedProtocol(t *testing.T) {
+	olh := fo.OLH
+	specs, err := BuildPlan(mixedSchema(), 100000, Options{Strategy: OHG, Epsilon: 1, Seed: 1, ForceProtocol: &olh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if sp.Proto != fo.OLH {
+			t.Errorf("forced OLH but got %v for %v", sp.Proto, sp)
+		}
+	}
+}
+
+func TestGridSpecHelpers(t *testing.T) {
+	specs, err := BuildPlan(mixedSchema(), 100000, Options{Strategy: OHG, Epsilon: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if sp.L() < 1 {
+			t.Errorf("spec %v has L=%d", sp, sp.L())
+		}
+		str := sp.String()
+		if !strings.Contains(str, "G(") {
+			t.Errorf("String = %q", str)
+		}
+		record := func(attr int) int { return 0 }
+		if cell := sp.CellOf(record); cell != 0 {
+			t.Errorf("zero record should project to cell 0, got %d", cell)
+		}
+	}
+}
+
+func collectFor(t *testing.T, strat Strategy, n int, seed uint64) (*Aggregator, *dataset.Dataset) {
+	t.Helper()
+	s := mixedSchema()
+	ds := dataset.NewNormal().Generate(s, n, seed)
+	agg, err := Collect(ds, Options{Strategy: strat, Epsilon: 2.0, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg, ds
+}
+
+func TestCollectAccessors(t *testing.T) {
+	agg, _ := collectFor(t, OHG, 20000, 3)
+	if agg.N() != 20000 {
+		t.Errorf("N = %d", agg.N())
+	}
+	if agg.Schema().Len() != 4 {
+		t.Error("Schema wrong")
+	}
+	if len(agg.Specs()) != 8 {
+		t.Errorf("Specs = %d", len(agg.Specs()))
+	}
+	if _, ok := agg.Grid1D(0); !ok {
+		t.Error("missing 1-D grid for numerical attr 0")
+	}
+	if _, ok := agg.Grid1D(2); ok {
+		t.Error("unexpected 1-D grid for categorical attr")
+	}
+	if _, ok := agg.Grid2D(0, 1); !ok {
+		t.Error("missing 2-D grid (0,1)")
+	}
+	if _, ok := agg.Grid2D(1, 0); ok {
+		t.Error("reversed pair should not resolve")
+	}
+}
+
+func TestCollectGridsAreDistributions(t *testing.T) {
+	for _, strat := range []Strategy{OUG, OHG} {
+		agg, _ := collectFor(t, strat, 20000, 7)
+		for _, sp := range agg.Specs() {
+			var freq []float64
+			if sp.Is1D() {
+				g, _ := agg.Grid1D(sp.AttrX)
+				freq = g.Freq
+			} else {
+				g, _ := agg.Grid2D(sp.AttrX, sp.AttrY)
+				freq = g.Freq
+			}
+			var sum float64
+			for i, f := range freq {
+				if f < -1e-9 {
+					t.Errorf("%v strategy %v: negative freq[%d]=%v", strat, sp, i, f)
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("%v strategy %v: freq sums to %v", strat, sp, sum)
+			}
+		}
+	}
+}
+
+func TestAnswer1D(t *testing.T) {
+	agg, ds := collectFor(t, OHG, 60000, 11)
+	for _, q := range []query.Query{
+		{Preds: []query.Predicate{query.NewRange(0, 8, 23)}},
+		{Preds: []query.Predicate{query.NewIn(2, 0, 1)}},
+	} {
+		truth := query.Evaluate(q, [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)})
+		got, err := agg.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 0.05 {
+			t.Errorf("query %v: got %v, truth %v", q, got, truth)
+		}
+	}
+}
+
+func TestAnswer2DAccuracy(t *testing.T) {
+	for _, strat := range []Strategy{OUG, OHG} {
+		agg, ds := collectFor(t, strat, 60000, 13)
+		cols := [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)}
+		qs := []query.Query{
+			{Preds: []query.Predicate{query.NewRange(0, 8, 23), query.NewRange(1, 8, 23)}},
+			{Preds: []query.Predicate{query.NewRange(0, 0, 15), query.NewIn(2, 0, 1)}},
+			{Preds: []query.Predicate{query.NewIn(2, 0), query.NewIn(3, 1, 2)}},
+		}
+		for _, q := range qs {
+			truth := query.Evaluate(q, cols)
+			got, err := agg.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-truth) > 0.08 {
+				t.Errorf("%v query %v: got %v, truth %v", strat, q, got, truth)
+			}
+		}
+	}
+}
+
+func TestAnswer4DAccuracy(t *testing.T) {
+	agg, ds := collectFor(t, OHG, 80000, 17)
+	cols := [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)}
+	q := query.Query{Preds: []query.Predicate{
+		query.NewRange(0, 8, 23),
+		query.NewRange(1, 4, 27),
+		query.NewIn(2, 0, 1),
+		query.NewIn(3, 0, 1, 2),
+	}}
+	truth := query.Evaluate(q, cols)
+	got, err := agg.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.1 {
+		t.Errorf("4-D query: got %v, truth %v", got, truth)
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	agg, _ := collectFor(t, OUG, 5000, 19)
+	if _, err := agg.Answer(query.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := agg.Answer(query.Query{Preds: []query.Predicate{query.NewRange(2, 0, 1)}}); err == nil {
+		t.Error("BETWEEN on categorical accepted")
+	}
+}
+
+func TestCollectDeterministicWithSeed(t *testing.T) {
+	s := mixedSchema()
+	ds := dataset.NewUniform().Generate(s, 10000, 5)
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 15), query.NewRange(1, 0, 15)}}
+	a1, err := Collect(ds, Options{Strategy: OHG, Epsilon: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Collect(ds, Options{Strategy: OHG, Epsilon: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := a1.Answer(q)
+	r2, _ := a2.Answer(q)
+	if r1 != r2 {
+		t.Errorf("same seed produced %v vs %v", r1, r2)
+	}
+}
+
+// Theorem 5.1 empirically: dividing users must beat dividing the budget.
+func TestDivideUsersBeatsDivideBudget(t *testing.T) {
+	s := mixedSchema()
+	ds := dataset.NewNormal().Generate(s, 40000, 23)
+	cols := [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)}
+	gen, err := query.NewGenerator(s, 0.5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := gen.GenerateMany(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maeOf := func(divideBudget bool) float64 {
+		agg, err := Collect(ds, Options{Strategy: OUG, Epsilon: 1, Seed: 99, DivideBudget: divideBudget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, q := range qs {
+			got, err := agg.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += math.Abs(got - query.Evaluate(q, cols))
+		}
+		return total / float64(len(qs))
+	}
+	users := maeOf(false)
+	budget := maeOf(true)
+	if users >= budget {
+		t.Errorf("dividing users MAE %v not better than dividing budget MAE %v", users, budget)
+	}
+}
+
+func TestExpectedError(t *testing.T) {
+	agg, ds := collectFor(t, OHG, 30000, 41)
+	_ = ds
+	q1 := query.Query{Preds: []query.Predicate{query.NewRange(0, 8, 23)}}
+	e1, err := agg.ExpectedError(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e1 > 0 && e1 < 1) {
+		t.Errorf("1-D expected error = %v", e1)
+	}
+	q2 := query.Query{Preds: []query.Predicate{query.NewRange(0, 8, 23), query.NewIn(2, 0, 1)}}
+	e2, err := agg.ExpectedError(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4 := query.Query{Preds: []query.Predicate{
+		query.NewRange(0, 8, 23), query.NewRange(1, 8, 23),
+		query.NewIn(2, 0, 1), query.NewIn(3, 0, 1),
+	}}
+	e4, err := agg.ExpectedError(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More pairs → larger analytic error bound.
+	if !(e4 > e2) {
+		t.Errorf("4-D expected error %v not above 2-D %v", e4, e2)
+	}
+	// Larger population must shrink the a-priori error.
+	big, _ := collectFor(t, OHG, 120000, 41)
+	e2big, err := big.ExpectedError(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e2big < e2) {
+		t.Errorf("expected error did not shrink with n: %v vs %v", e2big, e2)
+	}
+	if _, err := agg.ExpectedError(query.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestExpectedError1DOnOUG(t *testing.T) {
+	// OUG has no 1-D grids; the 1-D expected error must fall back to a 2-D
+	// grid containing the attribute.
+	agg, _ := collectFor(t, OUG, 20000, 43)
+	q := query.Query{Preds: []query.Predicate{query.NewRange(1, 0, 15)}}
+	e, err := agg.ExpectedError(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e > 0) {
+		t.Errorf("expected error = %v", e)
+	}
+}
+
+// FELIP explicitly supports attributes with different domain sizes (§5.8),
+// unlike TDG/HDG. Exercise planning and answering over a strongly
+// heterogeneous schema.
+func TestHeterogeneousDomains(t *testing.T) {
+	s := domain.MustSchema(
+		domain.Attribute{Name: "tiny", Kind: domain.Numerical, Size: 9},
+		domain.Attribute{Name: "huge", Kind: domain.Numerical, Size: 700},
+		domain.Attribute{Name: "bin", Kind: domain.Categorical, Size: 2},
+		domain.Attribute{Name: "wide", Kind: domain.Categorical, Size: 12},
+	)
+	ds := dataset.NewIPUMSSim().Generate(s, 50000, 71)
+	for _, strat := range []Strategy{OUG, OHG} {
+		agg, err := Collect(ds, Options{Strategy: strat, Epsilon: 2, Seed: 73})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range agg.Specs() {
+			// Categorical axes stay at full domain even when mixed with the
+			// 700-value numerical attribute.
+			if !sp.Is1D() {
+				if s.Attr(sp.AttrX).IsCategorical() && sp.AxisX.Cells() != s.Attr(sp.AttrX).Size {
+					t.Errorf("%v: categorical x axis binned: %v", strat, sp)
+				}
+				if s.Attr(sp.AttrY).IsCategorical() && sp.AxisY.Cells() != s.Attr(sp.AttrY).Size {
+					t.Errorf("%v: categorical y axis binned: %v", strat, sp)
+				}
+			}
+		}
+		cols := [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)}
+		qs := []query.Query{
+			{Preds: []query.Predicate{query.NewRange(0, 2, 6), query.NewRange(1, 100, 450)}},
+			{Preds: []query.Predicate{query.NewRange(1, 0, 349), query.NewIn(3, 0, 1, 2)}},
+			{Preds: []query.Predicate{query.NewPoint(2, 0), query.NewIn(3, 0, 5)}},
+		}
+		for _, q := range qs {
+			truth := query.Evaluate(q, cols)
+			got, err := agg.Answer(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-truth) > 0.08 {
+				t.Errorf("%v query %v: got %v, truth %v", strat, q, got, truth)
+			}
+		}
+	}
+}
+
+// SelectivityByAttr lets the aggregator size each attribute's grids with its
+// own workload prior.
+func TestSelectivityByAttr(t *testing.T) {
+	s := mixedSchema()
+	specsDefault, err := BuildPlan(s, 100000, Options{Strategy: OHG, Epsilon: 1, Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specsPerAttr, err := BuildPlan(s, 100000, Options{
+		Strategy: OHG, Epsilon: 1, Seed: 75,
+		SelectivityByAttr: map[int]float64{0: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrower prior on attr 0 → at least as fine a 1-D grid for it.
+	var def, per int
+	for i, sp := range specsDefault {
+		if sp.Is1D() && sp.AttrX == 0 {
+			def = sp.L()
+			per = specsPerAttr[i].L()
+		}
+	}
+	if per < def {
+		t.Errorf("per-attribute narrow prior coarsened the grid: %d -> %d", def, per)
+	}
+}
+
+// With huge ε the pipeline must reproduce near-exact answers: the remaining
+// error is only binning bias.
+func TestHighEpsilonNearExact(t *testing.T) {
+	s := dataset.MixedSchema(2, 16, 1, 4)
+	ds := dataset.NewUniform().Generate(s, 50000, 29)
+	agg, err := Collect(ds, Options{Strategy: OHG, Epsilon: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 7), query.NewIn(2, 0, 1)}}
+	truth := query.Evaluate(q, [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2)})
+	got, err := agg.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.03 {
+		t.Errorf("eps=5: got %v, truth %v", got, truth)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+// Report is one user's ε-LDP submission: the grid (user group) it belongs to
+// and the perturbed cell report in the grid's protocol. It is what actually
+// travels from a device to the aggregator in a deployment.
+type Report struct {
+	// Group identifies the grid the user was assigned to.
+	Group int
+	// Proto is the grid's frequency-oracle protocol.
+	Proto fo.Protocol
+	// Value is the GRR report (perturbed cell index) when Proto == GRR, or
+	// the GRR-perturbed hash when Proto == OLH.
+	Value int
+	// Seed identifies the OLH hash function when Proto == OLH.
+	Seed uint64
+}
+
+// Client is the user-side of FELIP: it holds the grid plan published by the
+// aggregator and produces one ε-LDP report for a user's record. A Client can
+// serve any number of users; each Perturb call uses fresh randomness.
+//
+// Client is not safe for concurrent use; create one per goroutine (they are
+// cheap) or synchronize externally.
+type Client struct {
+	specs []GridSpec
+	eps   float64
+	rng   *fo.Rand
+	grr   map[int]*fo.GRRClient
+	olh   map[int]*fo.OLHClient
+}
+
+// NewClient builds a client from the published plan. seed controls the
+// perturbation randomness (0 draws a fresh seed).
+func NewClient(specs []GridSpec, eps float64, seed uint64) (*Client, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: empty grid plan")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("core: epsilon must be positive, got %v", eps)
+	}
+	if seed == 0 {
+		seed = fo.AutoSeed()
+	}
+	return &Client{
+		specs: specs,
+		eps:   eps,
+		rng:   fo.NewRand(seed),
+		grr:   make(map[int]*fo.GRRClient),
+		olh:   make(map[int]*fo.OLHClient),
+	}, nil
+}
+
+// Groups returns the number of user groups m in the plan.
+func (c *Client) Groups() int { return len(c.specs) }
+
+// Perturb produces the ε-LDP report of a user assigned to the given group.
+// record returns the user's true value for a schema attribute index; only
+// the group's grid attributes are read, and only the perturbed cell leaves
+// the client.
+func (c *Client) Perturb(group int, record func(attr int) int) (Report, error) {
+	if group < 0 || group >= len(c.specs) {
+		return Report{}, fmt.Errorf("core: group %d outside plan of %d grids", group, len(c.specs))
+	}
+	spec := c.specs[group]
+	cell := spec.CellOf(record)
+	switch spec.Proto {
+	case fo.GRR:
+		cl, ok := c.grr[group]
+		if !ok {
+			var err error
+			cl, err = fo.NewGRRClient(c.eps, spec.L())
+			if err != nil {
+				return Report{}, err
+			}
+			c.grr[group] = cl
+		}
+		v, err := cl.Perturb(cell, c.rng)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Group: group, Proto: fo.GRR, Value: v}, nil
+	case fo.OLH:
+		cl, ok := c.olh[group]
+		if !ok {
+			var err error
+			cl, err = fo.NewOLHClient(c.eps, spec.L())
+			if err != nil {
+				return Report{}, err
+			}
+			c.olh[group] = cl
+		}
+		rep, err := cl.Perturb(cell, c.rng)
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{Group: group, Proto: fo.OLH, Value: int(rep.Value), Seed: rep.Seed}, nil
+	default:
+		return Report{}, fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
+	}
+}
+
+// Collector is the incremental server side of FELIP: it publishes the grid
+// plan, assigns users to groups, accumulates their perturbed reports, and
+// finalizes into an Aggregator once the round closes. It is safe for
+// concurrent use.
+type Collector struct {
+	schema *domain.Schema
+	opts   Options
+	specs  []GridSpec
+
+	mu        sync.Mutex
+	nextGroup int
+	rng       *fo.Rand
+	grrAggs   map[int]*fo.GRRAggregator
+	olhAggs   map[int]*fo.OLHAggregator
+	added     int
+	finalized bool
+}
+
+// NewCollector plans the grids for an expected population of n users and
+// returns an open collector. The plan (Specs) is what the aggregator
+// publishes to clients.
+func NewCollector(schema *domain.Schema, n int, opts Options) (*Collector, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opts.DivideBudget {
+		return nil, fmt.Errorf("core: the incremental collector divides users, not the budget")
+	}
+	specs, err := BuildPlan(schema, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		schema:  schema,
+		opts:    opts,
+		specs:   specs,
+		rng:     fo.NewRand(opts.Seed),
+		grrAggs: make(map[int]*fo.GRRAggregator),
+		olhAggs: make(map[int]*fo.OLHAggregator),
+	}
+	for g, spec := range specs {
+		switch spec.Proto {
+		case fo.GRR:
+			c.grrAggs[g] = fo.NewGRRAggregator(opts.Epsilon, spec.L())
+		case fo.OLH:
+			c.olhAggs[g] = fo.NewOLHAggregator(opts.Epsilon, spec.L())
+		default:
+			return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
+		}
+	}
+	return c, nil
+}
+
+// Specs returns the published grid plan.
+func (c *Collector) Specs() []GridSpec {
+	out := make([]GridSpec, len(c.specs))
+	copy(out, c.specs)
+	return out
+}
+
+// Epsilon returns the round's privacy budget.
+func (c *Collector) Epsilon() float64 { return c.opts.Epsilon }
+
+// AssignGroup hands out the next user's group. Round-robin keeps the groups
+// balanced, matching the paper's uniform population division.
+func (c *Collector) AssignGroup() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.nextGroup
+	c.nextGroup = (c.nextGroup + 1) % len(c.specs)
+	return g
+}
+
+// Add records one user report.
+func (c *Collector) Add(rep Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finalized {
+		return fmt.Errorf("core: collection round already finalized")
+	}
+	if rep.Group < 0 || rep.Group >= len(c.specs) {
+		return fmt.Errorf("core: report for unknown group %d", rep.Group)
+	}
+	spec := c.specs[rep.Group]
+	if rep.Proto != spec.Proto {
+		return fmt.Errorf("core: group %d expects %v reports, got %v", rep.Group, spec.Proto, rep.Proto)
+	}
+	switch spec.Proto {
+	case fo.GRR:
+		if rep.Value < 0 || rep.Value >= spec.L() {
+			return fmt.Errorf("core: GRR report %d outside [0,%d)", rep.Value, spec.L())
+		}
+		c.grrAggs[rep.Group].Add(rep.Value)
+	case fo.OLH:
+		g := fo.OptimalG(c.opts.Epsilon)
+		if rep.Value < 0 || rep.Value >= g {
+			return fmt.Errorf("core: OLH report %d outside [0,%d)", rep.Value, g)
+		}
+		c.olhAggs[rep.Group].Add(fo.OLHReport{Seed: rep.Seed, Value: uint8(rep.Value)})
+	}
+	c.added++
+	return nil
+}
+
+// N returns the number of reports accepted so far.
+func (c *Collector) N() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.added
+}
+
+// Finalize closes the round: estimates every grid's cell frequencies from
+// the accumulated reports, post-processes (§5.4), and returns the query
+// Aggregator. Further Add calls fail; Finalize is idempotent in effect but
+// should be called once.
+func (c *Collector) Finalize() (*Aggregator, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.added == 0 {
+		return nil, fmt.Errorf("core: no reports collected")
+	}
+	c.finalized = true
+	freqs := make([][]float64, len(c.specs))
+	groupNs := make([]int, len(c.specs))
+	for g, spec := range c.specs {
+		switch spec.Proto {
+		case fo.GRR:
+			freqs[g] = c.grrAggs[g].Estimates()
+			groupNs[g] = c.grrAggs[g].N()
+		case fo.OLH:
+			freqs[g] = c.olhAggs[g].Estimates()
+			groupNs[g] = c.olhAggs[g].N()
+		}
+	}
+	return assembleAggregator(c.schema, c.opts, c.specs, c.added, freqs, groupNs, c.opts.Epsilon)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"felip/internal/query"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	agg, _ := collectFor(t, OHG, 20000, 51)
+	var buf bytes.Buffer
+	if err := agg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != agg.N() || restored.Schema().Len() != agg.Schema().Len() {
+		t.Fatalf("metadata mismatch: %d/%d", restored.N(), restored.Schema().Len())
+	}
+	if len(restored.Specs()) != len(agg.Specs()) {
+		t.Fatalf("spec count %d != %d", len(restored.Specs()), len(agg.Specs()))
+	}
+	// Identical answers for several queries, including matrix-backed pairs.
+	for _, q := range []query.Query{
+		{Preds: []query.Predicate{query.NewRange(0, 8, 23)}},
+		{Preds: []query.Predicate{query.NewRange(0, 8, 23), query.NewIn(2, 0, 1)}},
+		{Preds: []query.Predicate{query.NewRange(0, 4, 20), query.NewRange(1, 8, 30), query.NewIn(3, 1)}},
+	} {
+		want, err := agg.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("query %v: restored answer %v != original %v", q, got, want)
+		}
+	}
+	// Expected-error metadata survives too.
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 8, 23), query.NewIn(2, 0, 1)}}
+	weWant, err := agg.ExpectedError(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weGot, err := restored.ExpectedError(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weGot != weWant {
+		t.Errorf("expected error changed across restore: %v != %v", weGot, weWant)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	agg, _ := collectFor(t, OUG, 5000, 53)
+	good := agg.Snapshot()
+
+	bad := good
+	bad.Version = 99
+	if _, err := Restore(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+
+	bad = good
+	bad.Strategy = "XYZ"
+	if _, err := Restore(bad); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+
+	bad = good
+	bad.Epsilon = 0
+	if _, err := Restore(bad); err == nil {
+		t.Error("eps=0 accepted")
+	}
+
+	bad = good
+	bad.Grids = nil
+	if _, err := Restore(bad); err == nil {
+		t.Error("empty grids accepted")
+	}
+
+	bad = good
+	bad.Grids = append([]GridSnapshot(nil), good.Grids...)
+	bad.Grids[0].Proto = "???"
+	if _, err := Restore(bad); err == nil {
+		t.Error("unknown grid protocol accepted")
+	}
+
+	bad = good
+	bad.Grids = append([]GridSnapshot(nil), good.Grids...)
+	bad.Grids[0].Freq = bad.Grids[0].Freq[:1]
+	if _, err := Restore(bad); err == nil {
+		t.Error("wrong freq length accepted")
+	}
+
+	bad = good
+	bad.Grids = append([]GridSnapshot(nil), good.Grids...)
+	bad.Grids[0].AttrX = 99
+	if _, err := Restore(bad); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+}
+
+// TestLoadGoldenSnapshot pins the on-disk snapshot format: the committed
+// fixture (written by `felipquery -save` with the v1 format) must keep
+// loading and keep producing the same answer bit-for-bit. If this test
+// breaks, the format changed — bump snapshotVersion and migrate instead.
+func TestLoadGoldenSnapshot(t *testing.T) {
+	f, err := os.Open("../../testdata/snapshot_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	agg, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.N() != 8000 || agg.Schema().Len() != 3 {
+		t.Fatalf("fixture metadata: n=%d k=%d", agg.N(), agg.Schema().Len())
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 8, 23)}}
+	got, err := agg.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 0.714971174733
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("golden answer drifted: got %.12f, want %.12f", got, want)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package dataset provides the data substrate for FELIP experiments: a
+// column-major in-memory table of encoded attribute values, synthetic
+// generators reproducing the paper's four evaluation datasets (Uniform,
+// Normal, and simulated stand-ins for the IPUMS census and Lending Club loan
+// extracts — see DESIGN.md §6 for the substitution rationale), sampling, and
+// CSV import/export.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+// Dataset is an immutable-after-construction column-major table. Values are
+// stored as uint16 indexes into each attribute's domain [0, Size); all
+// supported domains (≤ 2¹⁰ in the paper, ≤ 65535 here) fit.
+type Dataset struct {
+	schema *domain.Schema
+	cols   [][]uint16
+}
+
+// New allocates an all-zero dataset with n rows over the schema.
+func New(schema *domain.Schema, n int) *Dataset {
+	cols := make([][]uint16, schema.Len())
+	for i := range cols {
+		cols[i] = make([]uint16, n)
+	}
+	return &Dataset{schema: schema, cols: cols}
+}
+
+// Schema returns the dataset's schema.
+func (d *Dataset) Schema() *domain.Schema { return d.schema }
+
+// N returns the number of rows (users).
+func (d *Dataset) N() int {
+	if len(d.cols) == 0 {
+		return 0
+	}
+	return len(d.cols[0])
+}
+
+// Col returns the backing column for attribute i. The caller must not
+// modify it.
+func (d *Dataset) Col(i int) []uint16 { return d.cols[i] }
+
+// Value returns the value of attribute attr in row row.
+func (d *Dataset) Value(row, attr int) int { return int(d.cols[attr][row]) }
+
+// SetValue stores a value, clamping into the attribute's domain. Intended
+// for building bespoke datasets; generated datasets should not be mutated
+// after collection.
+func (d *Dataset) SetValue(row, attr, v int) { d.set(row, attr, v) }
+
+// set stores a value, clamping into the attribute's domain.
+func (d *Dataset) set(row, attr, v int) {
+	size := d.schema.Attr(attr).Size
+	if v < 0 {
+		v = 0
+	}
+	if v >= size {
+		v = size - 1
+	}
+	d.cols[attr][row] = uint16(v)
+}
+
+// Sample returns a uniform random sample (without replacement) of n rows.
+// If n >= N() a copy of the whole dataset is returned.
+func (d *Dataset) Sample(n int, r *fo.Rand) *Dataset {
+	total := d.N()
+	if n > total {
+		n = total
+	}
+	idx := make([]int, total)
+	r.Perm(idx)
+	out := New(d.schema, n)
+	for a := range d.cols {
+		src, dst := d.cols[a], out.cols[a]
+		for i := 0; i < n; i++ {
+			dst[i] = src[idx[i]]
+		}
+	}
+	return out
+}
+
+// Partition randomly splits the rows into two disjoint datasets, the first
+// holding a fraction frac of the users (rounded, clamped so both halves are
+// non-empty when possible). Used by the two-phase adaptive extension, where
+// each user participates in exactly one phase.
+func (d *Dataset) Partition(frac float64, r *fo.Rand) (*Dataset, *Dataset) {
+	total := d.N()
+	nA := int(frac*float64(total) + 0.5)
+	if nA < 1 {
+		nA = 1
+	}
+	if nA >= total {
+		nA = total - 1
+	}
+	if total < 2 {
+		return d.Sample(total, r), New(d.schema, 0)
+	}
+	idx := make([]int, total)
+	r.Perm(idx)
+	a := New(d.schema, nA)
+	b := New(d.schema, total-nA)
+	for col := range d.cols {
+		src := d.cols[col]
+		for i := 0; i < nA; i++ {
+			a.cols[col][i] = src[idx[i]]
+		}
+		for i := nA; i < total; i++ {
+			b.cols[col][i-nA] = src[idx[i]]
+		}
+	}
+	return a, b
+}
+
+// Split partitions the rows into parts contiguous groups after a random
+// shuffle, returning the per-row group assignment. It implements FELIP's
+// population partitioning (§5.1): each user belongs to exactly one group.
+func (d *Dataset) Split(parts int, r *fo.Rand) []int {
+	n := d.N()
+	assign := make([]int, n)
+	perm := make([]int, n)
+	r.Perm(perm)
+	for i, p := range perm {
+		assign[p] = i * parts / n
+	}
+	return assign
+}
+
+// WriteCSV writes the dataset with a header row of attribute names.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.schema.Len(); i++ {
+		if i > 0 {
+			if _, err := bw.WriteString(","); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(d.schema.Attr(i).Name); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n"); err != nil {
+		return err
+	}
+	n := d.N()
+	for row := 0; row < n; row++ {
+		for a := 0; a < d.schema.Len(); a++ {
+			if a > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(d.cols[a][row]))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. The header must match the
+// schema's attribute names in order; values outside an attribute's domain
+// are rejected.
+func ReadCSV(r io.Reader, schema *domain.Schema) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty CSV input")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) != schema.Len() {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), schema.Len())
+	}
+	for i, name := range header {
+		if name != schema.Attr(i).Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, schema.Attr(i).Name)
+		}
+	}
+	var rows [][]uint16
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != schema.Len() {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), schema.Len())
+		}
+		row := make([]uint16, len(fields))
+		for a, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %v", line, a, err)
+			}
+			if v < 0 || v >= schema.Attr(a).Size {
+				return nil, fmt.Errorf("dataset: line %d: value %d outside domain of %s", line, v, schema.Attr(a).Name)
+			}
+			row[a] = uint16(v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := New(schema, len(rows))
+	for i, row := range rows {
+		for a, v := range row {
+			out.cols[a][i] = v
+		}
+	}
+	return out, nil
+}
+
+// Histogram1D returns the exact per-value frequency of attribute attr.
+func (d *Dataset) Histogram1D(attr int) []float64 {
+	size := d.schema.Attr(attr).Size
+	out := make([]float64, size)
+	n := d.N()
+	if n == 0 {
+		return out
+	}
+	for _, v := range d.cols[attr] {
+		out[v]++
+	}
+	inv := 1 / float64(n)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+func testSchema() *domain.Schema {
+	return MixedSchema(2, 32, 2, 4)
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	s := testSchema()
+	d := New(s, 10)
+	if d.N() != 10 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.Schema() != s {
+		t.Error("Schema not returned")
+	}
+	d.set(3, 0, 17)
+	if d.Value(3, 0) != 17 {
+		t.Errorf("Value = %d", d.Value(3, 0))
+	}
+	if d.Col(0)[3] != 17 {
+		t.Error("Col not backed by same storage")
+	}
+}
+
+func TestSetClamps(t *testing.T) {
+	d := New(testSchema(), 2)
+	d.set(0, 0, -5)
+	if d.Value(0, 0) != 0 {
+		t.Error("negative not clamped to 0")
+	}
+	d.set(0, 0, 99)
+	if d.Value(0, 0) != 31 {
+		t.Error("overflow not clamped to Size-1")
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := testSchema()
+	d := New(s, 100)
+	for i := 0; i < 100; i++ {
+		d.set(i, 0, i%32)
+	}
+	r := fo.NewRand(1)
+	sm := d.Sample(30, r)
+	if sm.N() != 30 {
+		t.Fatalf("sample N = %d", sm.N())
+	}
+	// Oversampling returns the full size.
+	if d.Sample(500, r).N() != 100 {
+		t.Error("oversample should cap at N")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s := testSchema()
+	d := New(s, 1000)
+	for i := 0; i < 1000; i++ {
+		d.set(i, 0, i%32)
+	}
+	r := fo.NewRand(3)
+	a, b := d.Partition(0.3, r)
+	if a.N() != 300 || b.N() != 700 {
+		t.Fatalf("partition sizes %d/%d, want 300/700", a.N(), b.N())
+	}
+	// Together they hold exactly the original multiset of attr-0 values.
+	counts := make([]int, 32)
+	for row := 0; row < a.N(); row++ {
+		counts[a.Value(row, 0)]++
+	}
+	for row := 0; row < b.N(); row++ {
+		counts[b.Value(row, 0)]++
+	}
+	for v, c := range counts {
+		want := 1000 / 32
+		if v < 1000%32 {
+			want++
+		}
+		if c != want {
+			t.Errorf("value %d count %d, want %d", v, c, want)
+		}
+	}
+	// Extreme fractions keep both halves non-empty.
+	a, b = d.Partition(0.0001, r)
+	if a.N() < 1 || b.N() < 1 {
+		t.Errorf("tiny fraction: %d/%d", a.N(), b.N())
+	}
+	a, b = d.Partition(0.9999, r)
+	if a.N() != 999 || b.N() != 1 {
+		t.Errorf("huge fraction: %d/%d", a.N(), b.N())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := New(testSchema(), 1000)
+	r := fo.NewRand(2)
+	assign := d.Split(7, r)
+	counts := make([]int, 7)
+	for _, g := range assign {
+		if g < 0 || g >= 7 {
+			t.Fatalf("group %d out of range", g)
+		}
+		counts[g]++
+	}
+	for g, c := range counts {
+		if c < 1000/7-1 || c > 1000/7+1 {
+			t.Errorf("group %d has %d users, want ~%d", g, c, 1000/7)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := testSchema()
+	d := NewUniform().Generate(s, 50, 123)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 50 {
+		t.Fatalf("round trip N = %d", got.N())
+	}
+	for row := 0; row < 50; row++ {
+		for a := 0; a < s.Len(); a++ {
+			if got.Value(row, a) != d.Value(row, a) {
+				t.Fatalf("row %d attr %d: %d != %d", row, a, got.Value(row, a), d.Value(row, a))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := testSchema()
+	cases := []string{
+		"",                                // empty
+		"wrong,header,x,y\n0,0,0,0\n",     // header mismatch
+		"num0,num1\n0,0\n",                // wrong column count
+		"num0,num1,cat0,cat1\n0,0,0\n",    // short row
+		"num0,num1,cat0,cat1\nx,0,0,0\n",  // non-numeric
+		"num0,num1,cat0,cat1\n99,0,0,0\n", // out of domain
+		"num0,num1,cat0,cat1\n-1,0,0,0\n", // negative
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), s); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+	// Blank lines are skipped.
+	ok := "num0,num1,cat0,cat1\n1,2,3,1\n\n4,5,0,0\n"
+	d, err := ReadCSV(strings.NewReader(ok), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || d.Value(1, 1) != 5 {
+		t.Errorf("parsed %d rows", d.N())
+	}
+}
+
+func TestHistogram1D(t *testing.T) {
+	s := domain.MustSchema(domain.Attribute{Name: "a", Kind: domain.Categorical, Size: 4})
+	d := New(s, 4)
+	d.set(0, 0, 0)
+	d.set(1, 0, 0)
+	d.set(2, 0, 1)
+	d.set(3, 0, 3)
+	h := d.Histogram1D(0)
+	want := []float64{0.5, 0.25, 0, 0.25}
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-12 {
+			t.Errorf("hist = %v, want %v", h, want)
+		}
+	}
+	var sum float64
+	for _, f := range h {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("hist sums to %v", sum)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	s := testSchema()
+	for _, g := range All() {
+		a := g.Generate(s, 100, 7)
+		b := g.Generate(s, 100, 7)
+		for row := 0; row < 100; row++ {
+			for attr := 0; attr < s.Len(); attr++ {
+				if a.Value(row, attr) != b.Value(row, attr) {
+					t.Fatalf("%s not deterministic", g.Name())
+				}
+			}
+		}
+		c := g.Generate(s, 100, 8)
+		same := true
+		for row := 0; row < 100 && same; row++ {
+			for attr := 0; attr < s.Len(); attr++ {
+				if a.Value(row, attr) != c.Value(row, attr) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds gave identical data", g.Name())
+		}
+	}
+}
+
+func TestGeneratorsInDomain(t *testing.T) {
+	s := MixedSchema(3, 100, 3, 5)
+	for _, g := range All() {
+		d := g.Generate(s, 2000, 99)
+		for a := 0; a < s.Len(); a++ {
+			size := s.Attr(a).Size
+			for row := 0; row < d.N(); row++ {
+				if v := d.Value(row, a); v < 0 || v >= size {
+					t.Fatalf("%s attr %d: value %d outside [0,%d)", g.Name(), a, v, size)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	s := domain.MustSchema(domain.Attribute{Name: "a", Kind: domain.Numerical, Size: 16})
+	d := NewUniform().Generate(s, 64000, 5)
+	h := d.Histogram1D(0)
+	for v, f := range h {
+		if math.Abs(f-1.0/16) > 0.01 {
+			t.Errorf("uniform freq[%d] = %v, want ~1/16", v, f)
+		}
+	}
+}
+
+func TestNormalIsCentred(t *testing.T) {
+	s := domain.MustSchema(domain.Attribute{Name: "a", Kind: domain.Numerical, Size: 64})
+	d := NewNormal().Generate(s, 50000, 5)
+	h := d.Histogram1D(0)
+	// Middle must be clearly denser than the edges.
+	if h[32] < 3*h[1] {
+		t.Errorf("normal not centred: mid %v vs edge %v", h[32], h[1])
+	}
+	// Mean near the centre.
+	var mean float64
+	for v, f := range h {
+		mean += float64(v) * f
+	}
+	if mean < 26 || mean > 38 {
+		t.Errorf("normal mean = %v, want ~32", mean)
+	}
+}
+
+func TestIPUMSSimSkewedCategorical(t *testing.T) {
+	s := MixedSchema(0, 1, 1, 8)
+	// Schema with only one categorical: first cat shape is education (zipf).
+	d := NewIPUMSSim().Generate(s, 30000, 11)
+	h := d.Histogram1D(0)
+	if h[0] < h[7] {
+		t.Errorf("zipf-shaped categorical not skewed: %v", h)
+	}
+}
+
+func TestLoanSimBimodalRate(t *testing.T) {
+	// Second numerical column of loan-sim is the bimodal interest rate.
+	s := MixedSchema(2, 64, 0, 1)
+	d := NewLoanSim().Generate(s, 50000, 13)
+	h := d.Histogram1D(1)
+	// Two humps around 0.3d and 0.7d, dip between.
+	lo, mid, hi := h[19], h[32], h[44]
+	if !(lo > mid && hi > mid) {
+		t.Errorf("interest rate not bimodal: lo=%v mid=%v hi=%v", lo, mid, hi)
+	}
+}
+
+func TestCorrelationInducedByLatentFactor(t *testing.T) {
+	// loan-sim grade (cat, ρ=0.6) and interest rate (num, bimodal ρ=0.6)
+	// must correlate: low grades (0 = best) should see lower rates.
+	s := domain.MustSchema(
+		domain.Attribute{Name: "rate", Kind: domain.Numerical, Size: 64},
+		domain.Attribute{Name: "amount", Kind: domain.Numerical, Size: 64},
+		domain.Attribute{Name: "grade", Kind: domain.Categorical, Size: 7},
+	)
+	// In loan-sim, numerical shapes are assigned in order: amount, rate...
+	// Use ipums-sim instead: education (zipf ρ=0.5) vs income (heavytail ρ=0.55).
+	s2 := domain.MustSchema(
+		domain.Attribute{Name: "age", Kind: domain.Numerical, Size: 64},
+		domain.Attribute{Name: "income", Kind: domain.Numerical, Size: 64},
+		domain.Attribute{Name: "edu", Kind: domain.Categorical, Size: 8},
+	)
+	d := NewIPUMSSim().Generate(s2, 40000, 17)
+	// Pearson correlation between income column and (negated) education rank.
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(d.N())
+	for row := 0; row < d.N(); row++ {
+		x := float64(d.Value(row, 1))
+		y := -float64(d.Value(row, 2)) // low rank = high education = high z
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	corr := (sxy - sx*sy/n) / math.Sqrt((sxx-sx*sx/n)*(syy-sy*sy/n))
+	if corr < 0.1 {
+		t.Errorf("income/education correlation = %v, want clearly positive", corr)
+	}
+	_ = s
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "normal", "ipums-sim", "ipums", "loan-sim", "loan"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSchemaBuilders(t *testing.T) {
+	s := MixedSchema(3, 64, 2, 8)
+	if s.Len() != 5 || s.NumNumerical() != 3 {
+		t.Errorf("MixedSchema wrong: %v", s)
+	}
+	if s.Attr(3).Size != 8 || !s.Attr(3).IsCategorical() {
+		t.Errorf("categorical attrs wrong: %+v", s.Attr(3))
+	}
+	ns := NumericSchema(4, 100)
+	if ns.Len() != 4 || ns.NumNumerical() != 4 || ns.Attr(0).Size != 100 {
+		t.Errorf("NumericSchema wrong: %v", ns)
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+// A Generator produces a synthetic dataset over any schema. The four
+// implementations correspond to the paper's four evaluation datasets.
+type Generator interface {
+	// Name identifies the generator in experiment output.
+	Name() string
+	// Generate draws n rows over the schema, deterministically in seed.
+	Generate(schema *domain.Schema, n int, seed uint64) *Dataset
+}
+
+// shapeGenerator draws every column from a per-column Shape, with one shared
+// standard-normal latent factor per row inducing cross-column correlation.
+type shapeGenerator struct {
+	name   string
+	shapes func(schema *domain.Schema) []Shape
+}
+
+func (g shapeGenerator) Name() string { return g.name }
+
+func (g shapeGenerator) Generate(schema *domain.Schema, n int, seed uint64) *Dataset {
+	d := New(schema, n)
+	shapes := g.shapes(schema)
+	r := fo.NewRand(seed)
+	for row := 0; row < n; row++ {
+		z := r.NormFloat64()
+		for a := 0; a < schema.Len(); a++ {
+			d.set(row, a, shapes[a](r, schema.Attr(a).Size, z))
+		}
+	}
+	return d
+}
+
+// NewUniform returns the paper's Uniform dataset generator: every attribute
+// value sampled uniformly and independently.
+func NewUniform() Generator {
+	return shapeGenerator{
+		name: "uniform",
+		shapes: func(schema *domain.Schema) []Shape {
+			shapes := make([]Shape, schema.Len())
+			for i := range shapes {
+				shapes[i] = UniformShape
+			}
+			return shapes
+		},
+	}
+}
+
+// NewNormal returns the paper's Normal dataset generator: every attribute
+// drawn from a truncated normal centred on the middle of its domain and
+// covering the whole domain, mildly correlated across columns.
+func NewNormal() Generator {
+	return shapeGenerator{
+		name: "normal",
+		shapes: func(schema *domain.Schema) []Shape {
+			shapes := make([]Shape, schema.Len())
+			for i := range shapes {
+				shapes[i] = NormalShape
+			}
+			return shapes
+		},
+	}
+}
+
+// NewIPUMSSim returns the census stand-in (DESIGN.md §6): skewed and
+// multi-modal numerical columns plus low- and high-cardinality skewed
+// categorical columns, correlated through a shared socioeconomic latent
+// factor. Shapes are assigned round-robin per attribute kind so the
+// generator works for any schema the experiments request.
+func NewIPUMSSim() Generator {
+	return shapeGenerator{
+		name: "ipums-sim",
+		shapes: func(schema *domain.Schema) []Shape {
+			numShapes := []Shape{
+				AgeShape,                // age pyramid
+				HeavyTailShape(0.55),    // income
+				SpikedShape(0.55, 0.35), // usual hours worked, spiked near 40
+				HeavyTailShape(0.3),     // capital gain
+				NormalShape,             // weeks worked
+			}
+			catShapes := []Shape{
+				ZipfShape(1.2, 0.5), // education, correlated with status
+				BalancedCatShape,    // sex
+				ZipfShape(1.6, 0.2), // race
+				ZipfShape(0.9, 0.3), // marital status
+				ZipfShape(1.1, 0),   // state / region
+			}
+			return assignShapes(schema, numShapes, catShapes)
+		},
+	}
+}
+
+// NewLoanSim returns the Lending Club stand-in (DESIGN.md §6): bunched loan
+// amounts, bimodal interest rates, two-valued term, skewed grades and
+// purposes, heavy-tailed income, correlated through a credit-quality latent
+// factor.
+func NewLoanSim() Generator {
+	return shapeGenerator{
+		name: "loan-sim",
+		shapes: func(schema *domain.Schema) []Shape {
+			numShapes := []Shape{
+				SpikedShape(0.4, 0.15), // loan amount bunched at round values
+				BimodalShape(0.6),      // interest rate by grade cluster
+				HeavyTailShape(0.45),   // annual income
+				NormalShape,            // dti
+				HeavyTailShape(0.25),   // revolving balance
+			}
+			catShapes := []Shape{
+				ZipfShape(1.0, 0.6),  // grade, strongly tied to credit quality
+				BalancedCatShape,     // term (36/60 months)
+				ZipfShape(1.4, 0.1),  // purpose
+				ZipfShape(1.1, 0),    // state
+				ZipfShape(0.8, 0.25), // home ownership
+			}
+			return assignShapes(schema, numShapes, catShapes)
+		},
+	}
+}
+
+// assignShapes walks the schema assigning numerical and categorical shape
+// palettes round-robin to the matching attribute kinds.
+func assignShapes(schema *domain.Schema, numShapes, catShapes []Shape) []Shape {
+	shapes := make([]Shape, schema.Len())
+	ni, ci := 0, 0
+	for i := 0; i < schema.Len(); i++ {
+		if schema.Attr(i).IsNumerical() {
+			shapes[i] = numShapes[ni%len(numShapes)]
+			ni++
+		} else {
+			shapes[i] = catShapes[ci%len(catShapes)]
+			ci++
+		}
+	}
+	return shapes
+}
+
+// ByName returns the generator with the given name.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(), nil
+	case "normal":
+		return NewNormal(), nil
+	case "ipums-sim", "ipums":
+		return NewIPUMSSim(), nil
+	case "loan-sim", "loan":
+		return NewLoanSim(), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown generator %q (want uniform|normal|ipums-sim|loan-sim)", name)
+	}
+}
+
+// All returns the paper's four generators in presentation order.
+func All() []Generator {
+	return []Generator{NewUniform(), NewNormal(), NewIPUMSSim(), NewLoanSim()}
+}
+
+// MixedSchema builds the default experiment schema: kNum numerical
+// attributes of domain dNum followed by kCat categorical attributes of
+// domain dCat (DESIGN.md §7 item 6).
+func MixedSchema(kNum, dNum, kCat, dCat int) *domain.Schema {
+	attrs := make([]domain.Attribute, 0, kNum+kCat)
+	for i := 0; i < kNum; i++ {
+		attrs = append(attrs, domain.Attribute{
+			Name: fmt.Sprintf("num%d", i),
+			Kind: domain.Numerical,
+			Size: dNum,
+		})
+	}
+	for i := 0; i < kCat; i++ {
+		attrs = append(attrs, domain.Attribute{
+			Name: fmt.Sprintf("cat%d", i),
+			Kind: domain.Categorical,
+			Size: dCat,
+		})
+	}
+	return domain.MustSchema(attrs...)
+}
+
+// NumericSchema builds an all-numerical schema of k attributes with domain d
+// (the Fig 7 range-only setting).
+func NumericSchema(k, d int) *domain.Schema {
+	attrs := make([]domain.Attribute, k)
+	for i := range attrs {
+		attrs[i] = domain.Attribute{
+			Name: fmt.Sprintf("num%d", i),
+			Kind: domain.Numerical,
+			Size: d,
+		}
+	}
+	return domain.MustSchema(attrs...)
+}

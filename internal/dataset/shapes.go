@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"math"
+
+	"felip/internal/fo"
+)
+
+// A Shape draws one encoded value in [0, d) with a characteristic
+// distribution shape, given a standard-normal latent factor z that induces
+// correlation between columns sharing it (ρ weights how strongly the column
+// follows the latent factor; ρ=0 means independent).
+type Shape func(r *fo.Rand, d int, z float64) int
+
+func clampVal(v, d int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= d {
+		return d - 1
+	}
+	return v
+}
+
+// mix blends the shared latent factor with fresh noise: the result is again
+// standard normal, correlated with z at level rho.
+func mix(r *fo.Rand, z, rho float64) float64 {
+	return rho*z + math.Sqrt(1-rho*rho)*r.NormFloat64()
+}
+
+// UniformShape draws uniformly over the domain.
+func UniformShape(r *fo.Rand, d int, _ float64) int {
+	return r.IntN(d)
+}
+
+// NormalShape draws a truncated normal centred on the middle of the domain
+// with the paper's "covers all the domain" spread (σ = d/6), following the
+// shared latent factor at ρ = 0.3.
+func NormalShape(r *fo.Rand, d int, z float64) int {
+	x := float64(d)/2 + mix(r, z, 0.3)*float64(d)/6
+	return clampVal(int(math.Floor(x)), d)
+}
+
+// HeavyTailShape draws a lognormal-like value bunched near the low end with
+// a long upper tail (income, capital gain, loan amount).
+func HeavyTailShape(rho float64) Shape {
+	return func(r *fo.Rand, d int, z float64) int {
+		// exp of a normal, scaled so the bulk sits in the lower third.
+		x := math.Exp(mix(r, z, rho)*0.8) - 0.3
+		v := int(x * float64(d) / 4)
+		return clampVal(v, d)
+	}
+}
+
+// BimodalShape draws from a two-component normal mixture (e.g. interest
+// rates clustered by loan grade).
+func BimodalShape(rho float64) Shape {
+	return func(r *fo.Rand, d int, z float64) int {
+		g := mix(r, z, rho)
+		var center float64
+		if g > 0 {
+			center = 0.7 * float64(d)
+		} else {
+			center = 0.3 * float64(d)
+		}
+		x := center + r.NormFloat64()*float64(d)/12
+		return clampVal(int(math.Floor(x)), d)
+	}
+}
+
+// SpikedShape concentrates a fraction of the mass on one value (hours worked
+// ≈ 40, term = 36 months) and spreads the rest like a truncated normal.
+func SpikedShape(spikeAt float64, spikeMass float64) Shape {
+	return func(r *fo.Rand, d int, z float64) int {
+		if r.Float64() < spikeMass {
+			return clampVal(int(spikeAt*float64(d)), d)
+		}
+		return NormalShape(r, d, z)
+	}
+}
+
+// ZipfShape draws categorical indexes with a Zipf(s) frequency profile —
+// index 0 most common. Correlation enters by shifting the rank via the
+// latent factor. The cumulative weights are cached per domain size, so
+// repeated draws for one column cost a binary search.
+func ZipfShape(s, rho float64) Shape {
+	var (
+		cachedD int
+		cum     []float64
+	)
+	return func(r *fo.Rand, d int, z float64) int {
+		if d != cachedD {
+			cum = make([]float64, d)
+			var total float64
+			for i := 0; i < d; i++ {
+				total += 1 / math.Pow(float64(i+1), s)
+				cum[i] = total
+			}
+			cachedD = d
+		}
+		u := r.Float64() * cum[d-1]
+		lo, hi := 0, d-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx := lo
+		if rho != 0 {
+			// Nudge rank by the latent factor: high-z rows skew to low ranks.
+			shift := int(math.Round(mix(r, z, rho) * float64(d) / 3))
+			idx = clampVal(idx-shift, d)
+		}
+		return idx
+	}
+}
+
+// AgeShape is a mixture of two truncated normals approximating an adult age
+// pyramid (young-adult bulge plus a broad middle-age mass).
+func AgeShape(r *fo.Rand, d int, z float64) int {
+	var x float64
+	if r.Float64() < 0.45 {
+		x = 0.25*float64(d) + r.NormFloat64()*float64(d)/10
+	} else {
+		x = 0.55*float64(d) + mix(r, z, 0.2)*float64(d)/7
+	}
+	return clampVal(int(math.Floor(x)), d)
+}
+
+// BalancedCatShape draws a nearly balanced categorical value (sex) with a
+// slight skew.
+func BalancedCatShape(r *fo.Rand, d int, _ float64) int {
+	if d == 1 {
+		return 0
+	}
+	if r.Float64() < 0.52 {
+		return r.IntN((d + 1) / 2)
+	}
+	return (d+1)/2 + r.IntN(d/2)
+}

@@ -1,0 +1,179 @@
+// Package domain models the attribute schema of a multidimensional dataset:
+// named attributes that are either categorical (unordered, answered with IN
+// predicates) or numerical (ordered, answered with BETWEEN predicates), each
+// with a finite discrete domain [0, Size).
+//
+// Every other package in FELIP works with attribute values already encoded as
+// small integers in [0, Size); package dataset performs the encoding.
+package domain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes categorical from numerical attributes. Numerical
+// attributes have an ordered domain and support range predicates; categorical
+// attributes support set-membership predicates only.
+type Kind uint8
+
+const (
+	// Categorical attributes have unordered domains (e.g. Education, Sex).
+	Categorical Kind = iota
+	// Numerical attributes have ordered domains (e.g. Age, Salary) that can
+	// be binned into intervals.
+	Numerical
+)
+
+// String returns "categorical" or "numerical".
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numerical:
+		return "numerical"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Attribute describes one column of the dataset.
+type Attribute struct {
+	// Name identifies the attribute in queries and reports.
+	Name string
+	// Kind says whether the attribute is categorical or numerical.
+	Kind Kind
+	// Size is the domain size d: values are integers in [0, Size).
+	Size int
+}
+
+// IsNumerical reports whether the attribute supports range predicates.
+func (a Attribute) IsNumerical() bool { return a.Kind == Numerical }
+
+// IsCategorical reports whether the attribute supports set predicates.
+func (a Attribute) IsCategorical() bool { return a.Kind == Categorical }
+
+// Validate checks that the attribute is usable.
+func (a Attribute) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("domain: attribute has empty name")
+	}
+	if a.Size < 1 {
+		return fmt.Errorf("domain: attribute %q has domain size %d; need >= 1", a.Name, a.Size)
+	}
+	return nil
+}
+
+// Schema is an ordered list of attributes describing a dataset's columns.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be unique and every attribute must validate.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("domain: schema needs at least one attribute")
+	}
+	s := &Schema{
+		attrs:  make([]Attribute, len(attrs)),
+		byName: make(map[string]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	for i, a := range s.attrs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("domain: duplicate attribute name %q", a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. Intended for tests,
+// examples and literal schema declarations.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes k.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// NumericalIndexes returns the indexes of all numerical attributes, in order.
+func (s *Schema) NumericalIndexes() []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.IsNumerical() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CategoricalIndexes returns the indexes of all categorical attributes.
+func (s *Schema) CategoricalIndexes() []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.IsCategorical() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumNumerical returns k_n, the number of numerical attributes.
+func (s *Schema) NumNumerical() int { return len(s.NumericalIndexes()) }
+
+// Pairs returns all C(k,2) attribute index pairs (i, j) with i < j.
+func (s *Schema) Pairs() [][2]int {
+	k := len(s.attrs)
+	out := make([][2]int, 0, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// String renders a compact description such as
+// "Schema(age:num[64], sex:cat[2])".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("Schema(")
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		kind := "cat"
+		if a.IsNumerical() {
+			kind = "num"
+		}
+		fmt.Fprintf(&b, "%s:%s[%d]", a.Name, kind, a.Size)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Categorical.String() != "categorical" || Numerical.String() != "numerical" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind string should include the raw value")
+	}
+}
+
+func TestAttributeValidate(t *testing.T) {
+	if err := (Attribute{Name: "a", Kind: Numerical, Size: 10}).Validate(); err != nil {
+		t.Errorf("valid attribute rejected: %v", err)
+	}
+	if err := (Attribute{Name: "", Size: 10}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (Attribute{Name: "a", Size: 0}).Validate(); err == nil {
+		t.Error("zero domain accepted")
+	}
+}
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema(
+		Attribute{Name: "age", Kind: Numerical, Size: 64},
+		Attribute{Name: "sex", Kind: Categorical, Size: 2},
+		Attribute{Name: "income", Kind: Numerical, Size: 128},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if i, ok := s.Index("sex"); !ok || i != 1 {
+		t.Errorf("Index(sex) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index found missing attribute")
+	}
+	if got := s.NumericalIndexes(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("NumericalIndexes = %v", got)
+	}
+	if got := s.CategoricalIndexes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("CategoricalIndexes = %v", got)
+	}
+	if s.NumNumerical() != 2 {
+		t.Errorf("NumNumerical = %d", s.NumNumerical())
+	}
+	if a := s.Attr(1); a.Name != "sex" || !a.IsCategorical() || a.IsNumerical() {
+		t.Errorf("Attr(1) = %+v", a)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema(
+		Attribute{Name: "a", Size: 2},
+		Attribute{Name: "a", Size: 3},
+	); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewSchema(Attribute{Name: "a", Size: -1}); err == nil {
+		t.Error("invalid attribute accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema did not panic on invalid input")
+		}
+	}()
+	MustSchema()
+}
+
+func TestPairs(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "a", Size: 2},
+		Attribute{Name: "b", Size: 2},
+		Attribute{Name: "c", Size: 2},
+		Attribute{Name: "d", Size: 2},
+	)
+	pairs := s.Pairs()
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs, want C(4,2)=6", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Errorf("pair %v not ordered", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPairsCountProperty(t *testing.T) {
+	if err := quick.Check(func(k8 uint8) bool {
+		k := int(k8%12) + 1
+		attrs := make([]Attribute, k)
+		for i := range attrs {
+			attrs[i] = Attribute{Name: string(rune('a' + i)), Size: 2}
+		}
+		s := MustSchema(attrs...)
+		return len(s.Pairs()) == k*(k-1)/2
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrsReturnsCopy(t *testing.T) {
+	s := MustSchema(Attribute{Name: "a", Size: 2})
+	attrs := s.Attrs()
+	attrs[0].Name = "mutated"
+	if s.Attr(0).Name != "a" {
+		t.Error("Attrs exposed internal slice")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "age", Kind: Numerical, Size: 64},
+		Attribute{Name: "sex", Kind: Categorical, Size: 2},
+	)
+	got := s.String()
+	for _, want := range []string{"age:num[64]", "sex:cat[2]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}

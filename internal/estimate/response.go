@@ -1,0 +1,135 @@
+// Package estimate implements FELIP's two estimation engines: the response
+// matrix built from related grids by weighted update (paper Algorithm 3) and
+// λ-dimensional query estimation from 2-D answers by iterative proportional
+// fitting (paper Algorithm 4).
+package estimate
+
+import "fmt"
+
+// Rect is a half-open rectangle [XLo,XHi)×[YLo,YHi) of per-value matrix
+// entries — the set δ(c) of 2-D values contributing to one grid cell.
+type Rect struct {
+	XLo, XHi, YLo, YHi int
+}
+
+// Area returns the number of matrix entries inside the rectangle.
+func (r Rect) Area() int { return (r.XHi - r.XLo) * (r.YHi - r.YLo) }
+
+// Constraint binds a rectangle of matrix entries to an estimated frequency:
+// after convergence the entries in R sum (approximately) to Target.
+type Constraint struct {
+	R      Rect
+	Target float64
+}
+
+// Matrix is a dense row-major dx×dy response matrix of per-value frequency
+// estimates for one attribute pair.
+type Matrix struct {
+	Dx, Dy int
+	Vals   []float64
+}
+
+// NewMatrix allocates a dx×dy matrix initialized uniformly to 1/(dx·dy)
+// (Algorithm 3 line 1).
+func NewMatrix(dx, dy int) (*Matrix, error) {
+	if dx < 1 || dy < 1 {
+		return nil, fmt.Errorf("estimate: matrix dims %dx%d invalid", dx, dy)
+	}
+	m := &Matrix{Dx: dx, Dy: dy, Vals: make([]float64, dx*dy)}
+	u := 1 / float64(dx*dy)
+	for i := range m.Vals {
+		m.Vals[i] = u
+	}
+	return m, nil
+}
+
+// At returns entry (x, y).
+func (m *Matrix) At(x, y int) float64 { return m.Vals[x*m.Dy+y] }
+
+// RectSum returns the total mass inside r.
+func (m *Matrix) RectSum(r Rect) float64 {
+	var s float64
+	for x := r.XLo; x < r.XHi; x++ {
+		row := m.Vals[x*m.Dy : (x+1)*m.Dy]
+		for y := r.YLo; y < r.YHi; y++ {
+			s += row[y]
+		}
+	}
+	return s
+}
+
+// MaskSum returns the total mass of entries (x, y) with selX[x] && selY[y] —
+// the response-matrix answer to a 2-D query with arbitrary predicates.
+func (m *Matrix) MaskSum(selX, selY []bool) float64 {
+	var s float64
+	for x := 0; x < m.Dx; x++ {
+		if !selX[x] {
+			continue
+		}
+		row := m.Vals[x*m.Dy : (x+1)*m.Dy]
+		for y := 0; y < m.Dy; y++ {
+			if selY[y] {
+				s += row[y]
+			}
+		}
+	}
+	return s
+}
+
+// Sum returns the total mass of the matrix.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Vals {
+		s += v
+	}
+	return s
+}
+
+// scaleRect multiplies entries in r by factor and returns the total absolute
+// change.
+func (m *Matrix) scaleRect(r Rect, factor float64) float64 {
+	var change float64
+	for x := r.XLo; x < r.XHi; x++ {
+		row := m.Vals[x*m.Dy : (x+1)*m.Dy]
+		for y := r.YLo; y < r.YHi; y++ {
+			old := row[y]
+			row[y] = old * factor
+			if d := row[y] - old; d >= 0 {
+				change += d
+			} else {
+				change -= d
+			}
+		}
+	}
+	return change
+}
+
+// Fit runs Algorithm 3's weighted update: for every constraint, the entries
+// of its rectangle are rescaled so their sum matches the constraint's target,
+// sweeping until the total absolute change of a sweep drops below threshold
+// (the paper recommends threshold < 1/n) or maxIter sweeps elapse.
+//
+// Constraints with non-positive targets zero out their rectangle; rectangles
+// that currently hold zero mass are skipped (Algorithm 3 line 8).
+func (m *Matrix) Fit(cons []Constraint, threshold float64, maxIter int) {
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		var change float64
+		for _, c := range cons {
+			s := m.RectSum(c.R)
+			if s == 0 {
+				continue
+			}
+			target := c.Target
+			if target < 0 {
+				target = 0
+			}
+			change += m.scaleRect(c.R, target/s)
+		}
+		if change < threshold {
+			return
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrix(t *testing.T) {
+	m, err := NewMatrix(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dx != 4 || m.Dy != 5 || len(m.Vals) != 20 {
+		t.Fatalf("matrix %+v", m)
+	}
+	if math.Abs(m.Sum()-1) > 1e-12 {
+		t.Errorf("initial sum = %v", m.Sum())
+	}
+	if math.Abs(m.At(2, 3)-0.05) > 1e-12 {
+		t.Errorf("initial entry = %v, want 0.05", m.At(2, 3))
+	}
+	if _, err := NewMatrix(0, 3); err == nil {
+		t.Error("0 dim accepted")
+	}
+	if _, err := NewMatrix(3, -1); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestRectSumAndArea(t *testing.T) {
+	m, _ := NewMatrix(4, 4)
+	r := Rect{XLo: 1, XHi: 3, YLo: 0, YHi: 2}
+	if r.Area() != 4 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if got := m.RectSum(r); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("RectSum = %v, want 0.25", got)
+	}
+	full := Rect{0, 4, 0, 4}
+	if got := m.RectSum(full); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full RectSum = %v", got)
+	}
+}
+
+func TestFitSingleConstraint(t *testing.T) {
+	m, _ := NewMatrix(4, 4)
+	cons := []Constraint{
+		{R: Rect{0, 2, 0, 4}, Target: 0.8},
+		{R: Rect{2, 4, 0, 4}, Target: 0.2},
+	}
+	m.Fit(cons, 1e-9, 100)
+	if got := m.RectSum(cons[0].R); math.Abs(got-0.8) > 1e-6 {
+		t.Errorf("region mass = %v, want 0.8", got)
+	}
+	if got := m.RectSum(cons[1].R); math.Abs(got-0.2) > 1e-6 {
+		t.Errorf("region mass = %v, want 0.2", got)
+	}
+	if math.Abs(m.Sum()-1) > 1e-6 {
+		t.Errorf("total mass = %v", m.Sum())
+	}
+}
+
+// A consistent set of 1-D and 2-D constraints (exact marginals of a known
+// joint) must reconstruct the joint's rectangle masses well.
+func TestFitReconstructsJoint(t *testing.T) {
+	// True joint over 4x4: concentrated diagonal.
+	truth := [][]float64{
+		{0.20, 0.02, 0.01, 0.01},
+		{0.02, 0.20, 0.02, 0.01},
+		{0.01, 0.02, 0.20, 0.02},
+		{0.01, 0.01, 0.02, 0.22},
+	}
+	var cons []Constraint
+	// 2-D grid constraints: 2x2 cells of 2x2 values.
+	for cx := 0; cx < 2; cx++ {
+		for cy := 0; cy < 2; cy++ {
+			r := Rect{cx * 2, cx*2 + 2, cy * 2, cy*2 + 2}
+			var tgt float64
+			for x := r.XLo; x < r.XHi; x++ {
+				for y := r.YLo; y < r.YHi; y++ {
+					tgt += truth[x][y]
+				}
+			}
+			cons = append(cons, Constraint{R: r, Target: tgt})
+		}
+	}
+	// Fine 1-D constraints along both axes.
+	for x := 0; x < 4; x++ {
+		var tgt float64
+		for y := 0; y < 4; y++ {
+			tgt += truth[x][y]
+		}
+		cons = append(cons, Constraint{R: Rect{x, x + 1, 0, 4}, Target: tgt})
+	}
+	for y := 0; y < 4; y++ {
+		var tgt float64
+		for x := 0; x < 4; x++ {
+			tgt += truth[x][y]
+		}
+		cons = append(cons, Constraint{R: Rect{0, 4, y, y + 1}, Target: tgt})
+	}
+	m, _ := NewMatrix(4, 4)
+	m.Fit(cons, 1e-10, 500)
+	// Check every constraint is satisfied and coarse 2-D structure recovered.
+	for _, c := range cons {
+		if got := m.RectSum(c.R); math.Abs(got-c.Target) > 1e-3 {
+			t.Errorf("constraint %+v: got %v", c, got)
+		}
+	}
+	// Diagonal cells must carry clearly more mass than off-diagonal ones.
+	if m.At(0, 0) < m.At(0, 3) {
+		t.Errorf("diagonal structure lost: M[0,0]=%v <= M[0,3]=%v", m.At(0, 0), m.At(0, 3))
+	}
+}
+
+func TestFitZeroTargetZeroesRegion(t *testing.T) {
+	m, _ := NewMatrix(2, 2)
+	m.Fit([]Constraint{{R: Rect{0, 1, 0, 2}, Target: 0}, {R: Rect{1, 2, 0, 2}, Target: 1}}, 1e-12, 50)
+	if m.At(0, 0) != 0 || m.At(0, 1) != 0 {
+		t.Errorf("zero-target region not cleared: %v", m.Vals)
+	}
+	if math.Abs(m.RectSum(Rect{1, 2, 0, 2})-1) > 1e-9 {
+		t.Error("remaining region should hold all mass")
+	}
+}
+
+func TestFitNegativeTargetTreatedAsZero(t *testing.T) {
+	m, _ := NewMatrix(2, 2)
+	m.Fit([]Constraint{{R: Rect{0, 1, 0, 2}, Target: -0.5}}, 1e-12, 10)
+	if m.At(0, 0) != 0 {
+		t.Errorf("negative target should clear region, got %v", m.At(0, 0))
+	}
+}
+
+func TestFitSkipsEmptyRegions(t *testing.T) {
+	m, _ := NewMatrix(2, 2)
+	// Zero the first row, then constrain it to 0.5: cannot be satisfied and
+	// must not panic or produce NaN.
+	m.Fit([]Constraint{{R: Rect{0, 1, 0, 2}, Target: 0}}, 1e-12, 5)
+	m.Fit([]Constraint{{R: Rect{0, 1, 0, 2}, Target: 0.5}}, 1e-12, 5)
+	for _, v := range m.Vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value: %v", m.Vals)
+		}
+	}
+}
+
+func TestMaskSum(t *testing.T) {
+	m, _ := NewMatrix(3, 3)
+	selX := []bool{true, false, true}
+	selY := []bool{true, true, false}
+	// 4 selected entries of 1/9 each.
+	if got := m.MaskSum(selX, selY); math.Abs(got-4.0/9) > 1e-12 {
+		t.Errorf("MaskSum = %v, want 4/9", got)
+	}
+}
+
+// Property: Fit preserves non-negativity and, when constraints form a
+// partition whose targets sum to 1, total mass 1.
+func TestFitMassProperty(t *testing.T) {
+	if err := quick.Check(func(t1, t2, t3 uint8) bool {
+		a := float64(t1%100) + 1
+		b := float64(t2%100) + 1
+		c := float64(t3%100) + 1
+		s := a + b + c
+		m, _ := NewMatrix(6, 4)
+		cons := []Constraint{
+			{R: Rect{0, 2, 0, 4}, Target: a / s},
+			{R: Rect{2, 4, 0, 4}, Target: b / s},
+			{R: Rect{4, 6, 0, 4}, Target: c / s},
+		}
+		m.Fit(cons, 1e-12, 50)
+		for _, v := range m.Vals {
+			if v < 0 {
+				return false
+			}
+		}
+		return math.Abs(m.Sum()-1) < 1e-6
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"felip/internal/dataset"
+)
+
+func smallParams() Params {
+	return Params{N: 8000, NumQueries: 4, Seed: 7, Lambdas: []int{2}, Datasets: []string{"uniform"}}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := (Config{Schema: defaultSchema(), N: 100, Epsilon: 1}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dataset != "uniform" || cfg.Selectivity != 0.5 || cfg.Lambda != 2 ||
+		cfg.NumQueries != 10 || cfg.Seed == 0 || len(cfg.Strategies) != 3 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{N: 10, Epsilon: 1}).withDefaults(); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := (Config{Schema: defaultSchema(), Epsilon: 1}).withDefaults(); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := (Config{Schema: defaultSchema(), N: 10}).withDefaults(); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := (Config{Schema: defaultSchema(), N: 10, Epsilon: 1, Lambda: 99}).withDefaults(); err == nil {
+		t.Error("lambda > k accepted")
+	}
+}
+
+func TestRunCellAllStrategies(t *testing.T) {
+	cfg := Config{
+		Dataset: "normal",
+		Schema:  defaultSchema(),
+		N:       8000,
+		Epsilon: 1,
+		Lambda:  2,
+		Seed:    11,
+		Strategies: []Strategy{
+			StratOUG, StratOHG, StratOUGOLH, StratOHGOLH, StratOUGGRR,
+			StratOHGGRR, StratHIO, StratOHGBudget, StratOHGFixSel,
+		},
+		NumQueries: 3,
+	}
+	res, err := RunCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cfg.Strategies {
+		mae, ok := res.MAE[s]
+		if !ok {
+			t.Errorf("missing MAE for %s", s)
+		}
+		if mae < 0 || mae > 2 {
+			t.Errorf("%s MAE = %v looks wrong", s, mae)
+		}
+	}
+}
+
+func TestRunCellTDGHDGNeedNumeric(t *testing.T) {
+	cfg := Config{
+		Dataset:    "uniform",
+		Schema:     dataset.NumericSchema(3, 32),
+		N:          5000,
+		Epsilon:    1,
+		Lambda:     2,
+		Seed:       13,
+		Strategies: []Strategy{StratTDG, StratHDG},
+		NumQueries: 3,
+	}
+	if _, err := RunCell(cfg); err != nil {
+		t.Fatalf("numeric schema should work for TDG/HDG: %v", err)
+	}
+	cfg.Schema = defaultSchema()
+	if _, err := RunCell(cfg); err == nil {
+		t.Error("TDG on mixed schema should fail")
+	}
+}
+
+func TestRunCellUnknownStrategy(t *testing.T) {
+	cfg := Config{
+		Dataset:    "uniform",
+		Schema:     defaultSchema(),
+		N:          2000,
+		Epsilon:    1,
+		Seed:       17,
+		Strategies: []Strategy{Strategy("nope")},
+	}
+	if _, err := RunCell(cfg); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunCellDeterministic(t *testing.T) {
+	cfg := Config{
+		Dataset:    "uniform",
+		Schema:     defaultSchema(),
+		N:          5000,
+		Epsilon:    1,
+		Seed:       19,
+		Strategies: []Strategy{StratOUG},
+		NumQueries: 3,
+	}
+	a, err := RunCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunCell(cfg)
+	if a.MAE[StratOUG] != b.MAE[StratOUG] {
+		t.Errorf("same config gave %v vs %v", a.MAE[StratOUG], b.MAE[StratOUG])
+	}
+}
+
+func TestFiguresSpecsWellFormed(t *testing.T) {
+	p := smallParams()
+	figs := Figures(p)
+	if len(figs) != 11 {
+		t.Fatalf("got %d figures, want 11", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || f.XLabel == "" {
+			t.Errorf("figure %q incomplete", f.ID)
+		}
+		if ids[f.ID] {
+			t.Errorf("duplicate figure id %q", f.ID)
+		}
+		ids[f.ID] = true
+		if len(f.Groups) == 0 {
+			t.Errorf("figure %q has no groups", f.ID)
+		}
+		for _, g := range f.Groups {
+			if len(g.Cells) == 0 {
+				t.Errorf("figure %q group %q empty", f.ID, g.Name)
+			}
+			for _, c := range g.Cells {
+				if _, err := c.Config.withDefaults(); err != nil {
+					t.Errorf("figure %q group %q cell %q invalid: %v", f.ID, g.Name, c.X, err)
+				}
+				if c.Config.Seed == 0 {
+					t.Errorf("figure %q cell %q has zero seed", f.ID, c.X)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "abl-part", "abl-afo", "abl-sel", "abl-eqmass"} {
+		if !ids[want] {
+			t.Errorf("missing figure %q", want)
+		}
+	}
+}
+
+func TestFigureCellSeedsDistinct(t *testing.T) {
+	p := smallParams()
+	seen := map[uint64]string{}
+	for _, f := range Figures(p) {
+		for _, g := range f.Groups {
+			for _, c := range g.Cells {
+				key := f.ID + "/" + g.Name + "/" + c.X
+				if prev, dup := seen[c.Config.Seed]; dup {
+					t.Errorf("seed collision between %s and %s", prev, key)
+				}
+				seen[c.Config.Seed] = key
+			}
+		}
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	p := smallParams()
+	f, err := FigureByID(p, "fig7")
+	if err != nil || f.ID != "fig7" {
+		t.Errorf("FigureByID(fig7) = %v, %v", f.ID, err)
+	}
+	if _, err := FigureByID(p, "nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunFigureAndPrint(t *testing.T) {
+	p := smallParams()
+	// A miniature bespoke figure to keep the test fast.
+	spec := FigureSpec{
+		ID: "mini", Title: "mini sweep", XLabel: "eps",
+		Groups: []FigureGroup{{
+			Name: "uniform λ=2",
+			Cells: []Cell{
+				{X: "1.0", Config: p.finish(Config{
+					Dataset: "uniform", Schema: defaultSchema(), N: 4000,
+					Epsilon: 1, Lambda: 2,
+					Strategies: []Strategy{StratOUG, StratOHG},
+				}, 99, 0)},
+				{X: "2.0", Config: p.finish(Config{
+					Dataset: "uniform", Schema: defaultSchema(), N: 4000,
+					Epsilon: 2, Lambda: 2,
+					Strategies: []Strategy{StratOUG, StratOHG},
+				}, 99, 1)},
+			},
+		}},
+	}
+	var progress bytes.Buffer
+	groups, err := RunFigure(spec, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].Results) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if !strings.Contains(progress.String(), "done in") {
+		t.Error("no progress output")
+	}
+	var out bytes.Buffer
+	Print(&out, spec, groups)
+	text := out.String()
+	for _, want := range []string{"mini", "uniform λ=2", "OUG", "OHG", "1.0", "2.0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed table missing %q:\n%s", want, text)
+		}
+	}
+
+	sum := Summary(groups)
+	if len(sum) != 2 {
+		t.Errorf("summary = %v", sum)
+	}
+	order := SortedStrategies(sum)
+	if len(order) != 2 || sum[order[0]] > sum[order[1]] {
+		t.Errorf("order wrong: %v / %v", order, sum)
+	}
+
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, spec, groups); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// header + 2 cells × 2 strategies.
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "figure,group,eps,strategy,mae" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasPrefix(line, "mini,uniform λ=2,") {
+			t.Errorf("CSV row = %q", line)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package experiment
+
+import (
+	"fmt"
+
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+// Cell binds an x-axis label to the Config producing its point.
+type Cell struct {
+	X      string
+	Config Config
+}
+
+// FigureSpec describes one reproducible paper figure: a set of panels, each
+// a series of cells yielding one x-axis point with one MAE per strategy.
+type FigureSpec struct {
+	// ID is the short identifier, e.g. "fig1".
+	ID string
+	// Title describes the sweep.
+	Title string
+	// XLabel names the x axis.
+	XLabel string
+	// Groups partition the cells into printed tables (dataset × λ panels).
+	Groups []FigureGroup
+}
+
+// FigureGroup is one panel of a figure (typically a dataset × λ combination).
+type FigureGroup struct {
+	// Name labels the panel, e.g. "uniform λ=2".
+	Name string
+	// Cells are the panel's x-axis points in order.
+	Cells []Cell
+}
+
+// Params controls the scale of the generated figure specs.
+type Params struct {
+	// N is the default population size (the paper uses 10⁶; the CLI scales
+	// this down by default so the suite runs quickly).
+	N int
+	// NumQueries is |Q| per cell (paper: 10).
+	NumQueries int
+	// Seed derives every cell's seed deterministically.
+	Seed uint64
+	// Lambdas are the query dimensions for the mixed figures (paper: 2, 4).
+	Lambdas []int
+	// Datasets are the generator names to sweep (paper: all four).
+	Datasets []string
+}
+
+// WithDefaults fills the paper's default parameters (the paper-scale n=10⁶
+// when N is zero).
+func (p Params) WithDefaults() Params {
+	if p.N == 0 {
+		p.N = 1_000_000
+	}
+	if p.NumQueries == 0 {
+		p.NumQueries = 10
+	}
+	if p.Seed == 0 {
+		p.Seed = 20230328 // fixed default so runs are reproducible
+	}
+	if len(p.Lambdas) == 0 {
+		p.Lambdas = []int{2, 4}
+	}
+	if len(p.Datasets) == 0 {
+		p.Datasets = []string{"uniform", "normal", "ipums-sim", "loan-sim"}
+	}
+	return p
+}
+
+// defaultSchema is the mixed default: 3 numerical attributes of domain 64
+// and 3 categorical attributes of domain 8 (DESIGN.md §7 item 6).
+func defaultSchema() *domain.Schema { return dataset.MixedSchema(3, 64, 3, 8) }
+
+// defaultSchemaNumeric is the Fig 7 range-only schema: 6 numerical
+// attributes of domain 100.
+func defaultSchemaNumeric() *domain.Schema { return dataset.NumericSchema(6, 100) }
+
+// epsSweep is the privacy-budget x axis shared by Fig 1, Fig 7 and the
+// ablations.
+var epsSweep = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+
+// cellSeed derives a deterministic per-cell seed.
+func cellSeed(base uint64, parts ...uint64) uint64 {
+	s := base
+	for _, p := range parts {
+		s = fo.MixID(s, p)
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+func (p Params) finish(cfg Config, salt ...uint64) Config {
+	cfg.NumQueries = p.NumQueries
+	cfg.Seed = cellSeed(p.Seed, salt...)
+	return cfg
+}
+
+// mixedPanels builds the dataset × λ panels shared by Figs 1–3 and 6: for
+// each panel, `build` returns the cells of the sweep.
+func (p Params) mixedPanels(figSalt uint64, build func(dsName string, lambda int, salt func(...uint64) uint64) []Cell) []FigureGroup {
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		for li, lambda := range p.Lambdas {
+			salt := func(extra ...uint64) uint64 {
+				parts := append([]uint64{figSalt, uint64(di), uint64(li)}, extra...)
+				return cellSeed(p.Seed, parts...)
+			}
+			_ = salt
+			groups = append(groups, FigureGroup{
+				Name:  fmt.Sprintf("%s λ=%d", dsName, lambda),
+				Cells: build(dsName, lambda, func(extra ...uint64) uint64 { return 0 }),
+			})
+		}
+	}
+	return groups
+}
+
+// Fig1 varies the privacy budget ε (paper Figure 1).
+func Fig1(p Params) FigureSpec {
+	p = p.WithDefaults()
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		for li, lambda := range p.Lambdas {
+			var cells []Cell
+			for ei, eps := range epsSweep {
+				cells = append(cells, Cell{
+					X: fmt.Sprintf("%.1f", eps),
+					Config: p.finish(Config{
+						Dataset:     dsName,
+						Schema:      defaultSchema(),
+						N:           p.N,
+						Epsilon:     eps,
+						Selectivity: 0.5,
+						Lambda:      lambda,
+						Strategies:  []Strategy{StratOUG, StratOHG, StratHIO},
+					}, 1, uint64(di), uint64(li), uint64(ei)),
+				})
+			}
+			groups = append(groups, FigureGroup{Name: fmt.Sprintf("%s λ=%d", dsName, lambda), Cells: cells})
+		}
+	}
+	return FigureSpec{ID: "fig1", Title: "MAE vs privacy budget ε", XLabel: "eps", Groups: groups}
+}
+
+// Fig2 varies the query selectivity s (paper Figure 2).
+func Fig2(p Params) FigureSpec {
+	p = p.WithDefaults()
+	sweep := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		for li, lambda := range p.Lambdas {
+			var cells []Cell
+			for si, s := range sweep {
+				cells = append(cells, Cell{
+					X: fmt.Sprintf("%.1f", s),
+					Config: p.finish(Config{
+						Dataset:     dsName,
+						Schema:      defaultSchema(),
+						N:           p.N,
+						Epsilon:     1.0,
+						Selectivity: s,
+						Lambda:      lambda,
+						Strategies:  []Strategy{StratOUG, StratOHG, StratHIO},
+					}, 2, uint64(di), uint64(li), uint64(si)),
+				})
+			}
+			groups = append(groups, FigureGroup{Name: fmt.Sprintf("%s λ=%d", dsName, lambda), Cells: cells})
+		}
+	}
+	return FigureSpec{ID: "fig2", Title: "MAE vs query selectivity s", XLabel: "s", Groups: groups}
+}
+
+// Fig3 varies the attribute domain sizes (paper Figure 3): numerical domains
+// 25–1600, categorical domains 2–8, paired as in §6.2.3.
+func Fig3(p Params) FigureSpec {
+	p = p.WithDefaults()
+	sweep := []struct{ dNum, dCat int }{
+		{25, 2}, {50, 3}, {100, 4}, {200, 5}, {400, 6}, {800, 7}, {1600, 8},
+	}
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		for li, lambda := range p.Lambdas {
+			var cells []Cell
+			for xi, d := range sweep {
+				cells = append(cells, Cell{
+					X: fmt.Sprintf("%d/%d", d.dNum, d.dCat),
+					Config: p.finish(Config{
+						Dataset:     dsName,
+						Schema:      dataset.MixedSchema(3, d.dNum, 3, d.dCat),
+						N:           p.N,
+						Epsilon:     1.0,
+						Selectivity: 0.5,
+						Lambda:      lambda,
+						Strategies:  []Strategy{StratOUG, StratOHG, StratHIO},
+					}, 3, uint64(di), uint64(li), uint64(xi)),
+				})
+			}
+			groups = append(groups, FigureGroup{Name: fmt.Sprintf("%s λ=%d", dsName, lambda), Cells: cells})
+		}
+	}
+	return FigureSpec{ID: "fig3", Title: "MAE vs attribute domain size d (num/cat)", XLabel: "d", Groups: groups}
+}
+
+// Fig4 varies the query dimension λ from 2 to 10 over a 10-attribute schema
+// (paper Figure 4).
+func Fig4(p Params) FigureSpec {
+	p = p.WithDefaults()
+	schema := func() *domain.Schema { return dataset.MixedSchema(5, 64, 5, 8) }
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		var cells []Cell
+		for lambda := 2; lambda <= 10; lambda++ {
+			cells = append(cells, Cell{
+				X: fmt.Sprintf("%d", lambda),
+				Config: p.finish(Config{
+					Dataset:     dsName,
+					Schema:      schema(),
+					N:           p.N,
+					Epsilon:     1.0,
+					Selectivity: 0.5,
+					Lambda:      lambda,
+					Strategies:  []Strategy{StratOUG, StratOHG, StratHIO},
+				}, 4, uint64(di), uint64(lambda)),
+			})
+		}
+		groups = append(groups, FigureGroup{Name: dsName, Cells: cells})
+	}
+	return FigureSpec{ID: "fig4", Title: "MAE vs query dimension λ (k=10)", XLabel: "lambda", Groups: groups}
+}
+
+// Fig5 varies the number of attributes k from 4 to 10 (paper Figure 5).
+func Fig5(p Params) FigureSpec {
+	p = p.WithDefaults()
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		for li, lambda := range p.Lambdas {
+			var cells []Cell
+			for k := 4; k <= 10; k++ {
+				kNum := (k + 1) / 2
+				kCat := k / 2
+				cells = append(cells, Cell{
+					X: fmt.Sprintf("%d", k),
+					Config: p.finish(Config{
+						Dataset:     dsName,
+						Schema:      dataset.MixedSchema(kNum, 64, kCat, 8),
+						N:           p.N,
+						Epsilon:     1.0,
+						Selectivity: 0.5,
+						Lambda:      lambda,
+						Strategies:  []Strategy{StratOUG, StratOHG, StratHIO},
+					}, 5, uint64(di), uint64(li), uint64(k)),
+				})
+			}
+			groups = append(groups, FigureGroup{Name: fmt.Sprintf("%s λ=%d", dsName, lambda), Cells: cells})
+		}
+	}
+	return FigureSpec{ID: "fig5", Title: "MAE vs number of attributes k", XLabel: "k", Groups: groups}
+}
+
+// Fig6 varies the population size n (paper Figure 6): 0.1×–10× the base
+// population (the paper sweeps 100k–10m; Loan 10k–1m).
+func Fig6(p Params) FigureSpec {
+	p = p.WithDefaults()
+	factors := []float64{0.1, 0.3, 1, 3, 10}
+	var groups []FigureGroup
+	for di, dsName := range p.Datasets {
+		for li, lambda := range p.Lambdas {
+			var cells []Cell
+			for fi, f := range factors {
+				n := int(float64(p.N) * f)
+				if dsName == "loan-sim" {
+					n = int(float64(p.N) * f / 10) // the paper's Loan sweep is 10× smaller
+				}
+				if n < 1000 {
+					n = 1000
+				}
+				cells = append(cells, Cell{
+					X: fmt.Sprintf("%d", n),
+					Config: p.finish(Config{
+						Dataset:     dsName,
+						Schema:      defaultSchema(),
+						N:           n,
+						Epsilon:     1.0,
+						Selectivity: 0.5,
+						Lambda:      lambda,
+						Strategies:  []Strategy{StratOUG, StratOHG, StratHIO},
+					}, 6, uint64(di), uint64(li), uint64(fi)),
+				})
+			}
+			groups = append(groups, FigureGroup{Name: fmt.Sprintf("%s λ=%d", dsName, lambda), Cells: cells})
+		}
+	}
+	return FigureSpec{ID: "fig6", Title: "MAE vs number of users n", XLabel: "n", Groups: groups}
+}
+
+// Fig7 is the range-constraints-only comparison against TDG/HDG (paper
+// Figure 7): all-numerical schema, d=100, k=6, λ=3, uniform and normal
+// datasets, uniform-grid and hybrid-grid strategy panels.
+func Fig7(p Params) FigureSpec {
+	p = p.WithDefaults()
+	schema := defaultSchemaNumeric
+	panels := []struct {
+		name   string
+		strats []Strategy
+	}{
+		{"uniform-grid", []Strategy{StratOUG, StratOUGOLH, StratTDG}},
+		{"hybrid-grid", []Strategy{StratOHG, StratOHGOLH, StratHDG}},
+	}
+	var groups []FigureGroup
+	for di, dsName := range []string{"uniform", "normal"} {
+		for pi, panel := range panels {
+			var cells []Cell
+			for ei, eps := range epsSweep {
+				cells = append(cells, Cell{
+					X: fmt.Sprintf("%.1f", eps),
+					Config: p.finish(Config{
+						Dataset:     dsName,
+						Schema:      schema(),
+						N:           p.N,
+						Epsilon:     eps,
+						Selectivity: 0.5,
+						Lambda:      3,
+						Strategies:  panel.strats,
+					}, 7, uint64(di), uint64(pi), uint64(ei)),
+				})
+			}
+			groups = append(groups, FigureGroup{Name: fmt.Sprintf("%s %s", dsName, panel.name), Cells: cells})
+		}
+	}
+	return FigureSpec{ID: "fig7", Title: "Range-only comparison vs TDG/HDG, MAE vs ε", XLabel: "eps", Groups: groups}
+}
+
+// AblationPartitioning compares dividing users against dividing the privacy
+// budget (Theorem 5.1).
+func AblationPartitioning(p Params) FigureSpec {
+	p = p.WithDefaults()
+	var cells []Cell
+	for ei, eps := range epsSweep {
+		cells = append(cells, Cell{
+			X: fmt.Sprintf("%.1f", eps),
+			Config: p.finish(Config{
+				Dataset:     "normal",
+				Schema:      defaultSchema(),
+				N:           p.N,
+				Epsilon:     eps,
+				Selectivity: 0.5,
+				Lambda:      2,
+				Strategies:  []Strategy{StratOHG, StratOHGBudget},
+			}, 8, uint64(ei)),
+		})
+	}
+	return FigureSpec{
+		ID:     "abl-part",
+		Title:  "Ablation: dividing users vs dividing ε (Theorem 5.1)",
+		XLabel: "eps",
+		Groups: []FigureGroup{{Name: "normal λ=2", Cells: cells}},
+	}
+}
+
+// AblationAFO compares the adaptive frequency oracle against forcing OLH or
+// GRR everywhere (§6.3 extended).
+func AblationAFO(p Params) FigureSpec {
+	p = p.WithDefaults()
+	var groups []FigureGroup
+	for di, dsName := range []string{"uniform", "normal"} {
+		var cells []Cell
+		for ei, eps := range epsSweep {
+			cells = append(cells, Cell{
+				X: fmt.Sprintf("%.1f", eps),
+				Config: p.finish(Config{
+					Dataset:     dsName,
+					Schema:      defaultSchema(),
+					N:           p.N,
+					Epsilon:     eps,
+					Selectivity: 0.5,
+					Lambda:      2,
+					Strategies:  []Strategy{StratOHG, StratOHGOLH, StratOHGGRR},
+				}, 9, uint64(di), uint64(ei)),
+			})
+		}
+		groups = append(groups, FigureGroup{Name: dsName + " λ=2", Cells: cells})
+	}
+	return FigureSpec{
+		ID:     "abl-afo",
+		Title:  "Ablation: adaptive FO vs OLH-only vs GRR-only",
+		XLabel: "eps",
+		Groups: groups,
+	}
+}
+
+// AblationSelectivity compares sizing grids with the true workload
+// selectivity against the fixed 0.5 assumption TDG/HDG make (§5.8).
+func AblationSelectivity(p Params) FigureSpec {
+	p = p.WithDefaults()
+	sweep := []float64{0.1, 0.2, 0.3, 0.7, 0.8, 0.9}
+	var cells []Cell
+	for si, s := range sweep {
+		cells = append(cells, Cell{
+			X: fmt.Sprintf("%.1f", s),
+			Config: p.finish(Config{
+				Dataset:     "normal",
+				Schema:      defaultSchema(),
+				N:           p.N,
+				Epsilon:     1.0,
+				Selectivity: s,
+				Lambda:      2,
+				Strategies:  []Strategy{StratOHG, StratOHGFixSel},
+			}, 10, uint64(si)),
+		})
+	}
+	return FigureSpec{
+		ID:     "abl-sel",
+		Title:  "Ablation: true selectivity prior vs fixed 0.5 assumption",
+		XLabel: "s",
+		Groups: []FigureGroup{{Name: "normal λ=2", Cells: cells}},
+	}
+}
+
+// AblationEquiMass compares plain OHG against the two-phase data-aware
+// equi-mass extension (§7 future work) on the spiky loan-sim data, where
+// within-cell non-uniformity hurts equal-width binning most.
+func AblationEquiMass(p Params) FigureSpec {
+	p = p.WithDefaults()
+	var cells []Cell
+	for ei, eps := range epsSweep {
+		cells = append(cells, Cell{
+			X: fmt.Sprintf("%.1f", eps),
+			Config: p.finish(Config{
+				Dataset:     "loan-sim",
+				Schema:      dataset.MixedSchema(3, 256, 3, 8),
+				N:           p.N,
+				Epsilon:     eps,
+				Selectivity: 0.3,
+				Lambda:      2,
+				Strategies:  []Strategy{StratOHG, StratOHGEqMass},
+			}, 11, uint64(ei)),
+		})
+	}
+	return FigureSpec{
+		ID:     "abl-eqmass",
+		Title:  "Ablation: equal-width vs two-phase equi-mass binning (§7 extension)",
+		XLabel: "eps",
+		Groups: []FigureGroup{{Name: "loan-sim λ=2 s=0.3", Cells: cells}},
+	}
+}
+
+// Figures returns all figure specs at the given scale.
+func Figures(p Params) []FigureSpec {
+	p = p.WithDefaults()
+	return []FigureSpec{
+		Fig1(p), Fig2(p), Fig3(p), Fig4(p), Fig5(p), Fig6(p), Fig7(p),
+		AblationPartitioning(p), AblationAFO(p), AblationSelectivity(p),
+		AblationEquiMass(p),
+	}
+}
+
+// FigureByID returns the figure with the given id.
+func FigureByID(p Params, id string) (FigureSpec, error) {
+	for _, f := range Figures(p) {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("experiment: unknown figure %q (want fig1..fig7, abl-part, abl-afo, abl-sel)", id)
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// GroupResult holds the computed series of one figure panel.
+type GroupResult struct {
+	Name       string
+	XLabel     string
+	Strategies []Strategy
+	Results    []Result
+}
+
+// RunFigure executes every cell of the figure and streams progress to w (if
+// non-nil). It returns one GroupResult per panel.
+func RunFigure(spec FigureSpec, w io.Writer) ([]GroupResult, error) {
+	var out []GroupResult
+	for _, g := range spec.Groups {
+		gr := GroupResult{Name: g.Name, XLabel: spec.XLabel}
+		for _, cell := range g.Cells {
+			start := time.Now()
+			res, err := RunCell(cell.Config)
+			if err != nil {
+				return nil, fmt.Errorf("%s [%s %s=%s]: %w", spec.ID, g.Name, spec.XLabel, cell.X, err)
+			}
+			res.X = cell.X
+			gr.Results = append(gr.Results, res)
+			if len(gr.Strategies) == 0 {
+				gr.Strategies = append(gr.Strategies, cell.Config.Strategies...)
+			}
+			if w != nil {
+				fmt.Fprintf(w, "# %s %s %s=%s done in %v\n", spec.ID, g.Name, spec.XLabel, cell.X, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		out = append(out, gr)
+	}
+	return out, nil
+}
+
+// Print renders the figure's panels as aligned text tables of MAE values,
+// one row per x point and one column per strategy — the same series the
+// paper plots.
+func Print(w io.Writer, spec FigureSpec, groups []GroupResult) {
+	fmt.Fprintf(w, "== %s: %s ==\n", spec.ID, spec.Title)
+	for _, g := range groups {
+		fmt.Fprintf(w, "\n-- %s --\n", g.Name)
+		fmt.Fprintf(w, "%-12s", g.XLabel)
+		for _, s := range g.Strategies {
+			fmt.Fprintf(w, "%14s", s)
+		}
+		fmt.Fprintln(w)
+		for _, res := range g.Results {
+			fmt.Fprintf(w, "%-12s", res.X)
+			for _, s := range g.Strategies {
+				if mae, ok := res.MAE[s]; ok {
+					fmt.Fprintf(w, "%14.5f", mae)
+				} else {
+					fmt.Fprintf(w, "%14s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the figure's results as machine-readable CSV with the
+// columns figure,group,x,strategy,mae — one row per (panel, x, strategy).
+func WriteCSV(w io.Writer, spec FigureSpec, groups []GroupResult) error {
+	if _, err := fmt.Fprintln(w, "figure,group,"+spec.XLabel+",strategy,mae"); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		for _, res := range g.Results {
+			for _, s := range g.Strategies {
+				mae, ok := res.MAE[s]
+				if !ok {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.8f\n", spec.ID, g.Name, res.X, s, mae); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a panel's series into per-strategy mean MAE, useful for
+// quick shape checks ("who wins").
+func Summary(groups []GroupResult) map[Strategy]float64 {
+	sums := map[Strategy]float64{}
+	counts := map[Strategy]int{}
+	for _, g := range groups {
+		for _, res := range g.Results {
+			for s, m := range res.MAE {
+				sums[s] += m
+				counts[s]++
+			}
+		}
+	}
+	out := make(map[Strategy]float64, len(sums))
+	for s, sum := range sums {
+		out[s] = sum / float64(counts[s])
+	}
+	return out
+}
+
+// SortedStrategies returns the summary's strategies ordered by ascending
+// mean MAE (best first).
+func SortedStrategies(summary map[Strategy]float64) []Strategy {
+	out := make([]Strategy, 0, len(summary))
+	for s := range summary {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if summary[out[i]] != summary[out[j]] {
+			return summary[out[i]] < summary[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

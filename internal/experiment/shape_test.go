@@ -1,0 +1,113 @@
+package experiment
+
+import "testing"
+
+// These regression tests pin the paper's headline comparative claims at a
+// small-but-sufficient scale: if a refactor breaks an estimator, the
+// strategy ordering flips long before unit tests notice a subtle bias.
+
+func runMAE(t *testing.T, cfg Config) map[Strategy]float64 {
+	t.Helper()
+	res, err := RunCell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.MAE
+}
+
+// Paper Figure 1: on skewed data OHG beats OUG, and both beat HIO by a wide
+// margin.
+func TestShapeFELIPBeatsHIO(t *testing.T) {
+	mae := runMAE(t, Config{
+		Dataset:    "normal",
+		Schema:     defaultSchema(),
+		N:          30000,
+		Epsilon:    1,
+		Lambda:     2,
+		NumQueries: 8,
+		Seed:       101,
+		Strategies: []Strategy{StratOUG, StratOHG, StratHIO},
+	})
+	if !(mae[StratOHG] < mae[StratHIO]) || !(mae[StratOUG] < mae[StratHIO]) {
+		t.Errorf("HIO should lose on normal data: %v", mae)
+	}
+	if !(mae[StratOHG] < mae[StratOUG]) {
+		t.Errorf("OHG should beat OUG on normal data: %v", mae)
+	}
+	// The gap to HIO is an order of magnitude in the paper; require 3× here.
+	if mae[StratHIO] < 3*mae[StratOHG] {
+		t.Errorf("HIO gap too small: %v", mae)
+	}
+}
+
+// Theorem 5.1: dividing users beats dividing the privacy budget.
+func TestShapeDividingUsersWins(t *testing.T) {
+	mae := runMAE(t, Config{
+		Dataset:    "normal",
+		Schema:     defaultSchema(),
+		N:          30000,
+		Epsilon:    1,
+		Lambda:     2,
+		NumQueries: 8,
+		Seed:       103,
+		Strategies: []Strategy{StratOHG, StratOHGBudget},
+	})
+	if !(mae[StratOHG] < mae[StratOHGBudget]) {
+		t.Errorf("dividing users should win: %v", mae)
+	}
+}
+
+// Paper Figure 1/6: more privacy budget and more users both reduce error
+// (compared at a 4× gap so sampling noise cannot flip the ordering).
+func TestShapeErrorShrinksWithBudgetAndUsers(t *testing.T) {
+	base := Config{
+		Dataset:    "normal",
+		Schema:     defaultSchema(),
+		N:          20000,
+		Epsilon:    0.5,
+		Lambda:     2,
+		NumQueries: 8,
+		Seed:       107,
+		Strategies: []Strategy{StratOHG},
+	}
+	low := runMAE(t, base)[StratOHG]
+
+	richer := base
+	richer.Epsilon = 3
+	if highEps := runMAE(t, richer)[StratOHG]; !(highEps < low) {
+		t.Errorf("MAE did not shrink with eps: %v -> %v", low, highEps)
+	}
+	bigger := base
+	bigger.N = 160000
+	if bigN := runMAE(t, bigger)[StratOHG]; !(bigN < low) {
+		t.Errorf("MAE did not shrink with n: %v -> %v", low, bigN)
+	}
+}
+
+// Paper §6.3 / Fig 7: the optimized grids beat TDG/HDG on skewed data in the
+// range-only setting.
+func TestShapeOptimizedGridsBeatBaselines(t *testing.T) {
+	cfg := Config{
+		Dataset:    "normal",
+		Schema:     defaultSchemaNumeric(),
+		N:          60000,
+		Epsilon:    1,
+		Lambda:     3,
+		NumQueries: 10,
+		Seed:       109,
+		Strategies: []Strategy{StratOHG, StratHDG, StratOUG, StratTDG},
+	}
+	mae := runMAE(t, cfg)
+	// The hybrid strategies must beat the uniform ones on normal data, and
+	// FELIP's per-grid sizing should not lose badly to its baseline: allow a
+	// small noise margin.
+	if !(mae[StratOHG] < mae[StratOUG]) {
+		t.Errorf("OHG should beat OUG: %v", mae)
+	}
+	if mae[StratOHG] > 1.5*mae[StratHDG] {
+		t.Errorf("OHG much worse than HDG: %v", mae)
+	}
+	if mae[StratOUG] > 1.5*mae[StratTDG] {
+		t.Errorf("OUG much worse than TDG: %v", mae)
+	}
+}

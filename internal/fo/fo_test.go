@@ -1,0 +1,523 @@
+package fo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// makeSkewed builds a deterministic value multiset over [0,L) with known
+// frequencies: value 0 gets half the mass, the rest is uniform.
+func makeSkewed(L, n int) ([]int, []float64) {
+	vals := make([]int, 0, n)
+	freq := make([]float64, L)
+	for i := 0; i < n; i++ {
+		var v int
+		if i%2 == 0 {
+			v = 0
+		} else {
+			v = 1 + (i/2)%max(L-1, 1)
+		}
+		if L == 1 {
+			v = 0
+		}
+		vals = append(vals, v)
+		freq[v]++
+	}
+	for i := range freq {
+		freq[i] /= float64(n)
+	}
+	return vals, freq
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// With a large population and generous ε each oracle's estimates must be
+	// close to the true frequencies.
+	const n = 60000
+	for _, tc := range []struct {
+		proto Protocol
+		L     int
+		eps   float64
+		tol   float64
+	}{
+		{GRR, 8, 2.0, 0.02},
+		{GRR, 32, 2.0, 0.05},
+		{OLH, 8, 1.0, 0.03},
+		{OLH, 64, 1.0, 0.03},
+		{OUE, 16, 1.0, 0.03},
+	} {
+		vals, want := makeSkewed(tc.L, n)
+		got, err := Estimate(tc.proto, tc.eps, tc.L, vals, 4242)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.proto, err)
+		}
+		if len(got) != tc.L {
+			t.Fatalf("%v: got %d estimates, want %d", tc.proto, len(got), tc.L)
+		}
+		if d := maxAbsDiff(got, want); d > tc.tol {
+			t.Errorf("%v L=%d eps=%v: max abs error %.4f > tol %.4f", tc.proto, tc.L, tc.eps, d, tc.tol)
+		}
+	}
+}
+
+func TestEstimateSumsToApproxOne(t *testing.T) {
+	const n, L = 40000, 20
+	vals, _ := makeSkewed(L, n)
+	for _, p := range []Protocol{GRR, OLH, OUE} {
+		got, err := Estimate(p, 1.0, L, vals, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, f := range got {
+			sum += f
+		}
+		if math.Abs(sum-1) > 0.05 {
+			t.Errorf("%v: estimates sum to %.4f, want ~1", p, sum)
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	vals, _ := makeSkewed(16, 5000)
+	for _, p := range []Protocol{GRR, OLH, OUE} {
+		a, err := Estimate(p, 1.0, 16, vals, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Estimate(p, 1.0, 16, vals, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: same seed produced different estimates", p)
+			}
+		}
+	}
+}
+
+func TestEstimateRejectsBadInput(t *testing.T) {
+	if _, err := Estimate(GRR, 0, 4, []int{0}, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := Estimate(GRR, -1, 4, []int{0}, 1); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, err := Estimate(OLH, 1, 0, []int{0}, 1); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := Estimate(GRR, 1, 4, []int{4}, 1); err == nil {
+		t.Error("out-of-domain value accepted by GRR")
+	}
+	if _, err := Estimate(OLH, 1, 4, []int{-1}, 1); err == nil {
+		t.Error("out-of-domain value accepted by OLH")
+	}
+	if _, err := Estimate(OUE, 1, 4, []int{9}, 1); err == nil {
+		t.Error("out-of-domain value accepted by OUE")
+	}
+	if _, err := Estimate(Protocol(99), 1, 4, []int{0}, 1); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := Estimate(GRR, math.NaN(), 4, []int{0}, 1); err == nil {
+		t.Error("NaN eps accepted")
+	}
+}
+
+// TestGRRSatisfiesLDP verifies the defining ε-LDP inequality empirically:
+// for any pair of inputs and any output, Pr[Ψ(v)=x] ≤ e^ε·Pr[Ψ(v')=x].
+// GRR's output distribution is known in closed form, so we check the
+// empirical report distribution against p and q and then the ratio.
+func TestGRRSatisfiesLDP(t *testing.T) {
+	const L, eps, trials = 5, 1.0, 400000
+	c, err := NewGRRClient(eps, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(31)
+	counts := make([][]float64, L)
+	for v := 0; v < L; v++ {
+		counts[v] = make([]float64, L)
+		for i := 0; i < trials/L; i++ {
+			x, err := c.Perturb(v, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[v][x]++
+		}
+		for x := range counts[v] {
+			counts[v][x] /= float64(trials / L)
+		}
+	}
+	// Check p and q empirically.
+	if math.Abs(counts[2][2]-c.P()) > 0.01 {
+		t.Errorf("empirical p = %.4f, want %.4f", counts[2][2], c.P())
+	}
+	if math.Abs(counts[2][0]-c.Q()) > 0.01 {
+		t.Errorf("empirical q = %.4f, want %.4f", counts[2][0], c.Q())
+	}
+	// Pairwise ratio bound with slack for sampling noise.
+	bound := math.Exp(eps) * 1.15
+	for v := 0; v < L; v++ {
+		for vp := 0; vp < L; vp++ {
+			for x := 0; x < L; x++ {
+				if counts[vp][x] == 0 {
+					continue
+				}
+				if ratio := counts[v][x] / counts[vp][x]; ratio > bound {
+					t.Errorf("LDP violated: Pr[%d|%d]/Pr[%d|%d] = %.3f > %.3f", x, v, x, vp, ratio, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestOLHConditionalLDP checks that, conditioned on the hash seed, the
+// reported hash value satisfies ε-LDP over the g-sized range (this is the GRR
+// sub-step that carries OLH's privacy guarantee).
+func TestOLHConditionalLDP(t *testing.T) {
+	const eps = 1.0
+	c, err := NewOLHClient(eps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.G()
+	if g != int(math.Ceil(math.Exp(1)))+1 {
+		t.Fatalf("g = %d, want ⌈e⌉+1 = %d", g, int(math.Ceil(math.E))+1)
+	}
+	// The report equals the true hash with prob p, any other with q=(1-p)/(g-1);
+	// p/q must be ≤ e^ε (with equality by construction).
+	p := math.Exp(eps) / (math.Exp(eps) + float64(g) - 1)
+	q := (1 - p) / float64(g-1)
+	if math.Abs(p/q-math.Exp(eps)) > 1e-9 {
+		t.Errorf("OLH inner GRR ratio p/q = %v, want e^ε = %v", p/q, math.Exp(eps))
+	}
+}
+
+// TestOUESatisfiesLDP checks OUE's per-bit privacy: the probability ratio of
+// any single output bit given two different inputs is bounded by e^ε (bit is
+// 1 with p=1/2 for the true position vs q=1/(e^ε+1) otherwise, and 0 with
+// 1/2 vs e^ε/(e^ε+1)); the worst-case per-report ratio is exactly e^ε
+// because only two positions differ between neighbouring one-hot encodings.
+func TestOUESatisfiesLDP(t *testing.T) {
+	const eps = 1.0
+	q := 1 / (math.Exp(eps) + 1)
+	p := 0.5
+	// bit=1: p/q; bit=0: (1-p)/(1-q) — the privacy loss of a report flips
+	// one bit pair, so the total ratio is (p/q)·((1-q)/(1-p)) = e^ε exactly.
+	ratio := (p / q) * ((1 - q) / (1 - p))
+	if math.Abs(ratio-math.Exp(eps)) > 1e-9 {
+		t.Fatalf("OUE worst-case ratio %v, want e^ε = %v", ratio, math.Exp(eps))
+	}
+	// Empirically verify the bit probabilities.
+	c, err := NewOUEClient(eps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(41)
+	const trials = 100000
+	var trueOnes, falseOnes int
+	for i := 0; i < trials; i++ {
+		rep, err := c.Perturb(2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Bit(2) {
+			trueOnes++
+		}
+		if rep.Bit(5) {
+			falseOnes++
+		}
+	}
+	if math.Abs(float64(trueOnes)/trials-p) > 0.01 {
+		t.Errorf("true-bit rate %v, want %v", float64(trueOnes)/trials, p)
+	}
+	if math.Abs(float64(falseOnes)/trials-q) > 0.01 {
+		t.Errorf("false-bit rate %v, want %v", float64(falseOnes)/trials, q)
+	}
+}
+
+func TestOLHHashUniformity(t *testing.T) {
+	// Hash values must be near-uniform over [0,g) across seeds for any fixed v.
+	const g, draws = 5, 100000
+	r := NewRand(8)
+	counts := make([]int, g)
+	for i := 0; i < draws; i++ {
+		counts[olhHash(r.Uint64(), 12345, g)]++
+	}
+	want := float64(draws) / g
+	for h, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("hash bucket %d: count %d, want ~%.0f", h, c, want)
+		}
+	}
+}
+
+func TestVarianceFormulas(t *testing.T) {
+	eps := 1.0
+	ee := math.E
+	n := 1000
+	if got, want := GRRVariance(eps, 10, n), (ee+8)/(1000*(ee-1)*(ee-1)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GRRVariance = %v, want %v", got, want)
+	}
+	if got, want := OLHVariance(eps, n), 4*ee/(1000*(ee-1)*(ee-1)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("OLHVariance = %v, want %v", got, want)
+	}
+	if OUEVariance(eps, n) != OLHVariance(eps, n) {
+		t.Error("OUE variance should equal OLH variance")
+	}
+}
+
+func TestVarianceMonotonicity(t *testing.T) {
+	// GRR variance grows with L; both shrink with n and eps.
+	if !(GRRVariance(1, 100, 1000) > GRRVariance(1, 10, 1000)) {
+		t.Error("GRR variance not increasing in L")
+	}
+	if !(GRRVariance(1, 10, 1000) > GRRVariance(1, 10, 10000)) {
+		t.Error("GRR variance not decreasing in n")
+	}
+	if !(OLHVariance(0.5, 1000) > OLHVariance(2.0, 1000)) {
+		t.Error("OLH variance not decreasing in eps")
+	}
+}
+
+func TestChooseByVariance(t *testing.T) {
+	// Small domains favour GRR, large domains favour OLH; the crossover is at
+	// L = 3e^ε + 2.
+	eps := 1.0
+	cross := 3*math.Exp(eps) + 2 // ≈ 10.15
+	if got := ChooseByVariance(eps, 4); got != GRR {
+		t.Errorf("L=4: got %v, want GRR", got)
+	}
+	if got := ChooseByVariance(eps, 64); got != OLH {
+		t.Errorf("L=64: got %v, want OLH", got)
+	}
+	if got := ChooseByVariance(eps, int(cross)+1); got != OLH {
+		t.Errorf("just above crossover: got %v, want OLH", got)
+	}
+	// The choice must agree with the variance formulas for all L.
+	if err := quick.Check(func(l16 uint16, e8 uint8) bool {
+		L := int(l16%500) + 1
+		eps := 0.1 + float64(e8%40)/10
+		choice := ChooseByVariance(eps, L)
+		grrV := GRRVariance(eps, L, 1000)
+		olhV := OLHVariance(eps, 1000)
+		if choice == GRR {
+			return grrV <= olhV+1e-12
+		}
+		return olhV <= grrV+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	for p, want := range map[Protocol]string{GRR: "GRR", OLH: "OLH", OUE: "OUE", Protocol(7): "Protocol(7)"} {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q, want %q", uint8(p), p.String(), want)
+		}
+	}
+	if Kind := Protocol(3).Variance(1, 10, 100); Kind != OLHVariance(1, 100) {
+		t.Error("unknown protocol variance should default to OLH")
+	}
+}
+
+func TestGRRSingletonDomain(t *testing.T) {
+	got, err := Estimate(GRR, 1.0, 1, []int{0, 0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Errorf("singleton domain estimate = %v, want 1", got[0])
+	}
+}
+
+func TestAggregatorsEmpty(t *testing.T) {
+	if got := NewGRRAggregator(1, 4).Estimates(); len(got) != 4 || got[0] != 0 {
+		t.Error("empty GRR aggregator should return zeros")
+	}
+	if got := NewOLHAggregator(1, 4).Estimates(); len(got) != 4 || got[0] != 0 {
+		t.Error("empty OLH aggregator should return zeros")
+	}
+	if got := NewOUEAggregator(1, 4).Estimates(); len(got) != 4 || got[0] != 0 {
+		t.Error("empty OUE aggregator should return zeros")
+	}
+}
+
+// Property: GRR estimates are an affine transform of counts, so the estimate
+// vector always sums to (1 - L·q)/(p - q)·(1/n)·n ... = exactly 1 when every
+// report is within domain.
+func TestGRREstimatesSumExactlyOne(t *testing.T) {
+	if err := quick.Check(func(seed uint64, l8 uint8, n16 uint16) bool {
+		L := int(l8%30) + 2
+		n := int(n16%500) + 50
+		r := NewRand(seed)
+		agg := NewGRRAggregator(1.0, L)
+		for i := 0; i < n; i++ {
+			agg.Add(r.IntN(L))
+		}
+		var sum float64
+		for _, f := range agg.Estimates() {
+			sum += f
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOUEReportBit(t *testing.T) {
+	c, err := NewOUEClient(8.0, 70) // huge eps: report ≈ exact one-hot half the time
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(3)
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		rep, err := c.Perturb(69, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Bit(69) {
+			ones++
+		}
+	}
+	// p = 1/2 exactly.
+	if math.Abs(float64(ones)/trials-0.5) > 0.05 {
+		t.Errorf("true-bit rate %.3f, want ~0.5", float64(ones)/trials)
+	}
+}
+
+// TestGRREmpiricalVarianceMatchesFormula validates the variance formula
+// (Eq 2) that drives the grid optimizer: the empirical variance of the GRR
+// estimator across many repetitions must match (e^ε+L−2)/(n(e^ε−1)²).
+func TestGRREmpiricalVarianceMatchesFormula(t *testing.T) {
+	const (
+		L    = 16
+		eps  = 1.0
+		n    = 2000
+		reps = 300
+	)
+	// Fixed true distribution: everyone holds value 3.
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = 3
+	}
+	// Estimate the frequency of value 7 (true frequency 0) repeatedly.
+	var sum, sumsq float64
+	for r := 0; r < reps; r++ {
+		est, err := Estimate(GRR, eps, L, vals, uint64(r+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est[7]
+		sumsq += est[7] * est[7]
+	}
+	mean := sum / reps
+	empVar := sumsq/reps - mean*mean
+	want := GRRVariance(eps, L, n)
+	// Mean must be ~0 (unbiased), variance within 30% (reps=300 gives
+	// ~8% relative std on the variance estimate; 30% is a safe bound).
+	if math.Abs(mean) > 4*math.Sqrt(want/reps) {
+		t.Errorf("estimator biased: mean %v", mean)
+	}
+	if empVar < 0.7*want || empVar > 1.3*want {
+		t.Errorf("empirical variance %v, formula %v", empVar, want)
+	}
+}
+
+// TestOLHEmpiricalVarianceMatchesFormula does the same for OLH's
+// 4e^ε/(n(e^ε−1)²).
+func TestOLHEmpiricalVarianceMatchesFormula(t *testing.T) {
+	const (
+		L    = 32
+		eps  = 1.0
+		n    = 1000
+		reps = 200
+	)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = 3
+	}
+	var sum, sumsq float64
+	for r := 0; r < reps; r++ {
+		est, err := Estimate(OLH, eps, L, vals, uint64(r+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est[20]
+		sumsq += est[20] * est[20]
+	}
+	mean := sum / reps
+	empVar := sumsq/reps - mean*mean
+	want := OLHVariance(eps, n)
+	if math.Abs(mean) > 4*math.Sqrt(want/reps) {
+		t.Errorf("estimator biased: mean %v", mean)
+	}
+	if empVar < 0.65*want || empVar > 1.35*want {
+		t.Errorf("empirical variance %v, formula %v", empVar, want)
+	}
+}
+
+func TestOLHHashMatchesInternal(t *testing.T) {
+	// The exported generic hash must agree with the dense-domain hash used by
+	// the OLH aggregator, for any (seed, value, g).
+	if err := quick.Check(func(seed uint64, v16 uint16, g8 uint8) bool {
+		g := int(g8%16) + 2
+		v := int(v16)
+		return OLHHash(seed, uint64(v), g) == int(olhHash(seed, v, uint64(g)))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOLHHashRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		h := OLHHash(r.Uint64(), r.Uint64(), 7)
+		if h < 0 || h >= 7 {
+			t.Fatalf("hash %d out of [0,7)", h)
+		}
+	}
+}
+
+func TestMixIDDistinguishesTuples(t *testing.T) {
+	// Different tuples must (practically always) get different ids, and the
+	// combination must be order-sensitive.
+	seen := map[uint64][2]uint64{}
+	for a := uint64(0); a < 100; a++ {
+		for b := uint64(0); b < 100; b++ {
+			id := MixID(MixID(0xABCD, a), b)
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("collision: (%d,%d) and (%d,%d)", a, b, prev[0], prev[1])
+			}
+			seen[id] = [2]uint64{a, b}
+		}
+	}
+	if MixID(MixID(0xABCD, 1), 2) == MixID(MixID(0xABCD, 2), 1) {
+		t.Error("MixID not order-sensitive")
+	}
+}
+
+func TestOptimalG(t *testing.T) {
+	if g := OptimalG(1.0); g != 4 {
+		t.Errorf("OptimalG(1) = %d, want 4", g)
+	}
+	if g := OptimalG(0.01); g < 2 {
+		t.Errorf("OptimalG(0.01) = %d, want >= 2", g)
+	}
+	if g := OptimalG(50); g != 255 {
+		t.Errorf("OptimalG(50) = %d, want capped at 255", g)
+	}
+}

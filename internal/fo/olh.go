@@ -1,0 +1,157 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+)
+
+// olhHash maps value v into [0, g) under the hash function identified by
+// seed. The family {H_seed} is a 64-bit mixing family with negligible
+// collision bias, standing in for the universal family H of the paper.
+func olhHash(seed uint64, v int, g uint64) uint64 {
+	return splitmix64(seed^(uint64(v)+1)*0xD6E8FEB86659FD93) % g
+}
+
+// OLHHash exposes the OLH hash family for protocols that run local hashing
+// over value identifiers outside a dense [0, L) domain (the HIO baseline
+// hashes k-dimensional interval tuples). It maps (seed, vid) into [0, g).
+func OLHHash(seed, vid uint64, g int) int {
+	return int(splitmix64(seed^(vid+1)*0xD6E8FEB86659FD93) % uint64(g))
+}
+
+// MixID folds a component into a running 64-bit identifier; used to build
+// collision-resistant ids for tuples of interval indexes.
+func MixID(acc, component uint64) uint64 {
+	return splitmix64(acc ^ (component+0x9E3779B97F4A7C15)*0xD6E8FEB86659FD93)
+}
+
+// OLHReport is one user's OLH report: the identifier of the hash function the
+// user drew (its seed) and the GRR-perturbed hash of their value.
+type OLHReport struct {
+	// Seed identifies the user's hash function H ∈ ℍ.
+	Seed uint64
+	// Value is Ψ_GRR(H(v)) ∈ [0, g).
+	Value uint8
+}
+
+// OLHClient is the user-side algorithm Ψ_OLH (paper §2.2.2): hash the value
+// into a domain of size g = ⌈e^ε⌉+1, then apply GRR with the full budget ε to
+// the hashed value, and report ⟨H, Ψ_GRR(H(v))⟩.
+type OLHClient struct {
+	eps float64
+	l   int
+	g   int
+	p   float64
+}
+
+// NewOLHClient returns an OLH perturbation client for domain size L.
+func NewOLHClient(eps float64, L int) (*OLHClient, error) {
+	if err := validate(eps, L); err != nil {
+		return nil, err
+	}
+	g := OptimalG(eps)
+	ee := math.Exp(eps)
+	return &OLHClient{
+		eps: eps,
+		l:   L,
+		g:   g,
+		p:   ee / (ee + float64(g) - 1),
+	}, nil
+}
+
+// OptimalG returns the variance-minimizing hash range g = ⌈e^ε⌉ + 1,
+// capped below at 2 (a hash into a single bucket carries no information).
+func OptimalG(eps float64) int {
+	gf := math.Ceil(math.Exp(eps)) + 1
+	// Reports store the hashed value in a byte; cap g accordingly. ε ≥ ~5.5
+	// would exceed the cap, at which point GRR dominates OLH anyway.
+	if gf > 255 || math.IsInf(gf, 1) {
+		return 255
+	}
+	g := int(gf)
+	if g < 2 {
+		g = 2
+	}
+	return g
+}
+
+// Epsilon returns the privacy budget.
+func (c *OLHClient) Epsilon() float64 { return c.eps }
+
+// L returns the original domain size.
+func (c *OLHClient) L() int { return c.l }
+
+// G returns the hash range g.
+func (c *OLHClient) G() int { return c.g }
+
+// Perturb applies Ψ_OLH to the private value v: draws a fresh hash function
+// (seed), hashes v into [0,g), perturbs the hash with GRR(ε) over [0,g).
+func (c *OLHClient) Perturb(v int, r *Rand) (OLHReport, error) {
+	if v < 0 || v >= c.l {
+		return OLHReport{}, fmt.Errorf("fo: OLH value %d outside domain [0,%d)", v, c.l)
+	}
+	seed := r.Uint64()
+	h := int(olhHash(seed, v, uint64(c.g)))
+	rep := h
+	if r.Float64() >= c.p {
+		x := r.IntN(c.g - 1)
+		if x >= h {
+			x++
+		}
+		rep = x
+	}
+	return OLHReport{Seed: seed, Value: uint8(rep)}, nil
+}
+
+// OLHAggregator is the server-side algorithm Φ_OLH: it keeps all reports and
+// computes, for each domain value v, the support count
+// C(v) = |{j : H_j(v) = x_j}| and its unbiased frequency estimate
+// (C(v)/n − 1/g) / (p − 1/g).
+type OLHAggregator struct {
+	eps     float64
+	l       int
+	g       int
+	reports []OLHReport
+}
+
+// NewOLHAggregator returns an empty aggregator for domain size L.
+func NewOLHAggregator(eps float64, L int) *OLHAggregator {
+	return &OLHAggregator{eps: eps, l: L, g: OptimalG(eps)}
+}
+
+// Add records one user report.
+func (a *OLHAggregator) Add(rep OLHReport) {
+	a.reports = append(a.reports, rep)
+}
+
+// N returns the number of reports recorded so far.
+func (a *OLHAggregator) N() int { return len(a.reports) }
+
+// Estimates returns the unbiased frequency estimate for every domain value.
+// Cost is O(n·L) hash evaluations. Returns a zero vector with no reports.
+func (a *OLHAggregator) Estimates() []float64 {
+	out := make([]float64, a.l)
+	n := len(a.reports)
+	if n == 0 {
+		return out
+	}
+	g := uint64(a.g)
+	support := make([]int64, a.l)
+	for _, rep := range a.reports {
+		val := uint64(rep.Value)
+		seed := rep.Seed
+		for v := 0; v < a.l; v++ {
+			if olhHash(seed, v, g) == val {
+				support[v]++
+			}
+		}
+	}
+	ee := math.Exp(a.eps)
+	p := ee / (ee + float64(a.g) - 1)
+	invg := 1 / float64(a.g)
+	nf := float64(n)
+	for v := range out {
+		out[v] = (float64(support[v])/nf - invg) / (p - invg)
+	}
+	return out
+}

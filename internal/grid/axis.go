@@ -1,0 +1,178 @@
+// Package grid provides the binned 1-D and 2-D grid substrate FELIP maps user
+// values onto. A grid partitions an attribute domain (or the product of two
+// domains) into cells; users report the cell containing their private value
+// through a frequency oracle, and the aggregator attaches estimated
+// frequencies to cells.
+//
+// Unlike TDG/HDG, cell widths need not be equal: an Axis splits a domain of
+// size d into any l ≤ d cells whose widths differ by at most one, so the
+// optimizer's granularity is never snapped to a divisor of d (paper §5.8).
+package grid
+
+import "fmt"
+
+// Axis is the binning of a single attribute domain [0, d) into l contiguous
+// cells. By default cell boundaries follow bounds[i] = ⌊i·d/l⌋, so widths
+// are ⌊d/l⌋ or ⌈d/l⌉ and the cells exactly cover the domain; a custom axis
+// (NewCustomAxis) carries arbitrary strictly-increasing boundaries instead,
+// enabling data-aware equi-mass binning (the paper's §7 extension to avoid
+// cells with low true counts).
+type Axis struct {
+	domain int
+	cells  int
+	// bounds holds the cells+1 explicit boundaries of a custom axis; nil for
+	// the default equal-width binning.
+	bounds []int
+}
+
+// NewAxis creates an axis over domain size d with l cells. l is clamped into
+// [1, d]; an error is returned only for non-positive d.
+func NewAxis(d, l int) (*Axis, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("grid: axis domain must be >= 1, got %d", d)
+	}
+	if l < 1 {
+		l = 1
+	}
+	if l > d {
+		l = d
+	}
+	return &Axis{domain: d, cells: l}, nil
+}
+
+// MustAxis is NewAxis panicking on error, for literals in tests and examples.
+func MustAxis(d, l int) *Axis {
+	a, err := NewAxis(d, l)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Domain returns the domain size d.
+func (a *Axis) Domain() int { return a.domain }
+
+// Cells returns the number of cells l.
+func (a *Axis) Cells() int { return a.cells }
+
+// NewCustomAxis creates an axis over domain size d with the explicit cell
+// boundaries 0 = bounds[0] < bounds[1] < … < bounds[l] = d.
+func NewCustomAxis(d int, bounds []int) (*Axis, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("grid: axis domain must be >= 1, got %d", d)
+	}
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("grid: custom axis needs at least 2 boundaries, got %d", len(bounds))
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != d {
+		return nil, fmt.Errorf("grid: custom axis boundaries must start at 0 and end at %d, got [%d..%d]",
+			d, bounds[0], bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("grid: custom axis boundaries not strictly increasing at %d", i)
+		}
+	}
+	cp := make([]int, len(bounds))
+	copy(cp, bounds)
+	return &Axis{domain: d, cells: len(bounds) - 1, bounds: cp}, nil
+}
+
+// lowerBound returns the first value of cell i (valid for i in [0, l]; i = l
+// yields d).
+func (a *Axis) lowerBound(i int) int {
+	if a.bounds != nil {
+		return a.bounds[i]
+	}
+	return i * a.domain / a.cells
+}
+
+// CellRange returns the half-open value interval [lo, hi) covered by cell i.
+func (a *Axis) CellRange(i int) (lo, hi int) {
+	return a.lowerBound(i), a.lowerBound(i + 1)
+}
+
+// Width returns the number of domain values inside cell i.
+func (a *Axis) Width(i int) int {
+	lo, hi := a.CellRange(i)
+	return hi - lo
+}
+
+// CellOf returns the index of the cell containing value v. v must be in
+// [0, d); out-of-range values are clamped to the nearest cell.
+func (a *Axis) CellOf(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= a.domain {
+		return a.cells - 1
+	}
+	if a.bounds != nil {
+		// Binary search the largest i with bounds[i] <= v.
+		lo, hi := 0, a.cells-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if a.bounds[mid] <= v {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	// Invert bounds[i] = ⌊i·d/l⌋: i = ⌈l(v+1)/d⌉ − 1.
+	i := (a.cells*(v+1) + a.domain - 1) / a.domain
+	i--
+	// Guard against any rounding surprise.
+	if lo, hi := a.CellRange(i); v < lo {
+		i--
+	} else if v >= hi {
+		i++
+	}
+	return i
+}
+
+// OverlapFraction returns the fraction of cell i's values that fall inside
+// the inclusive value range [lo, hi]. It is the per-cell coverage used when
+// answering range queries under the uniformity assumption.
+func (a *Axis) OverlapFraction(i, lo, hi int) float64 {
+	cLo, cHi := a.CellRange(i) // [cLo, cHi)
+	if lo < cLo {
+		lo = cLo
+	}
+	if hi >= cHi {
+		hi = cHi - 1
+	}
+	if hi < lo {
+		return 0
+	}
+	return float64(hi-lo+1) / float64(cHi-cLo)
+}
+
+// SelectedFraction returns the fraction of cell i's values v for which
+// sel[v] is true. sel must have length d. It generalizes OverlapFraction to
+// arbitrary (categorical IN) predicates.
+func (a *Axis) SelectedFraction(i int, sel []bool) float64 {
+	lo, hi := a.CellRange(i)
+	count := 0
+	for v := lo; v < hi; v++ {
+		if sel[v] {
+			count++
+		}
+	}
+	return float64(count) / float64(hi-lo)
+}
+
+// Boundaries returns the l+1 cell boundary points 0 = b₀ < b₁ < … < b_l = d.
+func (a *Axis) Boundaries() []int {
+	out := make([]int, a.cells+1)
+	for i := range out {
+		out[i] = a.lowerBound(i)
+	}
+	return out
+}
+
+// String renders e.g. "Axis(d=50,l=7)".
+func (a *Axis) String() string {
+	return fmt.Sprintf("Axis(d=%d,l=%d)", a.domain, a.cells)
+}

@@ -1,0 +1,270 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAxisValidation(t *testing.T) {
+	if _, err := NewAxis(0, 1); err == nil {
+		t.Error("domain 0 accepted")
+	}
+	if _, err := NewAxis(-3, 1); err == nil {
+		t.Error("negative domain accepted")
+	}
+	a := MustAxis(10, 0)
+	if a.Cells() != 1 {
+		t.Errorf("l=0 should clamp to 1, got %d", a.Cells())
+	}
+	a = MustAxis(10, 99)
+	if a.Cells() != 10 {
+		t.Errorf("l>d should clamp to d, got %d", a.Cells())
+	}
+}
+
+func TestMustAxisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAxis(0,1) did not panic")
+		}
+	}()
+	MustAxis(0, 1)
+}
+
+func TestAxisCoverage(t *testing.T) {
+	// Cells must exactly partition [0, d) with widths differing by at most 1.
+	for _, tc := range [][2]int{{10, 3}, {50, 7}, {100, 11}, {64, 64}, {1, 1}, {1600, 41}, {7, 5}} {
+		d, l := tc[0], tc[1]
+		a := MustAxis(d, l)
+		prev := 0
+		minW, maxW := d+1, 0
+		for i := 0; i < a.Cells(); i++ {
+			lo, hi := a.CellRange(i)
+			if lo != prev {
+				t.Fatalf("d=%d l=%d: cell %d starts at %d, want %d", d, l, i, lo, prev)
+			}
+			if hi <= lo {
+				t.Fatalf("d=%d l=%d: cell %d empty [%d,%d)", d, l, i, lo, hi)
+			}
+			w := hi - lo
+			if w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+			prev = hi
+		}
+		if prev != d {
+			t.Fatalf("d=%d l=%d: cells end at %d, want %d", d, l, prev, d)
+		}
+		if maxW-minW > 1 {
+			t.Errorf("d=%d l=%d: cell widths range [%d,%d], want spread <= 1", d, l, minW, maxW)
+		}
+	}
+}
+
+func TestCellOfMatchesLinearScan(t *testing.T) {
+	for _, tc := range [][2]int{{10, 3}, {50, 7}, {100, 100}, {64, 5}, {1600, 37}, {3, 2}} {
+		d, l := tc[0], tc[1]
+		a := MustAxis(d, l)
+		for v := 0; v < d; v++ {
+			want := -1
+			for i := 0; i < a.Cells(); i++ {
+				lo, hi := a.CellRange(i)
+				if v >= lo && v < hi {
+					want = i
+					break
+				}
+			}
+			if got := a.CellOf(v); got != want {
+				t.Fatalf("d=%d l=%d CellOf(%d) = %d, want %d", d, l, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCellOfProperty(t *testing.T) {
+	if err := quick.Check(func(d16, l16 uint16, v16 uint16) bool {
+		d := int(d16%2000) + 1
+		l := int(l16%200) + 1
+		a := MustAxis(d, l)
+		v := int(v16) % d
+		c := a.CellOf(v)
+		lo, hi := a.CellRange(c)
+		return v >= lo && v < hi
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellOfClamping(t *testing.T) {
+	a := MustAxis(10, 3)
+	if a.CellOf(-5) != 0 {
+		t.Error("negative value should clamp to first cell")
+	}
+	if a.CellOf(100) != 2 {
+		t.Error("overflow value should clamp to last cell")
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	a := MustAxis(10, 2) // cells [0,5), [5,10)
+	if got := a.OverlapFraction(0, 0, 9); got != 1 {
+		t.Errorf("full cover = %v, want 1", got)
+	}
+	if got := a.OverlapFraction(0, 0, 1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("partial = %v, want 0.4", got)
+	}
+	if got := a.OverlapFraction(0, 7, 9); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	if got := a.OverlapFraction(1, 6, 6); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("single value = %v, want 0.2", got)
+	}
+	if got := a.OverlapFraction(1, 9, 2); got != 0 {
+		t.Errorf("inverted range = %v, want 0", got)
+	}
+}
+
+func TestSelectedFraction(t *testing.T) {
+	a := MustAxis(6, 2) // cells [0,3), [3,6)
+	sel := []bool{true, false, true, false, false, true}
+	if got := a.SelectedFraction(0, sel); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("cell 0 fraction = %v, want 2/3", got)
+	}
+	if got := a.SelectedFraction(1, sel); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("cell 1 fraction = %v, want 1/3", got)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	a := MustAxis(10, 3)
+	b := a.Boundaries()
+	want := []int{0, 3, 6, 10}
+	if len(b) != len(want) {
+		t.Fatalf("boundaries = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("boundaries = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if got := MustAxis(50, 7).String(); got != "Axis(d=50,l=7)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewCustomAxisValidation(t *testing.T) {
+	if _, err := NewCustomAxis(0, []int{0, 1}); err == nil {
+		t.Error("domain 0 accepted")
+	}
+	if _, err := NewCustomAxis(10, []int{0}); err == nil {
+		t.Error("single boundary accepted")
+	}
+	if _, err := NewCustomAxis(10, []int{1, 10}); err == nil {
+		t.Error("boundaries not starting at 0 accepted")
+	}
+	if _, err := NewCustomAxis(10, []int{0, 5}); err == nil {
+		t.Error("boundaries not ending at d accepted")
+	}
+	if _, err := NewCustomAxis(10, []int{0, 5, 5, 10}); err == nil {
+		t.Error("non-increasing boundaries accepted")
+	}
+	if _, err := NewCustomAxis(10, []int{0, 7, 3, 10}); err == nil {
+		t.Error("decreasing boundaries accepted")
+	}
+}
+
+func TestCustomAxisBehaviour(t *testing.T) {
+	// Unequal cells: [0,1), [1,2), [2,7), [7,10).
+	a, err := NewCustomAxis(10, []int{0, 1, 2, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells() != 4 || a.Domain() != 10 {
+		t.Fatalf("axis %v", a)
+	}
+	wantCells := []int{0, 1, 2, 2, 2, 2, 2, 3, 3, 3}
+	for v, want := range wantCells {
+		if got := a.CellOf(v); got != want {
+			t.Errorf("CellOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if a.CellOf(-1) != 0 || a.CellOf(99) != 3 {
+		t.Error("clamping wrong on custom axis")
+	}
+	if w := a.Width(2); w != 5 {
+		t.Errorf("Width(2) = %d, want 5", w)
+	}
+	b := a.Boundaries()
+	want := []int{0, 1, 2, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Boundaries = %v, want %v", b, want)
+		}
+	}
+	// OverlapFraction on an unequal cell.
+	if got := a.OverlapFraction(2, 3, 4); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("OverlapFraction = %v, want 0.4", got)
+	}
+}
+
+func TestCustomAxisBoundariesCopied(t *testing.T) {
+	bounds := []int{0, 5, 10}
+	a, err := NewCustomAxis(10, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds[1] = 7
+	if lo, _ := a.CellRange(1); lo != 5 {
+		t.Error("custom axis aliases caller's slice")
+	}
+}
+
+func TestCustomAxisCellOfProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, d16 uint16) bool {
+		d := int(d16%500) + 2
+		// Random boundary subset.
+		bounds := []int{0}
+		x := seed
+		for v := 1; v < d; v++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x%3 == 0 {
+				bounds = append(bounds, v)
+			}
+		}
+		bounds = append(bounds, d)
+		a, err := NewCustomAxis(d, bounds)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < d; v++ {
+			c := a.CellOf(v)
+			lo, hi := a.CellRange(c)
+			if v < lo || v >= hi {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's motivating example (§3.2): an optimal granularity of 25 must be
+// usable directly instead of snapping to 32, and 11×11 instead of 8×8.
+func TestNoPowerOfTwoSnapping(t *testing.T) {
+	a := MustAxis(100, 25)
+	if a.Cells() != 25 {
+		t.Fatalf("granularity 25 not preserved: %d", a.Cells())
+	}
+	b := MustAxis(100, 11)
+	if b.Cells() != 11 {
+		t.Fatalf("granularity 11 not preserved: %d", b.Cells())
+	}
+}

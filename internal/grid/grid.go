@@ -1,0 +1,306 @@
+package grid
+
+import "fmt"
+
+// Grid1D bins a single attribute's domain and carries one estimated
+// frequency per cell. Freq is nil until the aggregator fills it.
+type Grid1D struct {
+	// Attr is the schema index of the binned attribute.
+	Attr int
+	// Axis is the binning of the attribute's domain.
+	Axis *Axis
+	// Freq holds the estimated frequency of each cell (length Axis.Cells()).
+	Freq []float64
+}
+
+// NewGrid1D creates a 1-D grid over attribute attr with the given axis.
+func NewGrid1D(attr int, axis *Axis) *Grid1D {
+	return &Grid1D{Attr: attr, Axis: axis}
+}
+
+// L returns the number of cells, i.e. the report domain size for this grid.
+func (g *Grid1D) L() int { return g.Axis.Cells() }
+
+// CellOf maps a user's attribute value to the reported cell index.
+func (g *Grid1D) CellOf(v int) int { return g.Axis.CellOf(v) }
+
+// SetFreq installs estimated cell frequencies (must have length L()).
+func (g *Grid1D) SetFreq(f []float64) error {
+	if len(f) != g.L() {
+		return fmt.Errorf("grid: Grid1D freq length %d != cells %d", len(f), g.L())
+	}
+	g.Freq = f
+	return nil
+}
+
+// Mass returns the estimated probability mass of the arbitrary value
+// selection sel (length = domain) under the uniformity assumption.
+func (g *Grid1D) Mass(sel []bool) float64 {
+	var total float64
+	for c := 0; c < g.L(); c++ {
+		if frac := g.Axis.SelectedFraction(c, sel); frac > 0 {
+			total += g.Freq[c] * frac
+		}
+	}
+	return total
+}
+
+// RangeMass returns the estimated probability mass of the inclusive value
+// range [lo, hi] under the uniformity assumption.
+func (g *Grid1D) RangeMass(lo, hi int) float64 {
+	var total float64
+	for c := 0; c < g.L(); c++ {
+		if frac := g.Axis.OverlapFraction(c, lo, hi); frac > 0 {
+			total += g.Freq[c] * frac
+		}
+	}
+	return total
+}
+
+// ValueMarginal expands the cell frequencies to a per-value distribution by
+// spreading each cell's mass uniformly over the values it covers.
+func (g *Grid1D) ValueMarginal() []float64 {
+	out := make([]float64, g.Axis.Domain())
+	for c := 0; c < g.L(); c++ {
+		lo, hi := g.Axis.CellRange(c)
+		share := g.Freq[c] / float64(hi-lo)
+		for v := lo; v < hi; v++ {
+			out[v] = share
+		}
+	}
+	return out
+}
+
+// Grid2D bins the 2-D domain of an attribute pair and carries one estimated
+// frequency per 2-D cell. Cell (cx, cy) is stored at Freq[cx*Y.Cells()+cy].
+type Grid2D struct {
+	// XAttr and YAttr are the schema indexes of the two attributes (X < Y by
+	// FELIP convention).
+	XAttr, YAttr int
+	// X and Y are the binnings of each attribute's domain.
+	X, Y *Axis
+	// Freq holds the estimated frequency of each cell, row-major by X cell.
+	Freq []float64
+}
+
+// NewGrid2D creates a 2-D grid over attributes (xAttr, yAttr).
+func NewGrid2D(xAttr, yAttr int, x, y *Axis) *Grid2D {
+	return &Grid2D{XAttr: xAttr, YAttr: yAttr, X: x, Y: y}
+}
+
+// L returns the total number of cells lx·ly, i.e. the report domain size.
+func (g *Grid2D) L() int { return g.X.Cells() * g.Y.Cells() }
+
+// CellOf maps a user's pair of attribute values to the reported cell index.
+func (g *Grid2D) CellOf(vx, vy int) int {
+	return g.X.CellOf(vx)*g.Y.Cells() + g.Y.CellOf(vy)
+}
+
+// CellXY splits a flat cell index into its (cx, cy) coordinates.
+func (g *Grid2D) CellXY(cell int) (cx, cy int) {
+	return cell / g.Y.Cells(), cell % g.Y.Cells()
+}
+
+// At returns the frequency of cell (cx, cy).
+func (g *Grid2D) At(cx, cy int) float64 { return g.Freq[cx*g.Y.Cells()+cy] }
+
+// SetFreq installs estimated cell frequencies (must have length L()).
+func (g *Grid2D) SetFreq(f []float64) error {
+	if len(f) != g.L() {
+		return fmt.Errorf("grid: Grid2D freq length %d != cells %d", len(f), g.L())
+	}
+	g.Freq = f
+	return nil
+}
+
+// Mass returns the estimated probability mass of the rectangle selX × selY
+// (each a per-value selection over the respective domain) under the
+// uniformity assumption: each cell contributes freq·fracX·fracY.
+func (g *Grid2D) Mass(selX, selY []bool) float64 {
+	lx, ly := g.X.Cells(), g.Y.Cells()
+	fracX := make([]float64, lx)
+	for cx := 0; cx < lx; cx++ {
+		fracX[cx] = g.X.SelectedFraction(cx, selX)
+	}
+	fracY := make([]float64, ly)
+	for cy := 0; cy < ly; cy++ {
+		fracY[cy] = g.Y.SelectedFraction(cy, selY)
+	}
+	var total float64
+	for cx := 0; cx < lx; cx++ {
+		if fracX[cx] == 0 {
+			continue
+		}
+		row := g.Freq[cx*ly : (cx+1)*ly]
+		for cy := 0; cy < ly; cy++ {
+			if fracY[cy] > 0 {
+				total += row[cy] * fracX[cx] * fracY[cy]
+			}
+		}
+	}
+	return total
+}
+
+// XMarginal returns the per-X-cell frequency sums (collapsing Y).
+func (g *Grid2D) XMarginal() []float64 {
+	lx, ly := g.X.Cells(), g.Y.Cells()
+	out := make([]float64, lx)
+	for cx := 0; cx < lx; cx++ {
+		var s float64
+		for cy := 0; cy < ly; cy++ {
+			s += g.Freq[cx*ly+cy]
+		}
+		out[cx] = s
+	}
+	return out
+}
+
+// YMarginal returns the per-Y-cell frequency sums (collapsing X).
+func (g *Grid2D) YMarginal() []float64 {
+	lx, ly := g.X.Cells(), g.Y.Cells()
+	out := make([]float64, ly)
+	for cx := 0; cx < lx; cx++ {
+		for cy := 0; cy < ly; cy++ {
+			out[cy] += g.Freq[cx*ly+cy]
+		}
+	}
+	return out
+}
+
+// MarginalAxis returns the axis binning attribute attr, which must be XAttr
+// or YAttr.
+func (g *Grid2D) MarginalAxis(attr int) (*Axis, error) {
+	switch attr {
+	case g.XAttr:
+		return g.X, nil
+	case g.YAttr:
+		return g.Y, nil
+	default:
+		return nil, fmt.Errorf("grid: attribute %d not on grid (%d,%d)", attr, g.XAttr, g.YAttr)
+	}
+}
+
+// ValueMarginal expands the grid's marginal along attribute attr to a
+// per-value distribution under the uniformity assumption.
+func (g *Grid2D) ValueMarginal(attr int) ([]float64, error) {
+	axis, err := g.MarginalAxis(attr)
+	if err != nil {
+		return nil, err
+	}
+	var cellFreq []float64
+	if attr == g.XAttr {
+		cellFreq = g.XMarginal()
+	} else {
+		cellFreq = g.YMarginal()
+	}
+	out := make([]float64, axis.Domain())
+	for c := 0; c < axis.Cells(); c++ {
+		lo, hi := axis.CellRange(c)
+		share := cellFreq[c] / float64(hi-lo)
+		for v := lo; v < hi; v++ {
+			out[v] = share
+		}
+	}
+	return out, nil
+}
+
+// Sum returns the total frequency mass currently on the grid.
+func Sum(freq []float64) float64 {
+	var s float64
+	for _, f := range freq {
+		s += f
+	}
+	return s
+}
+
+// EquiMassBoundaries returns l+1 cell boundaries over [0, len(marginal))
+// placed at the quantiles of the (non-negative) per-value marginal, so each
+// cell holds roughly mass/l — the data-aware binning of the paper's §7
+// extension ("avoid cells with low true counts"). Cells are at least one
+// value wide; if the marginal concentrates on fewer than l values the
+// remaining cuts fall back to equal-width placement. l is clamped to
+// [1, len(marginal)].
+func EquiMassBoundaries(marginal []float64, l int) []int {
+	d := len(marginal)
+	if d == 0 {
+		return nil
+	}
+	if l < 1 {
+		l = 1
+	}
+	if l > d {
+		l = d
+	}
+	var total float64
+	for _, m := range marginal {
+		if m > 0 {
+			total += m
+		}
+	}
+	bounds := make([]int, 0, l+1)
+	bounds = append(bounds, 0)
+	if total <= 0 {
+		// Degenerate marginal: equal width.
+		for i := 1; i < l; i++ {
+			bounds = append(bounds, i*d/l)
+		}
+		bounds = append(bounds, d)
+		return dedupeAscending(bounds, d, l)
+	}
+	var cum float64
+	next := 1
+	for v := 0; v < d && next < l; v++ {
+		if marginal[v] > 0 {
+			cum += marginal[v]
+		}
+		// Place the next-th cut after accumulating next·total/l mass, but
+		// never produce an empty cell. The tolerance absorbs accumulated
+		// floating-point error at exact quantile boundaries.
+		for next < l && cum >= float64(next)*total/float64(l)-1e-9*total {
+			cut := v + 1
+			if cut <= bounds[len(bounds)-1] {
+				cut = bounds[len(bounds)-1] + 1
+			}
+			if cut >= d {
+				break
+			}
+			bounds = append(bounds, cut)
+			next++
+		}
+	}
+	bounds = append(bounds, d)
+	return dedupeAscending(bounds, d, l)
+}
+
+// dedupeAscending repairs a boundary list so it is strictly increasing from
+// 0 to d with at most l cells, padding missing cuts equal-width if the mass
+// was too concentrated to place them all.
+func dedupeAscending(bounds []int, d, l int) []int {
+	out := []int{0}
+	for _, b := range bounds[1:] {
+		if b > out[len(out)-1] && b <= d {
+			out = append(out, b)
+		}
+	}
+	if out[len(out)-1] != d {
+		out = append(out, d)
+	}
+	// Pad with extra equal-width cuts while we have fewer than l cells and
+	// room to split the widest cell.
+	for len(out)-1 < l {
+		widest, width := -1, 1
+		for i := 0; i+1 < len(out); i++ {
+			if w := out[i+1] - out[i]; w > width {
+				widest, width = i, w
+			}
+		}
+		if widest < 0 {
+			break
+		}
+		mid := out[widest] + width/2
+		out = append(out, 0)
+		copy(out[widest+2:], out[widest+1:])
+		out[widest+1] = mid
+	}
+	return out
+}

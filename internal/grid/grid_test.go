@@ -1,0 +1,294 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rangeSel(d, lo, hi int) []bool {
+	sel := make([]bool, d)
+	for v := lo; v <= hi && v < d; v++ {
+		if v >= 0 {
+			sel[v] = true
+		}
+	}
+	return sel
+}
+
+func TestGrid1DBasics(t *testing.T) {
+	g := NewGrid1D(2, MustAxis(10, 2))
+	if g.L() != 2 {
+		t.Fatalf("L = %d", g.L())
+	}
+	if g.CellOf(7) != 1 || g.CellOf(0) != 0 {
+		t.Error("CellOf wrong")
+	}
+	if err := g.SetFreq([]float64{0.25}); err == nil {
+		t.Error("wrong-length freq accepted")
+	}
+	if err := g.SetFreq([]float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RangeMass(0, 9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full range mass = %v", got)
+	}
+	// Half of the first cell under uniformity: 0.25*0.4 = 0.1 (values 0,1).
+	if got := g.RangeMass(0, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("partial range mass = %v, want 0.1", got)
+	}
+	if got := g.Mass(rangeSel(10, 0, 1)); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Mass = %v, want 0.1", got)
+	}
+}
+
+func TestGrid1DValueMarginal(t *testing.T) {
+	g := NewGrid1D(0, MustAxis(10, 2))
+	if err := g.SetFreq([]float64{0.4, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	m := g.ValueMarginal()
+	if len(m) != 10 {
+		t.Fatalf("marginal length %d", len(m))
+	}
+	for v := 0; v < 5; v++ {
+		if math.Abs(m[v]-0.08) > 1e-12 {
+			t.Errorf("m[%d] = %v, want 0.08", v, m[v])
+		}
+	}
+	for v := 5; v < 10; v++ {
+		if math.Abs(m[v]-0.12) > 1e-12 {
+			t.Errorf("m[%d] = %v, want 0.12", v, m[v])
+		}
+	}
+}
+
+func TestGrid2DIndexRoundTrip(t *testing.T) {
+	g := NewGrid2D(0, 1, MustAxis(10, 3), MustAxis(8, 4))
+	if g.L() != 12 {
+		t.Fatalf("L = %d", g.L())
+	}
+	for cell := 0; cell < g.L(); cell++ {
+		cx, cy := g.CellXY(cell)
+		loX, _ := g.X.CellRange(cx)
+		loY, _ := g.Y.CellRange(cy)
+		if got := g.CellOf(loX, loY); got != cell {
+			t.Fatalf("round trip cell %d -> (%d,%d) -> %d", cell, cx, cy, got)
+		}
+	}
+}
+
+func TestGrid2DMass(t *testing.T) {
+	// 2x2 grid over 4x4 domain, uniform frequency 0.25 per cell.
+	g := NewGrid2D(0, 1, MustAxis(4, 2), MustAxis(4, 2))
+	if err := g.SetFreq([]float64{0.25, 0.25, 0.25, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Mass(rangeSel(4, 0, 3), rangeSel(4, 0, 3)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full mass = %v", got)
+	}
+	// Quadrant [0,1]x[0,1] is exactly cell (0,0).
+	if got := g.Mass(rangeSel(4, 0, 1), rangeSel(4, 0, 1)); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("quadrant mass = %v, want 0.25", got)
+	}
+	// Single value (0,0) = quarter of cell (0,0) under uniformity.
+	if got := g.Mass(rangeSel(4, 0, 0), rangeSel(4, 0, 0)); math.Abs(got-0.0625) > 1e-12 {
+		t.Errorf("point mass = %v, want 0.0625", got)
+	}
+}
+
+func TestGrid2DMarginals(t *testing.T) {
+	g := NewGrid2D(3, 5, MustAxis(4, 2), MustAxis(6, 3))
+	freq := []float64{0.1, 0.2, 0.05, 0.15, 0.25, 0.25}
+	if err := g.SetFreq(freq); err != nil {
+		t.Fatal(err)
+	}
+	xm := g.XMarginal()
+	if math.Abs(xm[0]-0.35) > 1e-12 || math.Abs(xm[1]-0.65) > 1e-12 {
+		t.Errorf("XMarginal = %v", xm)
+	}
+	ym := g.YMarginal()
+	want := []float64{0.25, 0.45, 0.3}
+	for i := range want {
+		if math.Abs(ym[i]-want[i]) > 1e-12 {
+			t.Errorf("YMarginal = %v, want %v", ym, want)
+		}
+	}
+	if _, err := g.MarginalAxis(4); err == nil {
+		t.Error("MarginalAxis accepted foreign attribute")
+	}
+	if ax, err := g.MarginalAxis(5); err != nil || ax != g.Y {
+		t.Error("MarginalAxis(YAttr) wrong")
+	}
+	vm, err := g.ValueMarginal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for _, f := range vm {
+		s += f
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("value marginal sums to %v", s)
+	}
+	if _, err := g.ValueMarginal(99); err == nil {
+		t.Error("ValueMarginal accepted foreign attribute")
+	}
+}
+
+func TestGrid2DSetFreqValidates(t *testing.T) {
+	g := NewGrid2D(0, 1, MustAxis(4, 2), MustAxis(4, 2))
+	if err := g.SetFreq(make([]float64, 3)); err == nil {
+		t.Error("wrong-length freq accepted")
+	}
+}
+
+// Property: for any grid and any rectangle, Mass is between 0 and the total
+// grid mass, and the full-domain rectangle returns exactly the total.
+func TestGrid2DMassBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, dx8, dy8, lx8, ly8 uint8, a16, b16, c16, d16 uint16) bool {
+		dx := int(dx8%30) + 1
+		dy := int(dy8%30) + 1
+		g := NewGrid2D(0, 1, MustAxis(dx, int(lx8%10)+1), MustAxis(dy, int(ly8%10)+1))
+		freq := make([]float64, g.L())
+		s := seed
+		var total float64
+		for i := range freq {
+			s = s*6364136223846793005 + 1442695040888963407
+			freq[i] = float64(s%1000) / 1000 / float64(len(freq))
+			total += freq[i]
+		}
+		if err := g.SetFreq(freq); err != nil {
+			return false
+		}
+		loX, hiX := int(a16)%dx, int(b16)%dx
+		if loX > hiX {
+			loX, hiX = hiX, loX
+		}
+		loY, hiY := int(c16)%dy, int(d16)%dy
+		if loY > hiY {
+			loY, hiY = hiY, loY
+		}
+		m := g.Mass(rangeSel(dx, loX, hiX), rangeSel(dy, loY, hiY))
+		if m < -1e-12 || m > total+1e-12 {
+			return false
+		}
+		full := g.Mass(rangeSel(dx, 0, dx-1), rangeSel(dy, 0, dy-1))
+		return math.Abs(full-total) < 1e-9
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquiMassBoundariesBalanced(t *testing.T) {
+	// Mass concentrated on [0,4): the first cells must be narrow there.
+	marg := make([]float64, 16)
+	for v := 0; v < 4; v++ {
+		marg[v] = 0.225 // 0.9 total
+	}
+	for v := 4; v < 16; v++ {
+		marg[v] = 0.1 / 12
+	}
+	b := EquiMassBoundaries(marg, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 16 {
+		t.Fatalf("bounds = %v", b)
+	}
+	// Each of the first three cells should be ≤ 2 values wide (dense zone).
+	if b[1]-b[0] > 2 || b[2]-b[1] > 2 {
+		t.Errorf("dense zone not finely binned: %v", b)
+	}
+	// The last cell covers the sparse tail.
+	if b[4]-b[3] < 8 {
+		t.Errorf("sparse tail not coarsened: %v", b)
+	}
+	// Masses roughly equal (within one value's worth of mass).
+	ax, err := NewCustomAxis(16, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < ax.Cells(); c++ {
+		lo, hi := ax.CellRange(c)
+		var mass float64
+		for v := lo; v < hi; v++ {
+			mass += marg[v]
+		}
+		if mass < 0.25-0.23 || mass > 0.25+0.23 {
+			t.Errorf("cell %d mass %v far from 0.25: bounds %v", c, mass, b)
+		}
+	}
+}
+
+func TestEquiMassBoundariesUniformIsEqualWidth(t *testing.T) {
+	marg := make([]float64, 12)
+	for v := range marg {
+		marg[v] = 1.0 / 12
+	}
+	b := EquiMassBoundaries(marg, 4)
+	want := []int{0, 3, 6, 9, 12}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("uniform bounds = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestEquiMassBoundariesDegenerate(t *testing.T) {
+	if b := EquiMassBoundaries(nil, 3); b != nil {
+		t.Errorf("nil marginal: %v", b)
+	}
+	// All-zero marginal: equal width fallback.
+	b := EquiMassBoundaries(make([]float64, 10), 2)
+	if len(b) != 3 || b[0] != 0 || b[2] != 10 {
+		t.Errorf("zero marginal bounds = %v", b)
+	}
+	// All mass on one value: the rest padded, still valid strictly
+	// increasing boundaries.
+	marg := make([]float64, 8)
+	marg[3] = 1
+	b = EquiMassBoundaries(marg, 4)
+	if _, err := NewCustomAxis(8, b); err != nil {
+		t.Errorf("point-mass bounds invalid: %v (%v)", b, err)
+	}
+	if len(b) != 5 {
+		t.Errorf("point-mass bounds should pad to 4 cells: %v", b)
+	}
+	// l clamps.
+	b = EquiMassBoundaries(marg, 99)
+	if len(b) != 9 {
+		t.Errorf("l>d should clamp to d cells: %v", b)
+	}
+	b = EquiMassBoundaries(marg, 0)
+	if len(b) != 2 {
+		t.Errorf("l<1 should clamp to 1 cell: %v", b)
+	}
+}
+
+// Property: EquiMassBoundaries always yields valid custom-axis boundaries.
+func TestEquiMassBoundariesAlwaysValid(t *testing.T) {
+	if err := quick.Check(func(seed uint64, d8, l8 uint8) bool {
+		d := int(d8%200) + 1
+		l := int(l8%50) + 1
+		marg := make([]float64, d)
+		x := seed
+		for v := range marg {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x%4 == 0 {
+				marg[v] = float64(x % 1000)
+			}
+		}
+		b := EquiMassBoundaries(marg, l)
+		_, err := NewCustomAxis(d, b)
+		return err == nil
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{0.5, 0.25, 0.25}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Sum = %v", got)
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+}

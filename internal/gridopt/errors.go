@@ -1,0 +1,114 @@
+package gridopt
+
+import (
+	"math"
+
+	"felip/internal/fo"
+)
+
+// DefaultAlpha1 and DefaultAlpha2 are the non-uniformity constants the paper
+// uses in all experiments (§6.2).
+const (
+	DefaultAlpha1 = 0.7
+	DefaultAlpha2 = 0.03
+)
+
+// Params captures the collection context shared by every grid of one FELIP
+// run: the privacy budget, the population size, the number of user groups and
+// the non-uniformity constants.
+type Params struct {
+	// Epsilon is the per-user privacy budget ε.
+	Epsilon float64
+	// N is the total number of users n.
+	N int
+	// M is the number of user groups m (one grid per group).
+	M int
+	// Alpha1 scales the 1-D non-uniformity error (paper α₁ = 0.7).
+	Alpha1 float64
+	// Alpha2 scales the 2-D non-uniformity error (paper α₂ = 0.03).
+	Alpha2 float64
+}
+
+// WithDefaults fills zero alphas with the paper's constants.
+func (p Params) WithDefaults() Params {
+	if p.Alpha1 == 0 {
+		p.Alpha1 = DefaultAlpha1
+	}
+	if p.Alpha2 == 0 {
+		p.Alpha2 = DefaultAlpha2
+	}
+	return p
+}
+
+// noiseOLH returns the per-cell squared noise+sampling error under OLH with
+// the population split into M groups: 4·m·e^ε / (n·(e^ε−1)²).
+func (p Params) noiseOLH() float64 {
+	ee := math.Exp(p.Epsilon)
+	return 4 * float64(p.M) * ee / (float64(p.N) * (ee - 1) * (ee - 1))
+}
+
+// noiseGRR returns the per-cell squared noise+sampling error under GRR for a
+// grid with L total cells: m·(e^ε+L−2) / (n·(e^ε−1)²).
+func (p Params) noiseGRR(L float64) float64 {
+	ee := math.Exp(p.Epsilon)
+	return float64(p.M) * (ee + L - 2) / (float64(p.N) * (ee - 1) * (ee - 1))
+}
+
+// Err1D returns the expected squared error of a 1-D numerical grid with l
+// cells answering a range of selectivity rx (Eqs 3–4): (α₁/l)² bias plus
+// l·rx cells of noise.
+func (p Params) Err1D(proto fo.Protocol, rx, l float64) float64 {
+	bias := p.Alpha1 / l
+	var noise float64
+	switch proto {
+	case fo.GRR:
+		noise = p.noiseGRR(l)
+	default:
+		noise = p.noiseOLH()
+	}
+	return bias*bias + l*rx*noise
+}
+
+// Err2DNumNum returns the expected squared error of a numerical×numerical 2-D
+// grid with lx×ly cells answering a rectangle of selectivities rx, ry
+// (Eqs 9–10): border-cell bias (2α₂(lx·rx+ly·ry)/(lx·ly))² plus
+// lx·rx·ly·ry cells of noise.
+func (p Params) Err2DNumNum(proto fo.Protocol, rx, ry, lx, ly float64) float64 {
+	bias := 2 * p.Alpha2 * (lx*rx + ly*ry) / (lx * ly)
+	var noise float64
+	switch proto {
+	case fo.GRR:
+		noise = p.noiseGRR(lx * ly)
+	default:
+		noise = p.noiseOLH()
+	}
+	return bias*bias + lx*rx*ly*ry*noise
+}
+
+// Err2DCatNum returns the expected squared error of a categorical×numerical
+// 2-D grid (Eqs 11–12). The categorical axis has ly = d_cat cells (never
+// binned); only the numerical axis (lx cells, selectivity rx) contributes
+// non-uniformity: (2α₂·ry/lx)².
+func (p Params) Err2DCatNum(proto fo.Protocol, rx, ry, lx, ly float64) float64 {
+	bias := 2 * p.Alpha2 * ry / lx
+	var noise float64
+	switch proto {
+	case fo.GRR:
+		noise = p.noiseGRR(lx * ly)
+	default:
+		noise = p.noiseOLH()
+	}
+	return bias*bias + lx*rx*ly*ry*noise
+}
+
+// ErrExact returns the expected squared error of a grid with no binning
+// (categorical 1-D with L=d, or categorical×categorical with L=dx·dy):
+// pure noise over the L·r cells a query touches, no bias.
+func (p Params) ErrExact(proto fo.Protocol, r, L float64) float64 {
+	switch proto {
+	case fo.GRR:
+		return L * r * p.noiseGRR(L)
+	default:
+		return L * r * p.noiseOLH()
+	}
+}

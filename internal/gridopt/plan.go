@@ -1,0 +1,262 @@
+package gridopt
+
+import (
+	"math"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+// Plan is the optimizer's decision for one grid: which frequency oracle to
+// use, the cell counts along each axis (Ly = 1 for 1-D grids) and the
+// minimized expected squared error the decision is based on.
+type Plan struct {
+	// Proto is the frequency oracle chosen for this grid (AFO output).
+	Proto fo.Protocol
+	// Lx is the number of cells along the x axis.
+	Lx int
+	// Ly is the number of cells along the y axis (1 for 1-D grids).
+	Ly int
+	// Err is the minimized expected squared error used for the choice.
+	Err float64
+}
+
+// L returns the grid's total cell count, i.e. the report domain size.
+func (p Plan) L() int { return p.Lx * p.Ly }
+
+// clampSel keeps a selectivity ratio inside (0, 1]. A zero ratio would make
+// the noise term vanish and push grids to maximum granularity, so it is
+// floored at one domain value.
+func clampSel(r float64, d int) float64 {
+	minR := 1 / float64(d)
+	if r < minR {
+		return minR
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Optimal1DOLH returns the continuous optimizer of Eq 3, the paper's closed
+// form Eq 5: l = ∛( n·α₁²·(e^ε−1)² / (2·m·rx·e^ε) ).
+func Optimal1DOLH(p Params, rx float64) float64 {
+	ee := math.Exp(p.Epsilon)
+	num := float64(p.N) * p.Alpha1 * p.Alpha1 * (ee - 1) * (ee - 1)
+	den := 2 * float64(p.M) * rx * ee
+	return math.Cbrt(num / den)
+}
+
+// Optimal1DGRR returns the continuous minimizer of Eq 4 by bisection on its
+// derivative Eq 6: −2α₁²/l³ + rx·m·(e^ε+2l−2)/(n(e^ε−1)²) = 0.
+func Optimal1DGRR(p Params, rx float64, d int) float64 {
+	ee := math.Exp(p.Epsilon)
+	c := rx * float64(p.M) / (float64(p.N) * (ee - 1) * (ee - 1))
+	deriv := func(l float64) float64 {
+		return -2*p.Alpha1*p.Alpha1/(l*l*l) + c*(ee+2*l-2)
+	}
+	return Bisect(deriv, 1, float64(d))
+}
+
+// Plan1DNumerical sizes a 1-D grid over a numerical attribute with domain d
+// and query selectivity rx, evaluating both protocols at their own optimal
+// size and keeping the better (adaptive frequency oracle, §5.3 extended with
+// the bias term so the comparison is consistent with the sizing objective).
+func Plan1DNumerical(p Params, d int, rx float64) Plan {
+	p = p.WithDefaults()
+	rx = clampSel(rx, d)
+
+	lOLH, errOLH := minimizeInt(func(l float64) float64 {
+		return p.Err1D(fo.OLH, rx, l)
+	}, Optimal1DOLH(p, rx), d)
+
+	lGRR, errGRR := minimizeInt(func(l float64) float64 {
+		return p.Err1D(fo.GRR, rx, l)
+	}, Optimal1DGRR(p, rx, d), d)
+
+	if errGRR < errOLH {
+		return Plan{Proto: fo.GRR, Lx: lGRR, Ly: 1, Err: errGRR}
+	}
+	return Plan{Proto: fo.OLH, Lx: lOLH, Ly: 1, Err: errOLH}
+}
+
+// Plan1DCategorical sizes a 1-D grid over a categorical attribute: the grid
+// is always the full domain (l = d, §5.2), so only the protocol is chosen,
+// by the pure noise error over the ry·d cells a query touches.
+func Plan1DCategorical(p Params, d int, ry float64) Plan {
+	p = p.WithDefaults()
+	ry = clampSel(ry, d)
+	errGRR := p.ErrExact(fo.GRR, ry, float64(d))
+	errOLH := p.ErrExact(fo.OLH, ry, float64(d))
+	if errGRR < errOLH {
+		return Plan{Proto: fo.GRR, Lx: d, Ly: 1, Err: errGRR}
+	}
+	return Plan{Proto: fo.OLH, Lx: d, Ly: 1, Err: errOLH}
+}
+
+// optimal2DNumNum minimizes Eq 9/10 over (lx, ly) by alternating per-axis
+// bisection on the partial derivatives, seeded at the symmetric closed form.
+func optimal2DNumNum(p Params, proto fo.Protocol, rx, ry float64, dx, dy int) (int, int, float64) {
+	obj := func(lx, ly float64) float64 { return p.Err2DNumNum(proto, rx, ry, lx, ly) }
+
+	// Symmetric seed: with rx=ry=r and lx=ly=g the OLH objective gives
+	// g⁴ = 4α₂²·n·(e^ε−1)² / (m·e^ε) — the HDG g₂ form.
+	ee := math.Exp(p.Epsilon)
+	seed := math.Sqrt(2*p.Alpha2) * math.Pow(float64(p.N)*(ee-1)*(ee-1)/(float64(p.M)*ee), 0.25)
+	if seed < 1 {
+		seed = 1
+	}
+	lx, ly := seed, seed
+	for iter := 0; iter < 32; iter++ {
+		prevX, prevY := lx, ly
+		lx = GoldenSection(func(l float64) float64 { return obj(l, ly) }, 1, float64(dx))
+		ly = GoldenSection(func(l float64) float64 { return obj(lx, l) }, 1, float64(dy))
+		if math.Abs(lx-prevX) < 1e-6 && math.Abs(ly-prevY) < 1e-6 {
+			break
+		}
+	}
+
+	// Round each axis independently over the four integer neighbours.
+	bestLx, bestLy, bestErr := 1, 1, math.Inf(1)
+	for _, cx := range []float64{math.Floor(lx), math.Ceil(lx)} {
+		for _, cy := range []float64{math.Floor(ly), math.Ceil(ly)} {
+			ix := int(math.Max(1, math.Min(cx, float64(dx))))
+			iy := int(math.Max(1, math.Min(cy, float64(dy))))
+			if v := obj(float64(ix), float64(iy)); v < bestErr {
+				bestLx, bestLy, bestErr = ix, iy, v
+			}
+		}
+	}
+	return bestLx, bestLy, bestErr
+}
+
+// Plan2DNumNum sizes a numerical×numerical 2-D grid with domains dx, dy and
+// selectivities rx, ry, choosing protocol and sizes adaptively.
+func Plan2DNumNum(p Params, dx, dy int, rx, ry float64) Plan {
+	p = p.WithDefaults()
+	rx, ry = clampSel(rx, dx), clampSel(ry, dy)
+	lxO, lyO, errO := optimal2DNumNum(p, fo.OLH, rx, ry, dx, dy)
+	lxG, lyG, errG := optimal2DNumNum(p, fo.GRR, rx, ry, dx, dy)
+	if errG < errO {
+		return Plan{Proto: fo.GRR, Lx: lxG, Ly: lyG, Err: errG}
+	}
+	return Plan{Proto: fo.OLH, Lx: lxO, Ly: lyO, Err: errO}
+}
+
+// Optimal2DCatNumOLH returns the continuous minimizer of Eq 11 for the
+// numerical axis of a categorical×numerical grid:
+// l = ∛( 2·α₂²·ry²·n·(e^ε−1)² / (rx·ly·ry·m·e^ε) ) with ly = d_cat.
+func Optimal2DCatNumOLH(p Params, rx, ry float64, dcat int) float64 {
+	ee := math.Exp(p.Epsilon)
+	num := 2 * p.Alpha2 * p.Alpha2 * ry * ry * float64(p.N) * (ee - 1) * (ee - 1)
+	den := rx * float64(dcat) * ry * float64(p.M) * ee
+	return math.Cbrt(num / den)
+}
+
+// Plan2DCatNum sizes a categorical×numerical 2-D grid: the categorical axis
+// is the full domain (Ly = dcat); the numerical axis length minimizes
+// Eq 11/12. The returned plan's Lx is the numerical axis.
+func Plan2DCatNum(p Params, dnum, dcat int, rx, ry float64) Plan {
+	p = p.WithDefaults()
+	rx, ry = clampSel(rx, dnum), clampSel(ry, dcat)
+	ly := float64(dcat)
+
+	lxO, errO := minimizeInt(func(lx float64) float64 {
+		return p.Err2DCatNum(fo.OLH, rx, ry, lx, ly)
+	}, Optimal2DCatNumOLH(p, rx, ry, dcat), dnum)
+
+	lxG, errG := minimizeInt(func(lx float64) float64 {
+		return p.Err2DCatNum(fo.GRR, rx, ry, lx, ly)
+	}, GoldenSection(func(lx float64) float64 {
+		return p.Err2DCatNum(fo.GRR, rx, ry, lx, ly)
+	}, 1, float64(dnum)), dnum)
+
+	if errG < errO {
+		return Plan{Proto: fo.GRR, Lx: lxG, Ly: dcat, Err: errG}
+	}
+	return Plan{Proto: fo.OLH, Lx: lxO, Ly: dcat, Err: errO}
+}
+
+// Plan2DCatCat sizes a categorical×categorical grid: the full contingency
+// table dx×dy (§5.2); only the protocol is chosen.
+func Plan2DCatCat(p Params, dx, dy int, rx, ry float64) Plan {
+	p = p.WithDefaults()
+	rx, ry = clampSel(rx, dx), clampSel(ry, dy)
+	L := float64(dx * dy)
+	errGRR := p.ErrExact(fo.GRR, rx*ry, L)
+	errOLH := p.ErrExact(fo.OLH, rx*ry, L)
+	if errGRR < errOLH {
+		return Plan{Proto: fo.GRR, Lx: dx, Ly: dy, Err: errGRR}
+	}
+	return Plan{Proto: fo.OLH, Lx: dx, Ly: dy, Err: errOLH}
+}
+
+// Plan2D dispatches on the attribute kinds. The x slot of the returned plan
+// always corresponds to attribute a (the first argument), matching the grid
+// layout in package core. For cat×num pairs the plan is computed with the
+// numerical attribute on the optimizer's x axis and transposed if needed.
+func Plan2D(p Params, a, b domain.Attribute, ra, rb float64) Plan {
+	switch {
+	case a.IsNumerical() && b.IsNumerical():
+		return Plan2DNumNum(p, a.Size, b.Size, ra, rb)
+	case a.IsCategorical() && b.IsCategorical():
+		return Plan2DCatCat(p, a.Size, b.Size, ra, rb)
+	case a.IsNumerical(): // num × cat
+		pl := Plan2DCatNum(p, a.Size, b.Size, ra, rb)
+		return pl // Lx = numerical (a), Ly = categorical (b)
+	default: // cat × num: optimizer works with numerical on x; transpose back.
+		pl := Plan2DCatNum(p, b.Size, a.Size, rb, ra)
+		return Plan{Proto: pl.Proto, Lx: pl.Ly, Ly: pl.Lx, Err: pl.Err}
+	}
+}
+
+// Plan1D dispatches on the attribute kind.
+func Plan1D(p Params, a domain.Attribute, r float64) Plan {
+	if a.IsNumerical() {
+		return Plan1DNumerical(p, a.Size, r)
+	}
+	return Plan1DCategorical(p, a.Size, r)
+}
+
+// ForcedPlan recomputes a plan but with the protocol fixed (used by the
+// OUG-OLH / OHG-OLH ablation strategies and the TDG/HDG baselines' analysis).
+func ForcedPlan(p Params, proto fo.Protocol, a, b *domain.Attribute, ra, rb float64) Plan {
+	p = p.WithDefaults()
+	if b == nil { // 1-D
+		if a.IsCategorical() {
+			return Plan{Proto: proto, Lx: a.Size, Ly: 1, Err: p.ErrExact(proto, clampSel(ra, a.Size), float64(a.Size))}
+		}
+		ra = clampSel(ra, a.Size)
+		var cont float64
+		if proto == fo.GRR {
+			cont = Optimal1DGRR(p, ra, a.Size)
+		} else {
+			cont = Optimal1DOLH(p, ra)
+		}
+		lx, err := minimizeInt(func(l float64) float64 { return p.Err1D(proto, ra, l) }, cont, a.Size)
+		return Plan{Proto: proto, Lx: lx, Ly: 1, Err: err}
+	}
+	switch {
+	case a.IsNumerical() && b.IsNumerical():
+		ra, rb = clampSel(ra, a.Size), clampSel(rb, b.Size)
+		lx, ly, err := optimal2DNumNum(p, proto, ra, rb, a.Size, b.Size)
+		return Plan{Proto: proto, Lx: lx, Ly: ly, Err: err}
+	case a.IsCategorical() && b.IsCategorical():
+		ra, rb = clampSel(ra, a.Size), clampSel(rb, b.Size)
+		return Plan{Proto: proto, Lx: a.Size, Ly: b.Size, Err: p.ErrExact(proto, ra*rb, float64(a.Size*b.Size))}
+	case a.IsNumerical(): // num × cat
+		ra, rb = clampSel(ra, a.Size), clampSel(rb, b.Size)
+		ly := float64(b.Size)
+		var cont float64
+		if proto == fo.OLH {
+			cont = Optimal2DCatNumOLH(p, ra, rb, b.Size)
+		} else {
+			cont = GoldenSection(func(lx float64) float64 { return p.Err2DCatNum(proto, ra, rb, lx, ly) }, 1, float64(a.Size))
+		}
+		lx, err := minimizeInt(func(lx float64) float64 { return p.Err2DCatNum(proto, ra, rb, lx, ly) }, cont, a.Size)
+		return Plan{Proto: proto, Lx: lx, Ly: b.Size, Err: err}
+	default: // cat × num
+		pl := ForcedPlan(p, proto, b, a, rb, ra)
+		return Plan{Proto: pl.Proto, Lx: pl.Ly, Ly: pl.Lx, Err: pl.Err}
+	}
+}

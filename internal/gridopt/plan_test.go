@@ -1,0 +1,366 @@
+package gridopt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+func testParams() Params {
+	return Params{Epsilon: 1.0, N: 1_000_000, M: 18}.WithDefaults()
+}
+
+func TestBisect(t *testing.T) {
+	root := Bisect(func(x float64) float64 { return x - 2 }, 0, 10)
+	if math.Abs(root-2) > 1e-8 {
+		t.Errorf("root = %v, want 2", root)
+	}
+	// No sign change: nearer endpoint.
+	if got := Bisect(func(x float64) float64 { return x + 1 }, 0, 10); got != 0 {
+		t.Errorf("all-positive f: got %v, want lo", got)
+	}
+	if got := Bisect(func(x float64) float64 { return x - 100 }, 0, 10); got != 10 {
+		t.Errorf("all-negative f: got %v, want hi", got)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	min := GoldenSection(func(x float64) float64 { return (x - 3) * (x - 3) }, 0, 10)
+	if math.Abs(min-3) > 1e-6 {
+		t.Errorf("argmin = %v, want 3", min)
+	}
+	// Boundary minimum.
+	min = GoldenSection(func(x float64) float64 { return x }, 1, 9)
+	if math.Abs(min-1) > 1e-6 {
+		t.Errorf("boundary argmin = %v, want 1", min)
+	}
+}
+
+func TestOptimal1DOLHClosedForm(t *testing.T) {
+	p := testParams()
+	rx := 0.5
+	got := Optimal1DOLH(p, rx)
+	ee := math.Exp(p.Epsilon)
+	want := math.Cbrt(float64(p.N) * p.Alpha1 * p.Alpha1 * (ee - 1) * (ee - 1) / (2 * float64(p.M) * rx * ee))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Optimal1DOLH = %v, want %v", got, want)
+	}
+}
+
+func TestOptimal1DOLHIsStationaryPoint(t *testing.T) {
+	// The closed form must actually minimize Err1D: both neighbours are worse.
+	p := testParams()
+	for _, rx := range []float64{0.1, 0.5, 0.9} {
+		l := Optimal1DOLH(p, rx)
+		f := func(x float64) float64 { return p.Err1D(fo.OLH, rx, x) }
+		if f(l) > f(l*1.01) || f(l) > f(l*0.99) {
+			t.Errorf("rx=%v: closed form %v is not a local min", rx, l)
+		}
+	}
+}
+
+func TestOptimal1DGRRMinimizes(t *testing.T) {
+	p := testParams()
+	for _, rx := range []float64{0.1, 0.5, 0.9} {
+		l := Optimal1DGRR(p, rx, 1000)
+		f := func(x float64) float64 { return p.Err1D(fo.GRR, rx, x) }
+		gs := GoldenSection(f, 1, 1000)
+		if math.Abs(f(l)-f(gs)) > 1e-9*(1+f(gs)) {
+			t.Errorf("rx=%v: bisection min %v (err %v) disagrees with golden-section %v (err %v)",
+				rx, l, f(l), gs, f(gs))
+		}
+	}
+}
+
+func TestPlan1DNumericalScaling(t *testing.T) {
+	p := testParams()
+	base := Plan1DNumerical(p, 1024, 0.5)
+	if base.Lx < 2 || base.Ly != 1 {
+		t.Fatalf("base plan degenerate: %+v", base)
+	}
+
+	// More users => finer grid.
+	bigN := p
+	bigN.N = 100 * p.N
+	if got := Plan1DNumerical(bigN, 1024, 0.5); got.Lx <= base.Lx {
+		t.Errorf("100x users: Lx %d -> %d, want increase", base.Lx, got.Lx)
+	}
+	// More groups (fewer users per grid) => coarser grid.
+	bigM := p
+	bigM.M = 10 * p.M
+	if got := Plan1DNumerical(bigM, 1024, 0.5); got.Lx >= base.Lx {
+		t.Errorf("10x groups: Lx %d -> %d, want decrease", base.Lx, got.Lx)
+	}
+	// Wider queries (higher selectivity ratio) touch more cells => coarser.
+	if got := Plan1DNumerical(p, 1024, 0.9); got.Lx > base.Lx {
+		t.Errorf("wider query: Lx %d -> %d, want no increase", base.Lx, got.Lx)
+	}
+	if got := Plan1DNumerical(p, 1024, 0.1); got.Lx < base.Lx {
+		t.Errorf("narrower query: Lx %d -> %d, want no decrease", base.Lx, got.Lx)
+	}
+}
+
+func TestPlan1DNumericalClampsToDomain(t *testing.T) {
+	p := testParams()
+	p.N = 1 << 40 // absurd population wants a huge grid
+	got := Plan1DNumerical(p, 16, 0.5)
+	if got.Lx > 16 {
+		t.Errorf("Lx = %d exceeds domain 16", got.Lx)
+	}
+	// Tiny population wants one cell.
+	p.N = 10
+	got = Plan1DNumerical(p, 16, 0.5)
+	if got.Lx < 1 {
+		t.Errorf("Lx = %d < 1", got.Lx)
+	}
+}
+
+func TestPlan1DCategorical(t *testing.T) {
+	p := testParams()
+	// Small categorical domain: GRR must win (L < 3e^ε+2 ≈ 10.2).
+	pl := Plan1DCategorical(p, 4, 0.5)
+	if pl.Lx != 4 || pl.Proto != fo.GRR {
+		t.Errorf("small cat domain: %+v, want GRR with Lx=4", pl)
+	}
+	// Large categorical domain: OLH must win.
+	pl = Plan1DCategorical(p, 64, 0.5)
+	if pl.Lx != 64 || pl.Proto != fo.OLH {
+		t.Errorf("large cat domain: %+v, want OLH with Lx=64", pl)
+	}
+}
+
+func TestPlan2DNumNumSymmetry(t *testing.T) {
+	p := testParams()
+	pl := Plan2DNumNum(p, 256, 256, 0.5, 0.5)
+	if pl.Lx != pl.Ly {
+		t.Errorf("symmetric problem gave asymmetric plan %+v", pl)
+	}
+	if pl.Lx < 2 {
+		t.Errorf("degenerate 2-D plan %+v", pl)
+	}
+}
+
+func TestPlan2DNumNumMatchesExhaustive(t *testing.T) {
+	// For a small domain, compare the alternating solver against brute force.
+	p := testParams()
+	p.N = 100000
+	for _, proto := range []fo.Protocol{fo.OLH, fo.GRR} {
+		lx, ly, got := optimal2DNumNum(p, proto, 0.5, 0.3, 20, 20)
+		best := math.Inf(1)
+		bi, bj := 1, 1
+		for i := 1; i <= 20; i++ {
+			for j := 1; j <= 20; j++ {
+				if v := p.Err2DNumNum(proto, 0.5, 0.3, float64(i), float64(j)); v < best {
+					best, bi, bj = v, i, j
+				}
+			}
+		}
+		if got > best*1.0001 {
+			t.Errorf("%v: solver (%d,%d) err %v, brute force (%d,%d) err %v", proto, lx, ly, got, bi, bj, best)
+		}
+	}
+}
+
+func TestPlan2DCatNum(t *testing.T) {
+	p := testParams()
+	pl := Plan2DCatNum(p, 256, 8, 0.5, 0.5)
+	if pl.Ly != 8 {
+		t.Errorf("categorical axis binned: %+v", pl)
+	}
+	if pl.Lx < 1 || pl.Lx > 256 {
+		t.Errorf("numerical axis out of range: %+v", pl)
+	}
+}
+
+func TestPlan2DCatCat(t *testing.T) {
+	p := testParams()
+	pl := Plan2DCatCat(p, 4, 8, 0.5, 0.5)
+	if pl.Lx != 4 || pl.Ly != 8 {
+		t.Errorf("cat×cat must be the full table: %+v", pl)
+	}
+	// 32 cells > 3e+2: OLH.
+	if pl.Proto != fo.OLH {
+		t.Errorf("32-cell table should use OLH, got %v", pl.Proto)
+	}
+	pl = Plan2DCatCat(p, 2, 2, 0.5, 0.5)
+	if pl.Proto != fo.GRR {
+		t.Errorf("4-cell table should use GRR, got %v", pl.Proto)
+	}
+}
+
+func TestPlan2DDispatchAndTranspose(t *testing.T) {
+	p := testParams()
+	num := domain.Attribute{Name: "n", Kind: domain.Numerical, Size: 128}
+	cat := domain.Attribute{Name: "c", Kind: domain.Categorical, Size: 8}
+
+	a := Plan2D(p, num, cat, 0.5, 0.5)
+	b := Plan2D(p, cat, num, 0.5, 0.5)
+	if a.Lx != b.Ly || a.Ly != b.Lx {
+		t.Errorf("transpose mismatch: num×cat %+v vs cat×num %+v", a, b)
+	}
+	if a.Ly != 8 || b.Lx != 8 {
+		t.Error("categorical axis must stay at full domain")
+	}
+
+	nn := Plan2D(p, num, num, 0.5, 0.5)
+	if nn.Lx != nn.Ly {
+		t.Errorf("num×num symmetric mismatch %+v", nn)
+	}
+	cc := Plan2D(p, cat, cat, 0.5, 0.5)
+	if cc.Lx != 8 || cc.Ly != 8 {
+		t.Errorf("cat×cat plan %+v", cc)
+	}
+}
+
+func TestPlanErrPositive(t *testing.T) {
+	if err := quick.Check(func(e8, m8 uint8, n32 uint32, r8 uint8, d16 uint16) bool {
+		p := Params{
+			Epsilon: 0.1 + float64(e8%30)/10,
+			N:       int(n32%10_000_000) + 1000,
+			M:       int(m8%50) + 1,
+		}.WithDefaults()
+		d := int(d16%2000) + 2
+		r := float64(r8%100+1) / 100
+		pl := Plan1DNumerical(p, d, r)
+		if !(pl.Err > 0) || pl.Lx < 1 || pl.Lx > d {
+			return false
+		}
+		pl2 := Plan2DNumNum(p, d, d, r, r)
+		return pl2.Err > 0 && pl2.Lx >= 1 && pl2.Lx <= d && pl2.Ly >= 1 && pl2.Ly <= d
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForcedPlanAgreesWithAdaptive(t *testing.T) {
+	p := testParams()
+	num := domain.Attribute{Name: "n", Kind: domain.Numerical, Size: 256}
+
+	adaptive := Plan1DNumerical(p, 256, 0.5)
+	forced := ForcedPlan(p, adaptive.Proto, &num, nil, 0.5, 0)
+	if forced.Lx != adaptive.Lx || math.Abs(forced.Err-adaptive.Err) > 1e-12 {
+		t.Errorf("forced %+v != adaptive %+v", forced, adaptive)
+	}
+
+	// Forcing the other protocol can never beat the adaptive choice.
+	other := fo.GRR
+	if adaptive.Proto == fo.GRR {
+		other = fo.OLH
+	}
+	forcedOther := ForcedPlan(p, other, &num, nil, 0.5, 0)
+	if forcedOther.Err < adaptive.Err-1e-12 {
+		t.Errorf("forced %v err %v beats adaptive err %v", other, forcedOther.Err, adaptive.Err)
+	}
+}
+
+func TestForcedPlan2DVariants(t *testing.T) {
+	p := testParams()
+	num := domain.Attribute{Name: "n", Kind: domain.Numerical, Size: 128}
+	cat := domain.Attribute{Name: "c", Kind: domain.Categorical, Size: 8}
+
+	nn := ForcedPlan(p, fo.OLH, &num, &num, 0.5, 0.5)
+	if nn.Proto != fo.OLH || nn.Lx < 1 {
+		t.Errorf("num×num forced: %+v", nn)
+	}
+	nc := ForcedPlan(p, fo.OLH, &num, &cat, 0.5, 0.5)
+	if nc.Ly != 8 {
+		t.Errorf("num×cat forced: %+v", nc)
+	}
+	cn := ForcedPlan(p, fo.OLH, &cat, &num, 0.5, 0.5)
+	if cn.Lx != 8 || cn.Ly != nc.Lx {
+		t.Errorf("cat×num transpose: %+v vs %+v", cn, nc)
+	}
+	cc := ForcedPlan(p, fo.GRR, &cat, &cat, 0.5, 0.5)
+	if cc.Lx != 8 || cc.Ly != 8 || cc.Proto != fo.GRR {
+		t.Errorf("cat×cat forced: %+v", cc)
+	}
+	c1 := ForcedPlan(p, fo.GRR, &cat, nil, 0.5, 0)
+	if c1.Lx != 8 || c1.Ly != 1 {
+		t.Errorf("cat 1-D forced: %+v", c1)
+	}
+}
+
+func TestAdaptiveBeatsOrMatchesBothForced(t *testing.T) {
+	// The AFO plan error must equal min(forced GRR, forced OLH) everywhere.
+	if err := quick.Check(func(e8 uint8, n32 uint32, d16 uint16, r8 uint8) bool {
+		p := Params{
+			Epsilon: 0.2 + float64(e8%28)/10,
+			N:       int(n32%5_000_000) + 10_000,
+			M:       15,
+		}.WithDefaults()
+		d := int(d16%1500) + 4
+		r := float64(r8%90+10) / 100
+		num := domain.Attribute{Name: "x", Kind: domain.Numerical, Size: d}
+		ad := Plan1DNumerical(p, d, r)
+		fg := ForcedPlan(p, fo.GRR, &num, nil, r, 0)
+		fol := ForcedPlan(p, fo.OLH, &num, nil, r, 0)
+		return ad.Err <= fg.Err+1e-12 && ad.Err <= fol.Err+1e-12
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hand-computed fixtures for the error models (Eqs 3, 4, 9, 11 and the
+// exact-grid noise), guarding the formulas the whole optimizer rests on.
+func TestErrorModelFixtures(t *testing.T) {
+	// ε = ln 2 ⇒ e^ε = 2, (e^ε−1)² = 1. n = 1000, m = 10, α₁ = 0.7, α₂ = 0.03.
+	p := Params{Epsilon: math.Log(2), N: 1000, M: 10, Alpha1: 0.7, Alpha2: 0.03}
+
+	// noise units: OLH = 4·m·e^ε/(n·1) = 80/1000 = 0.08;
+	// GRR(L) = m(e^ε+L−2)/n = 10·L/1000 = L/100.
+	// Eq 3 (1-D OLH, l=7, r=0.5): (0.7/7)² + 7·0.5·0.08 = 0.01 + 0.28.
+	if got, want := p.Err1D(fo.OLH, 0.5, 7), 0.01+0.28; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Err1D OLH = %v, want %v", got, want)
+	}
+	// Eq 4 (1-D GRR, l=7, r=0.5): (0.7/7)² + 7·0.5·(10·(2+7−2)/1000)
+	//   = 0.01 + 3.5·0.07 = 0.01 + 0.245.
+	if got, want := p.Err1D(fo.GRR, 0.5, 7), 0.01+0.245; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Err1D GRR = %v, want %v", got, want)
+	}
+	// Eq 9 (2-D OLH, lx=ly=5, rx=ry=0.5):
+	// bias = (2·0.03·(2.5+2.5)/25)² = (0.012)²; noise = 2.5·2.5·0.08 = 0.5.
+	if got, want := p.Err2DNumNum(fo.OLH, 0.5, 0.5, 5, 5), 0.012*0.012+0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Err2DNumNum OLH = %v, want %v", got, want)
+	}
+	// Eq 11 (cat×num OLH, lx=4, ly=8, rx=0.5, ry=0.25):
+	// bias = (2·0.03·0.25/4)² = 0.00375²; noise = 4·0.5·8·0.25·0.08 = 0.32.
+	if got, want := p.Err2DCatNum(fo.OLH, 0.5, 0.25, 4, 8), 0.00375*0.00375+0.32; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Err2DCatNum OLH = %v, want %v", got, want)
+	}
+	// Exact grid (GRR, L=16, r=0.5): 16·0.5·(10·(2+16−2)/1000) = 8·0.16 = 1.28.
+	if got, want := p.ErrExact(fo.GRR, 0.5, 16), 1.28; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ErrExact GRR = %v, want %v", got, want)
+	}
+}
+
+func TestClampSel(t *testing.T) {
+	if got := clampSel(0, 100); got != 0.01 {
+		t.Errorf("clampSel(0) = %v, want 0.01", got)
+	}
+	if got := clampSel(2, 100); got != 1 {
+		t.Errorf("clampSel(2) = %v, want 1", got)
+	}
+	if got := clampSel(0.5, 100); got != 0.5 {
+		t.Errorf("clampSel(0.5) = %v", got)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	p := Params{Epsilon: 1, N: 100, M: 3}.WithDefaults()
+	if p.Alpha1 != DefaultAlpha1 || p.Alpha2 != DefaultAlpha2 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	q := Params{Epsilon: 1, N: 100, M: 3, Alpha1: 0.9, Alpha2: 0.1}.WithDefaults()
+	if q.Alpha1 != 0.9 || q.Alpha2 != 0.1 {
+		t.Errorf("explicit alphas overwritten: %+v", q)
+	}
+}
+
+func TestPlanL(t *testing.T) {
+	if (Plan{Lx: 3, Ly: 4}).L() != 12 {
+		t.Error("Plan.L wrong")
+	}
+}

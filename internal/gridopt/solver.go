@@ -1,0 +1,80 @@
+// Package gridopt chooses the size of every FELIP grid by minimizing the
+// grid's expected squared query error, the sum of a non-uniformity (bias)
+// term and a noise+sampling (variance) term (paper §5.2, Eqs 3–12), and
+// implements the adaptive frequency-oracle choice (§5.3) by comparing the
+// minimized objectives of GRR and OLH.
+package gridopt
+
+import "math"
+
+// Bisect finds a root of f on [lo, hi] assuming f is monotonically
+// non-decreasing. If f has no sign change the nearer endpoint is returned.
+// This is the numeric method the paper uses for all grid-size equations.
+func Bisect(f func(float64) float64, lo, hi float64) float64 {
+	flo, fhi := f(lo), f(hi)
+	if flo >= 0 {
+		return lo
+	}
+	if fhi <= 0 {
+		return hi
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10*(1+math.Abs(lo)); i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// GoldenSection minimizes a unimodal f on [lo, hi] and returns the argmin.
+// It is used as a derivative-free cross-check of the bisection solutions and
+// for objectives whose derivative is tedious.
+func GoldenSection(f func(float64) float64, lo, hi float64) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 200 && b-a > 1e-10*(1+math.Abs(a)); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// minimizeInt minimizes objective over integer l in [1, d], starting from the
+// continuous minimizer cont: the floor and ceiling of cont are compared (plus
+// the clamped endpoints), which is exact for objectives unimodal in l.
+func minimizeInt(objective func(float64) float64, cont float64, d int) (int, float64) {
+	clamp := func(l int) int {
+		if l < 1 {
+			return 1
+		}
+		if l > d {
+			return d
+		}
+		return l
+	}
+	best, bestVal := 0, math.Inf(1)
+	seen := map[int]bool{}
+	for _, cand := range []int{clamp(int(math.Floor(cont))), clamp(int(math.Ceil(cont))), 1, d} {
+		if seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		if v := objective(float64(cand)); v < bestVal {
+			best, bestVal = cand, v
+		}
+	}
+	return best, bestVal
+}

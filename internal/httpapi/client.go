@@ -1,0 +1,127 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"felip/internal/core"
+	"felip/internal/wire"
+)
+
+// Client talks to a FELIP aggregator service. The typical device flow is
+// Plan once, then per user Assign → core.Client.Perturb → Report; the
+// analyst flow is Finalize once and Query thereafter.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Dial returns a client for the service at base (e.g. "http://host:8377").
+func Dial(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("httpapi: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("httpapi: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Plan fetches the published collection plan.
+func (c *Client) Plan(ctx context.Context) (wire.PlanMessage, error) {
+	var msg wire.PlanMessage
+	err := c.get(ctx, "/v1/plan", &msg)
+	return msg, err
+}
+
+// Assign fetches the next user-group assignment.
+func (c *Client) Assign(ctx context.Context) (int, error) {
+	var out struct {
+		Group int `json:"group"`
+	}
+	err := c.get(ctx, "/v1/assign", &out)
+	return out.Group, err
+}
+
+// Report submits one user's ε-LDP report.
+func (c *Client) Report(ctx context.Context, rep core.Report) error {
+	return c.post(ctx, "/v1/report", wire.NewReportMessage(rep), nil)
+}
+
+// Finalize closes the collection round; returns the accepted report count.
+func (c *Client) Finalize(ctx context.Context) (int, error) {
+	var out struct {
+		Reports int `json:"reports"`
+	}
+	err := c.post(ctx, "/v1/finalize", nil, &out)
+	return out.Reports, err
+}
+
+// Query answers a WHERE expression (see query.Parse for the grammar).
+func (c *Client) Query(ctx context.Context, where string) (wire.QueryResponse, error) {
+	var out wire.QueryResponse
+	err := c.get(ctx, "/v1/query?where="+url.QueryEscape(where), &out)
+	return out, err
+}
+
+// Status reports the round's progress.
+func (c *Client) Status(ctx context.Context) (reports, groups int, finalized bool, err error) {
+	var out struct {
+		Reports   int  `json:"reports"`
+		Groups    int  `json:"groups"`
+		Finalized bool `json:"finalized"`
+	}
+	err = c.get(ctx, "/v1/status", &out)
+	return out.Reports, out.Groups, out.Finalized, err
+}

@@ -1,0 +1,245 @@
+package httpapi
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/query"
+)
+
+func startServer(t *testing.T, n int) (*Client, *dataset.Dataset) {
+	t.Helper()
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 7)
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OHG, Epsilon: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return Dial(ts.URL, ts.Client()), ds
+}
+
+// The full deployment round trip over HTTP: devices fetch the plan, perturb
+// locally, POST reports; the analyst finalizes and queries.
+func TestHTTPEndToEnd(t *testing.T) {
+	const n = 20000
+	cl, ds := startServer(t, n)
+	ctx := context.Background()
+
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := core.NewClient(specs, plan.Epsilon, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query before finalize must fail cleanly.
+	if _, err := cl.Query(ctx, "num0=0..15"); err == nil {
+		t.Error("query before finalize accepted")
+	}
+
+	for row := 0; row < ds.N(); row++ {
+		group, err := cl.Assign(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := device.Perturb(group, func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Report(ctx, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reports, groups, finalized, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports != n || finalized || groups != len(specs) {
+		t.Fatalf("status = %d/%d/%v", reports, groups, finalized)
+	}
+
+	count, err := cl.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("finalize count = %d", count)
+	}
+	// Finalize is idempotent.
+	if again, err := cl.Finalize(ctx); err != nil || again != n {
+		t.Fatalf("second finalize: %d, %v", again, err)
+	}
+	// Assign after finalize fails.
+	if _, err := cl.Assign(ctx); err == nil {
+		t.Error("assign after finalize accepted")
+	}
+
+	resp, err := cl.Query(ctx, "num0=8..23; cat0=0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 8, 23), query.NewIn(2, 0, 1)}}
+	truth := query.Evaluate(q, [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)})
+	if math.Abs(resp.Estimate-truth) > 0.08 {
+		t.Errorf("estimate %v, truth %v", resp.Estimate, truth)
+	}
+	if resp.N != n || resp.ExpectedError <= 0 {
+		t.Errorf("response metadata: %+v", resp)
+	}
+
+	_, _, finalized, err = cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !finalized {
+		t.Error("status not finalized")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	cl, _ := startServer(t, 1000)
+	ctx := context.Background()
+
+	if err := cl.Report(ctx, core.Report{Group: 9999}); err == nil {
+		t.Error("bad group accepted")
+	}
+	if _, err := cl.Finalize(ctx); err == nil {
+		t.Error("finalize with zero reports accepted")
+	}
+
+	// Submit one valid report so finalize succeeds, then bad queries.
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := core.NewClient(specs, plan.Epsilon, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := cl.Assign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := device.Perturb(group, func(int) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Report(ctx, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Query(ctx, ""); err == nil {
+		t.Error("empty where accepted")
+	}
+	if _, err := cl.Query(ctx, "bogus=="); err == nil {
+		t.Error("malformed where accepted")
+	}
+	if err := cl.Report(ctx, rep); err == nil {
+		t.Error("report after finalize accepted")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	srv, err := NewServer(schema, 10000, core.Options{Strategy: core.OUG, Epsilon: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Simulate(srv, "nope", 100, 1); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if err := Simulate(srv, "uniform", 0, 1); err == nil {
+		t.Error("zero users accepted")
+	}
+	if err := Simulate(srv, "uniform", 10000, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := Dial(ts.URL, ts.Client())
+	resp, err := cl.Query(context.Background(), "num0=0..15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform data: first half of num0 ≈ 0.5.
+	if math.Abs(resp.Estimate-0.5) > 0.06 {
+		t.Errorf("estimate %v, want ~0.5", resp.Estimate)
+	}
+}
+
+// Devices submit concurrently over HTTP.
+func TestHTTPConcurrentDevices(t *testing.T) {
+	const n = 4000
+	cl, ds := startServer(t, n)
+	ctx := context.Background()
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			device, err := core.NewClient(specs, plan.Epsilon, uint64(50+w))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for row := w; row < n; row += workers {
+				group, err := cl.Assign(ctx)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rep, err := device.Perturb(group, func(attr int) int { return ds.Value(row, attr) })
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := cl.Report(ctx, rep); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	count, err := cl.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("finalized %d reports, want %d", count, n)
+	}
+}

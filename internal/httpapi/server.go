@@ -1,0 +1,169 @@
+// Package httpapi exposes a FELIP collection round over HTTP — the
+// deployment architecture the paper assumes (untrusted aggregator, users
+// submitting ε-LDP reports from their own devices) — plus the matching Go
+// client.
+//
+// Endpoints (JSON):
+//
+//	GET  /v1/plan      the published collection plan (wire.PlanMessage)
+//	GET  /v1/assign    {"group": g} — next user-group assignment
+//	POST /v1/report    one wire.ReportMessage; 204 on success
+//	POST /v1/finalize  close the round; {"reports": n}
+//	GET  /v1/query     ?where=<expr> — wire.QueryResponse (409 until finalized)
+//	GET  /v1/status    {"reports": n, "groups": m, "finalized": bool}
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"felip/internal/core"
+	"felip/internal/domain"
+	"felip/internal/query"
+	"felip/internal/wire"
+)
+
+// Server drives one FELIP collection round over HTTP.
+type Server struct {
+	schema *domain.Schema
+	col    *core.Collector
+	plan   wire.PlanMessage
+
+	mu  sync.RWMutex
+	agg *core.Aggregator
+}
+
+// NewServer plans a round for an expected population of n users.
+func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error) {
+	col, err := core.NewCollector(schema, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		schema: schema,
+		col:    col,
+		plan:   wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/assign", s.handleAssign)
+	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/finalize", s.handleFinalize)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.plan)
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	finalized := s.agg != nil
+	s.mu.RUnlock()
+	if finalized {
+		writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"group": s.col.AssignGroup()})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var msg wire.ReportMessage
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid report body: %w", err))
+		return
+	}
+	rep, err := msg.Report()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.col.Add(rep); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// finalize closes the round once; subsequent calls return the same count.
+func (s *Server) finalize() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.agg != nil {
+		return s.agg.N(), nil
+	}
+	agg, err := s.col.Finalize()
+	if err != nil {
+		return 0, err
+	}
+	s.agg = agg
+	return agg.N(), nil
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, _ *http.Request) {
+	n, err := s.finalize()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"reports": n})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	agg := s.agg
+	s.mu.RUnlock()
+	if agg == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
+		return
+	}
+	where := r.URL.Query().Get("where")
+	if where == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing where parameter"))
+		return
+	}
+	q, err := query.Parse(where, s.schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	est, err := agg.Answer(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := wire.QueryResponse{Query: q.String(), Estimate: est, N: agg.N()}
+	if ee, err := agg.ExpectedError(q); err == nil {
+		resp.ExpectedError = ee
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	finalized := s.agg != nil
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reports":   s.col.N(),
+		"groups":    len(s.plan.Grids),
+		"finalized": finalized,
+	})
+}

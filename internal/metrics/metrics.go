@@ -1,0 +1,81 @@
+// Package metrics provides the error measures of the paper's evaluation
+// (§6.1) and small summary-statistics helpers used by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MAE returns the Mean Absolute Error between estimated and true answers:
+// (1/|Q|)·Σ|f_q − f̄_q| (paper §6.1).
+func MAE(estimated, truth []float64) (float64, error) {
+	if len(estimated) != len(truth) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(estimated), len(truth))
+	}
+	if len(estimated) == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	var sum float64
+	for i := range estimated {
+		sum += math.Abs(estimated[i] - truth[i])
+	}
+	return sum / float64(len(estimated)), nil
+}
+
+// MSE returns the Mean Squared Error between estimated and true answers.
+func MSE(estimated, truth []float64) (float64, error) {
+	if len(estimated) != len(truth) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(estimated), len(truth))
+	}
+	if len(estimated) == 0 {
+		return 0, fmt.Errorf("metrics: empty input")
+	}
+	var sum float64
+	for i := range estimated {
+		d := estimated[i] - truth[i]
+		sum += d * d
+	}
+	return sum / float64(len(estimated)), nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input). The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return 0.5 * (cp[mid-1] + cp[mid])
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 points).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}

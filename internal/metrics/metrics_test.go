@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{0.1, 0.5}, []float64{0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("MAE = %v, want 0.15", got)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{0, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MSE = %v, want 0.5", got)
+	}
+	if _, err := MSE([]float64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestMeanMedianStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty summaries should be 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-point stddev should be 0")
+	}
+	if math.Abs(StdDev(xs)-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestMAEProperties(t *testing.T) {
+	// MAE(x, x) == 0; MAE symmetric; MAE >= 0; MSE <= MAE when all diffs <= 1.
+	if err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			a[i] = math.Mod(x, 1)
+			b[i] = math.Mod(x/2, 1)
+		}
+		self, _ := MAE(a, a)
+		ab, _ := MAE(a, b)
+		ba, _ := MAE(b, a)
+		return self == 0 && ab == ba && ab >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

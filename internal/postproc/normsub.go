@@ -1,0 +1,75 @@
+// Package postproc implements FELIP's estimation post-processing (paper
+// §5.4): Norm-Sub removal of negative estimates (Algorithm 1) and cross-grid
+// consistency of shared attributes (Algorithm 2, generalized to grids whose
+// cell boundaries do not align — see DESIGN.md §7).
+package postproc
+
+// NormSub projects the frequency vector onto the simplex {f ≥ 0, Σf = total}
+// using the paper's Algorithm 1: repeatedly clamp negative entries to zero
+// and spread the remaining deficit (or surplus) equally over the positive
+// entries, until the vector is non-negative and sums to total.
+//
+// The input slice is modified in place and returned. If every entry is
+// non-positive the mass is distributed uniformly.
+func NormSub(freq []float64, total float64) []float64 {
+	if len(freq) == 0 {
+		return freq
+	}
+	const tol = 1e-12
+	for iter := 0; iter < 10*len(freq)+100; iter++ {
+		positives := 0
+		sum := 0.0
+		for i, f := range freq {
+			if f < 0 {
+				freq[i] = 0
+			} else if f > 0 {
+				positives++
+				sum += f
+			}
+		}
+		if positives == 0 {
+			u := total / float64(len(freq))
+			for i := range freq {
+				freq[i] = u
+			}
+			return freq
+		}
+		diff := (total - sum) / float64(positives)
+		if diff > -tol && diff < tol {
+			return freq
+		}
+		anyNegative := false
+		for i, f := range freq {
+			if f > 0 {
+				freq[i] = f + diff
+				if freq[i] < 0 {
+					anyNegative = true
+				}
+			}
+		}
+		if !anyNegative {
+			return freq
+		}
+	}
+	// Defensive: clamp and rescale if the loop failed to settle.
+	sum := 0.0
+	for i, f := range freq {
+		if f < 0 {
+			freq[i] = 0
+		} else {
+			sum += f
+		}
+	}
+	if sum > 0 {
+		scale := total / sum
+		for i := range freq {
+			freq[i] *= scale
+		}
+	} else {
+		u := total / float64(len(freq))
+		for i := range freq {
+			freq[i] = u
+		}
+	}
+	return freq
+}

@@ -1,0 +1,131 @@
+package postproc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sum(f []float64) float64 {
+	var s float64
+	for _, x := range f {
+		s += x
+	}
+	return s
+}
+
+func TestNormSubBasic(t *testing.T) {
+	f := NormSub([]float64{0.5, -0.1, 0.4, 0.3}, 1)
+	if math.Abs(sum(f)-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", sum(f))
+	}
+	for i, x := range f {
+		if x < 0 {
+			t.Errorf("f[%d] = %v < 0", i, x)
+		}
+	}
+	if f[1] != 0 {
+		t.Errorf("negative entry should be zeroed, got %v", f[1])
+	}
+}
+
+func TestNormSubAlreadyValid(t *testing.T) {
+	f := NormSub([]float64{0.25, 0.25, 0.25, 0.25}, 1)
+	for _, x := range f {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Errorf("valid input changed: %v", f)
+		}
+	}
+}
+
+func TestNormSubAllNegative(t *testing.T) {
+	f := NormSub([]float64{-0.3, -0.2, -0.5}, 1)
+	for _, x := range f {
+		if math.Abs(x-1.0/3) > 1e-9 {
+			t.Errorf("all-negative input should become uniform: %v", f)
+		}
+	}
+}
+
+func TestNormSubAllZero(t *testing.T) {
+	f := NormSub([]float64{0, 0}, 1)
+	if math.Abs(f[0]-0.5) > 1e-9 || math.Abs(f[1]-0.5) > 1e-9 {
+		t.Errorf("zero input should become uniform: %v", f)
+	}
+}
+
+func TestNormSubEmpty(t *testing.T) {
+	if f := NormSub(nil, 1); f != nil {
+		t.Error("nil input should stay nil")
+	}
+}
+
+func TestNormSubCascadingNegatives(t *testing.T) {
+	// Large surplus makes small positives go negative after the shift; the
+	// loop must keep iterating.
+	f := NormSub([]float64{2.0, 0.01, 0.02, -0.5}, 1)
+	if math.Abs(sum(f)-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", sum(f))
+	}
+	for i, x := range f {
+		if x < 0 {
+			t.Errorf("f[%d] = %v < 0 after cascade", i, x)
+		}
+	}
+}
+
+func TestNormSubOtherTotal(t *testing.T) {
+	f := NormSub([]float64{3, -1, 2}, 10)
+	if math.Abs(sum(f)-10) > 1e-9 {
+		t.Errorf("sum = %v, want 10", sum(f))
+	}
+}
+
+// Property: output is always on the simplex {f ≥ 0, Σf = total} for any
+// input, and entries that were ≥ their "fair share" stay positive.
+func TestNormSubSimplexProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		f := make([]float64, len(raw))
+		for i, x := range raw {
+			// Bound the magnitudes so the test is numerically meaningful.
+			f[i] = math.Mod(x, 10)
+			if math.IsNaN(f[i]) {
+				f[i] = 0
+			}
+		}
+		out := NormSub(f, 1)
+		s := 0.0
+		for _, x := range out {
+			if x < 0 {
+				return false
+			}
+			s += x
+		}
+		return math.Abs(s-1) < 1e-6
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Norm-Sub must be idempotent: applying it twice gives the same result.
+func TestNormSubIdempotent(t *testing.T) {
+	f := []float64{0.9, -0.4, 0.3, 0.2}
+	first := NormSub(append([]float64(nil), f...), 1)
+	second := NormSub(append([]float64(nil), first...), 1)
+	for i := range first {
+		if math.Abs(first[i]-second[i]) > 1e-9 {
+			t.Errorf("not idempotent at %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// Norm-Sub should preserve the ordering of the entries it keeps positive.
+func TestNormSubPreservesOrder(t *testing.T) {
+	f := NormSub([]float64{0.5, 0.3, -0.2, 0.6}, 1)
+	if !(f[3] >= f[0] && f[0] >= f[1]) {
+		t.Errorf("order not preserved: %v", f)
+	}
+}

@@ -1,0 +1,106 @@
+// Package privacy provides per-user privacy-budget accounting for
+// deployments that run more than one FELIP round over the same population
+// (e.g. repeated streaming windows that cannot guarantee disjoint users).
+//
+// Within one FELIP round every user reports exactly once with budget ε, so
+// the round is ε-LDP by construction (paper §5.7). Across rounds the
+// guarantees compose: k rounds of ε-LDP are k·ε-LDP by sequential
+// composition, or (ε', δ)-LDP with the tighter advanced-composition bound
+// ε' = ε·√(2k·ln(1/δ)) + k·ε·(e^ε−1) (Dwork–Rothblum–Vadhan). The Accountant
+// tracks spends per user and enforces a configured ceiling.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// SequentialComposition returns the pure-LDP budget consumed by the given
+// per-round budgets: their sum.
+func SequentialComposition(epsilons []float64) float64 {
+	var total float64
+	for _, e := range epsilons {
+		total += e
+	}
+	return total
+}
+
+// AdvancedComposition returns the (ε, δ)-LDP budget of k uses of an ε₀
+// mechanism under the advanced composition theorem:
+// ε = ε₀·√(2k·ln(1/δ)) + k·ε₀·(e^{ε₀}−1). It requires δ ∈ (0, 1).
+func AdvancedComposition(eps0 float64, k int, delta float64) (float64, error) {
+	if eps0 <= 0 {
+		return 0, fmt.Errorf("privacy: per-round epsilon must be positive, got %v", eps0)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("privacy: negative round count %d", k)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("privacy: delta must be in (0,1), got %v", delta)
+	}
+	kf := float64(k)
+	return eps0*math.Sqrt(2*kf*math.Log(1/delta)) + kf*eps0*(math.Expm1(eps0)), nil
+}
+
+// Accountant tracks per-user cumulative (sequential-composition) budget and
+// refuses spends that would exceed the ceiling. It is safe for concurrent
+// use.
+type Accountant struct {
+	ceiling float64
+	mu      sync.Mutex
+	spent   map[string]float64
+}
+
+// NewAccountant returns an accountant with the given total per-user budget
+// ceiling.
+func NewAccountant(ceiling float64) (*Accountant, error) {
+	if ceiling <= 0 {
+		return nil, fmt.Errorf("privacy: ceiling must be positive, got %v", ceiling)
+	}
+	return &Accountant{ceiling: ceiling, spent: make(map[string]float64)}, nil
+}
+
+// Ceiling returns the per-user budget ceiling.
+func (a *Accountant) Ceiling() float64 { return a.ceiling }
+
+// Spend records a user spending eps; it fails (and records nothing) if the
+// user's cumulative budget would exceed the ceiling.
+func (a *Accountant) Spend(user string, eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("privacy: spend must be positive, got %v", eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent[user]+eps > a.ceiling+1e-12 {
+		return fmt.Errorf("privacy: user %q would exceed budget: spent %.4g + %.4g > ceiling %.4g",
+			user, a.spent[user], eps, a.ceiling)
+	}
+	a.spent[user] += eps
+	return nil
+}
+
+// Spent returns the user's cumulative budget.
+func (a *Accountant) Spent(user string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent[user]
+}
+
+// Remaining returns the user's remaining budget.
+func (a *Accountant) Remaining(user string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.ceiling - a.spent[user]
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Users returns how many distinct users have spent anything.
+func (a *Accountant) Users() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spent)
+}

@@ -1,0 +1,153 @@
+package privacy
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialComposition(t *testing.T) {
+	if got := SequentialComposition([]float64{1, 0.5, 0.25}); math.Abs(got-1.75) > 1e-12 {
+		t.Errorf("sum = %v", got)
+	}
+	if SequentialComposition(nil) != 0 {
+		t.Error("empty composition should be 0")
+	}
+}
+
+func TestAdvancedComposition(t *testing.T) {
+	// k=1 must be at least ε₀ but not absurdly larger.
+	got, err := AdvancedComposition(1.0, 1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.0 {
+		t.Errorf("k=1 advanced composition %v < eps0", got)
+	}
+	// For many rounds of a small budget, advanced beats sequential.
+	eps0, k := 0.1, 100
+	adv, err := AdvancedComposition(eps0, k, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := eps0 * float64(k)
+	if adv >= seq {
+		t.Errorf("advanced %v not below sequential %v for k=%d small eps", adv, seq, k)
+	}
+	// Monotone in k.
+	adv2, _ := AdvancedComposition(eps0, 2*k, 1e-6)
+	if adv2 <= adv {
+		t.Errorf("not monotone in k: %v vs %v", adv2, adv)
+	}
+	// Validation.
+	if _, err := AdvancedComposition(0, 1, 0.1); err == nil {
+		t.Error("eps0=0 accepted")
+	}
+	if _, err := AdvancedComposition(1, -1, 0.1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := AdvancedComposition(1, 1, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := AdvancedComposition(1, 1, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+	if got, err := AdvancedComposition(1, 0, 0.1); err != nil || got != 0 {
+		t.Errorf("k=0 should cost 0: %v, %v", got, err)
+	}
+}
+
+func TestAdvancedCompositionFormula(t *testing.T) {
+	if err := quick.Check(func(e8, k8 uint8, d8 uint8) bool {
+		eps0 := 0.01 + float64(e8%200)/100
+		k := int(k8%50) + 1
+		delta := 0.001 + float64(d8%90)/100
+		got, err := AdvancedComposition(eps0, k, delta)
+		if err != nil {
+			return false
+		}
+		kf := float64(k)
+		want := eps0*math.Sqrt(2*kf*math.Log(1/delta)) + kf*eps0*(math.Exp(eps0)-1)
+		return math.Abs(got-want) < 1e-9*(1+want)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	if _, err := NewAccountant(0); err == nil {
+		t.Error("zero ceiling accepted")
+	}
+	a, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ceiling() != 2.0 {
+		t.Error("Ceiling wrong")
+	}
+	if err := a.Spend("u1", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("u1", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("u1", 0.1); err == nil {
+		t.Error("over-ceiling spend accepted")
+	}
+	if got := a.Spent("u1"); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Spent = %v", got)
+	}
+	if got := a.Remaining("u1"); got != 0 {
+		t.Errorf("Remaining = %v", got)
+	}
+	if got := a.Remaining("fresh"); got != 2.0 {
+		t.Errorf("fresh Remaining = %v", got)
+	}
+	if err := a.Spend("u2", -1); err == nil {
+		t.Error("negative spend accepted")
+	}
+	if a.Users() != 1 {
+		t.Errorf("Users = %d", a.Users())
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a, err := NewAccountant(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = a.Spend("shared", 0.1)
+			}
+		}()
+	}
+	wg.Wait()
+	// 8×100×0.1 = 80 ≤ 100: every spend must have succeeded.
+	if got := a.Spent("shared"); math.Abs(got-80) > 1e-9 {
+		t.Errorf("concurrent spends lost: %v", got)
+	}
+}
+
+// A rejected spend must not be recorded even partially.
+func TestAccountantAtomicRejection(t *testing.T) {
+	a, _ := NewAccountant(1)
+	if err := a.Spend("u", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("u", 0.2); err == nil {
+		t.Fatal("over spend accepted")
+	}
+	if got := a.Spent("u"); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("rejected spend leaked: %v", got)
+	}
+	// An exact-fit spend still succeeds.
+	if err := a.Spend("u", 0.1); err != nil {
+		t.Errorf("exact-fit spend rejected: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"felip/internal/domain"
+)
+
+// Parse builds a Query from a compact WHERE expression against the schema.
+//
+// The grammar, with predicates joined by ';' or case-insensitive 'AND':
+//
+//	attr=lo..hi      range predicate (numerical attributes)
+//	attr=a,b,c       set predicate (categorical attributes)
+//	attr=v           point predicate (either kind; ranges collapse to [v,v])
+//	attr<=hi         range [0, hi]
+//	attr>=lo         range [lo, d-1]
+//
+// Examples:
+//
+//	"age=30..60; education=1,2; salary<=80"
+//	"num0=16..48 AND cat0=0,1"
+func Parse(expr string, schema *domain.Schema) (Query, error) {
+	var q Query
+	expr = strings.ReplaceAll(expr, " AND ", ";")
+	expr = strings.ReplaceAll(expr, " and ", ";")
+	for _, part := range strings.Split(expr, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		pred, err := parsePredicate(part, schema)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Preds = append(q.Preds, pred)
+	}
+	if len(q.Preds) == 0 {
+		return Query{}, fmt.Errorf("query: empty WHERE expression")
+	}
+	if err := q.Validate(schema); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+func parsePredicate(part string, schema *domain.Schema) (Predicate, error) {
+	type opSpec struct {
+		token string
+		kind  byte // 'l' = <=, 'g' = >=, 'e' = =
+	}
+	for _, op := range []opSpec{{"<=", 'l'}, {">=", 'g'}, {"=", 'e'}} {
+		idx := strings.Index(part, op.token)
+		if idx < 0 {
+			continue
+		}
+		name := strings.TrimSpace(part[:idx])
+		val := strings.TrimSpace(part[idx+len(op.token):])
+		attr, ok := schema.Index(name)
+		if !ok {
+			return Predicate{}, fmt.Errorf("query: unknown attribute %q (schema: %v)", name, schema)
+		}
+		a := schema.Attr(attr)
+		switch op.kind {
+		case 'l':
+			hi, err := strconv.Atoi(val)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: predicate %q: %v", part, err)
+			}
+			return NewRange(attr, 0, hi), nil
+		case 'g':
+			lo, err := strconv.Atoi(val)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: predicate %q: %v", part, err)
+			}
+			return NewRange(attr, lo, a.Size-1), nil
+		default:
+			return parseValue(part, attr, a, val)
+		}
+	}
+	return Predicate{}, fmt.Errorf("query: predicate %q: want attr=lo..hi, attr=a,b,c, attr<=hi or attr>=lo", part)
+}
+
+func parseValue(part string, attr int, a domain.Attribute, val string) (Predicate, error) {
+	if strings.Contains(val, "..") {
+		bounds := strings.SplitN(val, "..", 2)
+		lo, err := strconv.Atoi(strings.TrimSpace(bounds[0]))
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: bad lower bound: %v", part, err)
+		}
+		hi, err := strconv.Atoi(strings.TrimSpace(bounds[1]))
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: bad upper bound: %v", part, err)
+		}
+		return NewRange(attr, lo, hi), nil
+	}
+	var vals []int
+	for _, tok := range strings.Split(val, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: bad value: %v", part, err)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 1 && a.IsNumerical() {
+		return NewRange(attr, vals[0], vals[0]), nil
+	}
+	return NewIn(attr, vals...), nil
+}

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"felip/internal/domain"
+)
+
+func parseSchema() *domain.Schema {
+	return domain.MustSchema(
+		domain.Attribute{Name: "age", Kind: domain.Numerical, Size: 96},
+		domain.Attribute{Name: "salary", Kind: domain.Numerical, Size: 128},
+		domain.Attribute{Name: "edu", Kind: domain.Categorical, Size: 8},
+	)
+}
+
+func TestParseRange(t *testing.T) {
+	q, err := Parse("age=30..60", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Preds[0]
+	if p.Attr != 0 || p.Op != Between || p.Lo != 30 || p.Hi != 60 {
+		t.Errorf("parsed %+v", p)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	q, err := Parse("edu=1,2,5", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Preds[0]
+	if p.Op != In || len(p.Values) != 3 || p.Values[2] != 5 {
+		t.Errorf("parsed %+v", p)
+	}
+}
+
+func TestParsePointOnNumericalBecomesRange(t *testing.T) {
+	q, err := Parse("age=42", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Preds[0]
+	if p.Op != Between || p.Lo != 42 || p.Hi != 42 {
+		t.Errorf("parsed %+v", p)
+	}
+}
+
+func TestParsePointOnCategorical(t *testing.T) {
+	q, err := Parse("edu=3", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Preds[0]
+	if p.Op != In || len(p.Values) != 1 || p.Values[0] != 3 {
+		t.Errorf("parsed %+v", p)
+	}
+}
+
+func TestParseInequalities(t *testing.T) {
+	q, err := Parse("salary<=80", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := q.Preds[0]; p.Lo != 0 || p.Hi != 80 {
+		t.Errorf("<= parsed %+v", p)
+	}
+	q, err = Parse("age>=18", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := q.Preds[0]; p.Lo != 18 || p.Hi != 95 {
+		t.Errorf(">= parsed %+v", p)
+	}
+}
+
+func TestParseConjunctions(t *testing.T) {
+	for _, expr := range []string{
+		"age=30..60; edu=1,2; salary<=80",
+		"age=30..60 AND edu=1,2 AND salary<=80",
+		"age=30..60 and edu=1,2 and salary<=80",
+	} {
+		q, err := Parse(expr, parseSchema())
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		if q.Lambda() != 3 {
+			t.Errorf("%q: lambda = %d", expr, q.Lambda())
+		}
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The paper's §1 query: Age BETWEEN 30 AND 60 AND Education IN
+	// ('Doctorate','Masters') AND Salary <= 80k.
+	q, err := Parse("age=30..60; edu=1,2; salary<=80", parseSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := q.String()
+	if !strings.Contains(str, "BETWEEN 30 AND 60") || !strings.Contains(str, "IN (1,2)") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := parseSchema()
+	for _, expr := range []string{
+		"",                   // empty
+		";;",                 // only separators
+		"height=1..2",        // unknown attribute
+		"age=abc..60",        // bad lower bound
+		"age=30..xyz",        // bad upper bound
+		"edu=a,b",            // bad set values
+		"salary<=many",       // bad bound
+		"age>=few",           // bad bound
+		"age",                // no operator
+		"age=60..30",         // inverted range fails validation
+		"edu=0..3",           // range on categorical fails validation
+		"age=1..2; age=3..4", // duplicate attribute fails validation
+		"edu=99",             // out of domain fails validation
+	} {
+		if _, err := Parse(expr, s); err == nil {
+			t.Errorf("expression %q accepted", expr)
+		}
+	}
+}

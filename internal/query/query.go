@@ -1,0 +1,311 @@
+// Package query models the λ-dimensional counting queries of the paper (§4):
+// conjunctions of BETWEEN (range) predicates on numerical attributes and IN
+// (set) predicates on categorical attributes, plus selectivity-controlled
+// random query generation and an exact (non-private) evaluator used as ground
+// truth by the experiments.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"felip/internal/domain"
+	"felip/internal/fo"
+)
+
+// Op is a predicate operator.
+type Op uint8
+
+const (
+	// Between selects an inclusive value range [Lo, Hi] on a numerical
+	// attribute.
+	Between Op = iota
+	// In selects a set of categorical values.
+	In
+)
+
+// Predicate is one conjunct (a_t, o_t, v_t) of a query.
+type Predicate struct {
+	// Attr is the schema index of the constrained attribute.
+	Attr int
+	// Op is Between for numerical attributes, In for categorical ones.
+	Op Op
+	// Lo and Hi bound the inclusive range when Op == Between.
+	Lo, Hi int
+	// Values holds the selected set when Op == In.
+	Values []int
+}
+
+// NewRange builds a BETWEEN predicate.
+func NewRange(attr, lo, hi int) Predicate {
+	return Predicate{Attr: attr, Op: Between, Lo: lo, Hi: hi}
+}
+
+// NewIn builds an IN predicate.
+func NewIn(attr int, values ...int) Predicate {
+	return Predicate{Attr: attr, Op: In, Values: values}
+}
+
+// NewPoint builds an equality predicate (a single-value IN).
+func NewPoint(attr, value int) Predicate {
+	return Predicate{Attr: attr, Op: In, Values: []int{value}}
+}
+
+// Validate checks the predicate against the schema.
+func (p Predicate) Validate(s *domain.Schema) error {
+	if p.Attr < 0 || p.Attr >= s.Len() {
+		return fmt.Errorf("query: attribute index %d out of range", p.Attr)
+	}
+	a := s.Attr(p.Attr)
+	switch p.Op {
+	case Between:
+		if !a.IsNumerical() {
+			return fmt.Errorf("query: BETWEEN on categorical attribute %s", a.Name)
+		}
+		if p.Lo < 0 || p.Hi >= a.Size || p.Lo > p.Hi {
+			return fmt.Errorf("query: range [%d,%d] invalid for %s (domain %d)", p.Lo, p.Hi, a.Name, a.Size)
+		}
+	case In:
+		if len(p.Values) == 0 {
+			return fmt.Errorf("query: empty IN set on %s", a.Name)
+		}
+		for _, v := range p.Values {
+			if v < 0 || v >= a.Size {
+				return fmt.Errorf("query: value %d outside domain of %s", v, a.Name)
+			}
+		}
+	default:
+		return fmt.Errorf("query: unknown operator %d", p.Op)
+	}
+	return nil
+}
+
+// Matches reports whether value v satisfies the predicate.
+func (p Predicate) Matches(v int) bool {
+	switch p.Op {
+	case Between:
+		return v >= p.Lo && v <= p.Hi
+	default:
+		for _, s := range p.Values {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Selection materializes the predicate as a per-value boolean mask over a
+// domain of size d.
+func (p Predicate) Selection(d int) []bool {
+	sel := make([]bool, d)
+	switch p.Op {
+	case Between:
+		for v := p.Lo; v <= p.Hi && v < d; v++ {
+			if v >= 0 {
+				sel[v] = true
+			}
+		}
+	default:
+		for _, v := range p.Values {
+			if v >= 0 && v < d {
+				sel[v] = true
+			}
+		}
+	}
+	return sel
+}
+
+// Selectivity returns the fraction of the domain the predicate selects.
+func (p Predicate) Selectivity(d int) float64 {
+	switch p.Op {
+	case Between:
+		lo, hi := p.Lo, p.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= d {
+			hi = d - 1
+		}
+		if hi < lo {
+			return 0
+		}
+		return float64(hi-lo+1) / float64(d)
+	default:
+		seen := map[int]bool{}
+		for _, v := range p.Values {
+			if v >= 0 && v < d {
+				seen[v] = true
+			}
+		}
+		return float64(len(seen)) / float64(d)
+	}
+}
+
+// String renders the predicate SQL-ishly, e.g. "a3 BETWEEN 4 AND 17".
+func (p Predicate) String() string {
+	if p.Op == Between {
+		return fmt.Sprintf("a%d BETWEEN %d AND %d", p.Attr, p.Lo, p.Hi)
+	}
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		parts[i] = fmt.Sprint(v)
+	}
+	return fmt.Sprintf("a%d IN (%s)", p.Attr, strings.Join(parts, ","))
+}
+
+// Query is a conjunction of predicates over distinct attributes.
+type Query struct {
+	Preds []Predicate
+}
+
+// Lambda returns the query dimension λ.
+func (q Query) Lambda() int { return len(q.Preds) }
+
+// Attrs returns the constrained attribute indexes, sorted.
+func (q Query) Attrs() []int {
+	out := make([]int, len(q.Preds))
+	for i, p := range q.Preds {
+		out[i] = p.Attr
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks the whole query against the schema, including attribute
+// distinctness.
+func (q Query) Validate(s *domain.Schema) error {
+	if len(q.Preds) == 0 {
+		return fmt.Errorf("query: no predicates")
+	}
+	seen := map[int]bool{}
+	for _, p := range q.Preds {
+		if err := p.Validate(s); err != nil {
+			return err
+		}
+		if seen[p.Attr] {
+			return fmt.Errorf("query: attribute %d constrained twice", p.Attr)
+		}
+		seen[p.Attr] = true
+	}
+	return nil
+}
+
+// Predicate returns the predicate on attribute attr, if any.
+func (q Query) Predicate(attr int) (Predicate, bool) {
+	for _, p := range q.Preds {
+		if p.Attr == attr {
+			return p, true
+		}
+	}
+	return Predicate{}, false
+}
+
+// String renders the query as a WHERE clause.
+func (q Query) String() string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Evaluate computes the exact fractional answer f̃_q of the query on raw
+// column data: the share of rows satisfying every predicate. cols[attr] must
+// hold the rows' encoded values of that attribute.
+func Evaluate(q Query, cols [][]uint16) float64 {
+	if len(q.Preds) == 0 || len(cols) == 0 {
+		return 0
+	}
+	n := len(cols[q.Preds[0].Attr])
+	if n == 0 {
+		return 0
+	}
+	count := 0
+rows:
+	for row := 0; row < n; row++ {
+		for _, p := range q.Preds {
+			if !p.Matches(int(cols[p.Attr][row])) {
+				continue rows
+			}
+		}
+		count++
+	}
+	return float64(count) / float64(n)
+}
+
+// Generator draws random queries with a target per-attribute selectivity,
+// reproducing the paper's workload (§6.2): each queried numerical attribute
+// gets a random interval covering a fraction s of its domain; each queried
+// categorical attribute gets a random set of ⌈s·d⌉ values.
+type Generator struct {
+	schema      *domain.Schema
+	selectivity float64
+	rng         *fo.Rand
+}
+
+// NewGenerator returns a query generator over the schema with per-attribute
+// selectivity s ∈ (0, 1], deterministic in seed.
+func NewGenerator(schema *domain.Schema, s float64, seed uint64) (*Generator, error) {
+	if s <= 0 || s > 1 {
+		return nil, fmt.Errorf("query: selectivity %v outside (0,1]", s)
+	}
+	return &Generator{schema: schema, selectivity: s, rng: fo.NewRand(seed)}, nil
+}
+
+// Generate draws one λ-dimensional query over distinct random attributes.
+func (g *Generator) Generate(lambda int) (Query, error) {
+	k := g.schema.Len()
+	if lambda < 1 || lambda > k {
+		return Query{}, fmt.Errorf("query: lambda %d outside [1,%d]", lambda, k)
+	}
+	perm := make([]int, k)
+	g.rng.Perm(perm)
+	attrs := perm[:lambda]
+	q := Query{Preds: make([]Predicate, 0, lambda)}
+	for _, attr := range attrs {
+		a := g.schema.Attr(attr)
+		if a.IsNumerical() {
+			width := int(g.selectivity*float64(a.Size) + 0.5)
+			if width < 1 {
+				width = 1
+			}
+			if width > a.Size {
+				width = a.Size
+			}
+			lo := 0
+			if a.Size > width {
+				lo = g.rng.IntN(a.Size - width + 1)
+			}
+			q.Preds = append(q.Preds, NewRange(attr, lo, lo+width-1))
+		} else {
+			count := int(g.selectivity*float64(a.Size) + 0.5)
+			if count < 1 {
+				count = 1
+			}
+			if count > a.Size {
+				count = a.Size
+			}
+			vals := make([]int, a.Size)
+			g.rng.Perm(vals)
+			set := append([]int(nil), vals[:count]...)
+			sort.Ints(set)
+			q.Preds = append(q.Preds, NewIn(attr, set...))
+		}
+	}
+	return q, nil
+}
+
+// GenerateMany draws |Q| independent queries of dimension lambda.
+func (g *Generator) GenerateMany(count, lambda int) ([]Query, error) {
+	out := make([]Query, count)
+	for i := range out {
+		q, err := g.Generate(lambda)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"felip/internal/domain"
+)
+
+func testSchema() *domain.Schema {
+	return domain.MustSchema(
+		domain.Attribute{Name: "age", Kind: domain.Numerical, Size: 64},
+		domain.Attribute{Name: "income", Kind: domain.Numerical, Size: 100},
+		domain.Attribute{Name: "edu", Kind: domain.Categorical, Size: 8},
+		domain.Attribute{Name: "sex", Kind: domain.Categorical, Size: 2},
+	)
+}
+
+func TestPredicateConstructorsAndMatch(t *testing.T) {
+	r := NewRange(0, 10, 20)
+	if !r.Matches(10) || !r.Matches(20) || r.Matches(9) || r.Matches(21) {
+		t.Error("range matching wrong")
+	}
+	in := NewIn(2, 1, 3)
+	if !in.Matches(1) || !in.Matches(3) || in.Matches(2) {
+		t.Error("in matching wrong")
+	}
+	pt := NewPoint(3, 1)
+	if !pt.Matches(1) || pt.Matches(0) {
+		t.Error("point matching wrong")
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	s := testSchema()
+	valid := []Predicate{
+		NewRange(0, 0, 63),
+		NewRange(1, 50, 50),
+		NewIn(2, 0, 7),
+		NewPoint(3, 1),
+	}
+	for _, p := range valid {
+		if err := p.Validate(s); err != nil {
+			t.Errorf("%v rejected: %v", p, err)
+		}
+	}
+	invalid := []Predicate{
+		NewRange(2, 0, 3),    // BETWEEN on categorical
+		NewRange(0, -1, 5),   // lo < 0
+		NewRange(0, 0, 64),   // hi >= d
+		NewRange(0, 30, 10),  // inverted
+		NewIn(2),             // empty set
+		NewIn(2, 9),          // out of domain
+		NewRange(9, 0, 1),    // bad attr
+		{Attr: 0, Op: Op(9)}, // unknown op
+	}
+	for _, p := range invalid {
+		if err := p.Validate(s); err == nil {
+			t.Errorf("%v accepted", p)
+		}
+	}
+}
+
+func TestSelectionAndSelectivity(t *testing.T) {
+	p := NewRange(0, 2, 5)
+	sel := p.Selection(8)
+	for v := 0; v < 8; v++ {
+		want := v >= 2 && v <= 5
+		if sel[v] != want {
+			t.Errorf("sel[%d] = %v", v, sel[v])
+		}
+	}
+	if got := p.Selectivity(8); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("selectivity = %v, want 0.5", got)
+	}
+	in := NewIn(2, 0, 3, 3) // duplicate must not double count
+	if got := in.Selectivity(8); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("in selectivity = %v, want 0.25", got)
+	}
+	// Clamped range.
+	wide := NewRange(0, -5, 100)
+	if got := wide.Selectivity(8); got != 1 {
+		t.Errorf("clamped selectivity = %v, want 1", got)
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	s := testSchema()
+	q := Query{Preds: []Predicate{NewRange(0, 10, 40), NewIn(2, 1, 2)}}
+	if err := q.Validate(s); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := (Query{}).Validate(s); err == nil {
+		t.Error("empty query accepted")
+	}
+	dup := Query{Preds: []Predicate{NewRange(0, 1, 2), NewRange(0, 3, 4)}}
+	if err := dup.Validate(s); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	q := Query{Preds: []Predicate{NewIn(2, 1), NewRange(0, 1, 5)}}
+	if q.Lambda() != 2 {
+		t.Error("Lambda wrong")
+	}
+	attrs := q.Attrs()
+	if attrs[0] != 0 || attrs[1] != 2 {
+		t.Errorf("Attrs = %v, want sorted [0 2]", attrs)
+	}
+	if p, ok := q.Predicate(0); !ok || p.Lo != 1 {
+		t.Error("Predicate lookup failed")
+	}
+	if _, ok := q.Predicate(5); ok {
+		t.Error("Predicate found missing attr")
+	}
+	str := q.String()
+	if !strings.Contains(str, "BETWEEN") || !strings.Contains(str, "IN") || !strings.Contains(str, " AND ") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	// The paper's Table 1 example: 5 users, query Age∈[30,60] ∧
+	// Education∈{Doctorate,Masters} ∧ Salary ≤ 80k → answer 1/5.
+	// Encode: age raw; education: 0=Bachelors,1=Doctorate,2=Masters,3=Some-college;
+	// salary in k$.
+	age := []uint16{29, 55, 48, 35, 23}
+	edu := []uint16{0, 1, 2, 3, 0}
+	salary := []uint16{60, 100, 80, 50, 45}
+	cols := [][]uint16{age, edu, salary}
+	q := Query{Preds: []Predicate{
+		NewRange(0, 30, 60),
+		NewIn(1, 1, 2),
+		NewRange(2, 0, 80),
+	}}
+	if got := Evaluate(q, cols); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("paper example = %v, want 0.2", got)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	if Evaluate(Query{}, [][]uint16{{1}}) != 0 {
+		t.Error("empty query should evaluate to 0")
+	}
+	q := Query{Preds: []Predicate{NewRange(0, 0, 5)}}
+	if Evaluate(q, [][]uint16{{}}) != 0 {
+		t.Error("empty data should evaluate to 0")
+	}
+	if Evaluate(q, nil) != 0 {
+		t.Error("nil data should evaluate to 0")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	s := testSchema()
+	if _, err := NewGenerator(s, 0, 1); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := NewGenerator(s, 1.5, 1); err == nil {
+		t.Error("s>1 accepted")
+	}
+	g, err := NewGenerator(s, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(0); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if _, err := g.Generate(9); err == nil {
+		t.Error("lambda>k accepted")
+	}
+}
+
+func TestGeneratorProducesValidQueries(t *testing.T) {
+	s := testSchema()
+	g, err := NewGenerator(s, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := g.GenerateMany(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Validate(s); err != nil {
+			t.Fatalf("generated invalid query %v: %v", q, err)
+		}
+		if q.Lambda() != 3 {
+			t.Fatalf("lambda = %d", q.Lambda())
+		}
+	}
+}
+
+func TestGeneratorSelectivity(t *testing.T) {
+	s := testSchema()
+	for _, target := range []float64{0.1, 0.5, 0.9} {
+		g, err := NewGenerator(s, target, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := g.GenerateMany(200, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			for _, p := range q.Preds {
+				d := s.Attr(p.Attr).Size
+				got := p.Selectivity(d)
+				// The generator rounds to whole values with a 1-value floor:
+				// the achievable selectivity is clamp(round(s·d),1,d)/d.
+				width := int(target*float64(d) + 0.5)
+				if width < 1 {
+					width = 1
+				}
+				if width > d {
+					width = d
+				}
+				want := float64(width) / float64(d)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("attr %d (d=%d): selectivity %v, want %v", p.Attr, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	s := testSchema()
+	g1, _ := NewGenerator(s, 0.5, 99)
+	g2, _ := NewGenerator(s, 0.5, 99)
+	a, _ := g1.GenerateMany(10, 2)
+	b, _ := g2.GenerateMany(10, 2)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("generator not deterministic at query %d", i)
+		}
+	}
+}
+
+// Property: Evaluate agrees with a simple per-row reference implementation.
+func TestEvaluateMatchesReference(t *testing.T) {
+	s := testSchema()
+	if err := quick.Check(func(seed uint64, lam8 uint8) bool {
+		lambda := int(lam8%4) + 1
+		g, err := NewGenerator(s, 0.4, seed)
+		if err != nil {
+			return false
+		}
+		q, err := g.Generate(lambda)
+		if err != nil {
+			return false
+		}
+		// Small random dataset.
+		n := 100
+		cols := make([][]uint16, s.Len())
+		x := seed
+		for a := range cols {
+			cols[a] = make([]uint16, n)
+			for i := 0; i < n; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				cols[a][i] = uint16(x>>33) % uint16(s.Attr(a).Size)
+			}
+		}
+		want := 0
+		for row := 0; row < n; row++ {
+			ok := true
+			for _, p := range q.Preds {
+				if !p.Matches(int(cols[p.Attr][row])) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want++
+			}
+		}
+		return math.Abs(Evaluate(q, cols)-float64(want)/float64(n)) < 1e-12
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package stream extends FELIP to data streams, the paper's third
+// future-work direction (§7): "investigate how to leverage low-dimensional
+// grids to answer queries over data streams".
+//
+// The stream is processed in windows: each arriving batch of users runs one
+// complete FELIP collection round (every user in the batch reports once with
+// full ε, so the per-user ε-LDP guarantee is unchanged as long as a user
+// appears in at most one window), and the collector retains a bounded ring
+// of per-window aggregators. Queries can then be answered over the latest
+// window, any retained window, the whole retained horizon (user-weighted),
+// or with exponential decay toward the present.
+//
+// If the same user can appear in multiple windows, the per-user guarantee
+// degrades by composition; use package privacy's Accountant to track and
+// cap each user's cumulative budget across windows.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/fo"
+	"felip/internal/query"
+)
+
+// Options configures a streaming collector.
+type Options struct {
+	// Core carries the per-window FELIP options (strategy, ε, ...). The
+	// window seed is derived per batch from Core.Seed.
+	Core core.Options
+	// MaxWindows bounds how many window aggregators are retained (ring
+	// buffer, default 16). Older windows are evicted.
+	MaxWindows int
+}
+
+// window is one ingested batch.
+type window struct {
+	// Index is the global sequence number of the window (0-based).
+	Index int
+	// N is the batch's population size.
+	N   int
+	agg *core.Aggregator
+}
+
+// Collector ingests batches and answers queries over the retained horizon.
+// It is safe for concurrent use.
+type Collector struct {
+	schema *domain.Schema
+	opts   Options
+	rngMu  sync.Mutex
+	rng    *fo.Rand
+
+	mu      sync.RWMutex
+	windows []window
+	next    int
+}
+
+// New creates a streaming collector over the schema.
+func New(schema *domain.Schema, opts Options) (*Collector, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("stream: nil schema")
+	}
+	if opts.MaxWindows == 0 {
+		opts.MaxWindows = 16
+	}
+	if opts.MaxWindows < 1 {
+		return nil, fmt.Errorf("stream: MaxWindows must be >= 1, got %d", opts.MaxWindows)
+	}
+	if opts.Core.Epsilon <= 0 {
+		return nil, fmt.Errorf("stream: epsilon must be positive, got %v", opts.Core.Epsilon)
+	}
+	if opts.Core.Seed == 0 {
+		opts.Core.Seed = fo.AutoSeed()
+	}
+	return &Collector{
+		schema: schema,
+		opts:   opts,
+		rng:    fo.NewRand(opts.Core.Seed),
+	}, nil
+}
+
+// Ingest runs one FELIP collection round over the batch and appends it as
+// the newest window. The batch's schema must match the collector's.
+func (c *Collector) Ingest(batch *dataset.Dataset) error {
+	if batch.Schema() != c.schema {
+		return fmt.Errorf("stream: batch schema %v does not match collector schema %v",
+			batch.Schema(), c.schema)
+	}
+	if batch.N() < 1 {
+		return fmt.Errorf("stream: empty batch")
+	}
+	opts := c.opts.Core
+	c.rngMu.Lock()
+	opts.Seed = c.rng.Uint64()
+	c.rngMu.Unlock()
+	agg, err := core.Collect(batch, opts)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.windows = append(c.windows, window{Index: c.next, N: batch.N(), agg: agg})
+	c.next++
+	if len(c.windows) > c.opts.MaxWindows {
+		c.windows = c.windows[len(c.windows)-c.opts.MaxWindows:]
+	}
+	return nil
+}
+
+// Windows returns the retained window count.
+func (c *Collector) Windows() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.windows)
+}
+
+// LatestIndex returns the newest window's global index, or -1 when empty.
+func (c *Collector) LatestIndex() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.windows) == 0 {
+		return -1
+	}
+	return c.windows[len(c.windows)-1].Index
+}
+
+// AnswerLatest answers the query on the newest window.
+func (c *Collector) AnswerLatest(q query.Query) (float64, error) {
+	c.mu.RLock()
+	if len(c.windows) == 0 {
+		c.mu.RUnlock()
+		return 0, fmt.Errorf("stream: no windows ingested")
+	}
+	agg := c.windows[len(c.windows)-1].agg
+	c.mu.RUnlock()
+	return agg.Answer(q)
+}
+
+// AnswerWindow answers the query on the window with the given global index;
+// it fails if the window was evicted or never existed.
+func (c *Collector) AnswerWindow(index int, q query.Query) (float64, error) {
+	c.mu.RLock()
+	var agg *core.Aggregator
+	for _, w := range c.windows {
+		if w.Index == index {
+			agg = w.agg
+			break
+		}
+	}
+	c.mu.RUnlock()
+	if agg == nil {
+		return 0, fmt.Errorf("stream: window %d not retained", index)
+	}
+	return agg.Answer(q)
+}
+
+// AnswerHorizon answers the query over all retained windows, weighting each
+// window's answer by its population size — the estimate for the union of the
+// retained batches.
+func (c *Collector) AnswerHorizon(q query.Query) (float64, error) {
+	return c.weightedAnswer(q, func(w window) float64 { return float64(w.N) })
+}
+
+// AnswerDecayed answers the query with exponential decay toward the newest
+// window: window i (age a in windows) gets weight N_i·2^(−a/halfLife).
+func (c *Collector) AnswerDecayed(q query.Query, halfLife float64) (float64, error) {
+	if halfLife <= 0 {
+		return 0, fmt.Errorf("stream: half-life must be positive, got %v", halfLife)
+	}
+	c.mu.RLock()
+	newest := 0
+	if len(c.windows) > 0 {
+		newest = c.windows[len(c.windows)-1].Index
+	}
+	c.mu.RUnlock()
+	return c.weightedAnswer(q, func(w window) float64 {
+		age := float64(newest - w.Index)
+		return float64(w.N) * math.Exp2(-age/halfLife)
+	})
+}
+
+func (c *Collector) weightedAnswer(q query.Query, weight func(window) float64) (float64, error) {
+	c.mu.RLock()
+	ws := make([]window, len(c.windows))
+	copy(ws, c.windows)
+	c.mu.RUnlock()
+	if len(ws) == 0 {
+		return 0, fmt.Errorf("stream: no windows ingested")
+	}
+	var num, den float64
+	for _, w := range ws {
+		f, err := w.agg.Answer(q)
+		if err != nil {
+			return 0, err
+		}
+		wt := weight(w)
+		num += wt * f
+		den += wt
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stream: zero total weight")
+	}
+	return num / den, nil
+}

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/query"
+)
+
+func streamOpts() Options {
+	return Options{Core: core.Options{Strategy: core.OUG, Epsilon: 2, Seed: 5}}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := dataset.MixedSchema(2, 32, 1, 4)
+	if _, err := New(nil, streamOpts()); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := New(s, Options{Core: core.Options{Strategy: core.OUG}}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := New(s, Options{MaxWindows: -1, Core: core.Options{Strategy: core.OUG, Epsilon: 1}}); err == nil {
+		t.Error("negative MaxWindows accepted")
+	}
+	c, err := New(s, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Windows() != 0 || c.LatestIndex() != -1 {
+		t.Error("fresh collector not empty")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	s := dataset.MixedSchema(2, 32, 1, 4)
+	c, err := New(s, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.MixedSchema(2, 32, 1, 4)
+	foreign := dataset.NewUniform().Generate(other, 100, 1)
+	if err := c.Ingest(foreign); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if err := c.Ingest(dataset.New(s, 0)); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestAnswersBeforeIngest(t *testing.T) {
+	s := dataset.MixedSchema(2, 32, 1, 4)
+	c, _ := New(s, streamOpts())
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 15), query.NewRange(1, 0, 15)}}
+	if _, err := c.AnswerLatest(q); err == nil {
+		t.Error("AnswerLatest on empty collector accepted")
+	}
+	if _, err := c.AnswerHorizon(q); err == nil {
+		t.Error("AnswerHorizon on empty collector accepted")
+	}
+	if _, err := c.AnswerWindow(0, q); err == nil {
+		t.Error("AnswerWindow on empty collector accepted")
+	}
+}
+
+func TestWindowedCollection(t *testing.T) {
+	s := dataset.MixedSchema(2, 32, 1, 4)
+	c, err := New(s, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 15), query.NewRange(1, 0, 15)}}
+
+	// Window 0: uniform data — answer ≈ 0.25. Window 1: data concentrated
+	// low — answer ≈ higher.
+	uni := dataset.NewUniform().Generate(s, 30000, 1)
+	if err := c.Ingest(uni); err != nil {
+		t.Fatal(err)
+	}
+	norm := dataset.NewNormal().Generate(s, 30000, 2)
+	if err := c.Ingest(norm); err != nil {
+		t.Fatal(err)
+	}
+	if c.Windows() != 2 || c.LatestIndex() != 1 {
+		t.Fatalf("windows=%d latest=%d", c.Windows(), c.LatestIndex())
+	}
+
+	colsU := [][]uint16{uni.Col(0), uni.Col(1), uni.Col(2)}
+	colsN := [][]uint16{norm.Col(0), norm.Col(1), norm.Col(2)}
+	truthU := query.Evaluate(q, colsU)
+	truthN := query.Evaluate(q, colsN)
+
+	gotLatest, err := c.AnswerLatest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotLatest-truthN) > 0.06 {
+		t.Errorf("latest window: got %v, truth %v", gotLatest, truthN)
+	}
+	got0, err := c.AnswerWindow(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got0-truthU) > 0.06 {
+		t.Errorf("window 0: got %v, truth %v", got0, truthU)
+	}
+	horizon, err := c.AnswerHorizon(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHorizon := (truthU + truthN) / 2 // equal batch sizes
+	if math.Abs(horizon-wantHorizon) > 0.06 {
+		t.Errorf("horizon: got %v, want ~%v", horizon, wantHorizon)
+	}
+}
+
+func TestDecayedLeansToNewest(t *testing.T) {
+	s := dataset.MixedSchema(2, 32, 1, 4)
+	c, err := New(s, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 15), query.NewRange(1, 0, 15)}}
+	if err := c.Ingest(dataset.NewUniform().Generate(s, 20000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(dataset.NewNormal().Generate(s, 20000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	horizon, err := c.AnswerHorizon(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decayed, err := c.AnswerDecayed(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := c.AnswerLatest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong decay must sit between the plain average and the newest window,
+	// closer to the newest.
+	if math.Abs(decayed-latest) > math.Abs(horizon-latest) {
+		t.Errorf("decayed %v not closer to latest %v than horizon %v", decayed, latest, horizon)
+	}
+	if _, err := c.AnswerDecayed(q, 0); err == nil {
+		t.Error("zero half-life accepted")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	s := dataset.MixedSchema(2, 16, 1, 4)
+	c, err := New(s, Options{MaxWindows: 2, Core: core.Options{Strategy: core.OUG, Epsilon: 1, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Ingest(dataset.NewUniform().Generate(s, 2000, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Windows() != 2 {
+		t.Fatalf("retained %d windows, want 2", c.Windows())
+	}
+	if c.LatestIndex() != 3 {
+		t.Errorf("latest index %d, want 3", c.LatestIndex())
+	}
+	q := query.Query{Preds: []query.Predicate{query.NewRange(0, 0, 7), query.NewRange(1, 0, 7)}}
+	if _, err := c.AnswerWindow(0, q); err == nil {
+		t.Error("evicted window still answerable")
+	}
+	if _, err := c.AnswerWindow(3, q); err != nil {
+		t.Errorf("retained window failed: %v", err)
+	}
+}

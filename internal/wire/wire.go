@@ -1,0 +1,170 @@
+// Package wire defines the JSON messages exchanged between FELIP clients
+// (user devices) and the aggregator service: the published collection plan,
+// individual ε-LDP reports, and query responses. It converts between the
+// wire representation and the in-memory types of internal/core.
+package wire
+
+import (
+	"fmt"
+
+	"felip/internal/core"
+	"felip/internal/domain"
+	"felip/internal/fo"
+	"felip/internal/grid"
+)
+
+// AttributeDTO describes one schema attribute on the wire.
+type AttributeDTO struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "numerical" | "categorical"
+	Size int    `json:"size"`
+}
+
+// GridDTO describes one grid of the plan on the wire. Axes travel as
+// explicit boundary lists, so variable-width (equi-mass) cells round-trip
+// exactly.
+type GridDTO struct {
+	AttrX   int    `json:"attr_x"`
+	AttrY   int    `json:"attr_y"` // -1 for 1-D grids
+	BoundsX []int  `json:"bounds_x"`
+	BoundsY []int  `json:"bounds_y,omitempty"`
+	Proto   string `json:"proto"` // "GRR" | "OLH"
+}
+
+// PlanMessage is the aggregator's published plan: everything a device needs
+// to produce its report.
+type PlanMessage struct {
+	Epsilon    float64        `json:"epsilon"`
+	Attributes []AttributeDTO `json:"attributes"`
+	Grids      []GridDTO      `json:"grids"`
+}
+
+// ReportMessage is one user's ε-LDP report on the wire.
+type ReportMessage struct {
+	Group int    `json:"group"`
+	Proto string `json:"proto"`
+	Value int    `json:"value"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// QueryResponse carries a query answer.
+type QueryResponse struct {
+	Query         string  `json:"query"`
+	Estimate      float64 `json:"estimate"`
+	ExpectedError float64 `json:"expected_error,omitempty"`
+	N             int     `json:"n"`
+}
+
+func protoName(p fo.Protocol) string { return p.String() }
+
+func protoFromName(s string) (fo.Protocol, error) {
+	switch s {
+	case "GRR":
+		return fo.GRR, nil
+	case "OLH":
+		return fo.OLH, nil
+	case "OUE":
+		return fo.OUE, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown protocol %q", s)
+	}
+}
+
+// NewPlanMessage encodes a schema and grid plan for publication.
+func NewPlanMessage(schema *domain.Schema, eps float64, specs []core.GridSpec) PlanMessage {
+	msg := PlanMessage{Epsilon: eps}
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		msg.Attributes = append(msg.Attributes, AttributeDTO{
+			Name: a.Name,
+			Kind: a.Kind.String(),
+			Size: a.Size,
+		})
+	}
+	for _, sp := range specs {
+		dto := GridDTO{
+			AttrX:   sp.AttrX,
+			AttrY:   sp.AttrY,
+			BoundsX: sp.AxisX.Boundaries(),
+			Proto:   protoName(sp.Proto),
+		}
+		if !sp.Is1D() {
+			dto.BoundsY = sp.AxisY.Boundaries()
+		}
+		msg.Grids = append(msg.Grids, dto)
+	}
+	return msg
+}
+
+// Schema reconstructs the schema from the plan.
+func (m PlanMessage) Schema() (*domain.Schema, error) {
+	attrs := make([]domain.Attribute, len(m.Attributes))
+	for i, dto := range m.Attributes {
+		var kind domain.Kind
+		switch dto.Kind {
+		case "numerical":
+			kind = domain.Numerical
+		case "categorical":
+			kind = domain.Categorical
+		default:
+			return nil, fmt.Errorf("wire: attribute %q has unknown kind %q", dto.Name, dto.Kind)
+		}
+		attrs[i] = domain.Attribute{Name: dto.Name, Kind: kind, Size: dto.Size}
+	}
+	return domain.NewSchema(attrs...)
+}
+
+// Specs reconstructs the grid plan from the message, validating it against
+// the reconstructed schema.
+func (m PlanMessage) Specs() ([]core.GridSpec, error) {
+	schema, err := m.Schema()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]core.GridSpec, 0, len(m.Grids))
+	for i, dto := range m.Grids {
+		proto, err := protoFromName(dto.Proto)
+		if err != nil {
+			return nil, fmt.Errorf("wire: grid %d: %w", i, err)
+		}
+		if dto.AttrX < 0 || dto.AttrX >= schema.Len() {
+			return nil, fmt.Errorf("wire: grid %d: attr_x %d out of range", i, dto.AttrX)
+		}
+		axX, err := grid.NewCustomAxis(schema.Attr(dto.AttrX).Size, dto.BoundsX)
+		if err != nil {
+			return nil, fmt.Errorf("wire: grid %d: %w", i, err)
+		}
+		sp := core.GridSpec{AttrX: dto.AttrX, AttrY: dto.AttrY, AxisX: axX, Proto: proto}
+		if dto.AttrY >= 0 {
+			if dto.AttrY >= schema.Len() {
+				return nil, fmt.Errorf("wire: grid %d: attr_y %d out of range", i, dto.AttrY)
+			}
+			axY, err := grid.NewCustomAxis(schema.Attr(dto.AttrY).Size, dto.BoundsY)
+			if err != nil {
+				return nil, fmt.Errorf("wire: grid %d: %w", i, err)
+			}
+			sp.AxisY = axY
+		} else {
+			sp.AttrY = -1
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("wire: plan has no grids")
+	}
+	return specs, nil
+}
+
+// NewReportMessage encodes a core report for the wire.
+func NewReportMessage(r core.Report) ReportMessage {
+	return ReportMessage{Group: r.Group, Proto: protoName(r.Proto), Value: r.Value, Seed: r.Seed}
+}
+
+// Report decodes the wire message into a core report.
+func (m ReportMessage) Report() (core.Report, error) {
+	proto, err := protoFromName(m.Proto)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return core.Report{Group: m.Group, Proto: proto, Value: m.Value, Seed: m.Seed}, nil
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+)
+
+func testPlan(t *testing.T) ([]core.GridSpec, PlanMessage) {
+	t.Helper()
+	schema := dataset.MixedSchema(2, 64, 2, 8)
+	specs, err := core.BuildPlan(schema, 50000, core.Options{Strategy: core.OHG, Epsilon: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs, NewPlanMessage(schema, 1.0, specs)
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	specs, msg := testPlan(t)
+
+	// JSON round trip.
+	buf, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded PlanMessage
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Epsilon != 1.0 || len(decoded.Grids) != len(specs) || len(decoded.Attributes) != 4 {
+		t.Fatalf("decoded plan %+v", decoded)
+	}
+
+	schema, err := decoded.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 4 || !schema.Attr(0).IsNumerical() || !schema.Attr(2).IsCategorical() {
+		t.Fatalf("schema %v", schema)
+	}
+
+	got, err := decoded.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("got %d specs, want %d", len(got), len(specs))
+	}
+	for i, sp := range got {
+		want := specs[i]
+		if sp.AttrX != want.AttrX || sp.AttrY != want.AttrY || sp.Proto != want.Proto {
+			t.Fatalf("spec %d: %+v vs %+v", i, sp, want)
+		}
+		if sp.L() != want.L() {
+			t.Fatalf("spec %d: L %d vs %d", i, sp.L(), want.L())
+		}
+		// Axis behaviour must be identical: same cell for every value.
+		dx := sp.AxisX.Domain()
+		for v := 0; v < dx; v++ {
+			if sp.AxisX.CellOf(v) != want.AxisX.CellOf(v) {
+				t.Fatalf("spec %d: CellOf(%d) differs after round trip", i, v)
+			}
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	_, msg := testPlan(t)
+
+	bad := msg
+	bad.Attributes = append([]AttributeDTO(nil), msg.Attributes...)
+	bad.Attributes[0].Kind = "weird"
+	if _, err := bad.Schema(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := bad.Specs(); err == nil {
+		t.Error("specs with bad schema accepted")
+	}
+
+	bad = msg
+	bad.Grids = append([]GridDTO(nil), msg.Grids...)
+	bad.Grids[0].Proto = "XYZ"
+	if _, err := bad.Specs(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+
+	bad = msg
+	bad.Grids = append([]GridDTO(nil), msg.Grids...)
+	bad.Grids[0].AttrX = 99
+	if _, err := bad.Specs(); err == nil {
+		t.Error("out-of-range attr accepted")
+	}
+
+	bad = msg
+	bad.Grids = append([]GridDTO(nil), msg.Grids...)
+	bad.Grids[0].BoundsX = []int{5, 1}
+	if _, err := bad.Specs(); err == nil {
+		t.Error("invalid boundaries accepted")
+	}
+
+	bad = msg
+	bad.Grids = nil
+	if _, err := bad.Specs(); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	for _, rep := range []core.Report{
+		{Group: 3, Proto: fo.GRR, Value: 7},
+		{Group: 0, Proto: fo.OLH, Value: 2, Seed: 0xDEADBEEF},
+	} {
+		msg := NewReportMessage(rep)
+		buf, err := json.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded ReportMessage
+		if err := json.Unmarshal(buf, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		got, err := decoded.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rep {
+			t.Errorf("round trip %+v -> %+v", rep, got)
+		}
+	}
+	if _, err := (ReportMessage{Proto: "???"}).Report(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
