@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full gate: vet plus the tier-1 suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -6,6 +6,12 @@
 //
 //	felipserver -addr :8377 -eps 1.0 -n 100000
 //
+// Add -wal to make the round durable: every accepted report is logged before
+// it is acknowledged, and a restarted server replays the log and resumes the
+// round (or re-serves it, if it was already finalized):
+//
+//	felipserver -addr :8377 -eps 1.0 -n 100000 -wal round.wal
+//
 // Or spin up a self-contained demo that simulates the population in-process,
 // finalizes, and then serves queries:
 //
@@ -14,15 +20,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"felip/internal/core"
 	"felip/internal/dataset"
 	"felip/internal/httpapi"
+	"felip/internal/reportlog"
 )
 
 func main() {
@@ -39,6 +51,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "seed (0 = random)")
 		simulate = flag.Int("simulate", 0, "simulate this many users in-process and finalize before serving")
 		simData  = flag.String("dataset", "ipums-sim", "generator for -simulate: uniform|normal|ipums-sim|loan-sim")
+		walPath  = flag.String("wal", "", "write-ahead log path; reports are durable and the round survives restarts (the plan flags and -seed must match across restarts)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,27 @@ func main() {
 	if err != nil {
 		log.Fatal("felipserver: ", err)
 	}
+	srv.SetLogger(log.Printf)
+
+	if *walPath != "" {
+		if *seed == 0 {
+			// A random plan cannot be rebuilt after a crash, which would
+			// strand the log's reports in groups that no longer exist.
+			log.Fatal("felipserver: -wal requires an explicit -seed so a restart rebuilds the same plan")
+		}
+		l, recs, err := reportlog.Open(*walPath)
+		if err != nil {
+			log.Fatal("felipserver: ", err)
+		}
+		if err := srv.UseWAL(l, recs); err != nil {
+			log.Fatal("felipserver: ", err)
+		}
+		if len(recs) > 0 {
+			log.Printf("felipserver: replayed %d WAL records from %s", len(recs), *walPath)
+		} else {
+			log.Printf("felipserver: opened fresh WAL at %s", *walPath)
+		}
+	}
 
 	if *simulate > 0 {
 		log.Printf("felipserver: simulating %d %s users in-process", *simulate, *simData)
@@ -76,6 +110,37 @@ func main() {
 		log.Printf("felipserver: round finalized; /v1/query is live")
 	}
 
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("felipserver: schema %v, ε=%v, strategy %v, listening on %s", schema, *eps, strat, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("felipserver: %v; draining connections", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("felipserver: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("felipserver: ", err)
+		}
+	}
+	// Sync and close the WAL last, after in-flight reports have drained, so
+	// every acknowledged report is on disk before the process exits.
+	if err := srv.Close(); err != nil {
+		log.Fatal("felipserver: closing WAL: ", err)
+	}
+	log.Printf("felipserver: clean shutdown")
 }

@@ -181,10 +181,9 @@ func (c *Collector) AssignGroup() int {
 	return g
 }
 
-// Add records one user report.
-func (c *Collector) Add(rep Report) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// checkLocked validates a report against the plan without recording it.
+// Callers hold c.mu.
+func (c *Collector) checkLocked(rep Report) error {
 	if c.finalized {
 		return fmt.Errorf("core: collection round already finalized")
 	}
@@ -200,12 +199,35 @@ func (c *Collector) Add(rep Report) error {
 		if rep.Value < 0 || rep.Value >= spec.L() {
 			return fmt.Errorf("core: GRR report %d outside [0,%d)", rep.Value, spec.L())
 		}
-		c.grrAggs[rep.Group].Add(rep.Value)
 	case fo.OLH:
 		g := fo.OptimalG(c.opts.Epsilon)
 		if rep.Value < 0 || rep.Value >= g {
 			return fmt.Errorf("core: OLH report %d outside [0,%d)", rep.Value, g)
 		}
+	}
+	return nil
+}
+
+// Check validates a report against the plan without recording it. A durable
+// server calls Check before appending the report to its write-ahead log, so
+// the log only ever holds reports Add is guaranteed to accept.
+func (c *Collector) Check(rep Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkLocked(rep)
+}
+
+// Add records one user report.
+func (c *Collector) Add(rep Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkLocked(rep); err != nil {
+		return err
+	}
+	switch c.specs[rep.Group].Proto {
+	case fo.GRR:
+		c.grrAggs[rep.Group].Add(rep.Value)
+	case fo.OLH:
 		c.olhAggs[rep.Group].Add(fo.OLHReport{Seed: rep.Seed, Value: uint8(rep.Value)})
 	}
 	c.added++
@@ -217,6 +239,36 @@ func (c *Collector) N() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.added
+}
+
+// GroupCounts returns the number of reports accepted so far per group. The
+// counts let an operator watch group balance and let a restarted aggregator
+// verify a replayed round.
+func (c *Collector) GroupCounts() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	counts := make([]int, len(c.specs))
+	for g, spec := range c.specs {
+		switch spec.Proto {
+		case fo.GRR:
+			counts[g] = c.grrAggs[g].N()
+		case fo.OLH:
+			counts[g] = c.olhAggs[g].N()
+		}
+	}
+	return counts
+}
+
+// ResumeAssignment positions the round-robin assignment cursor as if the
+// given number of users had already been assigned — called after replaying a
+// write-ahead log so a restarted round keeps the groups balanced.
+func (c *Collector) ResumeAssignment(assigned int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if assigned < 0 {
+		assigned = 0
+	}
+	c.nextGroup = assigned % len(c.specs)
 }
 
 // Finalize closes the round: estimates every grid's cell frequencies from

@@ -230,6 +230,71 @@ func TestCollectorSurvivesGarbageReports(t *testing.T) {
 	}
 }
 
+// Check validates without mutating; GroupCounts and ResumeAssignment expose
+// the state a restarted aggregator needs to resume a round.
+func TestCollectorResumeSurface(t *testing.T) {
+	col, err := NewCollector(mixedSchema(), 10000, Options{Strategy: OHG, Epsilon: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := col.Specs()
+	m := len(specs)
+	cl, err := NewClient(specs, col.Epsilon(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Perturb(0, func(int) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Check(rep); err != nil {
+		t.Fatalf("Check rejected a valid report: %v", err)
+	}
+	if col.N() != 0 {
+		t.Fatalf("Check mutated the collector: N = %d", col.N())
+	}
+	if err := col.Check(Report{Group: m}); err == nil {
+		t.Error("Check accepted an unknown group")
+	}
+
+	const users = 17
+	for i := 0; i < users; i++ {
+		g := col.AssignGroup()
+		rep, err := cl.Perturb(g, func(int) int { return 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := col.GroupCounts()
+	if len(counts) != m {
+		t.Fatalf("GroupCounts len %d, want %d", len(counts), m)
+	}
+	var total int
+	for g, c := range counts {
+		if c < users/m || c > users/m+1 {
+			t.Errorf("group %d holds %d reports, want %d-%d", g, c, users/m, users/m+1)
+		}
+		total += c
+	}
+	if total != users {
+		t.Fatalf("GroupCounts sum %d, want %d", total, users)
+	}
+
+	// A fresh collector resumed at `users` continues the same round-robin
+	// sequence the original would have produced.
+	col2, err := NewCollector(mixedSchema(), 10000, Options{Strategy: OHG, Epsilon: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2.ResumeAssignment(users)
+	if got, want := col2.AssignGroup(), col.AssignGroup(); got != want {
+		t.Errorf("resumed assignment %d, original %d", got, want)
+	}
+}
+
 // The collector must tolerate concurrent submissions.
 func TestCollectorConcurrentAdds(t *testing.T) {
 	s := mixedSchema()

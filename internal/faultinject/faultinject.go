@@ -1,0 +1,199 @@
+// Package faultinject supplies the failure modes a fault-tolerant collection
+// round must survive, in controllable, seeded form: a flaky HTTP transport
+// (requests lost before reaching the server, or served but with the response
+// lost — the case that manufactures duplicates), a write-ahead-log file
+// wrapper that tears an append mid-write, and helpers that damage a log file
+// on disk the way a crash would. It exists for tests and chaos drills; no
+// production path imports it.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+
+	"felip/internal/reportlog"
+)
+
+// Transport is a fault-injecting http.RoundTripper. With probability
+// FailProb a request fails in one of two ways, chosen uniformly:
+//
+//   - lost request: the server never sees it (a dropped packet, a refused
+//     connection);
+//   - lost response: the server fully processes the request, but the client
+//     gets a transport error anyway (a timeout after delivery). A retrying
+//     client then resubmits a report the aggregator already counted — the
+//     exact scenario idempotency keys exist for.
+//
+// The fault sequence is deterministic in the seed. Safe for concurrent use.
+type Transport struct {
+	base     http.RoundTripper
+	failProb float64
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	requests  int // RoundTrip calls
+	delivered int // requests the server processed (including lost responses)
+	injected  int // faults injected
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) so that each request
+// fails with probability failProb, deterministically in seed.
+func NewTransport(base http.RoundTripper, failProb float64, seed uint64) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:     base,
+		failProb: failProb,
+		rng:      rand.New(rand.NewSource(int64(seed))),
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.requests++
+	fault := t.rng.Float64() < t.failProb
+	loseResponse := fault && t.rng.Intn(2) == 0
+	if fault {
+		t.injected++
+	}
+	t.mu.Unlock()
+
+	if fault && !loseResponse {
+		// Lost request: never reaches the server.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: connection lost before delivery")
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.delivered++
+	t.mu.Unlock()
+	if loseResponse {
+		// The server did its work; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("faultinject: connection lost awaiting response")
+	}
+	return resp, nil
+}
+
+// Stats returns the number of RoundTrip calls, the number of requests the
+// server actually processed, and the number of injected faults.
+func (t *Transport) Stats() (requests, delivered, injected int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests, t.delivered, t.injected
+}
+
+// CrashFile wraps a reportlog.File and simulates a crash mid-append: after
+// budget more bytes it writes only the prefix of the failing Write that fits
+// and then fails every subsequent operation — leaving exactly the torn tail a
+// real crash leaves.
+type CrashFile struct {
+	reportlog.File
+	mu      sync.Mutex
+	budget  int64
+	crashed bool
+}
+
+// NewCrashFile wraps f with a write budget of n bytes.
+func NewCrashFile(f reportlog.File, n int64) *CrashFile {
+	return &CrashFile{File: f, budget: n}
+}
+
+// ErrCrashed is returned by a CrashFile whose budget is exhausted.
+var ErrCrashed = fmt.Errorf("faultinject: simulated crash")
+
+func (c *CrashFile) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if int64(len(p)) <= c.budget {
+		c.budget -= int64(len(p))
+		return c.File.Write(p)
+	}
+	c.crashed = true
+	n, err := c.File.Write(p[:c.budget])
+	if err != nil {
+		return n, err
+	}
+	return n, ErrCrashed
+}
+
+func (c *CrashFile) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return c.File.Sync()
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashFile) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// TruncateTail chops n bytes off the end of the file at path — a torn final
+// write.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte XOR-flips the byte at offset off (negative off counts back from
+// the end) — silent media corruption a checksum must catch.
+func FlipByte(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if off < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		off += fi.Size()
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// AppendGarbage appends raw bytes to the file at path — the half-written
+// record a crash strands after the last acknowledged report.
+func AppendGarbage(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(b)
+	return err
+}

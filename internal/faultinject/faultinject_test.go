@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"felip/internal/reportlog"
+)
+
+func TestTransportInjectsBothFaultModes(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	tr := NewTransport(ts.Client().Transport, 0.5, 42)
+	cl := &http.Client{Transport: tr}
+	const calls = 400
+	var failures int
+	for i := 0; i < calls; i++ {
+		resp, err := cl.Get(ts.URL)
+		if err != nil {
+			failures++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	requests, delivered, injected := tr.Stats()
+	if requests != calls {
+		t.Fatalf("requests = %d, want %d", requests, calls)
+	}
+	if failures != injected {
+		t.Fatalf("client saw %d failures, transport injected %d", failures, injected)
+	}
+	if injected < calls/4 || injected > 3*calls/4 {
+		t.Fatalf("injected %d faults out of %d at p=0.5", injected, calls)
+	}
+	// Lost-response faults are served but fail client-side, so the server
+	// must have seen strictly more requests than the client saw succeed.
+	if got := int(served.Load()); got != delivered || got <= calls-failures {
+		t.Fatalf("server handled %d, transport counted %d delivered, %d client successes",
+			got, delivered, calls-failures)
+	}
+}
+
+func TestTransportDeterministicInSeed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	pattern := func(seed uint64) []bool {
+		tr := NewTransport(ts.Client().Transport, 0.3, seed)
+		cl := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 50; i++ {
+			resp, err := cl.Get(ts.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b, c := pattern(7), pattern(7), pattern(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different fault sequences")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+// A crash mid-append leaves a torn record; replay must recover every
+// acknowledged record and drop only the torn one.
+func TestCrashFileTearsFinalAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "round.wal")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := NewCrashFile(f, 150)
+	l, recs, err := reportlog.OpenFile(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	var acked int
+	for i := 0; i < 100; i++ {
+		if err := l.Append(reportlog.ReportRecord("id", i, "GRR", i, 0)); err != nil {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatal(err)
+			}
+			break
+		}
+		acked++
+	}
+	if !cf.Crashed() || acked == 0 || acked >= 100 {
+		t.Fatalf("crash budget: %d appends acknowledged, crashed=%v", acked, cf.Crashed())
+	}
+	f.Close()
+
+	_, recs, err = reportlog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != acked {
+		t.Fatalf("recovered %d records, want the %d acknowledged", len(recs), acked)
+	}
+}
+
+func TestFileDamageHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(path, 6); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "hello" {
+		t.Fatalf("after TruncateTail: %q", b)
+	}
+	if err := FlipByte(path, -1); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) == "hello" {
+		t.Fatal("FlipByte changed nothing")
+	}
+	if err := FlipByte(path, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendGarbage(path, []byte("!!")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "hello!!" {
+		t.Fatalf("after AppendGarbage: %q", b)
+	}
+	// Truncating more than the file holds clamps at empty.
+	if err := TruncateTail(path, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); len(b) != 0 {
+		t.Fatalf("after over-truncate: %q", b)
+	}
+}

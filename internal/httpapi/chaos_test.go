@@ -1,0 +1,244 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/faultinject"
+	"felip/internal/query"
+	"felip/internal/reportlog"
+)
+
+// chaosQueries is the evaluation workload: range and point predicates of the
+// kind the paper's ipums experiments ask, averaged for the MAE comparison.
+var chaosQueries = []string{
+	"num0=0..15",
+	"num0=8..23",
+	"num0=24..31",
+	"num0=12..19",
+	"num0=0..23",
+	"num1=16..31",
+	"num1=4..11",
+	"num1=0..7",
+	"num1=20..27",
+	"num1=8..31",
+	"cat0=0,1",
+	"cat0=2,3",
+	"cat1=2,3",
+	"cat1=0,1",
+	"num0=0..15; cat0=0,1",
+	"num0=8..23; num1=0..15",
+	"num0=8..15; cat1=1,2",
+	"num0=16..31; cat0=2",
+	"num0=4..27; num1=8..23",
+	"num0=20..31; num1=16..31",
+	"num1=16..31; cat1=0",
+	"num1=12..27; cat0=0,2",
+	"cat0=0; cat1=0,1",
+	"cat0=1; cat1=2,3",
+}
+
+// queryAll answers the whole workload and returns the estimates and their
+// mean absolute error against truth.
+func queryAll(t *testing.T, cl *Client, truths []float64) ([]float64, float64) {
+	t.Helper()
+	ctx := context.Background()
+	ests := make([]float64, len(chaosQueries))
+	var sum float64
+	for i, where := range chaosQueries {
+		resp, err := cl.Query(ctx, where)
+		if err != nil {
+			t.Fatalf("query %q: %v", where, err)
+		}
+		ests[i] = resp.Estimate
+		sum += math.Abs(resp.Estimate - truths[i])
+	}
+	return ests, sum / float64(len(chaosQueries))
+}
+
+// The acceptance drill for the reliability layer: a full ipums-sim round
+// pushed through a transport that drops 30% of exchanges, with the
+// aggregator killed and restarted from its WAL mid-round (plus a torn record
+// at the crash point). The recovered round must finalize with exactly one
+// counted report per distinct user and its query MAE must stay within 1.5×
+// of a fault-free run at the same seed.
+//
+// Each user is an independent device (its own perturbation seed) assigned by
+// DeriveGroup, so the faulty round submits the exact multiset of reports the
+// clean round does — which sharpens the MAE criterion into something much
+// stronger that we also assert: the recovered round must reproduce the
+// fault-free round's estimates, not merely approximate them. Faults may cost
+// retries; they may not move the answers.
+func TestChaosRoundSurvivesFaultsAndRestart(t *testing.T) {
+	const (
+		n        = 3000
+		planSeed = 61
+		dataSeed = 63
+		devSeed  = 65
+	)
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	gen, err := dataset.ByName("ipums-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(schema, n, dataSeed)
+	opts := core.Options{Strategy: core.OHG, Epsilon: 2, Seed: planSeed}
+	ctx := context.Background()
+
+	truths := make([]float64, len(chaosQueries))
+	cols := [][]uint16{ds.Col(0), ds.Col(1), ds.Col(2), ds.Col(3)}
+	for i, where := range chaosQueries {
+		q, err := query.Parse(where, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths[i] = query.Evaluate(q, cols)
+	}
+
+	// runRound submits users [from, to), each as its own deterministic
+	// device, so any two runs of it produce identical reports row for row.
+	runRound := func(cl *Client, specs []core.GridSpec, from, to int) {
+		for row := from; row < to; row++ {
+			id := fmt.Sprintf("user-%d", row)
+			device, err := core.NewClient(specs, opts.Epsilon, devSeed+uint64(row))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := device.Perturb(DeriveGroup(id, len(specs)), func(attr int) int { return ds.Value(row, attr) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			// dup=true is a healthy outcome: a lost-response fault made the
+			// client retry a report the server had already counted, and the
+			// idempotency key caught it.
+			if _, err := cl.ReportWithID(ctx, id, rep); err != nil {
+				t.Fatalf("report row %d: %v", row, err)
+			}
+		}
+	}
+	reportFor := func(specs []core.GridSpec, row int) core.Report {
+		device, err := core.NewClient(specs, opts.Epsilon, devSeed+uint64(row))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := device.Perturb(DeriveGroup(fmt.Sprintf("user-%d", row), len(specs)),
+			func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// ---- Fault-free reference run.
+	cleanSrv, err := NewServer(schema, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSrv.SetLogger(t.Logf)
+	cleanTS := httptest.NewServer(cleanSrv.Handler())
+	defer cleanTS.Close()
+	cleanCl := Dial(cleanTS.URL, cleanTS.Client())
+	cleanPlan, err := cleanCl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSpecs, err := cleanPlan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRound(cleanCl, cleanSpecs, 0, n)
+	if count, err := cleanCl.Finalize(ctx); err != nil || count != n {
+		t.Fatalf("clean finalize: %d, %v", count, err)
+	}
+	cleanEsts, cleanMAE := queryAll(t, cleanCl, truths)
+
+	// ---- Chaos run: durable server, 30% transport faults, retrying devices.
+	walPath := filepath.Join(t.TempDir(), "chaos.wal")
+	boot := func(transportSeed uint64) (*httptest.Server, *Client, []core.GridSpec) {
+		srv, err := NewServer(schema, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogger(t.Logf)
+		l, recs, err := reportlog.Open(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.UseWAL(l, recs); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		flaky := &http.Client{Transport: faultinject.NewTransport(ts.Client().Transport, 0.3, transportSeed)}
+		cl := DialRetrying(ts.URL, flaky, fastRetry(12))
+		plan, err := cl.Plan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := plan.Specs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts, cl, specs
+	}
+
+	ts1, cl1, specs1 := boot(71)
+	runRound(cl1, specs1, 0, n/2)
+
+	// Kill the aggregator mid-round. The crash strands a torn, unacknowledged
+	// record on the log; replay must shed it.
+	ts1.Close()
+	if err := faultinject.AppendGarbage(walPath, []byte{0, 0, 0, 32, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, cl2, specs2 := boot(73)
+	defer ts2.Close()
+	st, err := cl2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != n/2 {
+		t.Fatalf("restart recovered %d reports, want %d", st.Reports, n/2)
+	}
+	// Devices whose acknowledgment the crash swallowed resubmit verbatim into
+	// the restarted server; every one must be recognized, none recounted.
+	for row := n/2 - 20; row < n/2; row++ {
+		dup, err := cl2.ReportWithID(ctx, fmt.Sprintf("user-%d", row), reportFor(specs2, row))
+		if err != nil || !dup {
+			t.Fatalf("resubmit row %d across restart: dup=%v err=%v", row, dup, err)
+		}
+	}
+	if st, _ := cl2.Status(ctx); st.Reports != n/2 {
+		t.Fatalf("resubmissions were recounted: %+v", st)
+	}
+	runRound(cl2, specs2, n/2, n)
+
+	count, err := cl2.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("chaos round finalized %d reports for %d distinct users", count, n)
+	}
+	chaosEsts, chaosMAE := queryAll(t, cl2, truths)
+
+	t.Logf("clean MAE %.5f, chaos MAE %.5f", cleanMAE, chaosMAE)
+	if chaosMAE > 1.5*cleanMAE {
+		t.Fatalf("chaos MAE %.5f exceeds 1.5x clean MAE %.5f", chaosMAE, cleanMAE)
+	}
+	// The sharper invariant: same reports in, same answers out — the faults
+	// and the restart must leave no trace in the estimates.
+	for i := range chaosEsts {
+		if math.Abs(chaosEsts[i]-cleanEsts[i]) > 1e-9 {
+			t.Errorf("query %q: chaos estimate %v deviates from clean %v",
+				chaosQueries[i], chaosEsts[i], cleanEsts[i])
+		}
+	}
+}

@@ -5,77 +5,202 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
+	"time"
 
 	"felip/internal/core"
+	"felip/internal/fo"
 	"felip/internal/wire"
 )
 
-// Client talks to a FELIP aggregator service. The typical device flow is
-// Plan once, then per user Assign → core.Client.Perturb → Report; the
-// analyst flow is Finalize once and Query thereafter.
-type Client struct {
-	base string
-	http *http.Client
+// RetryPolicy configures how the client rides out transient failures:
+// transport errors, per-attempt timeouts, and 5xx/429 responses are retried
+// with exponential backoff and full jitter; other 4xx responses are not.
+// Report submissions reuse one idempotency key across every retry of the
+// same report, so the aggregator never double-counts a resubmission.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (≤ 1 disables
+	// retries).
+	MaxAttempts int
+	// BaseDelay seeds the backoff: the wait before attempt k+1 is drawn
+	// uniformly from (0, min(BaseDelay·2^(k-1), MaxDelay)]. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2s.
+	MaxDelay time.Duration
+	// Timeout bounds each individual attempt (0 = no per-attempt bound; the
+	// caller's context still applies).
+	Timeout time.Duration
+	// Seed makes the jitter sequence reproducible (0 = random).
+	Seed uint64
 }
 
-// Dial returns a client for the service at base (e.g. "http://host:8377").
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = fo.AutoSeed()
+	}
+	return p
+}
+
+// Client talks to a FELIP aggregator service. The typical device flow is
+// Plan once, then per user Assign → core.Client.Perturb → Report; the
+// analyst flow is Finalize once and Query thereafter. Safe for concurrent
+// use.
+type Client struct {
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Dial returns a client for the service at base (e.g. "http://host:8377")
+// that fails fast: no retries, no per-attempt timeout.
 func Dial(base string, httpClient *http.Client) *Client {
+	return DialRetrying(base, httpClient, RetryPolicy{MaxAttempts: 1})
+}
+
+// DialRetrying returns a client that retries per policy. This is what a
+// device deployment wants: submissions survive flaky transport, and the
+// idempotency key guarantees at-most-once counting server-side.
+func DialRetrying(base string, httpClient *http.Client, policy RetryPolicy) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
-}
-
-func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
+	policy = policy.withDefaults()
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  httpClient,
+		retry: policy,
+		rng:   rand.New(rand.NewSource(int64(policy.Seed))),
 	}
-	return c.do(req, out)
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
-			return err
+// backoff returns the jittered wait before the given retry (1-based).
+func (c *Client) backoff(retry int) time.Duration {
+	d := c.retry.BaseDelay << (retry - 1)
+	if d <= 0 || d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(d))) + 1
+}
+
+// apiError is a non-retryable error response from the service.
+type apiError struct {
+	status string
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("httpapi: %s: %s", e.status, e.msg)
+	}
+	return fmt.Sprintf("httpapi: %s", e.status)
+}
+
+// do performs one API call with retries, returning the final HTTP status.
+// body is re-sent verbatim on every attempt, so an idempotency key embedded
+// in it is automatically reused.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, fmt.Errorf("httpapi: %w (last error: %v)", ctx.Err(), lastErr)
+			case <-time.After(c.backoff(attempt)):
+			}
 		}
-		body = bytes.NewReader(buf)
+		status, retryable, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return status, nil
+		}
+		if ctx.Err() != nil || !retryable {
+			return status, err
+		}
+		lastErr = err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	return 0, fmt.Errorf("httpapi: giving up after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// attempt performs a single HTTP exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (status int, retryable bool, err error) {
+	actx := ctx
+	if c.retry.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.retry.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	return c.do(req, out)
-}
-
-func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return 0, true, err
 	}
 	defer resp.Body.Close()
+	// Read fully before the per-attempt context is cancelled.
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, true, err
+	}
 	if resp.StatusCode >= 400 {
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("httpapi: %s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("httpapi: %s", resp.Status)
+		json.Unmarshal(payload, &e)
+		return resp.StatusCode, retryable, &apiError{status: resp.Status, msg: e.Error}
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.Unmarshal(payload, out); err != nil {
+		return resp.StatusCode, false, fmt.Errorf("httpapi: decoding %s response: %w", path, err)
+	}
+	return resp.StatusCode, false, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	_, err := c.do(ctx, http.MethodGet, path, nil, out)
+	return err
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) (int, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return c.do(ctx, http.MethodPost, path, body, out)
 }
 
 // Plan fetches the published collection plan.
@@ -85,7 +210,10 @@ func (c *Client) Plan(ctx context.Context) (wire.PlanMessage, error) {
 	return msg, err
 }
 
-// Assign fetches the next user-group assignment.
+// Assign fetches the next user-group assignment. The server hands groups out
+// round-robin, which keeps them perfectly balanced but is not idempotent: an
+// assignment whose response is lost in transit stays consumed. Deployments on
+// unreliable transport should prefer DeriveGroup.
 func (c *Client) Assign(ctx context.Context) (int, error) {
 	var out struct {
 		Group int `json:"group"`
@@ -94,9 +222,33 @@ func (c *Client) Assign(ctx context.Context) (int, error) {
 	return out.Group, err
 }
 
-// Report submits one user's ε-LDP report.
+// DeriveGroup assigns a device to one of the plan's groups by hashing its
+// report ID — the stateless, idempotent alternative to Assign: retries,
+// crashes, and restarts all land the same device in the same group, and no
+// server state is consumed. The hash partitions the population uniformly,
+// which is exactly the random uniform division the paper's Theorem 5.1
+// analyzes (round-robin balance is not required, only uniformity).
+func DeriveGroup(reportID string, groups int) int {
+	h := fnv.New64a()
+	h.Write([]byte(reportID))
+	return int(h.Sum64() % uint64(groups))
+}
+
+// Report submits one user's ε-LDP report under a fresh idempotency key. The
+// key is reused across the client's internal retries, so a lost
+// acknowledgment never double-counts the user.
 func (c *Client) Report(ctx context.Context, rep core.Report) error {
-	return c.post(ctx, "/v1/report", wire.NewReportMessage(rep), nil)
+	_, err := c.ReportWithID(ctx, wire.NewReportID(), rep)
+	return err
+}
+
+// ReportWithID submits a report under a caller-chosen idempotency key — for
+// devices that persist the key themselves and may resubmit across process
+// restarts. duplicate reports whether the aggregator had already counted
+// this key (i.e. this call was a replay).
+func (c *Client) ReportWithID(ctx context.Context, id string, rep core.Report) (duplicate bool, err error) {
+	status, err := c.post(ctx, "/v1/report", wire.NewReportMessage(id, rep), nil)
+	return status == http.StatusOK, err
 }
 
 // Finalize closes the collection round; returns the accepted report count.
@@ -104,7 +256,7 @@ func (c *Client) Finalize(ctx context.Context) (int, error) {
 	var out struct {
 		Reports int `json:"reports"`
 	}
-	err := c.post(ctx, "/v1/finalize", nil, &out)
+	_, err := c.post(ctx, "/v1/finalize", nil, &out)
 	return out.Reports, err
 }
 
@@ -115,13 +267,14 @@ func (c *Client) Query(ctx context.Context, where string) (wire.QueryResponse, e
 	return out, err
 }
 
-// Status reports the round's progress.
-func (c *Client) Status(ctx context.Context) (reports, groups int, finalized bool, err error) {
-	var out struct {
-		Reports   int  `json:"reports"`
-		Groups    int  `json:"groups"`
-		Finalized bool `json:"finalized"`
-	}
-	err = c.get(ctx, "/v1/status", &out)
-	return out.Reports, out.Groups, out.Finalized, err
+// Status reports the round's progress and durability counters.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	var out Status
+	err := c.get(ctx, "/v1/status", &out)
+	return out, err
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.get(ctx, "/v1/healthz", nil)
 }

@@ -64,12 +64,25 @@ func TestHTTPEndToEnd(t *testing.T) {
 		}
 	}
 
-	reports, groups, finalized, err := cl.Status(ctx)
+	st, err := cl.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reports != n || finalized || groups != len(specs) {
-		t.Fatalf("status = %d/%d/%v", reports, groups, finalized)
+	if st.Reports != n || st.Finalized || st.Groups != len(specs) {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Durable || st.WALPos != 0 {
+		t.Fatalf("memory-only round reported durable: %+v", st)
+	}
+	if st.DedupEntries != n || len(st.GroupCounts) != len(specs) {
+		t.Fatalf("status counters: %+v", st)
+	}
+	var sum int
+	for _, c := range st.GroupCounts {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("group counts sum to %d, want %d", sum, n)
 	}
 
 	count, err := cl.Finalize(ctx)
@@ -101,12 +114,15 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Errorf("response metadata: %+v", resp)
 	}
 
-	_, _, finalized, err = cl.Status(ctx)
+	st, err = cl.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !finalized {
+	if !st.Finalized {
 		t.Error("status not finalized")
+	}
+	if err := cl.Healthz(ctx); err != nil {
+		t.Errorf("healthz: %v", err)
 	}
 }
 

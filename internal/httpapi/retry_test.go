@@ -1,0 +1,143 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/faultinject"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   200 * time.Microsecond,
+		MaxDelay:    2 * time.Millisecond,
+		Seed:        99,
+	}
+}
+
+func TestRetryRidesOutTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	// A fail-fast client gives up on the first 503.
+	if err := Dial(ts.URL, ts.Client()).Healthz(context.Background()); err == nil {
+		t.Fatal("fail-fast client retried")
+	}
+	calls.Store(0)
+	cl := DialRetrying(ts.URL, ts.Client(), fastRetry(6))
+	if err := cl.Healthz(context.Background()); err != nil {
+		t.Fatalf("retrying client gave up: %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (3 failures + success)", got)
+	}
+}
+
+func TestRetryStopsOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	cl := DialRetrying(ts.URL, ts.Client(), fastRetry(5))
+	if err := cl.Healthz(context.Background()); err == nil {
+		t.Fatal("400 reported as success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("client retried a 400: %d calls", got)
+	}
+}
+
+func TestRetryGivesUpAndHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	cl := DialRetrying(ts.URL, ts.Client(), fastRetry(3))
+	if err := cl.Healthz(context.Background()); err == nil {
+		t.Fatal("exhausted retries reported as success")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := cl.Healthz(ctx); err == nil {
+		t.Fatal("cancelled context reported as success")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled call kept retrying")
+	}
+}
+
+// Through a 30% flaky transport, a retrying device population lands exactly
+// one counted report per user: lost requests are retried and lost responses
+// are deduplicated by the idempotency key.
+func TestRetryingReportsCountOncePerUser(t *testing.T) {
+	const n = 1500
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OHG, Epsilon: 2, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	flaky := &http.Client{Transport: faultinject.NewTransport(ts.Client().Transport, 0.3, 53)}
+	cl := DialRetrying(ts.URL, flaky, fastRetry(12))
+	ctx := context.Background()
+
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := core.NewClient(specs, plan.Epsilon, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.NewNormal().Generate(schema, n, 57)
+	for row := 0; row < n; row++ {
+		group, err := cl.Assign(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := device.Perturb(group, func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Report(ctx, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count, err := cl.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("finalized %d reports for %d users", count, n)
+	}
+	tr := flaky.Transport.(*faultinject.Transport)
+	if _, _, injected := tr.Stats(); injected == 0 {
+		t.Fatal("fault injector never fired; the test proved nothing")
+	}
+}

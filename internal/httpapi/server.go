@@ -7,32 +7,68 @@
 //
 //	GET  /v1/plan      the published collection plan (wire.PlanMessage)
 //	GET  /v1/assign    {"group": g} — next user-group assignment
-//	POST /v1/report    one wire.ReportMessage; 204 on success
+//	POST /v1/report    one wire.ReportMessage; 204 first accept, 200 replay
 //	POST /v1/finalize  close the round; {"reports": n}
 //	GET  /v1/query     ?where=<expr> — wire.QueryResponse (409 until finalized)
-//	GET  /v1/status    {"reports": n, "groups": m, "finalized": bool}
+//	GET  /v1/status    round progress + durability counters (see Status)
+//	GET  /v1/healthz   liveness probe; always {"ok": true}
+//
+// Reports carry a device-chosen idempotency key (report_id). The first
+// submission under a key is counted and answered 204; an identical
+// resubmission — a device retrying because its acknowledgment was lost — is
+// answered 200 without being counted again; a key reused for a different
+// payload is refused with 409. With a write-ahead log attached (UseWAL),
+// every counted report is durable before it is acknowledged, so a crashed
+// server replays the log and resumes the round with nothing double-counted
+// and nothing acknowledged lost.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 
 	"felip/internal/core"
 	"felip/internal/domain"
 	"felip/internal/query"
+	"felip/internal/reportlog"
 	"felip/internal/wire"
 )
+
+// maxReportBody caps a POST /v1/report body. A legitimate report is well
+// under 200 bytes; the cap only exists so a hostile payload cannot exhaust
+// memory.
+const maxReportBody = 64 << 10
+
+// reportKey fingerprints a report's payload so a reused report_id with a
+// different payload can be told apart from an honest retry.
+type reportKey struct {
+	group int
+	proto string
+	value int
+	seed  uint64
+}
+
+func keyOf(m wire.ReportMessage) reportKey {
+	return reportKey{group: m.Group, proto: m.Proto, value: m.Value, seed: m.Seed}
+}
 
 // Server drives one FELIP collection round over HTTP.
 type Server struct {
 	schema *domain.Schema
 	col    *core.Collector
 	plan   wire.PlanMessage
+	logf   func(format string, args ...any)
 
-	mu  sync.RWMutex
-	agg *core.Aggregator
+	mu     sync.RWMutex
+	agg    *core.Aggregator
+	finalN int
+	wal    *reportlog.Log
+	closed bool // a WAL was attached and has been closed
+	dedup  map[string]reportKey
 }
 
 // NewServer plans a round for an expected population of n users.
@@ -45,7 +81,85 @@ func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error)
 		schema: schema,
 		col:    col,
 		plan:   wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()),
+		logf:   log.Printf,
+		dedup:  make(map[string]reportKey),
 	}, nil
+}
+
+// SetLogger redirects the server's operational log (default log.Printf).
+func (s *Server) SetLogger(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// UseWAL attaches an opened write-ahead log and replays its records into the
+// round: every logged report is re-counted (under its original idempotency
+// key) and a logged finalization re-closes the round, so the server resumes
+// — or re-serves — exactly the round it crashed out of. Subsequent accepted
+// reports are appended to the log before they are acknowledged.
+func (s *Server) UseWAL(l *reportlog.Log, records []reportlog.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return fmt.Errorf("httpapi: write-ahead log already attached")
+	}
+	if s.col.N() > 0 || s.agg != nil {
+		return fmt.Errorf("httpapi: cannot attach a write-ahead log to a round in progress")
+	}
+	for i, rec := range records {
+		switch rec.Type {
+		case reportlog.TypeReport:
+			if _, dup := s.dedup[rec.ReportID]; dup {
+				return fmt.Errorf("httpapi: wal record %d: duplicate report_id %q", i, rec.ReportID)
+			}
+			msg := wire.ReportMessage{
+				ReportID: rec.ReportID,
+				Group:    rec.Group,
+				Proto:    rec.Proto,
+				Value:    rec.Value,
+				Seed:     rec.Seed,
+			}
+			if err := msg.Validate(); err != nil {
+				return fmt.Errorf("httpapi: wal record %d: %w", i, err)
+			}
+			rep, err := msg.Report()
+			if err != nil {
+				return fmt.Errorf("httpapi: wal record %d: %w", i, err)
+			}
+			if err := s.col.Add(rep); err != nil {
+				return fmt.Errorf("httpapi: wal record %d: %w", i, err)
+			}
+			s.dedup[rec.ReportID] = keyOf(msg)
+		case reportlog.TypeFinalize:
+			agg, err := s.col.Finalize()
+			if err != nil {
+				return fmt.Errorf("httpapi: wal record %d: refinalizing: %w", i, err)
+			}
+			s.agg = agg
+			s.finalN = agg.N()
+		default:
+			return fmt.Errorf("httpapi: wal record %d: unknown type %q", i, rec.Type)
+		}
+	}
+	s.col.ResumeAssignment(s.col.N())
+	s.wal = l
+	return nil
+}
+
+// Close flushes and closes the write-ahead log, if one is attached. The
+// server rejects reports afterwards (durability can no longer be honored).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	s.closed = true
+	return err
 }
 
 // Handler returns the HTTP handler serving the API.
@@ -57,21 +171,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/finalize", s.handleFinalize)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone already; all we can do is not lose the
+		// evidence.
+		s.logf("httpapi: encoding %T response: %v", v, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.plan)
+	s.writeJSON(w, http.StatusOK, s.plan)
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
@@ -79,27 +198,83 @@ func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	finalized := s.agg != nil
 	s.mu.RUnlock()
 	if finalized {
-		writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
+		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"group": s.col.AssignGroup()})
+	s.writeJSON(w, http.StatusOK, map[string]int{"group": s.col.AssignGroup()})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxReportBody)
 	var msg wire.ReportMessage
 	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid report body: %w", err))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("report body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid report body: %w", err))
+		return
+	}
+	if err := msg.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	rep, err := msg.Report()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
+	}
+
+	s.mu.Lock()
+	if prev, seen := s.dedup[msg.ReportID]; seen {
+		s.mu.Unlock()
+		if prev != keyOf(msg) {
+			s.writeError(w, http.StatusConflict,
+				fmt.Errorf("report_id %q reused with a different payload", msg.ReportID))
+			return
+		}
+		// An honest retry: already counted, tell the device it can stop.
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "duplicate"})
+		return
+	}
+	if s.agg != nil {
+		s.mu.Unlock()
+		s.writeError(w, http.StatusConflict, fmt.Errorf("core: collection round already finalized"))
+		return
+	}
+	if s.closed {
+		s.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		return
+	}
+	// Validate against the plan first so the WAL only ever receives reports
+	// the collector is guaranteed to accept on replay.
+	if err := s.col.Check(rep); err != nil {
+		s.mu.Unlock()
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.wal != nil {
+		rec := reportlog.ReportRecord(msg.ReportID, msg.Group, msg.Proto, msg.Value, msg.Seed)
+		if err := s.wal.Append(rec); err != nil {
+			s.mu.Unlock()
+			s.logf("httpapi: wal append: %v", err)
+			// Not counted, not acknowledged: the device will retry.
+			s.writeError(w, http.StatusInternalServerError, fmt.Errorf("report log unavailable"))
+			return
+		}
 	}
 	if err := s.col.Add(rep); err != nil {
-		writeError(w, http.StatusConflict, err)
+		// Check passed under the same lock; this is unreachable short of a
+		// bug, and the WAL record is harmless (replay revalidates).
+		s.mu.Unlock()
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.dedup[msg.ReportID] = keyOf(msg)
+	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -108,23 +283,32 @@ func (s *Server) finalize() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.agg != nil {
-		return s.agg.N(), nil
+		return s.finalN, nil
 	}
 	agg, err := s.col.Finalize()
 	if err != nil {
 		return 0, err
 	}
+	if s.wal != nil {
+		if err := s.wal.Append(reportlog.FinalizeRecord(agg.N())); err != nil {
+			return 0, fmt.Errorf("persisting finalization: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return 0, fmt.Errorf("syncing report log: %w", err)
+		}
+	}
 	s.agg = agg
-	return agg.N(), nil
+	s.finalN = agg.N()
+	return s.finalN, nil
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, _ *http.Request) {
 	n, err := s.finalize()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"reports": n})
+	s.writeJSON(w, http.StatusOK, map[string]int{"reports": n})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -132,38 +316,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	agg := s.agg
 	s.mu.RUnlock()
 	if agg == nil {
-		writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
+		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
 		return
 	}
 	where := r.URL.Query().Get("where")
 	if where == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing where parameter"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing where parameter"))
 		return
 	}
 	q, err := query.Parse(where, s.schema)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	est, err := agg.Answer(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := wire.QueryResponse{Query: q.String(), Estimate: est, N: agg.N()}
 	if ee, err := agg.ExpectedError(q); err == nil {
 		resp.ExpectedError = ee
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Status is the operator view of the round returned by GET /v1/status.
+type Status struct {
+	Reports   int  `json:"reports"`
+	Groups    int  `json:"groups"`
+	Finalized bool `json:"finalized"`
+	// GroupCounts is the number of accepted reports per group.
+	GroupCounts []int `json:"group_counts"`
+	// Durable reports whether a write-ahead log is attached.
+	Durable bool `json:"durable"`
+	// WALPos is the log's end offset in bytes (0 when not durable).
+	WALPos int64 `json:"wal_pos,omitempty"`
+	// DedupEntries is the size of the idempotency-key index.
+	DedupEntries int `json:"dedup_entries"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	finalized := s.agg != nil
+	st := Status{
+		Finalized:    s.agg != nil,
+		Durable:      s.wal != nil,
+		DedupEntries: len(s.dedup),
+	}
+	if s.wal != nil {
+		st.WALPos = s.wal.Pos()
+	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"reports":   s.col.N(),
-		"groups":    len(s.plan.Grids),
-		"finalized": finalized,
-	})
+	st.Reports = s.col.N()
+	st.Groups = len(s.plan.Grids)
+	st.GroupCounts = s.col.GroupCounts()
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }

@@ -1,0 +1,192 @@
+// Package reportlog implements the aggregator's durable write-ahead report
+// log. Every report the collection round accepts is appended before it is
+// acknowledged to the device, so a crashed aggregator can replay the log on
+// startup and resume the round exactly where it stopped — the deployment
+// property FELIP's estimator depends on (each user counted exactly once).
+//
+// On-disk format: a sequence of records, each
+//
+//	[4-byte big-endian payload length][4-byte CRC32-IEEE of payload][payload]
+//
+// where the payload is the JSON encoding of a Record. Each Append issues a
+// single Write, so a crash can only tear the final record. Replay stops at
+// the first record whose header, checksum, or encoding is invalid and
+// truncates the file there: a torn tail is by construction a report that was
+// never acknowledged, so dropping it is safe — the device will retry it.
+package reportlog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record types.
+const (
+	// TypeReport is one accepted ε-LDP report.
+	TypeReport = "report"
+	// TypeFinalize marks the round closed; no reports follow it.
+	TypeFinalize = "finalize"
+)
+
+// Record is one durable event of a collection round.
+type Record struct {
+	Type     string `json:"type"`
+	ReportID string `json:"report_id,omitempty"`
+	Group    int    `json:"group,omitempty"`
+	Proto    string `json:"proto,omitempty"`
+	Value    int    `json:"value,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	// Reports is the accepted-report count at finalization (TypeFinalize).
+	Reports int `json:"reports,omitempty"`
+}
+
+// File is the storage a Log writes through; *os.File satisfies it. It is a
+// parameter (rather than a hard-wired *os.File) so tests can interpose
+// fault-injecting wrappers.
+type File interface {
+	io.ReadWriteCloser
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+const (
+	headerLen = 8
+	// maxPayload bounds a single record; anything larger during replay is
+	// treated as corruption, not an allocation request.
+	maxPayload = 1 << 20
+)
+
+// Log is an append-only, checksummed record log. It is safe for concurrent
+// use.
+type Log struct {
+	mu  sync.Mutex
+	f   File
+	pos int64
+}
+
+// Open opens (creating if absent) the log at path, replays every intact
+// record, truncates any torn or corrupt tail, and returns the log positioned
+// for appending together with the replayed records.
+func Open(path string) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reportlog: %w", err)
+	}
+	l, recs, err := OpenFile(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// OpenFile is Open over an already-opened File (for tests and fault
+// injection). The file is rewound, replayed, and truncated past the last
+// intact record.
+func OpenFile(f File) (*Log, []Record, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("reportlog: %w", err)
+	}
+	var (
+		recs   []Record
+		pos    int64 // end of the last intact record
+		header [headerLen]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			break // clean EOF or torn header — either way the tail ends here
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if length == 0 || length > maxPayload {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		pos += headerLen + int64(length)
+	}
+	if err := f.Truncate(pos); err != nil {
+		return nil, nil, fmt.Errorf("reportlog: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(pos, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("reportlog: %w", err)
+	}
+	return &Log{f: f, pos: pos}, recs, nil
+}
+
+// Append encodes and writes one record. The record is handed to the OS in a
+// single Write call, so it survives a process crash immediately; call Sync to
+// also survive an OS crash.
+func (l *Log) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("reportlog: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("reportlog: record of %d bytes exceeds %d", len(payload), maxPayload)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerLen:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, err := l.f.Write(buf)
+	l.pos += int64(n)
+	if err != nil {
+		return fmt.Errorf("reportlog: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Pos returns the current end-of-log byte offset.
+func (l *Log) Pos() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pos
+}
+
+// Close syncs and closes the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("reportlog: %w", err)
+	}
+	return l.f.Close()
+}
+
+// ReportRecord builds the Record for one accepted report.
+func ReportRecord(id string, group int, proto string, value int, seed uint64) Record {
+	return Record{Type: TypeReport, ReportID: id, Group: group, Proto: proto, Value: value, Seed: seed}
+}
+
+// FinalizeRecord builds the Record closing a round of n accepted reports.
+func FinalizeRecord(n int) Record {
+	return Record{Type: TypeFinalize, Reports: n}
+}

@@ -5,6 +5,8 @@
 package wire
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"fmt"
 
 	"felip/internal/core"
@@ -40,11 +42,18 @@ type PlanMessage struct {
 }
 
 // ReportMessage is one user's ε-LDP report on the wire.
+//
+// ReportID is a device-chosen idempotency key: the aggregator counts at most
+// one report per key, so a device that never saw its acknowledgment can
+// resubmit the same message safely. The key is minted independently of the
+// user's true value (see NewReportID), so it carries no information the
+// ε-LDP report doesn't already reveal.
 type ReportMessage struct {
-	Group int    `json:"group"`
-	Proto string `json:"proto"`
-	Value int    `json:"value"`
-	Seed  uint64 `json:"seed,omitempty"`
+	ReportID string `json:"report_id"`
+	Group    int    `json:"group"`
+	Proto    string `json:"proto"`
+	Value    int    `json:"value"`
+	Seed     uint64 `json:"seed,omitempty"`
 }
 
 // QueryResponse carries a query answer.
@@ -155,9 +164,49 @@ func (m PlanMessage) Specs() ([]core.GridSpec, error) {
 	return specs, nil
 }
 
-// NewReportMessage encodes a core report for the wire.
-func NewReportMessage(r core.Report) ReportMessage {
-	return ReportMessage{Group: r.Group, Proto: protoName(r.Proto), Value: r.Value, Seed: r.Seed}
+// NewReportMessage encodes a core report for the wire under the given
+// idempotency key (see NewReportID).
+func NewReportMessage(id string, r core.Report) ReportMessage {
+	return ReportMessage{ReportID: id, Group: r.Group, Proto: protoName(r.Proto), Value: r.Value, Seed: r.Seed}
+}
+
+// MaxReportIDLen bounds the device-chosen idempotency key.
+const MaxReportIDLen = 128
+
+// NewReportID mints a fresh idempotency key from the device's entropy pool.
+// The key is drawn independently of the user's record, so its reuse across
+// retries reveals only "same submission", never anything about the value.
+func NewReportID() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; refusing to produce
+		// a weak or colliding key is the only safe reaction.
+		panic(fmt.Sprintf("wire: reading entropy for report id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Validate checks the wire-level invariants every report must satisfy before
+// it is considered: key present and bounded, protocol known, group and value
+// non-negative. Range checks against the round's actual plan (group count,
+// grid sizes) are the collector's job.
+func (m ReportMessage) Validate() error {
+	if m.ReportID == "" {
+		return fmt.Errorf("wire: report missing report_id")
+	}
+	if len(m.ReportID) > MaxReportIDLen {
+		return fmt.Errorf("wire: report_id of %d bytes exceeds %d", len(m.ReportID), MaxReportIDLen)
+	}
+	if _, err := protoFromName(m.Proto); err != nil {
+		return err
+	}
+	if m.Group < 0 {
+		return fmt.Errorf("wire: negative group %d", m.Group)
+	}
+	if m.Value < 0 {
+		return fmt.Errorf("wire: negative report value %d", m.Value)
+	}
+	return nil
 }
 
 // Report decodes the wire message into a core report.

@@ -114,7 +114,10 @@ func TestReportRoundTrip(t *testing.T) {
 		{Group: 3, Proto: fo.GRR, Value: 7},
 		{Group: 0, Proto: fo.OLH, Value: 2, Seed: 0xDEADBEEF},
 	} {
-		msg := NewReportMessage(rep)
+		msg := NewReportMessage(NewReportID(), rep)
+		if err := msg.Validate(); err != nil {
+			t.Fatal(err)
+		}
 		buf, err := json.Marshal(msg)
 		if err != nil {
 			t.Fatal(err)
@@ -122,6 +125,9 @@ func TestReportRoundTrip(t *testing.T) {
 		var decoded ReportMessage
 		if err := json.Unmarshal(buf, &decoded); err != nil {
 			t.Fatal(err)
+		}
+		if decoded.ReportID != msg.ReportID {
+			t.Errorf("report_id %q -> %q", msg.ReportID, decoded.ReportID)
 		}
 		got, err := decoded.Report()
 		if err != nil {
@@ -133,5 +139,43 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if _, err := (ReportMessage{Proto: "???"}).Report(); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	ok := NewReportMessage(NewReportID(), core.Report{Group: 1, Proto: fo.GRR, Value: 2})
+	for name, mutate := range map[string]func(*ReportMessage){
+		"missing report_id":  func(m *ReportMessage) { m.ReportID = "" },
+		"oversized report_id": func(m *ReportMessage) {
+			for len(m.ReportID) <= MaxReportIDLen {
+				m.ReportID += "x"
+			}
+		},
+		"unknown proto":  func(m *ReportMessage) { m.Proto = "RAPPOR" },
+		"negative group": func(m *ReportMessage) { m.Group = -1 },
+		"negative value": func(m *ReportMessage) { m.Value = -3 },
+	} {
+		bad := ok
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}
+
+func TestNewReportIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewReportID()
+		if len(id) == 0 || len(id) > MaxReportIDLen {
+			t.Fatalf("id %q out of bounds", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
 	}
 }
