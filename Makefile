@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-fo
 
 build:
 	$(GO) build ./...
@@ -14,5 +14,11 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
+# Aggregation-kernel benchmark: fold kernel vs sequential baseline, plus an
+# end-to-end round, written to BENCH_PR2.json.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) run ./cmd/felipbench -kernel -out BENCH_PR2.json
+
+# Raw go-bench microbenchmarks for the frequency-oracle kernel.
+bench-fo:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/fo/

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/metrics"
+	"felip/internal/query"
+)
+
+// kernelCase is one OLH aggregation micro-benchmark point: the new fold
+// kernel against the sequential pre-kernel baseline on identical reports.
+type kernelCase struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	L            int     `json:"l"`
+	G            int     `json:"g"`
+	Epsilon      float64 `json:"epsilon"`
+	ReferenceMS  float64 `json:"reference_ms"`
+	KernelMS     float64 `json:"kernel_ms"`
+	Speedup      float64 `json:"speedup"`
+	HashesPerSec float64 `json:"kernel_hashes_per_sec"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// e2eCase times a full Collector round (fill + Finalize) at both aggregation
+// modes and checks the answers agree exactly.
+type e2eCase struct {
+	N                  int     `json:"n"`
+	Grids              int     `json:"grids"`
+	BufferedFinalizeMS float64 `json:"buffered_finalize_ms"`
+	StreamingRoundMS   float64 `json:"streaming_round_ms"`
+	AnswersIdentical   bool    `json:"answers_identical"`
+}
+
+type kernelReport struct {
+	Timestamp  string           `json:"timestamp"`
+	GoVersion  string           `json:"go_version"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Cases      []kernelCase     `json:"cases"`
+	EndToEnd   e2eCase          `json:"end_to_end"`
+	Metrics    map[string]int64 `json:"metrics"`
+}
+
+// genKernelReports perturbs a deterministic value stream into OLH reports.
+func genKernelReports(eps float64, L, n int, seed uint64) ([]fo.OLHReport, error) {
+	cl, err := fo.NewOLHClient(eps, L)
+	if err != nil {
+		return nil, err
+	}
+	r := fo.NewRand(seed)
+	reports := make([]fo.OLHReport, n)
+	for i := range reports {
+		rep, err := cl.Perturb(i%L, r)
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}
+
+// bestOf returns the fastest of reps timed runs of f.
+func bestOf(reps int, f func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func runKernelCase(name string, eps float64, L, n, reps int, seed uint64) (kernelCase, error) {
+	reports, err := genKernelReports(eps, L, n, seed)
+	if err != nil {
+		return kernelCase{}, err
+	}
+	var ref, ker []float64
+	refDur := bestOf(reps, func() {
+		ref = fo.OLHReferenceEstimates(eps, L, reports)
+	})
+	kerDur := bestOf(reps, func() {
+		agg := fo.NewOLHAggregator(eps, L)
+		for _, rep := range reports {
+			agg.Add(rep)
+		}
+		ker = agg.Estimates()
+	})
+	identical := len(ref) == len(ker)
+	for i := range ref {
+		if !identical || ref[i] != ker[i] {
+			identical = false
+			break
+		}
+	}
+	return kernelCase{
+		Name:         name,
+		N:            n,
+		L:            L,
+		G:            fo.OptimalG(eps),
+		Epsilon:      eps,
+		ReferenceMS:  float64(refDur.Microseconds()) / 1e3,
+		KernelMS:     float64(kerDur.Microseconds()) / 1e3,
+		Speedup:      refDur.Seconds() / kerDur.Seconds(),
+		HashesPerSec: float64(n) * float64(L) / kerDur.Seconds(),
+		BitIdentical: identical,
+	}, nil
+}
+
+// runE2E runs one full incremental round per aggregation mode and compares a
+// λ=2 answer bit-for-bit.
+func runE2E(n int) (e2eCase, error) {
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 51)
+
+	round := func(streaming bool) (*core.Aggregator, time.Duration, time.Duration, int, error) {
+		opts := core.Options{Strategy: core.OHG, Epsilon: 1, Seed: 53, StreamingAggregation: streaming}
+		col, err := core.NewCollector(schema, n, opts)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		cl, err := core.NewClient(col.Specs(), col.Epsilon(), 55)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		fillStart := time.Now()
+		for row := 0; row < n; row++ {
+			rep, err := cl.Perturb(col.AssignGroup(), func(attr int) int { return ds.Value(row, attr) })
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			if err := col.Add(rep); err != nil {
+				return nil, 0, 0, 0, err
+			}
+		}
+		fill := time.Since(fillStart)
+		finStart := time.Now()
+		agg, err := col.Finalize()
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		return agg, fill, time.Since(finStart), len(col.Specs()), nil
+	}
+
+	bufAgg, _, bufFin, grids, err := round(false)
+	if err != nil {
+		return e2eCase{}, err
+	}
+	strAgg, strFill, strFin, _, err := round(true)
+	if err != nil {
+		return e2eCase{}, err
+	}
+	// Streaming pays its folds during collection, so its figure is the whole
+	// round (fill + finalize); buffered pays at Finalize.
+	identical := true
+	for _, where := range []string{"num0=2..9 and cat0=0,1", "num1=4..27"} {
+		q, err := query.Parse(where, schema)
+		if err != nil {
+			return e2eCase{}, err
+		}
+		a, err := bufAgg.Answer(q)
+		if err != nil {
+			return e2eCase{}, err
+		}
+		b, err := strAgg.Answer(q)
+		if err != nil {
+			return e2eCase{}, err
+		}
+		if a != b {
+			identical = false
+		}
+	}
+	return e2eCase{
+		N:                  n,
+		Grids:              grids,
+		BufferedFinalizeMS: float64(bufFin.Microseconds()) / 1e3,
+		StreamingRoundMS:   float64((strFill + strFin).Microseconds()) / 1e3,
+		AnswersIdentical:   identical,
+	}, nil
+}
+
+// runKernelBench runs the aggregation-kernel benchmark suite and writes the
+// JSON report to path.
+func runKernelBench(path string, reps int) error {
+	rep := kernelReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	cases := []struct {
+		name string
+		eps  float64
+		L, n int
+	}{
+		{"small", 1.0, 256, 10_000},
+		{"acceptance", 1.0, 1024, 100_000},
+	}
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "felipbench: kernel case %s (n=%d, L=%d)...\n", c.name, c.n, c.L)
+		kc, err := runKernelCase(c.name, c.eps, c.L, c.n, reps, 61)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "felipbench:   reference %.1fms, kernel %.1fms, speedup %.2fx, identical=%v\n",
+			kc.ReferenceMS, kc.KernelMS, kc.Speedup, kc.BitIdentical)
+		rep.Cases = append(rep.Cases, kc)
+	}
+	fmt.Fprintf(os.Stderr, "felipbench: end-to-end round (buffered vs streaming)...\n")
+	e2e, err := runE2E(20_000)
+	if err != nil {
+		return err
+	}
+	rep.EndToEnd = e2e
+	rep.Metrics = metrics.Snapshot()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "felipbench: wrote %s\n", path)
+	return nil
+}

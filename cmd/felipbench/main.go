@@ -12,6 +12,7 @@
 //	felipbench -fig 7 -paper         # Figure 7 at the paper's n=10⁶
 //	felipbench -fig all -n 50000     # everything, custom population
 //	felipbench -list                  # list available figures
+//	felipbench -kernel                # OLH aggregation-kernel benchmark → BENCH_PR2.json
 package main
 
 import (
@@ -36,8 +37,19 @@ func main() {
 		only    = flag.String("datasets", "", "comma-separated dataset subset (uniform,normal,ipums-sim,loan-sim)")
 		lambdas = flag.String("lambdas", "", "comma-separated query dimensions for the mixed figures (default 2,4)")
 		csvPath = flag.String("csv", "", "also write machine-readable results to this CSV file")
+		kernel  = flag.Bool("kernel", false, "benchmark the OLH aggregation kernel against the sequential baseline and exit")
+		out     = flag.String("out", "BENCH_PR2.json", "output path for the -kernel JSON report")
+		reps    = flag.Int("reps", 3, "timed repetitions per -kernel case (best is reported)")
 	)
 	flag.Parse()
+
+	if *kernel {
+		if err := runKernelBench(*out, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p := experiment.Params{NumQueries: *queries, Seed: *seed}
 	if *lambdas != "" {

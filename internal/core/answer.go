@@ -40,8 +40,7 @@ func (a *Aggregator) Answer(q query.Query) (float64, error) {
 			pairs = append(pairs, pa)
 		}
 	}
-	threshold := 1 / float64(a.n)
-	return estimate.EstimateLambda(lambda, pairs, threshold, a.opts.LambdaMaxIter)
+	return estimate.EstimateLambda(lambda, pairs, a.ipfThreshold(), a.opts.LambdaMaxIter)
 }
 
 // ExpectedError returns an analytic a-priori estimate of the query's root
@@ -87,6 +86,22 @@ func (a *Aggregator) ExpectedError(q query.Query) (float64, error) {
 		}
 	}
 	return math.Sqrt(total), nil
+}
+
+// defaultIPFThreshold is the iterative-fitting convergence threshold used
+// when the population size is unknown. It is tighter than 1/n for any
+// realistic n, so fitting still converges (maxIter bounds the work).
+const defaultIPFThreshold = 1e-9
+
+// ipfThreshold returns the paper's < 1/n convergence threshold for the
+// iterative fitting sweeps. An aggregator restored from a snapshot (or built
+// programmatically) can carry n = 0; the unguarded 1/n would be +Inf, which
+// makes every sweep "converged" and silently stops IPF after one pass.
+func (a *Aggregator) ipfThreshold() float64 {
+	if a.n <= 0 {
+		return defaultIPFThreshold
+	}
+	return 1 / float64(a.n)
 }
 
 // answer1D estimates a single-predicate query from the most precise marginal
@@ -225,7 +240,7 @@ func (a *Aggregator) responseMatrix(i, j int) (*estimate.Matrix, error) {
 		}
 	}
 
-	m.Fit(cons, 1/float64(a.n), a.opts.MatrixMaxIter)
+	m.Fit(cons, a.ipfThreshold(), a.opts.MatrixMaxIter)
 	a.matrices[key] = m
 	return m, nil
 }

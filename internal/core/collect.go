@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"felip/internal/dataset"
@@ -80,32 +79,23 @@ func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
 		}
 	}
 
-	// Estimate all grids concurrently (bounded by GOMAXPROCS). Per-grid seeds
+	// Estimate all grids concurrently via the shared fan-out. Per-grid seeds
 	// are drawn sequentially first, so results are bit-identical regardless
 	// of scheduling.
 	seeds := make([]uint64, len(specs))
 	for g := range seeds {
 		seeds[g] = rng.Uint64()
 	}
-	freqs := make([][]float64, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for g := range specs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(g int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			spec := specs[g]
-			freqs[g], errs[g] = fo.Estimate(spec.Proto, groupEps, spec.L(), groupValues[g], seeds[g])
-		}(g)
-	}
-	wg.Wait()
-	for g, err := range errs {
+	freqs, err := estimateGrids(len(specs), func(g int) ([]float64, error) {
+		spec := specs[g]
+		est, err := fo.Estimate(spec.Proto, groupEps, spec.L(), groupValues[g], seeds[g])
 		if err != nil {
-			return nil, fmt.Errorf("core: grid %v: %w", specs[g], err)
+			return nil, fmt.Errorf("core: grid %v: %w", spec, err)
 		}
+		return est, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	groupNs := make([]int, m)

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// estimateGrids fans per-grid frequency estimation out across GOMAXPROCS
+// workers and collects every grid's vector. est(g) must be safe to run
+// concurrently with est(h) for g ≠ h and deterministic per grid — both the
+// simulated path (Collect, which pre-draws per-grid seeds) and the
+// report-driven path (Collector.Finalize, whose aggregators are independent)
+// satisfy this, so the fan-out changes wall-clock time and nothing else.
+// The first non-nil error wins, by grid order.
+func estimateGrids(m int, est func(g int) ([]float64, error)) ([][]float64, error) {
+	freqs := make([][]float64, m)
+	errs := make([]error, m)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for g := 0; g < m; g++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			freqs[g], errs[g] = est(g)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return freqs, nil
+}

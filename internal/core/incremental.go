@@ -1,12 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"felip/internal/domain"
 	"felip/internal/fo"
+	"felip/internal/metrics"
 )
+
+// ErrFinalized reports that the collection round has already been closed;
+// further reports are refused. The HTTP layer maps it to 409 Conflict.
+var ErrFinalized = errors.New("core: collection round already finalized")
+
+// finalizeTimer records wall-clock time spent estimating and post-processing
+// at round close (see internal/metrics; exposed via /v1/status).
+var finalizeTimer = metrics.GetTimer("core.finalize")
+
+// testHookFinalizeEstimation, when non-nil, runs after Finalize releases the
+// collector lock and before estimation starts. Tests use it to hold the
+// estimation phase open deterministically while probing liveness.
+var testHookFinalizeEstimation func()
 
 // Report is one user's ε-LDP submission: the grid (user group) it belongs to
 // and the perturbed cell report in the grid's protocol. It is what actually
@@ -122,7 +138,13 @@ type Collector struct {
 	grrAggs   map[int]*fo.GRRAggregator
 	olhAggs   map[int]*fo.OLHAggregator
 	added     int
+	rejected  int
 	finalized bool
+	// finalDone is non-nil once a Finalize is in flight or complete; it
+	// closes when finalAgg/finalErr hold the round's one result.
+	finalDone chan struct{}
+	finalAgg  *Aggregator
+	finalErr  error
 }
 
 // NewCollector plans the grids for an expected population of n users and
@@ -153,7 +175,11 @@ func NewCollector(schema *domain.Schema, n int, opts Options) (*Collector, error
 		case fo.GRR:
 			c.grrAggs[g] = fo.NewGRRAggregator(opts.Epsilon, spec.L())
 		case fo.OLH:
-			c.olhAggs[g] = fo.NewOLHAggregator(opts.Epsilon, spec.L())
+			if opts.StreamingAggregation {
+				c.olhAggs[g] = fo.NewOLHAggregatorStreaming(opts.Epsilon, spec.L())
+			} else {
+				c.olhAggs[g] = fo.NewOLHAggregator(opts.Epsilon, spec.L())
+			}
 		default:
 			return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
 		}
@@ -182,11 +208,21 @@ func (c *Collector) AssignGroup() int {
 }
 
 // checkLocked validates a report against the plan without recording it.
-// Callers hold c.mu.
+// Callers hold c.mu. A validation failure (not counting the finalized-round
+// refusal, which says nothing about the client) increments the rejected
+// counter so malformed-client traffic stays visible to operators.
 func (c *Collector) checkLocked(rep Report) error {
 	if c.finalized {
-		return fmt.Errorf("core: collection round already finalized")
+		return ErrFinalized
 	}
+	if err := c.validateLocked(rep); err != nil {
+		c.rejected++
+		return err
+	}
+	return nil
+}
+
+func (c *Collector) validateLocked(rep Report) error {
 	if rep.Group < 0 || rep.Group >= len(c.specs) {
 		return fmt.Errorf("core: report for unknown group %d", rep.Group)
 	}
@@ -241,6 +277,23 @@ func (c *Collector) N() int {
 	return c.added
 }
 
+// Rejected returns the number of reports refused by plan validation since the
+// round opened (unknown group, wrong protocol, out-of-range value — the
+// malformed-client traffic the round never counted), plus any out-of-range
+// reports the per-grid aggregators refused directly.
+func (c *Collector) Rejected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.rejected
+	for _, agg := range c.grrAggs {
+		total += agg.Rejected()
+	}
+	for _, agg := range c.olhAggs {
+		total += agg.Rejected()
+	}
+	return total
+}
+
 // GroupCounts returns the number of reports accepted so far per group. The
 // counts let an operator watch group balance and let a restarted aggregator
 // verify a replayed round.
@@ -272,27 +325,65 @@ func (c *Collector) ResumeAssignment(assigned int) {
 }
 
 // Finalize closes the round: estimates every grid's cell frequencies from
-// the accumulated reports, post-processes (§5.4), and returns the query
-// Aggregator. Further Add calls fail; Finalize is idempotent in effect but
-// should be called once.
+// the accumulated reports (fanned out across GOMAXPROCS via the same helper
+// the simulated path uses), post-processes (§5.4), and returns the query
+// Aggregator.
+//
+// The collector lock is held only long enough to mark the round closed and
+// snapshot the aggregator set; the O(n·L) estimation runs outside it, so
+// N, GroupCounts, Rejected and (failing) Add calls — the server's status and
+// health surface — stay live while the round closes. Finalize is idempotent:
+// every call, including concurrent ones, returns the same Aggregator.
 func (c *Collector) Finalize() (*Aggregator, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if done := c.finalDone; done != nil {
+		// A finalization is in flight or complete: wait for its result.
+		c.mu.Unlock()
+		<-done
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.finalAgg, c.finalErr
+	}
 	if c.added == 0 {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("core: no reports collected")
 	}
-	c.finalized = true
-	freqs := make([][]float64, len(c.specs))
-	groupNs := make([]int, len(c.specs))
-	for g, spec := range c.specs {
-		switch spec.Proto {
-		case fo.GRR:
-			freqs[g] = c.grrAggs[g].Estimates()
-			groupNs[g] = c.grrAggs[g].N()
-		case fo.OLH:
-			freqs[g] = c.olhAggs[g].Estimates()
-			groupNs[g] = c.olhAggs[g].N()
-		}
+	c.finalized = true // Add/Check refuse from here on; aggregators are frozen
+	done := make(chan struct{})
+	c.finalDone = done
+	added := c.added
+	specs := c.specs
+	grrAggs := c.grrAggs
+	olhAggs := c.olhAggs
+	c.mu.Unlock()
+
+	if hook := testHookFinalizeEstimation; hook != nil {
+		hook()
 	}
-	return assembleAggregator(c.schema, c.opts, c.specs, c.added, freqs, groupNs, c.opts.Epsilon)
+
+	start := time.Now()
+	groupNs := make([]int, len(specs))
+	freqs, err := estimateGrids(len(specs), func(g int) ([]float64, error) {
+		switch specs[g].Proto {
+		case fo.GRR:
+			groupNs[g] = grrAggs[g].N()
+			return grrAggs[g].Estimates(), nil
+		case fo.OLH:
+			groupNs[g] = olhAggs[g].N()
+			return olhAggs[g].Estimates(), nil
+		default:
+			return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", specs[g].Proto)
+		}
+	})
+	var agg *Aggregator
+	if err == nil {
+		agg, err = assembleAggregator(c.schema, c.opts, specs, added, freqs, groupNs, c.opts.Epsilon)
+	}
+	finalizeTimer.Observe(time.Since(start))
+
+	c.mu.Lock()
+	c.finalAgg, c.finalErr = agg, err
+	c.mu.Unlock()
+	close(done)
+	return agg, err
 }

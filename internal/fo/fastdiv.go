@@ -1,0 +1,58 @@
+package fo
+
+import "math/bits"
+
+// fastMod computes x % d for a fixed small divisor d without the hardware
+// divide instruction. The OLH support-count kernel evaluates one modulo per
+// (report, domain value) pair — O(n·L) of them per grid — and on most cores a
+// 64-bit DIV costs several times a multiply, so replacing it roughly doubles
+// the kernel's single-thread throughput.
+//
+// The reduction is Lemire's multiply-based remainder ("Faster remainders when
+// the divisor is a constant", 2019) lifted to 64-bit numerators: precompute
+// M = ⌈2^128 / d⌉ as a 128-bit fixed-point reciprocal; then
+//
+//	x mod d = ⌊ ((M·x) mod 2^128) · d / 2^128 ⌋
+//
+// which is exact whenever the fraction width (128) is at least the numerator
+// width (64) plus the divisor width (8 here: d ≤ 255). Powers of two take the
+// mask shortcut. Exactness over the full uint64 range is what keeps the
+// parallel kernel bit-identical to the pre-existing `% g` path; it is pinned
+// by an exhaustive-over-d property test.
+type fastMod struct {
+	d      uint64
+	m1, m0 uint64 // M = ⌈2^128/d⌉, big-endian word pair
+	mask   uint64 // d−1 when d is a power of two
+	pow2   bool
+}
+
+// newFastMod prepares the reduction for divisor d ≥ 1.
+func newFastMod(d uint64) fastMod {
+	if d == 0 {
+		panic("fo: fastMod divisor must be positive")
+	}
+	if d&(d-1) == 0 {
+		return fastMod{d: d, mask: d - 1, pow2: true}
+	}
+	// M = ⌊(2^128−1)/d⌋ + 1 via 128/64 long division. d does not divide
+	// 2^128 (it is not a power of two), so this is exactly ⌈2^128/d⌉.
+	q1, r := bits.Div64(0, ^uint64(0), d)
+	q0, _ := bits.Div64(r, ^uint64(0), d)
+	m0, carry := bits.Add64(q0, 1, 0)
+	return fastMod{d: d, m1: q1 + carry, m0: m0}
+}
+
+// mod returns x % f.d.
+func (f fastMod) mod(x uint64) uint64 {
+	if f.pow2 {
+		return x & f.mask
+	}
+	// lowbits = (M·x) mod 2^128.
+	hi, lo := bits.Mul64(f.m0, x)
+	hi += f.m1 * x // wraparound multiply: only the low 128 bits matter
+	// ⌊lowbits·d / 2^128⌋ with d ≤ 2^8: the top word of the 192-bit product.
+	aHi, aLo := bits.Mul64(hi, f.d)
+	bHi, _ := bits.Mul64(lo, f.d)
+	_, carry := bits.Add64(aLo, bHi, 0)
+	return aHi + carry
+}

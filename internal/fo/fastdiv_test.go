@@ -1,0 +1,49 @@
+package fo
+
+import "testing"
+
+// TestFastModExact pins the multiply-based reduction to the hardware %
+// operator for every divisor the OLH kernel can see (g ∈ [2, 255], powers of
+// two included) across boundary and pseudo-random 64-bit numerators. The
+// parallel kernel's bit-identity to the sequential path rests on this.
+func TestFastModExact(t *testing.T) {
+	r := NewRand(0xFA57D1F)
+	for d := uint64(1); d <= 255; d++ {
+		fm := newFastMod(d)
+		check := func(x uint64) {
+			t.Helper()
+			if got, want := fm.mod(x), x%d; got != want {
+				t.Fatalf("fastMod(%d) of %#x = %d, want %d", d, x, got, want)
+			}
+		}
+		// Boundaries: around 0, around multiples of d near 2^64, extremes.
+		for _, x := range []uint64{0, 1, d - 1, d, d + 1, ^uint64(0), ^uint64(0) - 1} {
+			check(x)
+		}
+		kMax := ^uint64(0) / d
+		for _, k := range []uint64{1, 2, kMax - 1, kMax} {
+			base := k * d
+			check(base)
+			check(base - 1)
+			if base+1 != 0 {
+				check(base + 1)
+			}
+		}
+		// Full residue sweep plus random draws.
+		for x := uint64(0); x < 2*d+2; x++ {
+			check(x)
+		}
+		for i := 0; i < 2000; i++ {
+			check(r.Uint64())
+		}
+	}
+}
+
+func TestFastModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newFastMod(0) did not panic")
+		}
+	}()
+	newFastMod(0)
+}

@@ -3,7 +3,13 @@ package fo
 import (
 	"fmt"
 	"math"
+
+	"felip/internal/metrics"
 )
+
+// grrRejectedTotal counts out-of-range GRR reports process-wide (per-round
+// counts live on each aggregator's Rejected).
+var grrRejectedTotal = metrics.GetCounter("fo.grr.rejected")
 
 // GRRClient is the user-side algorithm Ψ_GRR of Generalized Randomized
 // Response (paper §2.2.1). With probability p = e^ε/(e^ε+L−1) the true value
@@ -65,12 +71,14 @@ func (c *GRRClient) Perturb(v int, r *Rand) (int, error) {
 }
 
 // GRRAggregator is the server-side algorithm Φ_GRR: it counts reports and
-// converts counts into unbiased frequency estimates (paper Eq 1).
+// converts counts into unbiased frequency estimates (paper Eq 1). It is not
+// safe for concurrent use; the collector serializes access.
 type GRRAggregator struct {
-	eps    float64
-	l      int
-	counts []int64
-	n      int
+	eps      float64
+	l        int
+	counts   []int64
+	n        int
+	rejected int
 }
 
 // NewGRRAggregator returns an empty aggregator for domain size L.
@@ -78,16 +86,42 @@ func NewGRRAggregator(eps float64, L int) *GRRAggregator {
 	return &GRRAggregator{eps: eps, l: L, counts: make([]int64, L)}
 }
 
-// Add records one user report.
+// Add records one user report. A report outside [0, L) cannot have been
+// produced by Ψ_GRR; it is counted as rejected rather than silently
+// discarded, so malformed-client traffic stays visible to operators.
 func (a *GRRAggregator) Add(report int) {
-	if report >= 0 && report < a.l {
-		a.counts[report]++
-		a.n++
+	if report < 0 || report >= a.l {
+		a.rejected++
+		grrRejectedTotal.Inc()
+		return
 	}
+	a.counts[report]++
+	a.n++
 }
 
 // N returns the number of reports recorded so far.
 func (a *GRRAggregator) N() int { return a.n }
+
+// Rejected returns the number of out-of-range reports Add refused.
+func (a *GRRAggregator) Rejected() int { return a.rejected }
+
+// Merge adds another aggregator's counts into this one, exactly. Both must
+// share ε and L. The other aggregator is left unchanged.
+func (a *GRRAggregator) Merge(other *GRRAggregator) error {
+	if other == a {
+		return fmt.Errorf("fo: cannot merge a GRR aggregator with itself")
+	}
+	if a.eps != other.eps || a.l != other.l {
+		return fmt.Errorf("fo: merging incompatible GRR aggregators (eps %v/%v, L %d/%d)",
+			a.eps, other.eps, a.l, other.l)
+	}
+	for v, c := range other.counts {
+		a.counts[v] += c
+	}
+	a.n += other.n
+	a.rejected += other.rejected
+	return nil
+}
 
 // Estimates returns the unbiased frequency estimate for every domain value:
 // Φ_GRR(v) = (C(v)/n − q)/(p − q). Estimates may be negative; post-processing

@@ -1,0 +1,83 @@
+package fo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchOLHReports builds one shared report set per benchmark scale.
+func benchOLHReports(b *testing.B, eps float64, L, n int) []OLHReport {
+	b.Helper()
+	return genOLHReports(b, eps, L, n, 1234)
+}
+
+// BenchmarkOLHEstimatesKernel measures the parallel fold kernel at the
+// acceptance scale (n=100k, L=1024) and smaller points. hashes/s is the
+// portable throughput figure: n·L hash evaluations per estimate.
+func BenchmarkOLHEstimatesKernel(b *testing.B) {
+	for _, sc := range []struct{ n, L int }{{10_000, 256}, {100_000, 1024}} {
+		b.Run(fmt.Sprintf("n=%d/L=%d", sc.n, sc.L), func(b *testing.B) {
+			reports := benchOLHReports(b, 1.0, sc.L, sc.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg := NewOLHAggregator(1.0, sc.L)
+				for _, rep := range reports {
+					agg.Add(rep)
+				}
+				_ = agg.Estimates()
+			}
+			b.StopTimer()
+			hashes := float64(sc.n) * float64(sc.L) * float64(b.N)
+			b.ReportMetric(hashes/b.Elapsed().Seconds(), "hashes/s")
+		})
+	}
+}
+
+// BenchmarkOLHEstimatesReference is the pre-kernel sequential baseline the
+// ≥2× acceptance criterion compares against.
+func BenchmarkOLHEstimatesReference(b *testing.B) {
+	for _, sc := range []struct{ n, L int }{{10_000, 256}, {100_000, 1024}} {
+		b.Run(fmt.Sprintf("n=%d/L=%d", sc.n, sc.L), func(b *testing.B) {
+			reports := benchOLHReports(b, 1.0, sc.L, sc.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = OLHReferenceEstimates(1.0, sc.L, reports)
+			}
+			b.StopTimer()
+			hashes := float64(sc.n) * float64(sc.L) * float64(b.N)
+			b.ReportMetric(hashes/b.Elapsed().Seconds(), "hashes/s")
+		})
+	}
+}
+
+// BenchmarkOLHStreamingAdd measures the fold-at-Add path: per-report cost of
+// the memory-bounded mode.
+func BenchmarkOLHStreamingAdd(b *testing.B) {
+	const L = 1024
+	reports := benchOLHReports(b, 1.0, L, 100_000)
+	b.ResetTimer()
+	agg := NewOLHAggregatorStreaming(1.0, L)
+	for i := 0; i < b.N; i++ {
+		agg.Add(reports[i%len(reports)])
+	}
+}
+
+func BenchmarkFastMod(b *testing.B) {
+	fm := newFastMod(5)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += fm.mod(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	sinkU64 = acc
+}
+
+func BenchmarkHardwareMod(b *testing.B) {
+	d := uint64(5)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += (uint64(i) * 0x9E3779B97F4A7C15) % d
+	}
+	sinkU64 = acc
+}
+
+var sinkU64 uint64

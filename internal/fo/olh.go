@@ -3,6 +3,11 @@ package fo
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"felip/internal/metrics"
 )
 
 // olhHash maps value v into [0, g) under the hash function identified by
@@ -103,52 +108,313 @@ func (c *OLHClient) Perturb(v int, r *Rand) (OLHReport, error) {
 	return OLHReport{Seed: seed, Value: uint8(rep)}, nil
 }
 
-// OLHAggregator is the server-side algorithm Φ_OLH: it keeps all reports and
-// computes, for each domain value v, the support count
-// C(v) = |{j : H_j(v) = x_j}| and its unbiased frequency estimate
-// (C(v)/n − 1/g) / (p − 1/g).
+// Kernel instruments (see internal/metrics): fold throughput and estimation
+// latency, surfaced by the HTTP API's /v1/status.
+var (
+	olhFoldTimer     = metrics.GetTimer("fo.olh.fold")
+	olhFoldReports   = metrics.GetCounter("fo.olh.fold_reports")
+	olhEstimateTimer = metrics.GetTimer("fo.olh.estimate")
+	olhMerges        = metrics.GetCounter("fo.olh.merges")
+	olhRejectedTotal = metrics.GetCounter("fo.olh.rejected")
+)
+
+// foldParallelMin is the fold size (reports × domain values, i.e. hash
+// evaluations) below which the worker fan-out costs more than it saves.
+const foldParallelMin = 1 << 18
+
+// streamFoldBatch is the pending-buffer size at which a streaming aggregator
+// folds; it amortizes the O(L) fold sweep over a batch of reports while
+// keeping the buffer — and therefore memory — O(1) in n.
+const streamFoldBatch = 512
+
+// OLHAggregator is the server-side algorithm Φ_OLH as a parallel, mergeable,
+// memory-bounded kernel. Reports fold into a per-value support-count vector
+// C(v) = |{j : H_j(v) = x_j}|; Estimates converts the counts into the
+// unbiased frequency estimates (C(v)/n − 1/g) / (p − 1/g).
+//
+// In the default buffered mode Add is O(1) (reports queue in memory) and the
+// O(n·L) fold runs once at Estimates time, fanned out across GOMAXPROCS
+// workers over disjoint domain ranges. In streaming mode (NewOLHAggregator-
+// Streaming) reports fold as they arrive, batch by batch, so memory stays
+// O(L) instead of O(n) — the shape a long-lived shard wants.
+//
+// Because the support counts are integers and every report's contribution is
+// folded exactly once, the kernel is bit-deterministic: buffered, streaming,
+// parallel, and k-way Merge'd aggregations of the same report multiset all
+// produce float-for-float identical estimates, equal to the sequential
+// reference (OLHReferenceEstimates).
+//
+// An OLHAggregator is safe for concurrent use. Reports added concurrently
+// with an Estimates call may or may not be included in that call's output.
 type OLHAggregator struct {
-	eps     float64
-	l       int
-	g       int
-	reports []OLHReport
+	eps float64
+	l   int
+	g   int
+
+	mu       sync.Mutex
+	pending  []OLHReport // reports not yet folded
+	support  []int64     // folded support counts, nil until first fold
+	folded   int         // reports folded into support
+	inflight int         // reports checked out by an in-progress fold
+	rejected int         // out-of-range reports refused by Add
+	foldAt   int         // fold when len(pending) reaches this (0: only at Estimates)
+	pre      []uint64    // premultiplied per-value hash constants, built lazily
+	fm       fastMod     // exact multiply-based reduction mod g
 }
 
-// NewOLHAggregator returns an empty aggregator for domain size L.
+// NewOLHAggregator returns an empty buffered aggregator for domain size L:
+// Add queues reports and the fold runs at Estimates time.
 func NewOLHAggregator(eps float64, L int) *OLHAggregator {
 	return &OLHAggregator{eps: eps, l: L, g: OptimalG(eps)}
 }
 
-// Add records one user report.
+// NewOLHAggregatorStreaming returns an empty streaming aggregator for domain
+// size L: reports fold into the support vector as they arrive (in batches of
+// streamFoldBatch), so memory is O(L) regardless of how many reports the
+// round collects.
+func NewOLHAggregatorStreaming(eps float64, L int) *OLHAggregator {
+	a := NewOLHAggregator(eps, L)
+	a.foldAt = streamFoldBatch
+	return a
+}
+
+// tablesLocked lazily builds the shared fold tables. Callers hold a.mu; the
+// returned slices are read-only after publication.
+func (a *OLHAggregator) tablesLocked() ([]uint64, fastMod) {
+	if a.pre == nil {
+		pre := make([]uint64, a.l)
+		for v := range pre {
+			pre[v] = (uint64(v) + 1) * 0xD6E8FEB86659FD93
+		}
+		a.fm = newFastMod(uint64(a.g))
+		a.pre = pre
+	}
+	return a.pre, a.fm
+}
+
+// Add records one user report. A report whose perturbed value lies outside
+// [0, g) cannot have been produced by Ψ_OLH; it is counted as rejected
+// (never silently folded, which would bias every estimate downward).
 func (a *OLHAggregator) Add(rep OLHReport) {
-	a.reports = append(a.reports, rep)
+	if uint64(rep.Value) >= uint64(a.g) {
+		a.mu.Lock()
+		a.rejected++
+		a.mu.Unlock()
+		olhRejectedTotal.Inc()
+		return
+	}
+	a.mu.Lock()
+	a.pending = append(a.pending, rep)
+	if a.foldAt == 0 || len(a.pending) < a.foldAt {
+		a.mu.Unlock()
+		return
+	}
+	batch := a.pending
+	a.pending = nil
+	a.inflight += len(batch)
+	pre, fm := a.tablesLocked()
+	a.mu.Unlock()
+	a.foldBatch(batch, pre, fm)
+}
+
+// foldBatch folds a checked-out batch into the support vector. The heavy
+// O(len(batch)·L) sweep runs outside a.mu so N, Rejected and concurrent Adds
+// stay responsive; only the final integer merge takes the lock.
+func (a *OLHAggregator) foldBatch(batch []OLHReport, pre []uint64, fm fastMod) {
+	if len(batch) == 0 {
+		return
+	}
+	start := time.Now()
+	local := make([]int64, a.l)
+	foldReports(local, batch, pre, fm)
+	a.mu.Lock()
+	if a.support == nil {
+		a.support = local
+	} else {
+		for v, c := range local {
+			a.support[v] += c
+		}
+	}
+	a.folded += len(batch)
+	a.inflight -= len(batch)
+	a.mu.Unlock()
+	olhFoldTimer.Observe(time.Since(start))
+	olhFoldReports.Add(int64(len(batch)))
+}
+
+// foldReports adds each report's support to the vector: support[v] gets one
+// count per report j with H_j(v) = x_j. Workers split the domain into
+// disjoint ranges, so they share the read-only report slice but never write
+// the same element — no per-worker copies, no merge step, and integer
+// addition keeps the outcome independent of scheduling.
+func foldReports(support []int64, reports []OLHReport, pre []uint64, fm fastMod) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(support) {
+		workers = len(support)
+	}
+	if workers < 2 || len(reports)*len(support) < foldParallelMin {
+		foldRange(support, reports, pre, fm)
+		return
+	}
+	step := (len(support) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(support); lo += step {
+		hi := min(lo+step, len(support))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			foldRange(support[lo:hi], reports, pre[lo:hi], fm)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// foldRange is the sequential inner kernel over one domain range. It computes
+// exactly olhHash(seed, v, g) == value per pair, with the (v+1)·C multiply
+// precomputed in pre and the mod-g division replaced by the exact
+// multiply-based reduction — bit-identical support counts, several times
+// fewer cycles per hash. The match test is branchless: a hash matches with
+// probability 1/g, far too often for the branch predictor, so the hit is
+// computed arithmetically ((d−1)>>63 is 1 iff d == 0, exact because
+// d = hash mod g XOR value < 2^63).
+func foldRange(support []int64, reports []OLHReport, pre []uint64, fm fastMod) {
+	pre = pre[:len(support)]
+	if fm.pow2 {
+		mask := fm.mask
+		for _, rep := range reports {
+			seed := rep.Seed
+			val := uint64(rep.Value)
+			for v, pv := range pre {
+				d := (splitmix64(seed^pv) & mask) ^ val
+				support[v] += int64((d - 1) >> 63)
+			}
+		}
+		return
+	}
+	for _, rep := range reports {
+		seed := rep.Seed
+		val := uint64(rep.Value)
+		for v, pv := range pre {
+			d := fm.mod(splitmix64(seed^pv)) ^ val
+			support[v] += int64((d - 1) >> 63)
+		}
+	}
 }
 
 // N returns the number of reports recorded so far.
-func (a *OLHAggregator) N() int { return len(a.reports) }
+func (a *OLHAggregator) N() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.folded + a.inflight + len(a.pending)
+}
+
+// Rejected returns the number of out-of-range reports Add refused.
+func (a *OLHAggregator) Rejected() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rejected
+}
+
+// Merge folds another aggregator's state into this one, exactly: the merged
+// aggregator estimates as if it had received every report both shards did.
+// Both must share ε and L. The other aggregator is left unchanged; it must
+// not have an Estimates call in flight.
+func (a *OLHAggregator) Merge(other *OLHAggregator) error {
+	if other == a {
+		return fmt.Errorf("fo: cannot merge an OLH aggregator with itself")
+	}
+	if a.eps != other.eps || a.l != other.l {
+		return fmt.Errorf("fo: merging incompatible OLH aggregators (eps %v/%v, L %d/%d)",
+			a.eps, other.eps, a.l, other.l)
+	}
+	other.mu.Lock()
+	if other.inflight > 0 {
+		other.mu.Unlock()
+		return fmt.Errorf("fo: cannot merge an OLH aggregator with estimation in flight")
+	}
+	pending := append([]OLHReport(nil), other.pending...)
+	var support []int64
+	if other.support != nil {
+		support = append([]int64(nil), other.support...)
+	}
+	folded := other.folded
+	rejected := other.rejected
+	other.mu.Unlock()
+
+	a.mu.Lock()
+	a.pending = append(a.pending, pending...)
+	if support != nil {
+		if a.support == nil {
+			a.support = support
+		} else {
+			for v, c := range support {
+				a.support[v] += c
+			}
+		}
+	}
+	a.folded += folded
+	a.rejected += rejected
+	a.mu.Unlock()
+	olhMerges.Inc()
+	return nil
+}
 
 // Estimates returns the unbiased frequency estimate for every domain value.
-// Cost is O(n·L) hash evaluations. Returns a zero vector with no reports.
+// Pending reports are folded first — O(pending·L) hash evaluations, fanned
+// out across GOMAXPROCS workers. Returns a zero vector with no reports.
 func (a *OLHAggregator) Estimates() []float64 {
+	start := time.Now()
+	a.mu.Lock()
+	batch := a.pending
+	a.pending = nil
+	a.inflight += len(batch)
+	pre, fm := a.tablesLocked()
+	a.mu.Unlock()
+	a.foldBatch(batch, pre, fm)
+
 	out := make([]float64, a.l)
-	n := len(a.reports)
+	a.mu.Lock()
+	n := a.folded
+	if n > 0 {
+		ee := math.Exp(a.eps)
+		p := ee / (ee + float64(a.g) - 1)
+		invg := 1 / float64(a.g)
+		nf := float64(n)
+		for v := range out {
+			out[v] = (float64(a.support[v])/nf - invg) / (p - invg)
+		}
+	}
+	a.mu.Unlock()
+	olhEstimateTimer.Observe(time.Since(start))
+	return out
+}
+
+// OLHReferenceEstimates is the sequential Φ_OLH this kernel replaced: one
+// report at a time, hardware division for the mod-g reduction. It is kept as
+// the correctness oracle — equivalence tests pin the kernel's output to it
+// bit for bit — and as the baseline the benchmark harness measures speedup
+// against.
+func OLHReferenceEstimates(eps float64, L int, reports []OLHReport) []float64 {
+	out := make([]float64, L)
+	n := len(reports)
 	if n == 0 {
 		return out
 	}
-	g := uint64(a.g)
-	support := make([]int64, a.l)
-	for _, rep := range a.reports {
+	gi := OptimalG(eps)
+	g := uint64(gi)
+	support := make([]int64, L)
+	for _, rep := range reports {
 		val := uint64(rep.Value)
 		seed := rep.Seed
-		for v := 0; v < a.l; v++ {
+		for v := 0; v < L; v++ {
 			if olhHash(seed, v, g) == val {
 				support[v]++
 			}
 		}
 	}
-	ee := math.Exp(a.eps)
-	p := ee / (ee + float64(a.g) - 1)
-	invg := 1 / float64(a.g)
+	ee := math.Exp(eps)
+	p := ee / (ee + float64(gi) - 1)
+	invg := 1 / float64(gi)
 	nf := float64(n)
 	for v := range out {
 		out[v] = (float64(support[v])/nf - invg) / (p - invg)

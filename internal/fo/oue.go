@@ -3,7 +3,13 @@ package fo
 import (
 	"fmt"
 	"math"
+
+	"felip/internal/metrics"
 )
+
+// oueRejectedTotal counts mismatched OUE reports process-wide (per-round
+// counts live on each aggregator's Rejected).
+var oueRejectedTotal = metrics.GetCounter("fo.oue.rejected")
 
 // OUEReport is one user's Optimized Unary Encoding report: a perturbed
 // one-hot encoding of the private value, packed as a bitset.
@@ -65,12 +71,14 @@ func (c *OUEClient) Perturb(v int, r *Rand) (OUEReport, error) {
 }
 
 // OUEAggregator sums the reported bit vectors and converts per-position
-// counts into unbiased frequency estimates.
+// counts into unbiased frequency estimates. It is not safe for concurrent
+// use; the collector serializes access.
 type OUEAggregator struct {
-	eps    float64
-	l      int
-	counts []int64
-	n      int
+	eps      float64
+	l        int
+	counts   []int64
+	n        int
+	rejected int
 }
 
 // NewOUEAggregator returns an empty aggregator for domain size L.
@@ -78,9 +86,13 @@ func NewOUEAggregator(eps float64, L int) *OUEAggregator {
 	return &OUEAggregator{eps: eps, l: L, counts: make([]int64, L)}
 }
 
-// Add records one user report.
+// Add records one user report. A report whose bitset length does not match
+// the domain cannot have been produced by this round's Ψ_OUE; it is counted
+// as rejected rather than silently dropped.
 func (a *OUEAggregator) Add(rep OUEReport) {
 	if rep.l != a.l {
+		a.rejected++
+		oueRejectedTotal.Inc()
 		return
 	}
 	for v := 0; v < a.l; v++ {
@@ -93,6 +105,27 @@ func (a *OUEAggregator) Add(rep OUEReport) {
 
 // N returns the number of reports recorded so far.
 func (a *OUEAggregator) N() int { return a.n }
+
+// Rejected returns the number of mismatched reports Add refused.
+func (a *OUEAggregator) Rejected() int { return a.rejected }
+
+// Merge adds another aggregator's counts into this one, exactly. Both must
+// share ε and L. The other aggregator is left unchanged.
+func (a *OUEAggregator) Merge(other *OUEAggregator) error {
+	if other == a {
+		return fmt.Errorf("fo: cannot merge an OUE aggregator with itself")
+	}
+	if a.eps != other.eps || a.l != other.l {
+		return fmt.Errorf("fo: merging incompatible OUE aggregators (eps %v/%v, L %d/%d)",
+			a.eps, other.eps, a.l, other.l)
+	}
+	for v, c := range other.counts {
+		a.counts[v] += c
+	}
+	a.n += other.n
+	a.rejected += other.rejected
+	return nil
+}
 
 // Estimates returns the unbiased frequency estimate for every domain value:
 // (C(v)/n − q)/(p − q) with p = 1/2, q = 1/(e^ε+1).

@@ -33,10 +33,16 @@ import (
 
 	"felip/internal/core"
 	"felip/internal/domain"
+	"felip/internal/metrics"
 	"felip/internal/query"
 	"felip/internal/reportlog"
 	"felip/internal/wire"
 )
+
+// testHookFinalize, when non-nil, runs after finalize releases the server
+// lock and before the collector's estimation starts. Tests use it to probe
+// endpoint liveness at a deterministic point inside an in-flight finalize.
+var testHookFinalize func()
 
 // maxReportBody caps a POST /v1/report body. A legitimate report is well
 // under 200 bytes; the cap only exists so a hostile payload cannot exhaust
@@ -69,6 +75,15 @@ type Server struct {
 	wal    *reportlog.Log
 	closed bool // a WAL was attached and has been closed
 	dedup  map[string]reportKey
+	// finalizing is non-nil while a finalize is in flight; it closes when
+	// the attempt's outcome is stored. Estimation runs outside mu so status,
+	// health and (refused) reports stay live during finalization.
+	finalizing chan struct{}
+	finalErr   error
+	// wireRejected counts report submissions refused before reaching the
+	// collector (malformed body, failed wire validation, oversized,
+	// idempotency-key conflicts). The collector counts plan-level rejects.
+	wireRejected int
 }
 
 // NewServer plans a round for an expected population of n users.
@@ -195,7 +210,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	finalized := s.agg != nil
+	finalized := s.agg != nil || s.finalizing != nil
 	s.mu.RUnlock()
 	if finalized {
 		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
@@ -204,10 +219,19 @@ func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]int{"group": s.col.AssignGroup()})
 }
 
+// countWireReject records a report submission refused before it reached the
+// collector's plan validation.
+func (s *Server) countWireReject() {
+	s.mu.Lock()
+	s.wireRejected++
+	s.mu.Unlock()
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxReportBody)
 	var msg wire.ReportMessage
 	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		s.countWireReject()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.writeError(w, http.StatusRequestEntityTooLarge,
@@ -218,30 +242,39 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := msg.Validate(); err != nil {
+		s.countWireReject()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	rep, err := msg.Report()
 	if err != nil {
+		s.countWireReject()
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
 	s.mu.Lock()
 	if prev, seen := s.dedup[msg.ReportID]; seen {
-		s.mu.Unlock()
 		if prev != keyOf(msg) {
+			s.wireRejected++
+			s.mu.Unlock()
 			s.writeError(w, http.StatusConflict,
 				fmt.Errorf("report_id %q reused with a different payload", msg.ReportID))
 			return
 		}
+		s.mu.Unlock()
 		// An honest retry: already counted, tell the device it can stop.
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "duplicate"})
 		return
 	}
-	if s.agg != nil {
+	if s.agg != nil || s.finalizing != nil {
+		// Finalized, or a finalize is in flight: the round is closing and the
+		// collector may not have sealed itself yet, so refuse here — otherwise
+		// a report could slip in after the operator asked to close and before
+		// the collector's snapshot, and be silently absent from the published
+		// estimates.
 		s.mu.Unlock()
-		s.writeError(w, http.StatusConflict, fmt.Errorf("core: collection round already finalized"))
+		s.writeError(w, http.StatusConflict, core.ErrFinalized)
 		return
 	}
 	if s.closed {
@@ -253,6 +286,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// the collector is guaranteed to accept on replay.
 	if err := s.col.Check(rep); err != nil {
 		s.mu.Unlock()
+		// During an in-flight finalize s.agg is still nil but the collector
+		// already refuses reports; that is a round-state conflict, not a bad
+		// request.
+		if errors.Is(err, core.ErrFinalized) {
+			s.writeError(w, http.StatusConflict, err)
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -279,22 +319,64 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 // finalize closes the round once; subsequent calls return the same count.
+// The server lock is dropped while the collector estimates (the collector
+// serializes concurrent finalizations itself and refuses new reports), so
+// /v1/status, /v1/healthz and /v1/query keep answering during the closing
+// estimation; concurrent finalize requests wait for the in-flight attempt's
+// outcome instead of re-running it.
 func (s *Server) finalize() (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.agg != nil {
-		return s.finalN, nil
+	for {
+		if s.agg != nil {
+			n := s.finalN
+			s.mu.Unlock()
+			return n, nil
+		}
+		if s.finalizing == nil {
+			break
+		}
+		inflight := s.finalizing
+		s.mu.Unlock()
+		<-inflight
+		s.mu.Lock()
+		if s.finalizing == nil {
+			// The attempt settled: either s.agg is set (loop returns it) or
+			// it failed and left the error for its waiters.
+			if s.agg == nil {
+				err := s.finalErr
+				s.mu.Unlock()
+				return 0, err
+			}
+		}
 	}
+	done := make(chan struct{})
+	s.finalizing = done
+	s.mu.Unlock()
+
+	if hook := testHookFinalize; hook != nil {
+		hook()
+	}
+
 	agg, err := s.col.Finalize()
+
+	s.mu.Lock()
+	defer func() {
+		s.finalizing = nil
+		close(done)
+		s.mu.Unlock()
+	}()
 	if err != nil {
+		s.finalErr = err
 		return 0, err
 	}
 	if s.wal != nil {
 		if err := s.wal.Append(reportlog.FinalizeRecord(agg.N())); err != nil {
-			return 0, fmt.Errorf("persisting finalization: %w", err)
+			s.finalErr = fmt.Errorf("persisting finalization: %w", err)
+			return 0, s.finalErr
 		}
 		if err := s.wal.Sync(); err != nil {
-			return 0, fmt.Errorf("syncing report log: %w", err)
+			s.finalErr = fmt.Errorf("syncing report log: %w", err)
+			return 0, s.finalErr
 		}
 	}
 	s.agg = agg
@@ -346,30 +428,46 @@ type Status struct {
 	Reports   int  `json:"reports"`
 	Groups    int  `json:"groups"`
 	Finalized bool `json:"finalized"`
+	// Finalizing reports that the round is closing: estimation is running
+	// and new reports are refused, but the final aggregator is not ready.
+	Finalizing bool `json:"finalizing,omitempty"`
 	// GroupCounts is the number of accepted reports per group.
 	GroupCounts []int `json:"group_counts"`
+	// Rejected is the number of report submissions refused since the round
+	// opened — malformed bodies, failed validation, unknown groups,
+	// out-of-range values, idempotency-key conflicts. A nonzero value means
+	// misbehaving or malicious clients; before this counter they were
+	// dropped invisibly.
+	Rejected int `json:"rejected"`
 	// Durable reports whether a write-ahead log is attached.
 	Durable bool `json:"durable"`
 	// WALPos is the log's end offset in bytes (0 when not durable).
 	WALPos int64 `json:"wal_pos,omitempty"`
 	// DedupEntries is the size of the idempotency-key index.
 	DedupEntries int `json:"dedup_entries"`
+	// Metrics is the process-wide instrument snapshot (fold/estimation
+	// timers and counters; see internal/metrics).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	st := Status{
 		Finalized:    s.agg != nil,
+		Finalizing:   s.agg == nil && s.finalizing != nil,
 		Durable:      s.wal != nil,
 		DedupEntries: len(s.dedup),
+		Rejected:     s.wireRejected,
 	}
 	if s.wal != nil {
 		st.WALPos = s.wal.Pos()
 	}
 	s.mu.RUnlock()
+	st.Rejected += s.col.Rejected()
 	st.Reports = s.col.N()
 	st.Groups = len(s.plan.Grids)
 	st.GroupCounts = s.col.GroupCounts()
+	st.Metrics = metrics.Snapshot()
 	s.writeJSON(w, http.StatusOK, st)
 }
 

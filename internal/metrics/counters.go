@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing, concurrency-safe event counter.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any sign; counters used as gauges subtract).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Timer accumulates durations of a repeated operation: how many times it ran
+// and the total nanoseconds spent. Both fields update atomically, so a Timer
+// can be observed from hot paths without locks.
+type Timer struct {
+	n  atomic.Int64
+	ns atomic.Int64
+}
+
+// Observe records one completed run of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Count returns how many runs were observed.
+func (t *Timer) Count() int64 { return t.n.Load() }
+
+// TotalNS returns the accumulated nanoseconds across all runs.
+func (t *Timer) TotalNS() int64 { return t.ns.Load() }
+
+// registry is the process-wide named instrument table. Named counters and
+// timers exist so that deep components (the fo aggregation kernel, the
+// collector) can record what they did without threading instrument handles
+// through every constructor; operators read the result via Snapshot (the
+// HTTP API exposes it in /v1/status).
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// GetCounter returns the process-wide counter with the given name, creating
+// it on first use. Names are dotted paths, e.g. "fo.olh.fold_reports".
+func GetCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = make(map[string]*Counter)
+	}
+	c, ok := registry.counters[name]
+	if !ok {
+		c = new(Counter)
+		registry.counters[name] = c
+	}
+	return c
+}
+
+// GetTimer returns the process-wide timer with the given name, creating it on
+// first use.
+func GetTimer(name string) *Timer {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.timers == nil {
+		registry.timers = make(map[string]*Timer)
+	}
+	t, ok := registry.timers[name]
+	if !ok {
+		t = new(Timer)
+		registry.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot returns the current value of every registered instrument: counters
+// under their own name, timers as "<name>.count" and "<name>.ns". Keys are
+// returned in a fresh map the caller owns.
+func Snapshot() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.counters)+2*len(registry.timers))
+	for name, c := range registry.counters {
+		out[name] = c.Value()
+	}
+	for name, t := range registry.timers {
+		out[name+".count"] = t.Count()
+		out[name+".ns"] = t.TotalNS()
+	}
+	return out
+}
+
+// InstrumentNames returns the sorted names of all registered instruments,
+// mostly for tests and debug output.
+func InstrumentNames() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.counters)+len(registry.timers))
+	for name := range registry.counters {
+		names = append(names, name)
+	}
+	for name := range registry.timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Errorf("Value = %d, want %d", got, workers*each)
+	}
+	c.Add(-3)
+	if got := c.Value(); got != workers*each-3 {
+		t.Errorf("after Add(-3): %d", got)
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(7 * time.Millisecond)
+	if got := tm.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if got := tm.TotalNS(); got != int64(10*time.Millisecond) {
+		t.Errorf("TotalNS = %d, want %d", got, int64(10*time.Millisecond))
+	}
+}
+
+func TestRegistryAndSnapshot(t *testing.T) {
+	c := GetCounter("test.registry.counter")
+	if GetCounter("test.registry.counter") != c {
+		t.Error("GetCounter returned a different instance for the same name")
+	}
+	c.Add(5)
+	tm := GetTimer("test.registry.timer")
+	if GetTimer("test.registry.timer") != tm {
+		t.Error("GetTimer returned a different instance for the same name")
+	}
+	tm.Observe(2 * time.Second)
+
+	snap := Snapshot()
+	if snap["test.registry.counter"] != 5 {
+		t.Errorf("snapshot counter = %d, want 5", snap["test.registry.counter"])
+	}
+	if snap["test.registry.timer.count"] != 1 {
+		t.Errorf("snapshot timer count = %d, want 1", snap["test.registry.timer.count"])
+	}
+	if snap["test.registry.timer.ns"] != int64(2*time.Second) {
+		t.Errorf("snapshot timer ns = %d", snap["test.registry.timer.ns"])
+	}
+	// The snapshot is a copy: mutating it must not touch the registry.
+	snap["test.registry.counter"] = 0
+	if c.Value() != 5 {
+		t.Error("mutating the snapshot changed the live counter")
+	}
+
+	names := InstrumentNames()
+	var haveC, haveT bool
+	for _, n := range names {
+		if n == "test.registry.counter" {
+			haveC = true
+		}
+		if n == "test.registry.timer" {
+			haveT = true
+		}
+	}
+	if !haveC || !haveT {
+		t.Errorf("InstrumentNames missing test instruments: %v", names)
+	}
+}
