@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo
+.PHONY: build test check bench bench-fo bench-query bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ check:
 # end-to-end round, written to BENCH_PR2.json.
 bench:
 	$(GO) run ./cmd/felipbench -kernel -out BENCH_PR2.json
+
+# Concurrent read-path benchmark: serve.Engine vs the legacy single-mutex
+# Aggregator.Answer, written to BENCH_PR3.json.
+bench-query:
+	$(GO) run ./cmd/felipbench -query -qout BENCH_PR3.json
+
+# Both benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
+# /tmp so a smoke run never clobbers the checked-in numbers.
+bench-smoke:
+	$(GO) run ./cmd/felipbench -kernel -query -smoke -reps 1 \
+		-out /tmp/BENCH_smoke_kernel.json -qout /tmp/BENCH_smoke_query.json
 
 # Raw go-bench microbenchmarks for the frequency-oracle kernel.
 bench-fo:

@@ -191,8 +191,8 @@ func runE2E(n int) (e2eCase, error) {
 }
 
 // runKernelBench runs the aggregation-kernel benchmark suite and writes the
-// JSON report to path.
-func runKernelBench(path string, reps int) error {
+// JSON report to path. With smoke, sizes shrink to CI-smoke scale.
+func runKernelBench(path string, reps int, smoke bool) error {
 	rep := kernelReport{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -207,6 +207,16 @@ func runKernelBench(path string, reps int) error {
 		{"small", 1.0, 256, 10_000},
 		{"acceptance", 1.0, 1024, 100_000},
 	}
+	e2eN := 20_000
+	if smoke {
+		cases = cases[:1]
+		cases[0] = struct {
+			name string
+			eps  float64
+			L, n int
+		}{"smoke", 1.0, 128, 2_000}
+		e2eN = 2_000
+	}
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "felipbench: kernel case %s (n=%d, L=%d)...\n", c.name, c.n, c.L)
 		kc, err := runKernelCase(c.name, c.eps, c.L, c.n, reps, 61)
@@ -218,7 +228,7 @@ func runKernelBench(path string, reps int) error {
 		rep.Cases = append(rep.Cases, kc)
 	}
 	fmt.Fprintf(os.Stderr, "felipbench: end-to-end round (buffered vs streaming)...\n")
-	e2e, err := runE2E(20_000)
+	e2e, err := runE2E(e2eN)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,8 @@
 //	felipbench -fig all -n 50000     # everything, custom population
 //	felipbench -list                  # list available figures
 //	felipbench -kernel                # OLH aggregation-kernel benchmark → BENCH_PR2.json
+//	felipbench -query                 # concurrent read-path benchmark → BENCH_PR3.json
+//	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
 import (
@@ -39,12 +41,24 @@ func main() {
 		csvPath = flag.String("csv", "", "also write machine-readable results to this CSV file")
 		kernel  = flag.Bool("kernel", false, "benchmark the OLH aggregation kernel against the sequential baseline and exit")
 		out     = flag.String("out", "BENCH_PR2.json", "output path for the -kernel JSON report")
-		reps    = flag.Int("reps", 3, "timed repetitions per -kernel case (best is reported)")
+		reps    = flag.Int("reps", 3, "timed repetitions per -kernel/-query case (best is reported)")
+		qbench  = flag.Bool("query", false, "benchmark the concurrent read path (serve.Engine vs legacy Aggregator.Answer) and exit")
+		qout    = flag.String("qout", "BENCH_PR3.json", "output path for the -query JSON report")
+		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
 
 	if *kernel {
-		if err := runKernelBench(*out, *reps); err != nil {
+		if err := runKernelBench(*out, *reps, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*qbench {
+			return
+		}
+	}
+	if *qbench {
+		if err := runQueryBench(*qout, *reps, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/metrics"
+	"felip/internal/query"
+	"felip/internal/serve"
+)
+
+// queryCase is one concurrent read-path benchmark point: the serving engine
+// (internal/serve) against the legacy single-mutex Aggregator.Answer path on
+// an identical mixed-λ workload.
+type queryCase struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Attrs       int     `json:"attrs"`
+	Queries     int     `json:"queries"`
+	Passes      int     `json:"passes"`
+	Workers     int     `json:"workers"`
+	BaselineMS  float64 `json:"baseline_ms"`
+	EngineMS    float64 `json:"engine_ms"`
+	BaselineQPS float64 `json:"baseline_qps"`
+	EngineQPS   float64 `json:"engine_qps"`
+	Speedup     float64 `json:"speedup"`
+	MaxAbsDelta float64 `json:"max_abs_delta"`
+}
+
+type queryReport struct {
+	Timestamp  string           `json:"timestamp"`
+	GoVersion  string           `json:"go_version"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Cases      []queryCase      `json:"cases"`
+	Metrics    map[string]int64 `json:"metrics"`
+}
+
+// concurrentAnswer answers the workload passes times with workers goroutines
+// striding it (so concurrent workers always touch a mix of pairs) and returns
+// the wall-clock time for the whole run.
+func concurrentAnswer(workers, passes int, qs []query.Query, f func(query.Query) (float64, error)) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := 0; p < passes; p++ {
+				for i := w; i < len(qs); i += workers {
+					if _, err := f(qs[i]); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return d, nil
+}
+
+// freshAggregator round-trips the aggregator through its snapshot encoding,
+// which yields an identical aggregator with a cold response-matrix cache.
+func freshAggregator(agg *core.Aggregator) (*core.Aggregator, error) {
+	var buf bytes.Buffer
+	if err := agg.Save(&buf); err != nil {
+		return nil, err
+	}
+	return core.Load(&buf)
+}
+
+func runQueryCase(name string, agg *core.Aggregator, qs []query.Query, passes, reps int, cold bool) (queryCase, error) {
+	// At least 4 workers even on small machines, so the baseline's shared
+	// mutex is genuinely contended the way a serving deployment would see.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	qc := queryCase{
+		Name:    name,
+		N:       agg.N(),
+		Attrs:   agg.Schema().Len(),
+		Queries: len(qs),
+		Passes:  passes,
+		Workers: workers,
+	}
+
+	var baseBest, engBest time.Duration
+	for r := 0; r < reps; r++ {
+		// Cold runs rebuild both sides before the clock starts, so each rep
+		// pays the matrix fits inside the timed region; warm runs reuse the
+		// same warmed state and time steady-state serving only.
+		baseAgg := agg
+		var eng *serve.Engine
+		var err error
+		if cold {
+			if baseAgg, err = freshAggregator(agg); err != nil {
+				return queryCase{}, err
+			}
+			coldAgg, err := freshAggregator(agg)
+			if err != nil {
+				return queryCase{}, err
+			}
+			if eng, err = serve.NewEngine(coldAgg); err != nil {
+				return queryCase{}, err
+			}
+		} else {
+			if eng, err = serve.NewEngine(agg); err != nil {
+				return queryCase{}, err
+			}
+			if err := eng.Warmup(); err != nil {
+				return queryCase{}, err
+			}
+			for _, q := range qs { // fill the legacy matrix cache
+				if _, err := baseAgg.Answer(q); err != nil {
+					return queryCase{}, err
+				}
+			}
+		}
+		baseDur, err := concurrentAnswer(workers, passes, qs, baseAgg.Answer)
+		if err != nil {
+			return queryCase{}, err
+		}
+		engDur, err := concurrentAnswer(workers, passes, qs, eng.Answer)
+		if err != nil {
+			return queryCase{}, err
+		}
+		if r == 0 || baseDur < baseBest {
+			baseBest = baseDur
+		}
+		if r == 0 || engDur < engBest {
+			engBest = engDur
+		}
+	}
+
+	// Agreement check: the engine's summed-area reads may differ from the
+	// baseline's mask scans in the last floating-point ULPs, so report the
+	// worst absolute divergence instead of demanding bit identity.
+	eng, err := serve.NewEngine(agg)
+	if err != nil {
+		return queryCase{}, err
+	}
+	for _, q := range qs {
+		b, err := agg.Answer(q)
+		if err != nil {
+			return queryCase{}, err
+		}
+		e, err := eng.Answer(q)
+		if err != nil {
+			return queryCase{}, err
+		}
+		if d := abs(b - e); d > qc.MaxAbsDelta {
+			qc.MaxAbsDelta = d
+		}
+	}
+
+	ops := float64(passes * len(qs))
+	qc.BaselineMS = float64(baseBest.Microseconds()) / 1e3
+	qc.EngineMS = float64(engBest.Microseconds()) / 1e3
+	qc.BaselineQPS = ops / baseBest.Seconds()
+	qc.EngineQPS = ops / engBest.Seconds()
+	qc.Speedup = baseBest.Seconds() / engBest.Seconds()
+	return qc, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// runQueryBench benchmarks the concurrent read path (serve.Engine vs the
+// legacy Aggregator.Answer) on a mixed-λ workload and writes a JSON report.
+func runQueryBench(path string, reps int, smoke bool) error {
+	n, nq, passes := 50_000, 600, 20
+	schema := dataset.MixedSchema(4, 128, 2, 8)
+	if smoke {
+		n, nq, passes = 5_000, 60, 2
+		schema = dataset.MixedSchema(2, 32, 2, 4)
+	}
+	ds := dataset.NewNormal().Generate(schema, n, 71)
+	fmt.Fprintf(os.Stderr, "felipbench: collecting n=%d over %v...\n", n, schema)
+	agg, err := core.Collect(ds, core.Options{
+		Strategy:    core.OHG,
+		Epsilon:     2,
+		Selectivity: 0.5,
+		Seed:        73,
+	})
+	if err != nil {
+		return err
+	}
+
+	gen, err := query.NewGenerator(schema, 0.5, 79)
+	if err != nil {
+		return err
+	}
+	lambdas := []int{1, 2, 3}
+	qs := make([]query.Query, nq)
+	for i := range qs {
+		if qs[i], err = gen.Generate(lambdas[i%len(lambdas)]); err != nil {
+			return err
+		}
+	}
+
+	rep := queryReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	cases := []struct {
+		name   string
+		passes int
+		cold   bool
+	}{
+		{"warm-concurrent", passes, false},
+		{"cold-concurrent", 1, true},
+	}
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "felipbench: query case %s (%d queries x %d passes)...\n", c.name, nq, c.passes)
+		qc, err := runQueryCase(c.name, agg, qs, c.passes, reps, c.cold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "felipbench:   baseline %.1fms (%.0f qps), engine %.1fms (%.0f qps), speedup %.2fx, max |Δ| %.2e\n",
+			qc.BaselineMS, qc.BaselineQPS, qc.EngineMS, qc.EngineQPS, qc.Speedup, qc.MaxAbsDelta)
+		rep.Cases = append(rep.Cases, qc)
+	}
+	rep.Metrics = metrics.Snapshot()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "felipbench: wrote %s\n", path)
+	return nil
+}

@@ -1,19 +1,24 @@
 // Command felipgen generates the synthetic evaluation datasets as CSV and
 // prints marginal summaries, so workloads can be inspected or fed to other
-// tools.
+// tools. It also emits random query workloads in the compact WHERE grammar,
+// one per line — ready to pipe into `felipquery -batch` or POST /v1/query.
 //
 // Usage:
 //
 //	felipgen -dataset ipums-sim -n 10000 -out ipums.csv
 //	felipgen -dataset normal -n 100000 -knum 3 -dnum 64 -kcat 3 -dcat 8 -summary
+//	felipgen -queries 100 -lambdas 1,2,3 -qsel 0.5 | felipquery -batch
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"felip/internal/dataset"
+	"felip/internal/query"
 )
 
 func main() {
@@ -27,15 +32,45 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		out     = flag.String("out", "", "write CSV to this file ('-' or empty = stdout, 'none' = skip)")
 		summary = flag.Bool("summary", false, "print per-attribute marginal summaries to stderr")
+		queries = flag.Int("queries", 0, "emit this many random queries (compact WHERE form, one per line) instead of a dataset")
+		lambdas = flag.String("lambdas", "2", "comma-separated query dimensions for -queries, cycled")
+		qsel    = flag.Float64("qsel", 0.5, "per-attribute selectivity of generated queries")
 	)
 	flag.Parse()
+
+	schema := dataset.MixedSchema(*kNum, *dNum, *kCat, *dCat)
+
+	if *queries > 0 {
+		var dims []int
+		for _, tok := range strings.Split(*lambdas, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 || v > schema.Len() {
+				fmt.Fprintf(os.Stderr, "felipgen: bad -lambdas value %q\n", tok)
+				os.Exit(2)
+			}
+			dims = append(dims, v)
+		}
+		qgen, err := query.NewGenerator(schema, *qsel, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "felipgen:", err)
+			os.Exit(2)
+		}
+		for i := 0; i < *queries; i++ {
+			q, err := qgen.Generate(dims[i%len(dims)])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "felipgen:", err)
+				os.Exit(1)
+			}
+			fmt.Println(query.Compact(q, schema))
+		}
+		return
+	}
 
 	gen, err := dataset.ByName(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "felipgen:", err)
 		os.Exit(2)
 	}
-	schema := dataset.MixedSchema(*kNum, *dNum, *kCat, *dCat)
 	ds := gen.Generate(schema, *n, *seed)
 
 	if *summary {

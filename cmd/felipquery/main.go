@@ -15,9 +15,16 @@
 //
 //	felipquery -csv data.csv -knum 3 -dnum 64 -kcat 3 -dcat 8 \
 //	    -strategy OUG -where "num1=0..31"
+//
+// With -batch, WHERE expressions are read from stdin (one per line; blank
+// lines and '#' comments skipped) and answered concurrently by the serving
+// engine after one collection round:
+//
+//	felipgen -queries 100 -lambdas 1,2,3 | felipquery -batch -n 50000
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
@@ -26,7 +33,9 @@ import (
 
 	"felip/internal/core"
 	"felip/internal/dataset"
+	"felip/internal/domain"
 	"felip/internal/query"
+	"felip/internal/serve"
 )
 
 func main() {
@@ -43,6 +52,7 @@ func main() {
 		sel      = flag.Float64("selectivity", 0.5, "grid-sizing selectivity prior")
 		seed     = flag.Uint64("seed", 42, "seed for data generation and perturbation")
 		where    = flag.String("where", "", "query predicates, e.g. \"num0=16..48;cat0=0,1\"")
+		batch    = flag.Bool("batch", false, "read WHERE expressions from stdin (one per line) and answer them concurrently")
 		saveTo   = flag.String("save", "", "save the aggregator state to this file after collection")
 		loadFrom = flag.String("load", "", "load a previously saved aggregator instead of collecting")
 	)
@@ -73,12 +83,16 @@ func main() {
 		ds = gen.Generate(schema, *n, *seed)
 	}
 
-	if *where == "" {
-		fail(fmt.Errorf("-where is required, e.g. -where \"num0=16..48;cat0=0,1\""))
-	}
-	q, err := query.Parse(*where, schema)
-	if err != nil {
-		fail(err)
+	var q query.Query
+	var err error
+	if !*batch {
+		if *where == "" {
+			fail(fmt.Errorf("-where is required (or use -batch), e.g. -where \"num0=16..48;cat0=0,1\""))
+		}
+		q, err = query.Parse(*where, schema)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	var strat core.Strategy
@@ -93,7 +107,11 @@ func main() {
 
 	fmt.Printf("schema   : %v\n", schema)
 	fmt.Printf("users    : %d\n", ds.N())
-	fmt.Printf("query    : SELECT COUNT(*) WHERE %v\n", q)
+	if *batch {
+		fmt.Println("query    : batch mode, reading WHERE expressions from stdin")
+	} else {
+		fmt.Printf("query    : SELECT COUNT(*) WHERE %v\n", q)
+	}
 
 	var agg *core.Aggregator
 	if *loadFrom != "" {
@@ -138,13 +156,19 @@ func main() {
 		fmt.Printf("state    : saved to %s\n", *saveTo)
 	}
 
-	got, err := agg.Answer(q)
-	if err != nil {
-		fail(err)
-	}
 	cols := make([][]uint16, schema.Len())
 	for i := range cols {
 		cols[i] = ds.Col(i)
+	}
+
+	if *batch {
+		runBatch(fail, agg, schema, cols, float64(ds.N()))
+		return
+	}
+
+	got, err := agg.Answer(q)
+	if err != nil {
+		fail(err)
 	}
 	truth := query.Evaluate(q, cols)
 
@@ -154,4 +178,61 @@ func main() {
 	}
 	fmt.Printf("exact answer     : %.6f  (= %d users)\n", truth, int(truth*float64(ds.N())+0.5))
 	fmt.Printf("absolute error   : %.6f\n", math.Abs(got-truth))
+}
+
+// runBatch answers every WHERE expression on stdin through the serving
+// engine and prints one line per query: estimate, exact answer and the
+// absolute error, plus a mean-absolute-error summary.
+func runBatch(fail func(error), agg *core.Aggregator, schema *domain.Schema, cols [][]uint16, n float64) {
+	eng, err := serve.NewEngine(agg)
+	if err != nil {
+		fail(err)
+	}
+	if err := eng.Warmup(); err != nil {
+		fail(err)
+	}
+
+	var qs []query.Query
+	var exprs []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := query.Parse(line, schema)
+		if err != nil {
+			fail(err)
+		}
+		qs = append(qs, q)
+		exprs = append(exprs, line)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(qs) == 0 {
+		fail(fmt.Errorf("-batch: no queries on stdin"))
+	}
+
+	results := eng.AnswerBatch(qs)
+	var sumErr float64
+	var answered int
+	fmt.Printf("\n%-40s %12s %12s %10s\n", "WHERE", "estimate", "exact", "|err|")
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-40s error: %v\n", exprs[i], r.Err)
+			continue
+		}
+		truth := query.Evaluate(qs[i], cols)
+		abs := math.Abs(r.Estimate - truth)
+		sumErr += abs
+		answered++
+		fmt.Printf("%-40s %12.6f %12.6f %10.6f\n", exprs[i], r.Estimate, truth, abs)
+	}
+	if answered > 0 {
+		fmt.Printf("\nqueries answered : %d (of %d)\n", answered, len(qs))
+		fmt.Printf("mean abs error   : %.6f  (≈ %.1f users of %d)\n",
+			sumErr/float64(answered), sumErr/float64(answered)*n, int(n))
+	}
 }

@@ -6,9 +6,11 @@
 //
 //	felipserver -addr :8377 -eps 1.0 -n 100000
 //
-// Add -wal to make the round durable: every accepted report is logged before
-// it is acknowledged, and a restarted server replays the log and resumes the
-// round (or re-serves it, if it was already finalized):
+// Add -wal to make rounds durable: every accepted report is logged before
+// it is acknowledged, and a restarted server replays the logs and resumes
+// where it left off (re-serving any round that was already finalized). Each
+// collection round gets its own segment — round 1 in the given file, round k
+// in <file>.r<k> — so POST /v1/nextround keeps working across restarts:
 //
 //	felipserver -addr :8377 -eps 1.0 -n 100000 -wal round.wal
 //
@@ -83,12 +85,26 @@ func main() {
 	srv.SetLogger(log.Printf)
 
 	if *walPath != "" {
+		if *simulate > 0 {
+			// Simulated reports are fed to the collector in-process and never
+			// hit the report log; finalizing would still write a finalize
+			// marker, leaving a WAL that cannot be replayed (a round with a
+			// marker but no reports). Refuse the combination up front.
+			log.Fatal("felipserver: -simulate bypasses the report log; use -wal only with real reports")
+		}
 		if *seed == 0 {
 			// A random plan cannot be rebuilt after a crash, which would
 			// strand the log's reports in groups that no longer exist.
 			log.Fatal("felipserver: -wal requires an explicit -seed so a restart rebuilds the same plan")
 		}
-		l, recs, err := reportlog.Open(*walPath)
+		// Round 1 lives in the given file; round k in <file>.r<k>.
+		segPath := func(round int) string {
+			if round == 1 {
+				return *walPath
+			}
+			return fmt.Sprintf("%s.r%d", *walPath, round)
+		}
+		l, recs, err := reportlog.Open(segPath(1))
 		if err != nil {
 			log.Fatal("felipserver: ", err)
 		}
@@ -96,9 +112,38 @@ func main() {
 			log.Fatal("felipserver: ", err)
 		}
 		if len(recs) > 0 {
-			log.Printf("felipserver: replayed %d WAL records from %s", len(recs), *walPath)
+			log.Printf("felipserver: replayed %d WAL records from %s", len(recs), segPath(1))
 		} else {
-			log.Printf("felipserver: opened fresh WAL at %s", *walPath)
+			log.Printf("felipserver: opened fresh WAL at %s", segPath(1))
+		}
+		// Replay any later segments left by /v1/nextround before the restart.
+		for round := 2; ; round++ {
+			if _, err := os.Stat(segPath(round)); err != nil {
+				break
+			}
+			l, recs, err := reportlog.Open(segPath(round))
+			if err != nil {
+				log.Fatal("felipserver: ", err)
+			}
+			if _, err := srv.ResumeNextRound(l, recs); err != nil {
+				log.Fatal("felipserver: ", err)
+			}
+			log.Printf("felipserver: resumed round %d (%d WAL records from %s)", round, len(recs), segPath(round))
+		}
+		// /v1/nextround opens a fresh segment for each new collection round.
+		srv.SetWALFactory(func(round int) (*reportlog.Log, error) {
+			l, recs, err := reportlog.Open(segPath(round))
+			if err != nil {
+				return nil, err
+			}
+			if len(recs) > 0 {
+				l.Close()
+				return nil, fmt.Errorf("segment %s already has %d records; refusing to reuse it for a new round", segPath(round), len(recs))
+			}
+			return l, nil
+		})
+		if err := srv.WarmupServing(); err != nil {
+			log.Fatal("felipserver: ", err)
 		}
 	}
 

@@ -23,16 +23,22 @@ func (a *Aggregator) Answer(q query.Query) (float64, error) {
 	}
 
 	attrs := q.Attrs()
+	// Selections and their negations are materialized once per predicate, not
+	// per associated pair: a λ-D query used to rebuild each predicate's
+	// negation mask λ−1 times inside pairAnswer.
 	sels := make(map[int][]bool, lambda)
+	nots := make(map[int][]bool, lambda)
 	for _, p := range q.Preds {
-		sels[p.Attr] = p.Selection(a.schema.Attr(p.Attr).Size)
+		sel := p.Selection(a.schema.Attr(p.Attr).Size)
+		sels[p.Attr] = sel
+		nots[p.Attr] = negate(sel)
 	}
 
 	var pairs []estimate.PairAnswer
 	for ii := 0; ii < lambda; ii++ {
 		for jj := ii + 1; jj < lambda; jj++ {
 			ai, aj := attrs[ii], attrs[jj]
-			pa, err := a.pairAnswer(ai, aj, sels[ai], sels[aj])
+			pa, err := a.pairAnswer(ai, aj, sels[ai], sels[aj], nots[ai], nots[aj])
 			if err != nil {
 				return 0, err
 			}
@@ -55,30 +61,20 @@ func (a *Aggregator) ExpectedError(q query.Query) (float64, error) {
 	if err := q.Validate(a.schema); err != nil {
 		return 0, err
 	}
-	errOf := func(x, y int) (float64, bool) {
-		for _, sp := range a.specs {
-			if sp.AttrX == x && sp.AttrY == y {
-				return sp.ExpectedErr, true
-			}
-		}
-		return 0, false
-	}
 	attrs := q.Attrs()
 	if len(attrs) == 1 {
-		if e, ok := errOf(attrs[0], -1); ok {
+		if e, ok := a.err1[attrs[0]]; ok {
 			return math.Sqrt(e), nil
 		}
-		for _, sp := range a.specs {
-			if !sp.Is1D() && (sp.AttrX == attrs[0] || sp.AttrY == attrs[0]) {
-				return math.Sqrt(sp.ExpectedErr), nil
-			}
+		if key, ok := a.cover2[attrs[0]]; ok {
+			return math.Sqrt(a.err2[key]), nil
 		}
 		return 0, fmt.Errorf("core: no grid covers attribute %d", attrs[0])
 	}
 	var total float64
 	for i := 0; i < len(attrs); i++ {
 		for j := i + 1; j < len(attrs); j++ {
-			e, ok := errOf(attrs[i], attrs[j])
+			e, ok := a.err2[[2]int{attrs[i], attrs[j]}]
 			if !ok {
 				return 0, fmt.Errorf("core: no 2-D grid for pair (%d,%d)", attrs[i], attrs[j])
 			}
@@ -104,20 +100,68 @@ func (a *Aggregator) ipfThreshold() float64 {
 	return 1 / float64(a.n)
 }
 
+// IPFThreshold exposes the round's iterative-fitting convergence threshold so
+// an external read path (the serving engine) fits matrices with exactly the
+// parameters this aggregator would use.
+func (a *Aggregator) IPFThreshold() float64 { return a.ipfThreshold() }
+
+// Strategy returns the round's grid strategy.
+func (a *Aggregator) Strategy() Strategy { return a.opts.Strategy }
+
+// MatrixMaxIter returns the response-matrix fitting sweep cap (Algorithm 3).
+func (a *Aggregator) MatrixMaxIter() int { return a.opts.MatrixMaxIter }
+
+// LambdaMaxIter returns the λ-D estimation sweep cap (Algorithm 4).
+func (a *Aggregator) LambdaMaxIter() int { return a.opts.LambdaMaxIter }
+
+// buildIndex precomputes the query-time lookup structures that replace
+// per-query linear scans over the spec list: per-pair and per-attribute
+// expected errors, and each attribute's covering 2-D grid (the first one in
+// spec order, preserving the deterministic grid choice of the scan it
+// replaces). Called once when the aggregator is assembled or restored.
+func (a *Aggregator) buildIndex() {
+	a.err1 = make(map[int]float64)
+	a.err2 = make(map[[2]int]float64)
+	a.cover2 = make(map[int][2]int)
+	for _, sp := range a.specs {
+		if sp.Is1D() {
+			if _, ok := a.err1[sp.AttrX]; !ok {
+				a.err1[sp.AttrX] = sp.ExpectedErr
+			}
+			continue
+		}
+		key := [2]int{sp.AttrX, sp.AttrY}
+		if _, ok := a.err2[key]; !ok {
+			a.err2[key] = sp.ExpectedErr
+		}
+		if _, ok := a.cover2[sp.AttrX]; !ok {
+			a.cover2[sp.AttrX] = key
+		}
+		if _, ok := a.cover2[sp.AttrY]; !ok {
+			a.cover2[sp.AttrY] = key
+		}
+	}
+}
+
+// CoveringGrid2D returns the pair key of the first 2-D grid (in spec order)
+// containing the attribute — the deterministic fallback marginal used when an
+// attribute has no 1-D grid of its own.
+func (a *Aggregator) CoveringGrid2D(attr int) ([2]int, bool) {
+	key, ok := a.cover2[attr]
+	return key, ok
+}
+
 // answer1D estimates a single-predicate query from the most precise marginal
 // available: the attribute's own 1-D grid under OHG, otherwise the marginal
-// of the first 2-D grid containing the attribute.
+// of the first 2-D grid containing the attribute (precomputed covering
+// index; the choice matches the former linear scan over specs).
 func (a *Aggregator) answer1D(p query.Predicate) (float64, error) {
 	sel := p.Selection(a.schema.Attr(p.Attr).Size)
 	if g1, ok := a.grids1[p.Attr]; ok {
 		return g1.Mass(sel), nil
 	}
-	// Spec order keeps the grid choice (and the answer) deterministic.
-	for _, sp := range a.specs {
-		if sp.Is1D() || (sp.AttrX != p.Attr && sp.AttrY != p.Attr) {
-			continue
-		}
-		g2 := a.grids2[[2]int{sp.AttrX, sp.AttrY}]
+	if key, ok := a.cover2[p.Attr]; ok {
+		g2 := a.grids2[key]
 		marg, err := g2.ValueMarginal(p.Attr)
 		if err != nil {
 			return 0, err
@@ -138,12 +182,10 @@ func maskSum(vals []float64, sel []bool) float64 {
 }
 
 // pairAnswer computes the four sign-combination answers of the associated
-// 2-D query on attributes (i < j).
-func (a *Aggregator) pairAnswer(i, j int, selI, selJ []bool) (estimate.PairAnswer, error) {
-	notI := negate(selI)
-	notJ := negate(selJ)
-
-	if a.opts.Strategy == OHG && a.needsMatrix(i, j) {
+// 2-D query on attributes (i < j). Negation masks are supplied by the caller,
+// computed once per predicate per query.
+func (a *Aggregator) pairAnswer(i, j int, selI, selJ, notI, notJ []bool) (estimate.PairAnswer, error) {
+	if a.opts.Strategy == OHG && a.NeedsMatrix(i, j) {
 		m, err := a.responseMatrix(i, j)
 		if err != nil {
 			return estimate.PairAnswer{}, err
@@ -176,34 +218,29 @@ func negate(sel []bool) []bool {
 	return out
 }
 
-// needsMatrix reports whether the pair benefits from a response matrix: at
+// NeedsMatrix reports whether the pair benefits from a response matrix: at
 // least one related 1-D grid exists to refine the 2-D grid (§5.5). A
 // categorical×categorical grid is already its own response matrix.
-func (a *Aggregator) needsMatrix(i, j int) bool {
+func (a *Aggregator) NeedsMatrix(i, j int) bool {
 	_, okI := a.grids1[i]
 	_, okJ := a.grids1[j]
 	return okI || okJ
 }
 
-// responseMatrix returns the per-value response matrix M(i,j) built from the
-// related grid set Γ (Algorithm 3), caching the result.
-func (a *Aggregator) responseMatrix(i, j int) (*estimate.Matrix, error) {
+// PairConstraints assembles the Algorithm-3 constraint set of pair (i < j):
+// every 2-D grid cell binds its value rectangle δ(c) to the cell's estimated
+// frequency, and each related 1-D grid (Γ from §5.5) adds band constraints.
+// The constraint order is deterministic (2-D cells row-major, then the i-side
+// 1-D grid, then the j-side), so every consumer — the aggregator's own
+// single-mutex cache and the serving engine — fits bit-identical matrices.
+func (a *Aggregator) PairConstraints(i, j int) ([]estimate.Constraint, error) {
 	key := [2]int{i, j}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if m, ok := a.matrices[key]; ok {
-		return m, nil
-	}
 	g2, ok := a.grids2[key]
 	if !ok {
 		return nil, fmt.Errorf("core: no 2-D grid for pair (%d,%d)", i, j)
 	}
 	di := a.schema.Attr(i).Size
 	dj := a.schema.Attr(j).Size
-	m, err := estimate.NewMatrix(di, dj)
-	if err != nil {
-		return nil, err
-	}
 
 	var cons []estimate.Constraint
 	// 2-D grid cells: δ(c) is the value rectangle of the cell.
@@ -239,7 +276,35 @@ func (a *Aggregator) responseMatrix(i, j int) (*estimate.Matrix, error) {
 			})
 		}
 	}
+	return cons, nil
+}
 
+// responseMatrix returns the per-value response matrix M(i,j) built from the
+// related grid set Γ (Algorithm 3), caching the result.
+//
+// This is the legacy single-mutex read path: the lock is held across the full
+// matrix build and iterative fit, so a cache miss on one pair blocks every
+// concurrent query, including cache hits on other pairs. It is preserved as
+// the baseline the serving engine (internal/serve) is benchmarked against;
+// heavy concurrent query traffic should go through serve.Engine, whose
+// per-pair singleflight fits matrices without a global lock.
+func (a *Aggregator) responseMatrix(i, j int) (*estimate.Matrix, error) {
+	key := [2]int{i, j}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m, ok := a.matrices[key]; ok {
+		return m, nil
+	}
+	di := a.schema.Attr(i).Size
+	dj := a.schema.Attr(j).Size
+	m, err := estimate.NewMatrix(di, dj)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := a.PairConstraints(i, j)
+	if err != nil {
+		return nil, err
+	}
 	m.Fit(cons, a.ipfThreshold(), a.opts.MatrixMaxIter)
 	a.matrices[key] = m
 	return m, nil

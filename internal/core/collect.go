@@ -27,6 +27,12 @@ type Aggregator struct {
 	var01 map[int]float64
 	var02 map[[2]int]float64
 
+	// Query-time lookup index (buildIndex): per-grid expected errors and each
+	// attribute's covering 2-D grid, replacing per-query spec scans.
+	err1   map[int]float64
+	err2   map[[2]int]float64
+	cover2 map[int][2]int
+
 	mu       sync.Mutex
 	matrices map[[2]int]*estimate.Matrix
 }
@@ -141,6 +147,7 @@ func assembleAggregator(schema *domain.Schema, opts Options, specs []GridSpec, n
 		}
 	}
 	agg.postProcess()
+	agg.buildIndex()
 	return agg, nil
 }
 

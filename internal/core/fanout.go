@@ -5,6 +5,34 @@ import (
 	"sync"
 )
 
+// FanOut runs f(0..n-1) across at most GOMAXPROCS concurrent workers and
+// waits for all of them. f(i) must be safe to run concurrently with f(j) for
+// i ≠ j. The first non-nil error wins, by index order, so callers see a
+// deterministic error regardless of scheduling. It is the shared parallel
+// substrate of grid estimation (Collect, Collector.Finalize) and of the
+// serving engine's matrix warm-up and batch answering.
+func FanOut(n int, f func(i int) error) error {
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // estimateGrids fans per-grid frequency estimation out across GOMAXPROCS
 // workers and collects every grid's vector. est(g) must be safe to run
 // concurrently with est(h) for g ≠ h and deterministic per grid — both the
@@ -14,23 +42,13 @@ import (
 // The first non-nil error wins, by grid order.
 func estimateGrids(m int, est func(g int) ([]float64, error)) ([][]float64, error) {
 	freqs := make([][]float64, m)
-	errs := make([]error, m)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for g := 0; g < m; g++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(g int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			freqs[g], errs[g] = est(g)
-		}(g)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := FanOut(m, func(g int) error {
+		var err error
+		freqs[g], err = est(g)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return freqs, nil
 }

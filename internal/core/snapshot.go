@@ -177,6 +177,7 @@ func Restore(s Snapshot) (*Aggregator, error) {
 	if len(agg.specs) == 0 {
 		return nil, fmt.Errorf("core: snapshot has no grids")
 	}
+	agg.buildIndex()
 	return agg, nil
 }
 

@@ -267,6 +267,26 @@ func (c *Client) Query(ctx context.Context, where string) (wire.QueryResponse, e
 	return out, err
 }
 
+// QueryBatch answers many WHERE expressions in one round trip; the server
+// evaluates them concurrently against the same collection round. Per-query
+// failures come back in their result item, not as a call error.
+func (c *Client) QueryBatch(ctx context.Context, wheres []string) (wire.BatchQueryResponse, error) {
+	var out wire.BatchQueryResponse
+	_, err := c.post(ctx, "/v1/query", wire.BatchQueryRequest{Queries: wheres}, &out)
+	return out, err
+}
+
+// NextRound opens collection round k+1 on the aggregator; the finalized
+// round k keeps serving queries while the new round collects. Returns the new
+// round number.
+func (c *Client) NextRound(ctx context.Context) (int, error) {
+	var out struct {
+		Round int `json:"round"`
+	}
+	_, err := c.post(ctx, "/v1/nextround", nil, &out)
+	return out.Round, err
+}
+
 // Status reports the round's progress and durability counters.
 func (c *Client) Status(ctx context.Context) (Status, error) {
 	var out Status

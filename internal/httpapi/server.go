@@ -10,8 +10,17 @@
 //	POST /v1/report    one wire.ReportMessage; 204 first accept, 200 replay
 //	POST /v1/finalize  close the round; {"reports": n}
 //	GET  /v1/query     ?where=<expr> — wire.QueryResponse (409 until finalized)
+//	POST /v1/query     wire.BatchQueryRequest — answers N queries concurrently
+//	POST /v1/nextround open collection round k+1; round k keeps serving
 //	GET  /v1/status    round progress + durability counters (see Status)
 //	GET  /v1/healthz   liveness probe; always {"ok": true}
+//
+// The server separates the ingest plane from the serving plane: finalizing a
+// round builds an immutable serve.Engine and swaps it in behind an atomic
+// pointer, so queries never contend with report ingest. POST /v1/nextround
+// then opens a fresh collector (same plan) for round k+1 while round k keeps
+// answering /v1/query — serving an already-published DP output during a new
+// collection is pure post-processing and does not touch the ε-LDP argument.
 //
 // Reports carry a device-chosen idempotency key (report_id). The first
 // submission under a key is counted and answered 204; an identical
@@ -30,14 +39,20 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"felip/internal/core"
 	"felip/internal/domain"
 	"felip/internal/metrics"
 	"felip/internal/query"
 	"felip/internal/reportlog"
+	"felip/internal/serve"
 	"felip/internal/wire"
 )
+
+// roundServed reports the collection round whose engine is currently
+// answering queries (0 until the first round finalizes).
+var roundServed = metrics.GetGauge("httpapi.round_served")
 
 // testHookFinalize, when non-nil, runs after finalize releases the server
 // lock and before the collector's estimation starts. Tests use it to probe
@@ -62,19 +77,41 @@ func keyOf(m wire.ReportMessage) reportKey {
 	return reportKey{group: m.Group, proto: m.Proto, value: m.Value, seed: m.Seed}
 }
 
-// Server drives one FELIP collection round over HTTP.
+// servingState is the immutable query-serving side of one finalized round;
+// the server swaps a new one in atomically at each finalize, so readers never
+// take the server lock.
+type servingState struct {
+	eng   *serve.Engine
+	round int
+}
+
+// Server drives FELIP collection rounds over HTTP: an ingest plane (the
+// current round's Collector, guarded by mu) and a serving plane (the last
+// finalized round's engine, behind an atomic pointer).
 type Server struct {
 	schema *domain.Schema
-	col    *core.Collector
+	planN  int
+	opts   core.Options
 	plan   wire.PlanMessage
 	logf   func(format string, args ...any)
 
-	mu     sync.RWMutex
-	agg    *core.Aggregator
-	finalN int
-	wal    *reportlog.Log
-	closed bool // a WAL was attached and has been closed
-	dedup  map[string]reportKey
+	// serving is the engine answering /v1/query; nil until the first round
+	// finalizes. Swapped whole at each finalize — never mutated in place.
+	serving atomic.Pointer[servingState]
+
+	mu    sync.RWMutex
+	col   *core.Collector
+	round int // collection round the collector belongs to (1-based)
+	// walFactory opens round k's write-ahead log segment when NextRound runs
+	// on a durable server.
+	walFactory func(round int) (*reportlog.Log, error)
+	agg        *core.Aggregator
+	finalN     int
+	wal        *reportlog.Log
+	closed     bool // a WAL was attached and has been closed
+	// dedup spans rounds: a device retrying its round-k report during round
+	// k+1 must be answered "duplicate", not double-counted into a new round.
+	dedup map[string]reportKey
 	// finalizing is non-nil while a finalize is in flight; it closes when
 	// the attempt's outcome is stored. Estimation runs outside mu so status,
 	// health and (refused) reports stay live during finalization.
@@ -94,7 +131,10 @@ func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error)
 	}
 	return &Server{
 		schema: schema,
+		planN:  n,
+		opts:   opts,
 		col:    col,
+		round:  1,
 		plan:   wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()),
 		logf:   log.Printf,
 		dedup:  make(map[string]reportKey),
@@ -123,6 +163,17 @@ func (s *Server) UseWAL(l *reportlog.Log, records []reportlog.Record) error {
 	if s.col.N() > 0 || s.agg != nil {
 		return fmt.Errorf("httpapi: cannot attach a write-ahead log to a round in progress")
 	}
+	if err := s.replayLocked(records); err != nil {
+		return err
+	}
+	s.col.ResumeAssignment(s.col.N())
+	s.wal = l
+	return nil
+}
+
+// replayLocked re-counts one WAL segment's records into the current round's
+// collector. Caller holds s.mu.
+func (s *Server) replayLocked(records []reportlog.Record) error {
 	for i, rec := range records {
 		switch rec.Type {
 		case reportlog.TypeReport:
@@ -148,18 +199,139 @@ func (s *Server) UseWAL(l *reportlog.Log, records []reportlog.Record) error {
 			}
 			s.dedup[rec.ReportID] = keyOf(msg)
 		case reportlog.TypeFinalize:
-			agg, err := s.col.Finalize()
-			if err != nil {
+			if err := s.finalizeReplayLocked(); err != nil {
 				return fmt.Errorf("httpapi: wal record %d: refinalizing: %w", i, err)
 			}
-			s.agg = agg
-			s.finalN = agg.N()
 		default:
 			return fmt.Errorf("httpapi: wal record %d: unknown type %q", i, rec.Type)
 		}
 	}
+	return nil
+}
+
+// finalizeReplayLocked re-closes the current round during startup replay —
+// no query traffic exists yet, so estimating under the lock is fine — and
+// swaps the round's engine in. Matrices are left cold; call WarmupServing
+// once replay is done. Caller holds s.mu.
+func (s *Server) finalizeReplayLocked() error {
+	agg, err := s.col.Finalize()
+	if err != nil {
+		return err
+	}
+	eng, err := serve.NewEngine(agg)
+	if err != nil {
+		return err
+	}
+	s.agg = agg
+	s.finalN = agg.N()
+	s.serving.Store(&servingState{eng: eng, round: s.round})
+	roundServed.Set(int64(s.round))
+	return nil
+}
+
+// openRoundLocked replaces the collector with a fresh one for round+1 —
+// BuildPlan is deterministic given schema, n and options, so every round
+// publishes the same plan — and resets the per-round state. The serving
+// plane is untouched: the previous round keeps answering queries. Caller
+// holds s.mu.
+func (s *Server) openRoundLocked() error {
+	col, err := core.NewCollector(s.schema, s.planN, s.opts)
+	if err != nil {
+		return err
+	}
+	s.col = col
+	s.round++
+	s.agg = nil
+	s.finalN = 0
+	s.finalErr = nil
+	s.wireRejected = 0
+	return nil
+}
+
+// NextRound opens collection round k+1 while the finalized round k keeps
+// serving queries. On a durable server the current segment is closed and the
+// factory registered with SetWALFactory opens the next one. Returns the new
+// round number.
+func (s *Server) NextRound() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("httpapi: server shutting down")
+	}
+	if s.agg == nil {
+		return 0, fmt.Errorf("httpapi: round %d not finalized; finalize before opening the next round", s.round)
+	}
+	var next *reportlog.Log
+	if s.wal != nil {
+		if s.walFactory == nil {
+			return 0, fmt.Errorf("httpapi: durable server has no WAL factory for round %d (SetWALFactory)", s.round+1)
+		}
+		var err error
+		next, err = s.walFactory(s.round + 1)
+		if err != nil {
+			return 0, fmt.Errorf("httpapi: opening round %d log: %w", s.round+1, err)
+		}
+	}
+	if err := s.openRoundLocked(); err != nil {
+		if next != nil {
+			next.Close()
+		}
+		return 0, err
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.logf("httpapi: closing round %d log: %v", s.round-1, err)
+		}
+	}
+	s.wal = next
+	return s.round, nil
+}
+
+// ResumeNextRound replays a later round's WAL segment at startup: it opens
+// round k+1, re-counts the segment's records, and attaches the segment's log.
+// A segment is only ever created after its predecessor's finalize record, so
+// the previous round must be finalized.
+func (s *Server) ResumeNextRound(l *reportlog.Log, records []reportlog.Record) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("httpapi: server shutting down")
+	}
+	if s.wal == nil {
+		return 0, fmt.Errorf("httpapi: no write-ahead log attached (UseWAL first)")
+	}
+	if s.agg == nil {
+		return 0, fmt.Errorf("httpapi: round %d segment present but round %d never finalized", s.round+1, s.round)
+	}
+	if err := s.openRoundLocked(); err != nil {
+		return 0, err
+	}
+	if err := s.replayLocked(records); err != nil {
+		return 0, err
+	}
 	s.col.ResumeAssignment(s.col.N())
+	old := s.wal
 	s.wal = l
+	if err := old.Close(); err != nil {
+		s.logf("httpapi: closing round %d log: %v", s.round-1, err)
+	}
+	return s.round, nil
+}
+
+// SetWALFactory registers the opener NextRound uses to create round k's WAL
+// segment on a durable server.
+func (s *Server) SetWALFactory(f func(round int) (*reportlog.Log, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.walFactory = f
+}
+
+// WarmupServing prepays every response-matrix fit of the engine currently
+// serving (after a cold startup replay). No-op when nothing is served yet.
+func (s *Server) WarmupServing() error {
+	if st := s.serving.Load(); st != nil {
+		return st.eng.Warmup()
+	}
 	return nil
 }
 
@@ -184,7 +356,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/assign", s.handleAssign)
 	mux.HandleFunc("POST /v1/report", s.handleReport)
 	mux.HandleFunc("POST /v1/finalize", s.handleFinalize)
+	mux.HandleFunc("POST /v1/nextround", s.handleNextRound)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query", s.handleQueryBatch)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
@@ -210,13 +384,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
+	col := s.col
 	finalized := s.agg != nil || s.finalizing != nil
 	s.mu.RUnlock()
 	if finalized {
 		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]int{"group": s.col.AssignGroup()})
+	s.writeJSON(w, http.StatusOK, map[string]int{"group": col.AssignGroup()})
 }
 
 // countWireReject records a report submission refused before it reached the
@@ -320,10 +495,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // finalize closes the round once; subsequent calls return the same count.
 // The server lock is dropped while the collector estimates (the collector
-// serializes concurrent finalizations itself and refuses new reports), so
-// /v1/status, /v1/healthz and /v1/query keep answering during the closing
-// estimation; concurrent finalize requests wait for the in-flight attempt's
-// outcome instead of re-running it.
+// serializes concurrent finalizations itself and refuses new reports) and
+// while the round's serving engine is built and warmed, so /v1/status,
+// /v1/healthz and /v1/query — still answering from the previous round's
+// engine — stay live; concurrent finalize requests wait for the in-flight
+// attempt's outcome instead of re-running it. The new engine is swapped in
+// fully warmed, before finalize acknowledges, so a client that saw the 200
+// can immediately query the new round.
 func (s *Server) finalize() (int, error) {
 	s.mu.Lock()
 	for {
@@ -351,13 +529,22 @@ func (s *Server) finalize() (int, error) {
 	}
 	done := make(chan struct{})
 	s.finalizing = done
+	col := s.col
+	round := s.round
 	s.mu.Unlock()
 
 	if hook := testHookFinalize; hook != nil {
 		hook()
 	}
 
-	agg, err := s.col.Finalize()
+	agg, err := col.Finalize()
+	var eng *serve.Engine
+	if err == nil {
+		eng, err = serve.NewEngine(agg)
+	}
+	if err == nil {
+		err = eng.Warmup()
+	}
 
 	s.mu.Lock()
 	defer func() {
@@ -381,6 +568,8 @@ func (s *Server) finalize() (int, error) {
 	}
 	s.agg = agg
 	s.finalN = agg.N()
+	s.serving.Store(&servingState{eng: eng, round: round})
+	roundServed.Set(int64(round))
 	return s.finalN, nil
 }
 
@@ -393,11 +582,18 @@ func (s *Server) handleFinalize(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]int{"reports": n})
 }
 
+func (s *Server) handleNextRound(w http.ResponseWriter, _ *http.Request) {
+	round, err := s.NextRound()
+	if err != nil {
+		s.writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]int{"round": round})
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	agg := s.agg
-	s.mu.RUnlock()
-	if agg == nil {
+	st := s.serving.Load()
+	if st == nil {
 		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
 		return
 	}
@@ -411,16 +607,81 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	est, err := agg.Answer(q)
+	est, err := st.eng.Answer(q)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := wire.QueryResponse{Query: q.String(), Estimate: est, N: agg.N()}
-	if ee, err := agg.ExpectedError(q); err == nil {
+	resp := wire.QueryResponse{Query: q.String(), Estimate: est, N: st.eng.N(), Round: st.round}
+	if ee, err := st.eng.ExpectedError(q); err == nil {
 		resp.ExpectedError = ee
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Batch query limits: enough for real analyst workloads, small enough that a
+// hostile batch cannot monopolize the process.
+const (
+	maxBatchQueries = 1024
+	maxBatchBody    = 1 << 20
+)
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	st := s.serving.Load()
+	if st == nil {
+		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req wire.BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid batch body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d queries exceeds %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+
+	// Parse failures stay per-item: the rest of the batch is still answered,
+	// concurrently, by the engine.
+	items := make([]wire.BatchQueryItem, len(req.Queries))
+	qs := make([]query.Query, 0, len(req.Queries))
+	idx := make([]int, 0, len(req.Queries))
+	for i, where := range req.Queries {
+		items[i].Query = where
+		q, err := query.Parse(where, s.schema)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		items[i].Query = q.String()
+		qs = append(qs, q)
+		idx = append(idx, i)
+	}
+	for k, res := range st.eng.AnswerBatch(qs) {
+		i := idx[k]
+		if res.Err != nil {
+			items[i].Error = res.Err.Error()
+			continue
+		}
+		items[i].Estimate = res.Estimate
+		if ee, err := st.eng.ExpectedError(qs[k]); err == nil {
+			items[i].ExpectedError = ee
+		}
+	}
+	s.writeJSON(w, http.StatusOK, wire.BatchQueryResponse{Round: st.round, N: st.eng.N(), Results: items})
 }
 
 // Status is the operator view of the round returned by GET /v1/status.
@@ -428,6 +689,11 @@ type Status struct {
 	Reports   int  `json:"reports"`
 	Groups    int  `json:"groups"`
 	Finalized bool `json:"finalized"`
+	// Round is the collection round the collector belongs to (1-based).
+	Round int `json:"round"`
+	// ServedRound is the round whose engine is answering queries (0 until the
+	// first finalize). During a new collection it trails Round by one.
+	ServedRound int `json:"served_round,omitempty"`
 	// Finalizing reports that the round is closing: estimation is running
 	// and new reports are refused, but the final aggregator is not ready.
 	Finalizing bool `json:"finalizing,omitempty"`
@@ -452,7 +718,9 @@ type Status struct {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
+	col := s.col
 	st := Status{
+		Round:        s.round,
 		Finalized:    s.agg != nil,
 		Finalizing:   s.agg == nil && s.finalizing != nil,
 		Durable:      s.wal != nil,
@@ -463,10 +731,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		st.WALPos = s.wal.Pos()
 	}
 	s.mu.RUnlock()
-	st.Rejected += s.col.Rejected()
-	st.Reports = s.col.N()
+	if sv := s.serving.Load(); sv != nil {
+		st.ServedRound = sv.round
+	}
+	st.Rejected += col.Rejected()
+	st.Reports = col.N()
 	st.Groups = len(s.plan.Grids)
-	st.GroupCounts = s.col.GroupCounts()
+	st.GroupCounts = col.GroupCounts()
 	st.Metrics = metrics.Snapshot()
 	s.writeJSON(w, http.StatusOK, st)
 }

@@ -23,17 +23,22 @@ func Simulate(s *Server, genName string, users int, seed uint64) error {
 	if seed == 0 {
 		seed = fo.AutoSeed()
 	}
+	// Capture the current round's collector: a concurrent NextRound must not
+	// make the simulation straddle two rounds.
+	s.mu.RLock()
+	col := s.col
+	s.mu.RUnlock()
 	ds := gen.Generate(s.schema, users, seed)
-	device, err := core.NewClient(s.col.Specs(), s.col.Epsilon(), seed+1)
+	device, err := core.NewClient(col.Specs(), col.Epsilon(), seed+1)
 	if err != nil {
 		return err
 	}
 	for row := 0; row < users; row++ {
-		rep, err := device.Perturb(s.col.AssignGroup(), func(attr int) int { return ds.Value(row, attr) })
+		rep, err := device.Perturb(col.AssignGroup(), func(attr int) int { return ds.Value(row, attr) })
 		if err != nil {
 			return err
 		}
-		if err := s.col.Add(rep); err != nil {
+		if err := col.Add(rep); err != nil {
 			return err
 		}
 	}

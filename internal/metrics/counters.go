@@ -22,6 +22,19 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is a concurrency-safe instantaneous value — unlike a Counter it is
+// set, not accumulated (e.g. the round currently being served). The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Timer accumulates durations of a repeated operation: how many times it ran
 // and the total nanoseconds spent. Both fields update atomically, so a Timer
 // can be observed from hot paths without locks.
@@ -51,6 +64,7 @@ var registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	gauges   map[string]*Gauge
 }
 
 // GetCounter returns the process-wide counter with the given name, creating
@@ -85,15 +99,34 @@ func GetTimer(name string) *Timer {
 	return t
 }
 
+// GetGauge returns the process-wide gauge with the given name, creating it on
+// first use.
+func GetGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = make(map[string]*Gauge)
+	}
+	g, ok := registry.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		registry.gauges[name] = g
+	}
+	return g
+}
+
 // Snapshot returns the current value of every registered instrument: counters
-// under their own name, timers as "<name>.count" and "<name>.ns". Keys are
-// returned in a fresh map the caller owns.
+// and gauges under their own name, timers as "<name>.count" and "<name>.ns".
+// Keys are returned in a fresh map the caller owns.
 func Snapshot() map[string]int64 {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	out := make(map[string]int64, len(registry.counters)+2*len(registry.timers))
+	out := make(map[string]int64, len(registry.counters)+len(registry.gauges)+2*len(registry.timers))
 	for name, c := range registry.counters {
 		out[name] = c.Value()
+	}
+	for name, g := range registry.gauges {
+		out[name] = g.Value()
 	}
 	for name, t := range registry.timers {
 		out[name+".count"] = t.Count()
@@ -107,8 +140,11 @@ func Snapshot() map[string]int64 {
 func InstrumentNames() []string {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	names := make([]string, 0, len(registry.counters)+len(registry.timers))
+	names := make([]string, 0, len(registry.counters)+len(registry.gauges)+len(registry.timers))
 	for name := range registry.counters {
+		names = append(names, name)
+	}
+	for name := range registry.gauges {
 		names = append(names, name)
 	}
 	for name := range registry.timers {

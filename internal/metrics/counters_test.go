@@ -83,3 +83,27 @@ func TestRegistryAndSnapshot(t *testing.T) {
 		t.Errorf("InstrumentNames missing test instruments: %v", names)
 	}
 }
+
+func TestGaugeSetAndSnapshot(t *testing.T) {
+	g := GetGauge("test.gauge.rounds")
+	if GetGauge("test.gauge.rounds") != g {
+		t.Fatal("GetGauge returned a different instance for the same name")
+	}
+	g.Set(3)
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7 (gauges are set, not accumulated)", got)
+	}
+	if got := Snapshot()["test.gauge.rounds"]; got != 7 {
+		t.Fatalf("Snapshot gauge = %d, want 7", got)
+	}
+	found := false
+	for _, name := range InstrumentNames() {
+		if name == "test.gauge.rounds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gauge missing from InstrumentNames")
+	}
+}

@@ -46,6 +46,27 @@ func Parse(expr string, schema *domain.Schema) (Query, error) {
 	return q, nil
 }
 
+// Compact renders the query in the grammar Parse accepts, using the schema's
+// attribute names — the round-trippable counterpart of Query.String (which is
+// SQL-ish and not parseable). Workload generators emit this form so their
+// output can be piped into felipquery -batch or POST /v1/query.
+func Compact(q Query, schema *domain.Schema) string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		name := schema.Attr(p.Attr).Name
+		if p.Op == Between {
+			parts[i] = fmt.Sprintf("%s=%d..%d", name, p.Lo, p.Hi)
+		} else {
+			vals := make([]string, len(p.Values))
+			for j, v := range p.Values {
+				vals[j] = strconv.Itoa(v)
+			}
+			parts[i] = name + "=" + strings.Join(vals, ",")
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
 func parsePredicate(part string, schema *domain.Schema) (Predicate, error) {
 	type opSpec struct {
 		token string

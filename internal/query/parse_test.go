@@ -1,6 +1,7 @@
 package query
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -124,6 +125,30 @@ func TestParseErrors(t *testing.T) {
 	} {
 		if _, err := Parse(expr, s); err == nil {
 			t.Errorf("expression %q accepted", expr)
+		}
+	}
+}
+
+// Compact output must parse back to the same query, for any generated
+// workload.
+func TestCompactRoundTrip(t *testing.T) {
+	s := parseSchema()
+	gen, err := NewGenerator(s, 0.4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		q, err := gen.Generate(1 + trial%s.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		expr := Compact(q, s)
+		back, err := Parse(expr, s)
+		if err != nil {
+			t.Fatalf("Compact(%v) = %q does not parse: %v", q, expr, err)
+		}
+		if !reflect.DeepEqual(q, back) {
+			t.Fatalf("round trip changed the query: %v -> %q -> %v", q, expr, back)
 		}
 	}
 }

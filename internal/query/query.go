@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"felip/internal/domain"
+	"felip/internal/estimate"
 	"felip/internal/fo"
 )
 
@@ -115,6 +116,48 @@ func (p Predicate) Selection(d int) []bool {
 		}
 	}
 	return sel
+}
+
+// Spans decomposes the predicate's selection over a domain of size d into
+// ascending disjoint half-open index spans — the allocation-light alternative
+// to Selection for range-oriented read paths (see estimate.Span): a BETWEEN
+// predicate is a single span, an IN predicate one span per run of adjacent
+// selected values. Out-of-range values are clamped/dropped exactly as
+// Selection drops them.
+func (p Predicate) Spans(d int) []estimate.Span {
+	switch p.Op {
+	case Between:
+		lo, hi := p.Lo, p.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= d {
+			hi = d - 1
+		}
+		if hi < lo {
+			return nil
+		}
+		return []estimate.Span{{Lo: lo, Hi: hi + 1}}
+	default:
+		vals := make([]int, 0, len(p.Values))
+		for _, v := range p.Values {
+			if v >= 0 && v < d {
+				vals = append(vals, v)
+			}
+		}
+		sort.Ints(vals)
+		var spans []estimate.Span
+		for _, v := range vals {
+			if n := len(spans); n > 0 && spans[n-1].Hi >= v {
+				if v+1 > spans[n-1].Hi {
+					spans[n-1].Hi = v + 1
+				}
+				continue
+			}
+			spans = append(spans, estimate.Span{Lo: v, Hi: v + 1})
+		}
+		return spans
+	}
 }
 
 // Selectivity returns the fraction of the domain the predicate selects.

@@ -1,0 +1,79 @@
+package query
+
+import (
+	"testing"
+
+	"felip/internal/estimate"
+	"felip/internal/fo"
+)
+
+// spansMatchSelection checks that the span decomposition covers exactly the
+// values Selection marks true.
+func spansMatchSelection(t *testing.T, p Predicate, d int) {
+	t.Helper()
+	sel := p.Selection(d)
+	spans := p.Spans(d)
+	covered := make([]bool, d)
+	prev := -1
+	for _, s := range spans {
+		if s.Lo >= s.Hi || s.Lo < 0 || s.Hi > d {
+			t.Fatalf("%v: invalid span %v over domain %d", p, s, d)
+		}
+		if s.Lo <= prev {
+			t.Fatalf("%v: spans not ascending/disjoint: %v", p, spans)
+		}
+		prev = s.Hi
+		for v := s.Lo; v < s.Hi; v++ {
+			covered[v] = true
+		}
+	}
+	for v := 0; v < d; v++ {
+		if covered[v] != sel[v] {
+			t.Fatalf("%v: spans %v cover value %d = %v, Selection says %v", p, spans, v, covered[v], sel[v])
+		}
+	}
+}
+
+func TestPredicateSpans(t *testing.T) {
+	const d = 20
+	cases := []Predicate{
+		NewRange(0, 3, 7),
+		NewRange(0, 0, d-1),
+		NewRange(0, -5, 4),
+		NewRange(0, 10, 99),
+		NewRange(0, 30, 40), // fully out of range → empty
+		NewIn(0, 5),
+		NewIn(0, 1, 2, 3),
+		NewIn(0, 7, 2, 2, 9, 8), // unsorted with duplicates
+		NewIn(0, 0, 19, 10),
+		NewIn(0, -3, 25, 4), // out-of-range values dropped
+	}
+	for _, p := range cases {
+		spansMatchSelection(t, p, d)
+	}
+}
+
+func TestPredicateSpansRandomized(t *testing.T) {
+	r := fo.NewRand(7)
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + r.IntN(40)
+		var p Predicate
+		if trial%2 == 0 {
+			lo := r.IntN(d)
+			p = NewRange(0, lo, lo+r.IntN(d-lo))
+		} else {
+			count := 1 + r.IntN(d)
+			vals := make([]int, count)
+			for i := range vals {
+				vals[i] = r.IntN(d)
+			}
+			p = NewIn(0, vals...)
+		}
+		spansMatchSelection(t, p, d)
+		// Complement covers exactly the values Selection marks false.
+		comp := estimate.ComplementSpans(p.Spans(d), d)
+		if got := estimate.SpanTotal(p.Spans(d)) + estimate.SpanTotal(comp); got != d {
+			t.Fatalf("%v over %d: spans+complement cover %d values", p, d, got)
+		}
+	}
+}

@@ -56,12 +56,39 @@ type ReportMessage struct {
 	Seed     uint64 `json:"seed,omitempty"`
 }
 
-// QueryResponse carries a query answer.
+// QueryResponse carries a query answer. Round identifies the collection
+// round the answer came from — under multi-round serving the aggregator keeps
+// answering from the last finalized round while the next one collects.
 type QueryResponse struct {
 	Query         string  `json:"query"`
 	Estimate      float64 `json:"estimate"`
 	ExpectedError float64 `json:"expected_error,omitempty"`
 	N             int     `json:"n"`
+	Round         int     `json:"round,omitempty"`
+}
+
+// BatchQueryRequest asks the aggregator to answer many WHERE expressions in
+// one round trip (POST /v1/query); the server answers them concurrently.
+type BatchQueryRequest struct {
+	Queries []string `json:"queries"`
+}
+
+// BatchQueryItem is one batch entry's outcome: either an estimate (with the
+// optional a-priori expected error) or a per-query error. A failed query
+// never fails the batch.
+type BatchQueryItem struct {
+	Query         string  `json:"query"`
+	Estimate      float64 `json:"estimate"`
+	ExpectedError float64 `json:"expected_error,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// BatchQueryResponse carries the batch's results in request order, all
+// answered from the same collection round.
+type BatchQueryResponse struct {
+	Round   int              `json:"round"`
+	N       int              `json:"n"`
+	Results []BatchQueryItem `json:"results"`
 }
 
 func protoName(p fo.Protocol) string { return p.String() }
