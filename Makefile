@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-smoke
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-smoke chaos-cluster
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,23 @@ bench:
 bench-query:
 	$(GO) run ./cmd/felipbench -query -qout BENCH_PR3.json
 
-# Both benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
+# Shard-scaling benchmark: ingest throughput and time-to-engine-ready for
+# 1/2/4 in-process shards, written to BENCH_PR4.json.
+bench-cluster:
+	$(GO) run ./cmd/felipbench -cluster -cout BENCH_PR4.json
+
+# All benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
 # /tmp so a smoke run never clobbers the checked-in numbers.
 bench-smoke:
-	$(GO) run ./cmd/felipbench -kernel -query -smoke -reps 1 \
-		-out /tmp/BENCH_smoke_kernel.json -qout /tmp/BENCH_smoke_query.json
+	$(GO) run ./cmd/felipbench -kernel -query -cluster -smoke -reps 1 \
+		-out /tmp/BENCH_smoke_kernel.json -qout /tmp/BENCH_smoke_query.json \
+		-cout /tmp/BENCH_smoke_cluster.json
+
+# Cluster chaos drill: kill a durable shard mid-round, restart it from its
+# WAL, truncate the coordinator's state pulls, and require bit-identical
+# answers — under the race detector.
+chaos-cluster:
+	$(GO) test -race -run 'TestClusterChaos|TestShardStateRepullAfterCrash' -v ./internal/cluster
 
 # Raw go-bench microbenchmarks for the frequency-oracle kernel.
 bench-fo:

@@ -14,6 +14,7 @@
 //	felipbench -list                  # list available figures
 //	felipbench -kernel                # OLH aggregation-kernel benchmark → BENCH_PR2.json
 //	felipbench -query                 # concurrent read-path benchmark → BENCH_PR3.json
+//	felipbench -cluster               # shard-scaling ingest benchmark → BENCH_PR4.json
 //	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
@@ -44,7 +45,9 @@ func main() {
 		reps    = flag.Int("reps", 3, "timed repetitions per -kernel/-query case (best is reported)")
 		qbench  = flag.Bool("query", false, "benchmark the concurrent read path (serve.Engine vs legacy Aggregator.Answer) and exit")
 		qout    = flag.String("qout", "BENCH_PR3.json", "output path for the -query JSON report")
-		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query benchmarks to CI-smoke sizes")
+		cbench  = flag.Bool("cluster", false, "benchmark sharded ingest scaling (1/2/4 shards) and exit")
+		cout    = flag.String("cout", "BENCH_PR4.json", "output path for the -cluster JSON report")
+		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
 
@@ -53,12 +56,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*qbench {
+		if !*qbench && !*cbench {
 			return
 		}
 	}
 	if *qbench {
 		if err := runQueryBench(*qout, *reps, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*cbench {
+			return
+		}
+	}
+	if *cbench {
+		if err := runClusterBench(*cout, *reps, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

@@ -19,6 +19,24 @@
 //
 //	felipserver -addr :8377 -eps 1.0 -simulate 100000 -dataset ipums-sim
 //	curl 'http://localhost:8377/v1/query?where=num0%3D16..48'
+//
+// The same binary also runs as a sharded ingest cluster (see
+// internal/cluster): start shard servers with -role=shard, then a
+// coordinator naming them with -shards. The plan flags, -eps and -seed must
+// match across every node — the plan is deterministic in them, so the nodes
+// agree without talking:
+//
+//	felipserver -role shard -addr :8471 -seed 7 -wal shard0.wal
+//	felipserver -role shard -addr :8472 -seed 7 -wal shard1.wal
+//	felipserver -role shard -addr :8473 -seed 7 -wal shard2.wal
+//	felipserver -role coordinator -addr :8377 -seed 7 \
+//	    -shards http://localhost:8471,http://localhost:8472,http://localhost:8473
+//
+// Devices report to the shard cluster.ShardFor(report_id, 3) names; analysts
+// POST /v1/finalize to the coordinator — it pulls every shard's sealed
+// partial state, merges the exact integer counts, estimates once, and serves
+// /v1/query answers bit-identical to a single-node round over the same
+// reports.
 package main
 
 import (
@@ -30,11 +48,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"felip/internal/cluster"
 	"felip/internal/core"
 	"felip/internal/dataset"
+	"felip/internal/domain"
 	"felip/internal/httpapi"
 	"felip/internal/reportlog"
 )
@@ -54,6 +75,9 @@ func main() {
 		simulate = flag.Int("simulate", 0, "simulate this many users in-process and finalize before serving")
 		simData  = flag.String("dataset", "ipums-sim", "generator for -simulate: uniform|normal|ipums-sim|loan-sim")
 		walPath  = flag.String("wal", "", "write-ahead log path; reports are durable and the round survives restarts (the plan flags and -seed must match across restarts)")
+		role     = flag.String("role", "standalone", "node role: standalone|shard|coordinator")
+		shards   = flag.String("shards", "", "comma-separated shard base URLs (coordinator role)")
+		shardID  = flag.String("shard-id", "", "shard name in cluster status roll-ups (shard role; default the listen address)")
 	)
 	flag.Parse()
 
@@ -73,16 +97,40 @@ func main() {
 	if *simulate > 0 {
 		planN = *simulate
 	}
-	srv, err := httpapi.NewServer(schema, planN, core.Options{
+	opts := core.Options{
 		Strategy:    strat,
 		Epsilon:     *eps,
 		Selectivity: *sel,
 		Seed:        *seed,
-	})
+	}
+
+	if *role == "coordinator" {
+		runCoordinator(schema, planN, opts, *addr, *shards, *walPath, *simulate, *seed)
+		return
+	}
+	if *role != "standalone" && *role != "shard" {
+		fmt.Fprintf(os.Stderr, "felipserver: unknown role %q\n", *role)
+		os.Exit(2)
+	}
+
+	srv, err := httpapi.NewServer(schema, planN, opts)
 	if err != nil {
 		log.Fatal("felipserver: ", err)
 	}
 	srv.SetLogger(log.Printf)
+	if *role == "shard" {
+		if *simulate > 0 {
+			// Simulation finalizes the round locally; a shard's round is closed
+			// by the coordinator's state pull instead.
+			log.Fatal("felipserver: -simulate is standalone-only; a shard's round is driven by its coordinator")
+		}
+		id := *shardID
+		if id == "" {
+			id = *addr
+		}
+		srv.SetShardID(id)
+		log.Printf("felipserver: shard %q awaiting coordinator", id)
+	}
 
 	if *walPath != "" {
 		if *simulate > 0 {
@@ -155,9 +203,62 @@ func main() {
 		log.Printf("felipserver: round finalized; /v1/query is live")
 	}
 
+	// Sync and close the WAL last, after in-flight reports have drained, so
+	// every acknowledged report is on disk before the process exits.
+	serveLoop(srv.Handler(), *addr,
+		fmt.Sprintf("felipserver: %s, schema %v, ε=%v, strategy %v, listening on %s", *role, schema, *eps, strat, *addr),
+		srv.Close)
+}
+
+// runCoordinator starts the cluster merge coordinator: no local ingest, no
+// WAL — its durable state is the shards' — just the round lifecycle and the
+// merged query plane.
+func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, shards, walPath string, simulate int, seed uint64) {
+	if walPath != "" {
+		log.Fatal("felipserver: the coordinator keeps no report log; -wal belongs on the shards")
+	}
+	if simulate > 0 {
+		log.Fatal("felipserver: -simulate is standalone-only")
+	}
+	if seed == 0 {
+		// The coordinator and shards must rebuild the identical plan.
+		log.Fatal("felipserver: -role coordinator requires an explicit -seed shared with every shard")
+	}
+	var bases []string
+	for _, s := range strings.Split(shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			bases = append(bases, s)
+		}
+	}
+	if len(bases) == 0 {
+		log.Fatal("felipserver: -role coordinator requires -shards")
+	}
+	coord, err := cluster.New(cluster.Config{
+		Schema: schema,
+		N:      planN,
+		Opts:   opts,
+		Shards: bases,
+		Retry: httpapi.RetryPolicy{
+			MaxAttempts: 5,
+			Timeout:     30 * time.Second,
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal("felipserver: ", err)
+	}
+	serveLoop(coord.Handler(), addr,
+		fmt.Sprintf("felipserver: coordinating %d shards, schema %v, ε=%v, listening on %s",
+			len(bases), schema, opts.Epsilon, addr),
+		func() error { return nil })
+}
+
+// serveLoop runs the HTTP server until SIGINT/SIGTERM, drains connections,
+// and runs shutdown last.
+func serveLoop(handler http.Handler, addr, banner string, shutdown func() error) {
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:              addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -165,7 +266,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("felipserver: schema %v, ε=%v, strategy %v, listening on %s", schema, *eps, strat, *addr)
+	log.Print(banner)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -182,9 +283,7 @@ func main() {
 			log.Fatal("felipserver: ", err)
 		}
 	}
-	// Sync and close the WAL last, after in-flight reports have drained, so
-	// every acknowledged report is on disk before the process exits.
-	if err := srv.Close(); err != nil {
+	if err := shutdown(); err != nil {
 		log.Fatal("felipserver: closing WAL: ", err)
 	}
 	log.Printf("felipserver: clean shutdown")

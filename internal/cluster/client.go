@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+
+	"felip/internal/core"
+	"felip/internal/httpapi"
+	"felip/internal/wire"
+)
+
+// Client is the cluster-aware device/analyst client: reports go straight to
+// the owning shard (no proxy hop through the coordinator on the hot path),
+// queries and lifecycle calls go to the coordinator. The shard is derived
+// from the report's idempotency key, so every retry — in-process or across a
+// device restart — lands on the same shard and its dedup index.
+type Client struct {
+	coord  *httpapi.Client
+	shards []*httpapi.Client
+}
+
+// NewClient dials the coordinator and every shard with the same transport and
+// retry policy. The shard order must match the coordinator's Config.Shards.
+func NewClient(coordBase string, shardBases []string, hc *http.Client, policy httpapi.RetryPolicy) *Client {
+	c := &Client{coord: httpapi.DialRetrying(coordBase, hc, policy)}
+	for _, base := range shardBases {
+		c.shards = append(c.shards, httpapi.DialRetrying(base, hc, policy))
+	}
+	return c
+}
+
+// Shards reports the cluster's shard count.
+func (c *Client) Shards() int { return len(c.shards) }
+
+// Shard returns the shard client that owns the given report ID.
+func (c *Client) Shard(reportID string) *httpapi.Client {
+	return c.shards[ShardFor(reportID, len(c.shards))]
+}
+
+// Plan fetches the published collection plan from the coordinator (every
+// node publishes the identical plan).
+func (c *Client) Plan(ctx context.Context) (wire.PlanMessage, error) {
+	return c.coord.Plan(ctx)
+}
+
+// Report submits one user's ε-LDP report under a fresh idempotency key,
+// routed to the key's shard.
+func (c *Client) Report(ctx context.Context, rep core.Report) error {
+	_, err := c.ReportWithID(ctx, wire.NewReportID(), rep)
+	return err
+}
+
+// ReportWithID submits a report under a caller-chosen idempotency key to the
+// key's shard. duplicate reports whether the shard had already counted the
+// key. Callers deriving the report's group should use httpapi.DeriveGroup on
+// the same key — group and shard hashes are independent by construction.
+func (c *Client) ReportWithID(ctx context.Context, id string, rep core.Report) (duplicate bool, err error) {
+	return c.Shard(id).ReportWithID(ctx, id, rep)
+}
+
+// Finalize closes the round cluster-wide via the coordinator; returns the
+// merged accepted-report count.
+func (c *Client) Finalize(ctx context.Context) (int, error) {
+	return c.coord.Finalize(ctx)
+}
+
+// NextRound opens the next collection round cluster-wide.
+func (c *Client) NextRound(ctx context.Context) (int, error) {
+	return c.coord.NextRound(ctx)
+}
+
+// Query answers a WHERE expression against the merged round.
+func (c *Client) Query(ctx context.Context, where string) (wire.QueryResponse, error) {
+	return c.coord.Query(ctx, where)
+}
+
+// QueryBatch answers many WHERE expressions in one round trip.
+func (c *Client) QueryBatch(ctx context.Context, wheres []string) (wire.BatchQueryResponse, error) {
+	return c.coord.QueryBatch(ctx, wheres)
+}

@@ -1,0 +1,58 @@
+// Package cluster scales FELIP collection horizontally without changing its
+// output: a fleet of shard servers ingests disjoint slices of the user
+// population, and a coordinator merges their sealed partial aggregates into
+// the exact aggregator a single server would have built from every report.
+//
+// The exactness rests on one property: shards export raw integer count
+// vectors (per-value support counts, *before* estimation — see
+// fo.PartialState), and integer count folding commutes. Summing the shards'
+// vectors yields bit-for-bit the vector one collector folding the union
+// stream holds, and the coordinator runs the float estimation pipeline
+// exactly once over that sum — so a 3-shard cluster's query answers are
+// bit-identical to single-node collection, not merely statistically
+// equivalent. The privacy argument is untouched: a partial state is a
+// deterministic function of the ε-LDP reports it folded, so shipping it to
+// the coordinator consumes no extra budget.
+//
+// Topology:
+//
+//	device ──report──▶ shard_i (i = ShardFor(report_id))   ingest plane
+//	coordinator ──pull──▶ shard_i /v1/shard/state           round finalize
+//	analyst ──query──▶ coordinator /v1/query                serving plane
+//
+// Every cross-process step is idempotent — reports carry idempotency keys,
+// the state pull re-serves identical bytes, round transitions name their
+// target round — so the coordinator drives the round lifecycle with plain
+// retries and a shard that crashes mid-round replays its WAL and rejoins
+// without the cluster noticing more than latency.
+package cluster
+
+import "hash/fnv"
+
+// shardSalt keeps the shard hash independent of httpapi.DeriveGroup's group
+// hash. Both partition by report ID; with the same hash a cluster of S shards
+// running a plan of G groups would correlate the two partitions (in the worst
+// case S == G, shard i would only ever see group i and every shard's plan
+// coverage would collapse).
+const shardSalt = "felip-shard\x00"
+
+// ShardFor assigns a report to one of n shards by hashing its report ID —
+// stateless and idempotent, like httpapi.DeriveGroup: a device retrying the
+// same report always lands on the same shard, so the shard's idempotency
+// index can do its job.
+func ShardFor(reportID string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(shardSalt))
+	h.Write([]byte(reportID))
+	x := h.Sum64()
+	// FNV-1a mod 2^k is a function of the byte stream's low bits alone (xor
+	// and multiply never propagate downward), so the salt by itself does NOT
+	// decorrelate this modulo from DeriveGroup's — a splitmix64-style
+	// finalizer spreads every input bit across the low bits first.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"felip/internal/core"
+	"felip/internal/domain"
+	"felip/internal/httpapi"
+	"felip/internal/metrics"
+	"felip/internal/serve"
+	"felip/internal/wire"
+)
+
+// Config describes a coordinator's cluster.
+type Config struct {
+	// Schema, N and Opts plan the round — identical on every node. BuildPlan
+	// is deterministic in them, so the coordinator and every shard publish
+	// the same plan without coordination.
+	Schema *domain.Schema
+	N      int
+	Opts   core.Options
+	// Shards are the shard servers' base URLs; their order is the cluster's
+	// shard numbering (ShardFor indexes into it).
+	Shards []string
+	// HTTPClient carries the coordinator's shard calls (nil =
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// Retry is the per-shard-call retry policy; state pulls and round
+	// transitions are idempotent, so retrying is always safe.
+	Retry httpapi.RetryPolicy
+	// Logf is the operational log (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// ShardInfo is the coordinator's per-shard roll-up, refreshed at each round
+// finalize from the shards' state messages.
+type ShardInfo struct {
+	// ID is the shard's self-reported name; Base its URL.
+	ID   string `json:"id"`
+	Base string `json:"base"`
+	// Reports and Rejected are the shard's accepted and refused totals for
+	// the finalized round.
+	Reports  int `json:"reports"`
+	Rejected int `json:"rejected"`
+	// WALReplayed is the shard's crash-recovery counter: report records it
+	// replayed from its write-ahead log since startup.
+	WALReplayed int `json:"wal_replayed"`
+}
+
+// Coordinator drives collection rounds across a fleet of shard servers and
+// serves the merged result. One coordinator owns the round lifecycle:
+// FinalizeRound pulls every shard's sealed partial state, merges the integer
+// counts, estimates exactly once, and swaps the merged engine into its query
+// plane; NextRound then walks every shard to the next round idempotently.
+type Coordinator struct {
+	schema  *domain.Schema
+	planN   int
+	opts    core.Options
+	plan    wire.PlanMessage
+	logf    func(format string, args ...any)
+	bases   []string
+	clients []*httpapi.Client
+	qp      *httpapi.QueryPlane
+
+	// lifecycle serializes FinalizeRound/AdvanceRound so two operators cannot
+	// interleave round transitions; mu guards the snapshot fields and is never
+	// held across a network call.
+	lifecycle sync.Mutex
+	mu        sync.Mutex
+	round     int
+	finalized bool
+	finalN    int
+	shards    []ShardInfo
+}
+
+// New plans the round and dials the shards. The plan is computed locally —
+// deterministically identical to every shard's — so devices may fetch it from
+// the coordinator or any shard interchangeably.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	col, err := core.NewCollector(cfg.Schema, cfg.N, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	c := &Coordinator{
+		schema: cfg.Schema,
+		planN:  cfg.N,
+		opts:   cfg.Opts,
+		plan:   wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Specs()),
+		logf:   logf,
+		bases:  append([]string(nil), cfg.Shards...),
+		qp:     httpapi.NewQueryPlane(cfg.Schema, logf),
+		round:  1,
+	}
+	for _, base := range c.bases {
+		c.clients = append(c.clients, httpapi.DialRetrying(base, cfg.HTTPClient, cfg.Retry))
+	}
+	return c, nil
+}
+
+// Round reports the collection round the cluster is in (1-based).
+func (c *Coordinator) Round() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// shardGauge names a per-shard metric; shards are identified by cluster index
+// so the gauge set is stable across shard restarts and renames.
+func shardGauge(i int, what string) *metrics.Gauge {
+	return metrics.GetGauge(fmt.Sprintf("cluster.shard%d.%s", i, what))
+}
+
+// FinalizeRound closes the round cluster-wide, exactly once: it pulls every
+// shard's sealed partial-aggregate state (the first pull is what seals the
+// shard), verifies each message's checksum and round, merges the integer
+// count vectors into one collector, runs the estimation pipeline once over
+// the sums, and swaps the resulting engine into the query plane fully warmed.
+// Repeat calls return the same report count. The state pulls ride the
+// client's retry policy; a pull that keeps failing aborts the finalize, which
+// can simply be retried — no shard state is consumed by a failed attempt.
+func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	c.mu.Lock()
+	if c.finalized {
+		n := c.finalN
+		c.mu.Unlock()
+		return n, nil
+	}
+	round := c.round
+	c.mu.Unlock()
+
+	// Pull every shard's state concurrently; each pull seals its shard. The
+	// merge below runs in shard order, though order cannot matter: integer
+	// count addition commutes.
+	msgs := make([]wire.ShardStateMessage, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *httpapi.Client) {
+			defer wg.Done()
+			msgs[i], errs[i] = cl.ShardState(ctx)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("cluster: shard %d (%s) state pull: %w", i, c.bases[i], err)
+		}
+	}
+
+	col, err := core.NewCollector(c.schema, c.planN, c.opts)
+	if err != nil {
+		return 0, err
+	}
+	infos := make([]ShardInfo, len(msgs))
+	for i, msg := range msgs {
+		if msg.Round != round {
+			return 0, fmt.Errorf("cluster: shard %d (%s) is in round %d, coordinator in round %d",
+				i, c.bases[i], msg.Round, round)
+		}
+		states, err := msg.States()
+		if err != nil {
+			return 0, fmt.Errorf("cluster: shard %d (%s): %w", i, c.bases[i], err)
+		}
+		if err := col.ImportPartials(states); err != nil {
+			return 0, fmt.Errorf("cluster: merging shard %d (%s): %w", i, c.bases[i], err)
+		}
+		infos[i] = ShardInfo{
+			ID:          msg.ShardID,
+			Base:        c.bases[i],
+			Reports:     msg.Reports,
+			Rejected:    msg.Rejected,
+			WALReplayed: msg.WALReplayed,
+		}
+		c.logf("cluster: shard %d (%s) round %d: %d reports, %d rejected, %d wal-replayed",
+			i, msg.ShardID, round, msg.Reports, msg.Rejected, msg.WALReplayed)
+	}
+
+	agg, err := col.Finalize()
+	if err != nil {
+		return 0, fmt.Errorf("cluster: finalizing merged round %d: %w", round, err)
+	}
+	eng, err := serve.NewEngine(agg)
+	if err == nil {
+		err = eng.Warmup()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: building round %d engine: %w", round, err)
+	}
+
+	for i, info := range infos {
+		shardGauge(i, "reports").Set(int64(info.Reports))
+		shardGauge(i, "rejected").Set(int64(info.Rejected))
+		shardGauge(i, "wal_replayed").Set(int64(info.WALReplayed))
+	}
+	c.mu.Lock()
+	c.finalized = true
+	c.finalN = agg.N()
+	c.shards = infos
+	c.mu.Unlock()
+	// Swap in after the snapshot fields: a status probe may briefly see
+	// finalized without a served round, never the reverse.
+	c.qp.Serve(eng, round)
+	return agg.N(), nil
+}
+
+// AdvanceRound opens the next collection round cluster-wide. target names the
+// round the caller wants open (0 = current+1): an already-applied transition
+// succeeds without side effects, a skip is refused. Each shard is driven with
+// the same idempotent transition, so a coordinator that crashed after
+// advancing only some shards simply retries — shards already in the target
+// round answer 200 and the stragglers catch up.
+func (c *Coordinator) AdvanceRound(ctx context.Context, target int) (int, error) {
+	c.lifecycle.Lock()
+	defer c.lifecycle.Unlock()
+	c.mu.Lock()
+	cur, finalized := c.round, c.finalized
+	c.mu.Unlock()
+	if target == cur {
+		return cur, nil
+	}
+	if target != 0 && target != cur+1 {
+		return 0, fmt.Errorf("cluster: round is %d; cannot jump to round %d", cur, target)
+	}
+	if !finalized {
+		return 0, fmt.Errorf("cluster: round %d not finalized; finalize before opening the next round", cur)
+	}
+	next := cur + 1
+	for i, cl := range c.clients {
+		got, err := cl.NextRoundTo(ctx, next)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: advancing shard %d (%s) to round %d: %w", i, c.bases[i], next, err)
+		}
+		if got != next {
+			return 0, fmt.Errorf("cluster: shard %d (%s) reports round %d after transition to %d",
+				i, c.bases[i], got, next)
+		}
+	}
+	c.mu.Lock()
+	c.round = next
+	c.finalized = false
+	c.finalN = 0
+	c.mu.Unlock()
+	return next, nil
+}
+
+// NextRound advances the cluster one round; the finalized round keeps
+// serving queries from the coordinator while the shards collect the next.
+func (c *Coordinator) NextRound(ctx context.Context) (int, error) {
+	return c.AdvanceRound(ctx, 0)
+}
+
+// ClusterStatus is the operator view returned by the coordinator's
+// GET /v1/status.
+type ClusterStatus struct {
+	// Round is the collection round the cluster is in; ServedRound the round
+	// answering queries (0 until the first finalize).
+	Round       int  `json:"round"`
+	ServedRound int  `json:"served_round,omitempty"`
+	Finalized   bool `json:"finalized"`
+	// Reports is the merged accepted-report total of the finalized round.
+	Reports int `json:"reports"`
+	// Shards is the per-shard roll-up from the last finalize — including each
+	// shard's rejected-submission and WAL-replay counters, so one status call
+	// shows both misbehaving clients and crash recoveries anywhere in the
+	// cluster.
+	Shards []ShardInfo `json:"shards,omitempty"`
+	// Metrics is the process-wide instrument snapshot (includes the
+	// cluster.shardK.* gauges).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// Status reports the cluster round state and per-shard counters.
+func (c *Coordinator) Status() ClusterStatus {
+	c.mu.Lock()
+	st := ClusterStatus{
+		Round:     c.round,
+		Finalized: c.finalized,
+		Reports:   c.finalN,
+		Shards:    append([]ShardInfo(nil), c.shards...),
+	}
+	c.mu.Unlock()
+	if round, ok := c.qp.ServedRound(); ok {
+		st.ServedRound = round
+	}
+	st.Metrics = metrics.Snapshot()
+	return st
+}
+
+// Handler returns the coordinator's HTTP surface: the plan and query
+// endpoints a single-node server exposes (so analysts are oblivious to the
+// topology), plus cluster-wide finalize, round transition, and status.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plan", func(w http.ResponseWriter, _ *http.Request) {
+		c.writeJSON(w, http.StatusOK, c.plan)
+	})
+	mux.HandleFunc("GET /v1/query", c.qp.HandleQuery)
+	mux.HandleFunc("POST /v1/query", c.qp.HandleQueryBatch)
+	mux.HandleFunc("POST /v1/finalize", func(w http.ResponseWriter, r *http.Request) {
+		n, err := c.FinalizeRound(r.Context())
+		if err != nil {
+			c.writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		c.writeJSON(w, http.StatusOK, map[string]int{"reports": n})
+	})
+	mux.HandleFunc("POST /v1/nextround", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Round int `json:"round"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			c.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid nextround body: %w", err))
+			return
+		}
+		round, err := c.AdvanceRound(r.Context(), req.Round)
+		if err != nil {
+			c.writeError(w, http.StatusConflict, err)
+			return
+		}
+		c.writeJSON(w, http.StatusOK, map[string]int{"round": round})
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		c.writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		c.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		c.logf("cluster: encoding %T response: %v", v, err)
+	}
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, status int, err error) {
+	c.writeJSON(w, status, map[string]string{"error": err.Error()})
+}

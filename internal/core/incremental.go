@@ -145,6 +145,13 @@ type Collector struct {
 	finalDone chan struct{}
 	finalAgg  *Aggregator
 	finalErr  error
+	// exportDone is non-nil once an ExportPartials is in flight or complete;
+	// it closes when exportStates/exportErr hold the seal's one result. A
+	// shard collector exports instead of finalizing: the round's raw count
+	// vectors travel to the coordinator, which estimates once, globally.
+	exportDone   chan struct{}
+	exportStates []fo.PartialState
+	exportErr    error
 }
 
 // NewCollector plans the grids for an expected population of n users and
@@ -322,6 +329,114 @@ func (c *Collector) ResumeAssignment(assigned int) {
 		assigned = 0
 	}
 	c.nextGroup = assigned % len(c.specs)
+}
+
+// Seal closes the round for ingest — Add and Check refuse from here on —
+// without exporting or estimating anything. It is the cheap first half of
+// ExportPartials, split out so a server can seal while holding its own lock
+// (no report may slip between its durability log and a concurrent export)
+// and run the heavier export after releasing it. Idempotent.
+func (c *Collector) Seal() {
+	c.mu.Lock()
+	c.finalized = true
+	c.mu.Unlock()
+}
+
+// ExportPartials seals the round — Add and Check refuse from here on — and
+// returns every grid's exact partial-aggregate state (raw integer count
+// vectors, *before* estimation; see fo.PartialState). This is a shard
+// server's finalize: instead of estimating locally, the shard ships its
+// partials to the merge coordinator, whose single global estimation over the
+// summed counts is bit-identical to one collector having seen every report.
+//
+// ExportPartials is idempotent: every call, including concurrent ones,
+// returns the same states — a coordinator whose fetch was lost in transit
+// re-pulls the identical state. Unlike Finalize it permits an empty round
+// (a shard may legitimately have received no reports).
+func (c *Collector) ExportPartials() ([]fo.PartialState, error) {
+	c.mu.Lock()
+	if done := c.exportDone; done != nil {
+		// An export is in flight or complete: wait for its result.
+		c.mu.Unlock()
+		<-done
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.exportStates, c.exportErr
+	}
+	c.finalized = true // seal: Add/Check refuse, count vectors are frozen
+	done := make(chan struct{})
+	c.exportDone = done
+	specs := c.specs
+	grrAggs := c.grrAggs
+	olhAggs := c.olhAggs
+	c.mu.Unlock()
+
+	// The per-grid exports run outside c.mu (an OLH export folds any pending
+	// reports, O(pending·L)) so N, GroupCounts and Rejected stay live.
+	states := make([]fo.PartialState, len(specs))
+	var err error
+	for g, spec := range specs {
+		switch spec.Proto {
+		case fo.GRR:
+			states[g], err = grrAggs[g].ExportState()
+		case fo.OLH:
+			states[g], err = olhAggs[g].ExportState()
+		default:
+			err = fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
+		}
+		if err != nil {
+			states = nil
+			break
+		}
+	}
+
+	c.mu.Lock()
+	c.exportStates, c.exportErr = states, err
+	c.mu.Unlock()
+	close(done)
+	return states, err
+}
+
+// ImportPartials folds shard-exported partial states into this collector's
+// aggregators, exactly: one state per grid of the plan, in group order (the
+// shape ExportPartials produces). After importing every shard, Finalize
+// estimates over the summed counts — bit-identical to single-node collection
+// of the union of the shards' report streams.
+//
+// The states are validated against the plan as a whole before any count is
+// touched, so a bad shard state is refused without corrupting the merge.
+func (c *Collector) ImportPartials(states []fo.PartialState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finalized {
+		return ErrFinalized
+	}
+	if len(states) != len(c.specs) {
+		return fmt.Errorf("core: %d partial states for a plan of %d grids", len(states), len(c.specs))
+	}
+	total := 0
+	for g, st := range states {
+		spec := c.specs[g]
+		if err := st.Check(spec.Proto, c.opts.Epsilon, spec.L()); err != nil {
+			return fmt.Errorf("core: grid %d: %w", g, err)
+		}
+		total += st.N
+	}
+	for g, st := range states {
+		var err error
+		switch c.specs[g].Proto {
+		case fo.GRR:
+			err = c.grrAggs[g].ImportState(st)
+		case fo.OLH:
+			err = c.olhAggs[g].ImportState(st)
+		}
+		if err != nil {
+			// Check passed above; this is unreachable short of a bug.
+			return fmt.Errorf("core: grid %d: %w", g, err)
+		}
+	}
+	c.added += total
+	return nil
 }
 
 // Finalize closes the round: estimates every grid's cell frequencies from

@@ -340,3 +340,150 @@ func TestCollectorConcurrentAdds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCollectorPartialsShardEquivalence: splitting a device population across
+// shard collectors, exporting each shard's partial states, and importing them
+// into a coordinator collector must finalize into an aggregator whose grids
+// are bit-identical to a single collector that saw every report.
+func TestCollectorPartialsShardEquivalence(t *testing.T) {
+	s := mixedSchema()
+	ds := dataset.NewNormal().Generate(s, 9000, 71)
+	opts := Options{Strategy: OHG, Epsilon: 1.5, Seed: 73}
+
+	single, err := NewCollector(s, ds.N(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	shards := make([]*Collector, k)
+	for i := range shards {
+		if shards[i], err = NewCollector(s, ds.N(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := NewClient(single.Specs(), single.Epsilon(), 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(single.Specs())
+	for row := 0; row < ds.N(); row++ {
+		rep, err := cl.Perturb(row%m, func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[row%k].Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	coord, err := NewCollector(s, ds.N(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shards {
+		states, err := sh.ExportPartials()
+		if err != nil {
+			t.Fatalf("shard %d export: %v", i, err)
+		}
+		// Export seals the shard.
+		if err := sh.Add(Report{Group: 0, Proto: sh.Specs()[0].Proto}); err == nil {
+			t.Fatalf("shard %d accepted a report after export", i)
+		}
+		// Export is idempotent: a re-pull returns the identical states.
+		again, err := sh.ExportPartials()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := range states {
+			if states[g].N != again[g].N {
+				t.Fatalf("shard %d re-export differs at grid %d", i, g)
+			}
+		}
+		if err := coord.ImportPartials(states); err != nil {
+			t.Fatalf("shard %d import: %v", i, err)
+		}
+	}
+	if coord.N() != ds.N() {
+		t.Fatalf("coordinator N = %d, want %d", coord.N(), ds.N())
+	}
+
+	aggSingle, err := single.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggCoord, err := coord.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggCoord.N() != aggSingle.N() {
+		t.Fatalf("merged N = %d, single N = %d", aggCoord.N(), aggSingle.N())
+	}
+	for _, sp := range aggSingle.Specs() {
+		if sp.Is1D() {
+			g1, _ := aggSingle.Grid1D(sp.AttrX)
+			g2, ok := aggCoord.Grid1D(sp.AttrX)
+			if !ok {
+				t.Fatalf("merged aggregator missing 1-D grid %d", sp.AttrX)
+			}
+			for v := range g1.Freq {
+				if g1.Freq[v] != g2.Freq[v] {
+					t.Fatalf("grid %d freq[%d]: merged %v != single %v (not bit-identical)",
+						sp.AttrX, v, g2.Freq[v], g1.Freq[v])
+				}
+			}
+		} else {
+			g1, _ := aggSingle.Grid2D(sp.AttrX, sp.AttrY)
+			g2, ok := aggCoord.Grid2D(sp.AttrX, sp.AttrY)
+			if !ok {
+				t.Fatalf("merged aggregator missing 2-D grid %d,%d", sp.AttrX, sp.AttrY)
+			}
+			for v := range g1.Freq {
+				if g1.Freq[v] != g2.Freq[v] {
+					t.Fatalf("grid %d,%d freq[%d]: merged %v != single %v (not bit-identical)",
+						sp.AttrX, sp.AttrY, v, g2.Freq[v], g1.Freq[v])
+				}
+			}
+		}
+	}
+}
+
+// TestImportPartialsValidation: mismatched shapes and sealed collectors must
+// refuse imports whole.
+func TestImportPartialsValidation(t *testing.T) {
+	opts := Options{Strategy: OHG, Epsilon: 1, Seed: 81}
+	col, err := NewCollector(mixedSchema(), 10000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := NewCollector(mixedSchema(), 10000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := shard.ExportPartials() // empty shard: zero counts, still importable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.ImportPartials(states[:1]); err == nil {
+		t.Error("short state list accepted")
+	}
+	bad := append([]fo.PartialState(nil), states...)
+	bad[0].Epsilon = 9
+	if err := col.ImportPartials(bad); err == nil {
+		t.Error("mismatched epsilon accepted")
+	}
+	if col.N() != 0 {
+		t.Errorf("failed imports left N = %d", col.N())
+	}
+	if err := col.ImportPartials(states); err != nil {
+		t.Fatalf("empty-shard import refused: %v", err)
+	}
+	if _, err := col.ExportPartials(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.ImportPartials(states); err == nil {
+		t.Error("import into a sealed collector accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// PartialFetch is a fault-injecting http.RoundTripper for the cluster's
+// state-pull path: responses to requests whose URL path contains match are
+// cut off mid-body for the first n matching exchanges. The server fully
+// processes each request — the shard's round is sealed, its state exported —
+// but the coordinator receives only a prefix and a read error, the way a
+// connection dying mid-transfer looks. A correct coordinator retries and, the
+// endpoint being idempotent, receives the identical state. Safe for
+// concurrent use.
+type PartialFetch struct {
+	base  http.RoundTripper
+	match string
+
+	mu        sync.Mutex
+	remaining int
+	injected  int
+}
+
+// NewPartialFetch wraps base (nil = http.DefaultTransport) so the first n
+// responses to paths containing match are truncated.
+func NewPartialFetch(base http.RoundTripper, match string, n int) *PartialFetch {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &PartialFetch{base: base, match: match, remaining: n}
+}
+
+// errAfterReader yields its payload, then the injected error — the shape of a
+// transfer cut off mid-body (not a clean EOF, which would hand the client a
+// syntactically truncated but "complete" read).
+type errAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
+	}
+	return n, err
+}
+
+// RoundTrip implements http.RoundTripper.
+func (p *PartialFetch) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := p.base.RoundTrip(req)
+	if err != nil || !strings.Contains(req.URL.Path, p.match) {
+		return resp, err
+	}
+	p.mu.Lock()
+	inject := p.remaining > 0
+	if inject {
+		p.remaining--
+		p.injected++
+	}
+	p.mu.Unlock()
+	if !inject {
+		return resp, nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(&errAfterReader{
+		r:   bytes.NewReader(body[:len(body)/2]),
+		err: fmt.Errorf("faultinject: %w after %d of %d body bytes", io.ErrUnexpectedEOF, len(body)/2, len(body)),
+	})
+	return resp, nil
+}
+
+// Injected reports how many responses were truncated.
+func (p *PartialFetch) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Blackout is a fault-injecting http.RoundTripper that simulates a crashed
+// shard at the transport layer: between Kill and Revive every request to a
+// host matching the killed prefix fails as a refused connection. Tests pair
+// it with a real server restart (new process state, WAL replay) to drill the
+// full crash-recovery path. Safe for concurrent use.
+type Blackout struct {
+	base http.RoundTripper
+
+	mu   sync.Mutex
+	dead map[string]bool
+}
+
+// NewBlackout wraps base (nil = http.DefaultTransport).
+func NewBlackout(base http.RoundTripper) *Blackout {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Blackout{base: base, dead: make(map[string]bool)}
+}
+
+// Kill makes every request to the given host (as in req.URL.Host) fail.
+func (b *Blackout) Kill(host string) {
+	b.mu.Lock()
+	b.dead[host] = true
+	b.mu.Unlock()
+}
+
+// Revive restores the host.
+func (b *Blackout) Revive(host string) {
+	b.mu.Lock()
+	delete(b.dead, host)
+	b.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (b *Blackout) RoundTrip(req *http.Request) (*http.Response, error) {
+	b.mu.Lock()
+	dead := b.dead[req.URL.Host]
+	b.mu.Unlock()
+	if dead {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: connection to %s refused (host down)", req.URL.Host)
+	}
+	return b.base.RoundTrip(req)
+}

@@ -1,0 +1,199 @@
+package fo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOLHStateRoundTripEquivalence: exporting k shards' states and importing
+// them into a fresh aggregator must estimate bit-identically to one
+// aggregator folding every report — the property the cluster coordinator's
+// exact merge rests on.
+func TestOLHStateRoundTripEquivalence(t *testing.T) {
+	const eps, L, n = 1.2, 96, 3000
+	reports := genOLHReports(t, eps, L, n, 17)
+
+	single := NewOLHAggregator(eps, L)
+	for _, rep := range reports {
+		single.Add(rep)
+	}
+	want := single.Estimates()
+
+	for _, k := range []int{2, 3, 5} {
+		shards := make([]*OLHAggregator, k)
+		for i := range shards {
+			// Mix modes: streaming shards export pre-folded support, buffered
+			// shards must fold at export time.
+			if i%2 == 0 {
+				shards[i] = NewOLHAggregatorStreaming(eps, L)
+			} else {
+				shards[i] = NewOLHAggregator(eps, L)
+			}
+		}
+		for j, rep := range reports {
+			shards[j%k].Add(rep)
+		}
+
+		merged := NewOLHAggregator(eps, L)
+		total := 0
+		for _, sh := range shards {
+			st, err := sh.ExportState()
+			if err != nil {
+				t.Fatalf("k=%d: export: %v", k, err)
+			}
+			total += st.N
+			if err := merged.ImportState(st); err != nil {
+				t.Fatalf("k=%d: import: %v", k, err)
+			}
+		}
+		if total != n || merged.N() != n {
+			t.Fatalf("k=%d: states carry %d reports, merged N %d, want %d", k, total, merged.N(), n)
+		}
+		got := merged.Estimates()
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("k=%d: estimate[%d] = %v, want %v (state merge not exact)", k, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestOLHExportIdempotent: exporting twice must return the same state —
+// the shard re-serves its partial state verbatim when the coordinator's
+// first fetch is lost.
+func TestOLHExportIdempotent(t *testing.T) {
+	const eps, L = 1.0, 48
+	agg := NewOLHAggregator(eps, L)
+	for _, rep := range genOLHReports(t, eps, L, 700, 23) {
+		agg.Add(rep)
+	}
+	first, err := agg.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := agg.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.N != second.N || first.Rejected != second.Rejected {
+		t.Fatalf("repeat export differs: n %d/%d rejected %d/%d", first.N, second.N, first.Rejected, second.Rejected)
+	}
+	for v := range first.Counts {
+		if first.Counts[v] != second.Counts[v] {
+			t.Fatalf("repeat export count[%d] %d != %d", v, first.Counts[v], second.Counts[v])
+		}
+	}
+}
+
+func TestGRRStateRoundTripEquivalence(t *testing.T) {
+	const eps, L, n = 1.0, 32, 4000
+	c, err := NewGRRClient(eps, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(29)
+	single := NewGRRAggregator(eps, L)
+	shards := []*GRRAggregator{NewGRRAggregator(eps, L), NewGRRAggregator(eps, L), NewGRRAggregator(eps, L)}
+	for i := 0; i < n; i++ {
+		rep, err := c.Perturb(i%L, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single.Add(rep)
+		shards[i%3].Add(rep)
+	}
+	merged := NewGRRAggregator(eps, L)
+	for _, sh := range shards {
+		st, err := sh.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.ImportState(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, got := single.Estimates(), merged.Estimates()
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("estimate[%d]: merged %v != single %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestOUEStateRoundTripEquivalence(t *testing.T) {
+	const eps, L, n = 1.0, 24, 1500
+	c, err := NewOUEClient(eps, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(31)
+	single := NewOUEAggregator(eps, L)
+	shards := []*OUEAggregator{NewOUEAggregator(eps, L), NewOUEAggregator(eps, L)}
+	for i := 0; i < n; i++ {
+		rep, err := c.Perturb(i%L, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single.Add(rep)
+		shards[i%2].Add(rep)
+	}
+	merged := NewOUEAggregator(eps, L)
+	for _, sh := range shards {
+		st, err := sh.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.ImportState(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, got := single.Estimates(), merged.Estimates()
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("estimate[%d]: merged %v != single %v", v, got[v], want[v])
+		}
+	}
+}
+
+// TestPartialStateCheckRefusesBadStates: a corrupt or mismatched state must
+// be refused whole, leaving the importing aggregator untouched.
+func TestPartialStateCheckRefusesBadStates(t *testing.T) {
+	agg := NewGRRAggregator(1.0, 8)
+	agg.Add(3)
+	good, err := agg.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(st *PartialState)
+		errSub string
+	}{
+		{"proto mismatch", func(st *PartialState) { st.Proto = OLH }, "partial state is"},
+		{"eps mismatch", func(st *PartialState) { st.Epsilon = 2 }, "epsilon"},
+		{"domain mismatch", func(st *PartialState) { st.L = 9 }, "domain"},
+		{"short counts", func(st *PartialState) { st.Counts = st.Counts[:4] }, "counts"},
+		{"negative count", func(st *PartialState) { st.Counts[0] = -1 }, "outside"},
+		{"count above n", func(st *PartialState) { st.Counts[0] = 99 }, "outside"},
+		{"negative n", func(st *PartialState) { st.N = -1 }, "negative"},
+		{"grr sum mismatch", func(st *PartialState) { st.N = 2 }, "sum"},
+	}
+	for _, tc := range cases {
+		st := good
+		st.Counts = append([]int64(nil), good.Counts...)
+		tc.mutate(&st)
+		target := NewGRRAggregator(1.0, 8)
+		err := target.ImportState(st)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errSub)
+		}
+		if target.N() != 0 {
+			t.Errorf("%s: failed import mutated the aggregator (N=%d)", tc.name, target.N())
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"felip/internal/domain"
+	"felip/internal/metrics"
+	"felip/internal/query"
+	"felip/internal/serve"
+	"felip/internal/wire"
+)
+
+// roundServed reports the collection round whose engine is currently
+// answering queries (0 until the first round finalizes).
+var roundServed = metrics.GetGauge("httpapi.round_served")
+
+// servingState is the immutable query-serving side of one finalized round;
+// the owner swaps a new one in atomically at each finalize, so readers never
+// take a lock.
+type servingState struct {
+	eng   *serve.Engine
+	round int
+}
+
+// QueryPlane is the read-only half of a FELIP service: the last finalized
+// round's engine behind an atomic pointer, plus the HTTP handlers that answer
+// /v1/query against it. Both the single-node Server and the cluster
+// coordinator embed one — the serving surface is identical whether the
+// estimates came from one collector or from an exact merge of shard states.
+type QueryPlane struct {
+	schema *domain.Schema
+	logf   func(format string, args ...any)
+
+	// serving is nil until the first round finalizes. Swapped whole — never
+	// mutated in place.
+	serving atomic.Pointer[servingState]
+}
+
+// NewQueryPlane returns an empty plane (no round served yet).
+func NewQueryPlane(schema *domain.Schema, logf func(format string, args ...any)) *QueryPlane {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &QueryPlane{schema: schema, logf: logf}
+}
+
+// Serve swaps in a finalized round's engine; queries answer from it until the
+// next swap. The previous engine keeps answering in-flight requests.
+func (p *QueryPlane) Serve(eng *serve.Engine, round int) {
+	p.serving.Store(&servingState{eng: eng, round: round})
+	roundServed.Set(int64(round))
+}
+
+// ServedRound reports the round currently answering queries (0, false before
+// the first finalize).
+func (p *QueryPlane) ServedRound() (int, bool) {
+	if st := p.serving.Load(); st != nil {
+		return st.round, true
+	}
+	return 0, false
+}
+
+// Warmup prepays every response-matrix fit of the engine currently serving.
+// No-op when nothing is served yet.
+func (p *QueryPlane) Warmup() error {
+	if st := p.serving.Load(); st != nil {
+		return st.eng.Warmup()
+	}
+	return nil
+}
+
+func writeJSONWith(logf func(string, ...any), w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone already; all we can do is not lose the
+		// evidence.
+		logf("httpapi: encoding %T response: %v", v, err)
+	}
+}
+
+func writeErrorWith(logf func(string, ...any), w http.ResponseWriter, status int, err error) {
+	writeJSONWith(logf, w, status, map[string]string{"error": err.Error()})
+}
+
+// HandleQuery answers GET /v1/query?where=<expr>.
+func (p *QueryPlane) HandleQuery(w http.ResponseWriter, r *http.Request) {
+	st := p.serving.Load()
+	if st == nil {
+		writeErrorWith(p.logf, w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
+		return
+	}
+	where := r.URL.Query().Get("where")
+	if where == "" {
+		writeErrorWith(p.logf, w, http.StatusBadRequest, fmt.Errorf("missing where parameter"))
+		return
+	}
+	q, err := query.Parse(where, p.schema)
+	if err != nil {
+		writeErrorWith(p.logf, w, http.StatusBadRequest, err)
+		return
+	}
+	est, err := st.eng.Answer(q)
+	if err != nil {
+		writeErrorWith(p.logf, w, http.StatusBadRequest, err)
+		return
+	}
+	resp := wire.QueryResponse{Query: q.String(), Estimate: est, N: st.eng.N(), Round: st.round}
+	if ee, err := st.eng.ExpectedError(q); err == nil {
+		resp.ExpectedError = ee
+	}
+	writeJSONWith(p.logf, w, http.StatusOK, resp)
+}
+
+// Batch query limits: enough for real analyst workloads, small enough that a
+// hostile batch cannot monopolize the process.
+const (
+	maxBatchQueries = 1024
+	maxBatchBody    = 1 << 20
+)
+
+// HandleQueryBatch answers POST /v1/query (wire.BatchQueryRequest).
+func (p *QueryPlane) HandleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	st := p.serving.Load()
+	if st == nil {
+		writeErrorWith(p.logf, w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req wire.BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErrorWith(p.logf, w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeErrorWith(p.logf, w, http.StatusBadRequest, fmt.Errorf("invalid batch body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErrorWith(p.logf, w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErrorWith(p.logf, w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d queries exceeds %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+
+	// Parse failures stay per-item: the rest of the batch is still answered,
+	// concurrently, by the engine.
+	items := make([]wire.BatchQueryItem, len(req.Queries))
+	qs := make([]query.Query, 0, len(req.Queries))
+	idx := make([]int, 0, len(req.Queries))
+	for i, where := range req.Queries {
+		items[i].Query = where
+		q, err := query.Parse(where, p.schema)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		items[i].Query = q.String()
+		qs = append(qs, q)
+		idx = append(idx, i)
+	}
+	for k, res := range st.eng.AnswerBatch(qs) {
+		i := idx[k]
+		if res.Err != nil {
+			items[i].Error = res.Err.Error()
+			continue
+		}
+		items[i].Estimate = res.Estimate
+		if ee, err := st.eng.ExpectedError(qs[k]); err == nil {
+			items[i].ExpectedError = ee
+		}
+	}
+	writeJSONWith(p.logf, w, http.StatusOK, wire.BatchQueryResponse{Round: st.round, N: st.eng.N(), Results: items})
+}

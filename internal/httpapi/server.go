@@ -36,23 +36,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sync"
-	"sync/atomic"
 
 	"felip/internal/core"
 	"felip/internal/domain"
 	"felip/internal/metrics"
-	"felip/internal/query"
 	"felip/internal/reportlog"
 	"felip/internal/serve"
 	"felip/internal/wire"
 )
-
-// roundServed reports the collection round whose engine is currently
-// answering queries (0 until the first round finalizes).
-var roundServed = metrics.GetGauge("httpapi.round_served")
 
 // testHookFinalize, when non-nil, runs after finalize releases the server
 // lock and before the collector's estimation starts. Tests use it to probe
@@ -77,17 +72,9 @@ func keyOf(m wire.ReportMessage) reportKey {
 	return reportKey{group: m.Group, proto: m.Proto, value: m.Value, seed: m.Seed}
 }
 
-// servingState is the immutable query-serving side of one finalized round;
-// the server swaps a new one in atomically at each finalize, so readers never
-// take the server lock.
-type servingState struct {
-	eng   *serve.Engine
-	round int
-}
-
 // Server drives FELIP collection rounds over HTTP: an ingest plane (the
 // current round's Collector, guarded by mu) and a serving plane (the last
-// finalized round's engine, behind an atomic pointer).
+// finalized round's engine, behind the QueryPlane's atomic pointer).
 type Server struct {
 	schema *domain.Schema
 	planN  int
@@ -95,9 +82,9 @@ type Server struct {
 	plan   wire.PlanMessage
 	logf   func(format string, args ...any)
 
-	// serving is the engine answering /v1/query; nil until the first round
-	// finalizes. Swapped whole at each finalize — never mutated in place.
-	serving atomic.Pointer[servingState]
+	// qp answers /v1/query from the last finalized round's engine; empty
+	// until the first round finalizes.
+	qp *QueryPlane
 
 	mu    sync.RWMutex
 	col   *core.Collector
@@ -121,6 +108,18 @@ type Server struct {
 	// collector (malformed body, failed wire validation, oversized,
 	// idempotency-key conflicts). The collector counts plan-level rejects.
 	wireRejected int
+
+	// shardID names this server when it runs as a cluster shard; it travels
+	// in the shard-state message so the coordinator can attribute counters.
+	shardID string
+	// walReplayed counts report records replayed from the WAL since startup —
+	// nonzero means this process recovered from a crash.
+	walReplayed int
+	// shardState caches the sealed round's exported partial-aggregate state:
+	// once the coordinator's first state pull seals the round, every repeat
+	// pull (a lost response, a coordinator restart) re-serves the identical
+	// message.
+	shardState *wire.ShardStateMessage
 }
 
 // NewServer plans a round for an expected population of n users.
@@ -137,6 +136,7 @@ func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error)
 		round:  1,
 		plan:   wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()),
 		logf:   log.Printf,
+		qp:     NewQueryPlane(schema, log.Printf),
 		dedup:  make(map[string]reportKey),
 	}, nil
 }
@@ -147,6 +147,15 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 		logf = func(string, ...any) {}
 	}
 	s.logf = logf
+	s.qp.logf = logf
+}
+
+// SetShardID names this server as a cluster shard; the name travels in the
+// shard-state message served at /v1/shard/state.
+func (s *Server) SetShardID(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardID = id
 }
 
 // UseWAL attaches an opened write-ahead log and replays its records into the
@@ -198,6 +207,7 @@ func (s *Server) replayLocked(records []reportlog.Record) error {
 				return fmt.Errorf("httpapi: wal record %d: %w", i, err)
 			}
 			s.dedup[rec.ReportID] = keyOf(msg)
+			s.walReplayed++
 		case reportlog.TypeFinalize:
 			if err := s.finalizeReplayLocked(); err != nil {
 				return fmt.Errorf("httpapi: wal record %d: refinalizing: %w", i, err)
@@ -224,8 +234,7 @@ func (s *Server) finalizeReplayLocked() error {
 	}
 	s.agg = agg
 	s.finalN = agg.N()
-	s.serving.Store(&servingState{eng: eng, round: s.round})
-	roundServed.Set(int64(s.round))
+	s.qp.Serve(eng, s.round)
 	return nil
 }
 
@@ -245,6 +254,7 @@ func (s *Server) openRoundLocked() error {
 	s.finalN = 0
 	s.finalErr = nil
 	s.wireRejected = 0
+	s.shardState = nil
 	return nil
 }
 
@@ -252,13 +262,28 @@ func (s *Server) openRoundLocked() error {
 // serving queries. On a durable server the current segment is closed and the
 // factory registered with SetWALFactory opens the next one. Returns the new
 // round number.
-func (s *Server) NextRound() (int, error) {
+func (s *Server) NextRound() (int, error) { return s.AdvanceRound(0) }
+
+// AdvanceRound is the idempotent round transition: target names the round the
+// caller wants open. target == current round is a replayed transition and
+// succeeds without side effects (the coordinator retrying a nextround whose
+// acknowledgment was lost must not burn a round); target == current+1
+// advances; any other target is a refused jump — a coordinator and shard that
+// disagree by more than one round have diverged and must not paper over it.
+// target 0 keeps the legacy unconditional advance.
+func (s *Server) AdvanceRound(target int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if target == s.round {
+		return s.round, nil
+	}
 	if s.closed {
 		return 0, fmt.Errorf("httpapi: server shutting down")
 	}
-	if s.agg == nil {
+	if target != 0 && target != s.round+1 {
+		return 0, fmt.Errorf("httpapi: round is %d; cannot jump to round %d", s.round, target)
+	}
+	if s.agg == nil && s.shardState == nil {
 		return 0, fmt.Errorf("httpapi: round %d not finalized; finalize before opening the next round", s.round)
 	}
 	var next *reportlog.Log
@@ -328,12 +353,7 @@ func (s *Server) SetWALFactory(f func(round int) (*reportlog.Log, error)) {
 
 // WarmupServing prepays every response-matrix fit of the engine currently
 // serving (after a cold startup replay). No-op when nothing is served yet.
-func (s *Server) WarmupServing() error {
-	if st := s.serving.Load(); st != nil {
-		return st.eng.Warmup()
-	}
-	return nil
-}
+func (s *Server) WarmupServing() error { return s.qp.Warmup() }
 
 // Close flushes and closes the write-ahead log, if one is attached. The
 // server rejects reports afterwards (durability can no longer be honored).
@@ -357,8 +377,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/report", s.handleReport)
 	mux.HandleFunc("POST /v1/finalize", s.handleFinalize)
 	mux.HandleFunc("POST /v1/nextround", s.handleNextRound)
-	mux.HandleFunc("GET /v1/query", s.handleQuery)
-	mux.HandleFunc("POST /v1/query", s.handleQueryBatch)
+	mux.HandleFunc("GET /v1/query", s.qp.HandleQuery)
+	mux.HandleFunc("POST /v1/query", s.qp.HandleQueryBatch)
+	mux.HandleFunc("POST /v1/shard/state", s.handleShardState)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
@@ -385,7 +406,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	col := s.col
-	finalized := s.agg != nil || s.finalizing != nil
+	finalized := s.agg != nil || s.finalizing != nil || s.shardState != nil
 	s.mu.RUnlock()
 	if finalized {
 		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
@@ -442,8 +463,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "duplicate"})
 		return
 	}
-	if s.agg != nil || s.finalizing != nil {
-		// Finalized, or a finalize is in flight: the round is closing and the
+	if s.agg != nil || s.finalizing != nil || s.shardState != nil {
+		// Finalized, sealed as a shard, or a finalize is in flight: the round
+		// is closing and the
 		// collector may not have sealed itself yet, so refuse here — otherwise
 		// a report could slip in after the operator asked to close and before
 		// the collector's snapshot, and be silently absent from the published
@@ -568,8 +590,7 @@ func (s *Server) finalize() (int, error) {
 	}
 	s.agg = agg
 	s.finalN = agg.N()
-	s.serving.Store(&servingState{eng: eng, round: round})
-	roundServed.Set(int64(round))
+	s.qp.Serve(eng, round)
 	return s.finalN, nil
 }
 
@@ -582,106 +603,28 @@ func (s *Server) handleFinalize(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]int{"reports": n})
 }
 
-func (s *Server) handleNextRound(w http.ResponseWriter, _ *http.Request) {
-	round, err := s.NextRound()
+// handleNextRound accepts an optional body {"round": k} naming the target
+// round, making the transition idempotent: repeating an already-applied
+// transition answers 200 with the current round, a skip answers 409. An empty
+// body keeps the legacy unconditional advance.
+func (s *Server) handleNextRound(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Round int `json:"round"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid nextround body: %w", err))
+		return
+	}
+	if req.Round < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("negative target round %d", req.Round))
+		return
+	}
+	round, err := s.AdvanceRound(req.Round)
 	if err != nil {
 		s.writeError(w, http.StatusConflict, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]int{"round": round})
-}
-
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	st := s.serving.Load()
-	if st == nil {
-		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
-		return
-	}
-	where := r.URL.Query().Get("where")
-	if where == "" {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("missing where parameter"))
-		return
-	}
-	q, err := query.Parse(where, s.schema)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	est, err := st.eng.Answer(q)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	resp := wire.QueryResponse{Query: q.String(), Estimate: est, N: st.eng.N(), Round: st.round}
-	if ee, err := st.eng.ExpectedError(q); err == nil {
-		resp.ExpectedError = ee
-	}
-	s.writeJSON(w, http.StatusOK, resp)
-}
-
-// Batch query limits: enough for real analyst workloads, small enough that a
-// hostile batch cannot monopolize the process.
-const (
-	maxBatchQueries = 1024
-	maxBatchBody    = 1 << 20
-)
-
-func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
-	st := s.serving.Load()
-	if st == nil {
-		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round not finalized yet"))
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
-	var req wire.BatchQueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("batch body exceeds %d bytes", tooBig.Limit))
-			return
-		}
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid batch body: %w", err))
-		return
-	}
-	if len(req.Queries) == 0 {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
-		return
-	}
-	if len(req.Queries) > maxBatchQueries {
-		s.writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("batch of %d queries exceeds %d", len(req.Queries), maxBatchQueries))
-		return
-	}
-
-	// Parse failures stay per-item: the rest of the batch is still answered,
-	// concurrently, by the engine.
-	items := make([]wire.BatchQueryItem, len(req.Queries))
-	qs := make([]query.Query, 0, len(req.Queries))
-	idx := make([]int, 0, len(req.Queries))
-	for i, where := range req.Queries {
-		items[i].Query = where
-		q, err := query.Parse(where, s.schema)
-		if err != nil {
-			items[i].Error = err.Error()
-			continue
-		}
-		items[i].Query = q.String()
-		qs = append(qs, q)
-		idx = append(idx, i)
-	}
-	for k, res := range st.eng.AnswerBatch(qs) {
-		i := idx[k]
-		if res.Err != nil {
-			items[i].Error = res.Err.Error()
-			continue
-		}
-		items[i].Estimate = res.Estimate
-		if ee, err := st.eng.ExpectedError(qs[k]); err == nil {
-			items[i].ExpectedError = ee
-		}
-	}
-	s.writeJSON(w, http.StatusOK, wire.BatchQueryResponse{Round: st.round, N: st.eng.N(), Results: items})
 }
 
 // Status is the operator view of the round returned by GET /v1/status.
@@ -711,6 +654,15 @@ type Status struct {
 	WALPos int64 `json:"wal_pos,omitempty"`
 	// DedupEntries is the size of the idempotency-key index.
 	DedupEntries int `json:"dedup_entries"`
+	// ShardID names this server when it runs as a cluster shard.
+	ShardID string `json:"shard_id,omitempty"`
+	// Sealed reports that the round was sealed by a coordinator state pull:
+	// its partial aggregate is exported and new reports are refused.
+	Sealed bool `json:"sealed,omitempty"`
+	// WALReplayed is the number of report records replayed from the
+	// write-ahead log since startup — nonzero means this process recovered
+	// from a crash.
+	WALReplayed int `json:"wal_replayed,omitempty"`
 	// Metrics is the process-wide instrument snapshot (fold/estimation
 	// timers and counters; see internal/metrics).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
@@ -726,13 +678,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Durable:      s.wal != nil,
 		DedupEntries: len(s.dedup),
 		Rejected:     s.wireRejected,
+		ShardID:      s.shardID,
+		Sealed:       s.shardState != nil,
+		WALReplayed:  s.walReplayed,
 	}
 	if s.wal != nil {
 		st.WALPos = s.wal.Pos()
 	}
 	s.mu.RUnlock()
-	if sv := s.serving.Load(); sv != nil {
-		st.ServedRound = sv.round
+	if round, ok := s.qp.ServedRound(); ok {
+		st.ServedRound = round
 	}
 	st.Rejected += col.Rejected()
 	st.Reports = col.N()

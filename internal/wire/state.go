@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"felip/internal/fo"
+)
+
+// ShardStateVersion is the partial-aggregate wire-format version. A
+// coordinator refuses states from a different version instead of merging
+// counts whose meaning may have drifted.
+const ShardStateVersion = 1
+
+// GridStateDTO is one grid's partial-aggregate state on the wire: the exact
+// integer count vector the shard folded its reports into (see
+// fo.PartialState), *before* estimation — which is what makes shard states
+// losslessly mergeable.
+type GridStateDTO struct {
+	Group    int     `json:"group"`
+	Proto    string  `json:"proto"`
+	L        int     `json:"l"`
+	N        int     `json:"n"`
+	Rejected int     `json:"rejected,omitempty"`
+	Counts   []int64 `json:"counts"`
+}
+
+// ShardStateMessage is a shard server's sealed round state: one partial
+// aggregate per grid of the plan, plus the shard's operational counters. The
+// coordinator pulls one per shard at round finalize, verifies the checksum,
+// and merges the grids into its own collector.
+//
+// The message is a deterministic function of the set of reports the shard
+// accepted, so a shard that crashed and replayed its WAL re-serves the same
+// message — the coordinator may fetch it any number of times.
+type ShardStateMessage struct {
+	Version int    `json:"version"`
+	ShardID string `json:"shard_id"`
+	// Round is the collection round the state belongs to (1-based).
+	Round   int     `json:"round"`
+	Epsilon float64 `json:"epsilon"`
+	// Reports is the shard's accepted-report total (the sum of the grid Ns).
+	Reports int `json:"reports"`
+	// Rejected is the shard's refused-submission total (wire-level plus
+	// plan-level) — surfaced so the coordinator's status roll-up does not
+	// lose it inside the shard process.
+	Rejected int `json:"rejected"`
+	// WALReplayed is how many report records the shard replayed from its
+	// write-ahead log since startup — nonzero means the shard recovered from
+	// a crash during this round.
+	WALReplayed int `json:"wal_replayed,omitempty"`
+	Grids       []GridStateDTO `json:"grids"`
+	// Checksum is CRC32-IEEE over the canonical serialization of every
+	// merge-relevant field (all of the above except WALReplayed, which is
+	// operational metadata and legitimately changes across a crash).
+	Checksum uint32 `json:"checksum"`
+}
+
+// NewShardStateMessage encodes a sealed shard round for the wire. states must
+// be in group order (the collector's export order).
+func NewShardStateMessage(shardID string, round int, eps float64, rejected, walReplayed int, states []fo.PartialState) ShardStateMessage {
+	m := ShardStateMessage{
+		Version:     ShardStateVersion,
+		ShardID:     shardID,
+		Round:       round,
+		Epsilon:     eps,
+		Rejected:    rejected,
+		WALReplayed: walReplayed,
+	}
+	for g, st := range states {
+		m.Reports += st.N
+		m.Grids = append(m.Grids, GridStateDTO{
+			Group:    g,
+			Proto:    protoName(st.Proto),
+			L:        st.L,
+			N:        st.N,
+			Rejected: st.Rejected,
+			Counts:   append([]int64(nil), st.Counts...),
+		})
+	}
+	m.Checksum = m.Sum()
+	return m
+}
+
+// Sum computes the message's canonical CRC32-IEEE checksum: every
+// merge-relevant field in fixed order, little-endian, length-prefixed
+// strings. WALReplayed and Checksum itself are excluded.
+func (m ShardStateMessage) Sum() uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		put(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	put(uint64(m.Version))
+	str(m.ShardID)
+	put(uint64(m.Round))
+	put(math.Float64bits(m.Epsilon))
+	put(uint64(m.Reports))
+	put(uint64(m.Rejected))
+	put(uint64(len(m.Grids)))
+	for _, g := range m.Grids {
+		put(uint64(g.Group))
+		str(g.Proto)
+		put(uint64(g.L))
+		put(uint64(g.N))
+		put(uint64(g.Rejected))
+		put(uint64(len(g.Counts)))
+		for _, c := range g.Counts {
+			put(uint64(c))
+		}
+	}
+	return h.Sum32()
+}
+
+// Verify checks the wire-format version and the checksum. A coordinator
+// verifies before decoding: a state damaged in transit or produced by an
+// incompatible shard must never reach the merge.
+func (m ShardStateMessage) Verify() error {
+	if m.Version != ShardStateVersion {
+		return fmt.Errorf("wire: shard state version %d, want %d", m.Version, ShardStateVersion)
+	}
+	if got := m.Sum(); got != m.Checksum {
+		return fmt.Errorf("wire: shard %q state checksum %08x, message claims %08x", m.ShardID, got, m.Checksum)
+	}
+	return nil
+}
+
+// States decodes the per-grid partial aggregates, in group order. The grids
+// must be dense (group g at index g) — the shape the collector exports and
+// the only shape the coordinator can merge positionally.
+func (m ShardStateMessage) States() ([]fo.PartialState, error) {
+	out := make([]fo.PartialState, len(m.Grids))
+	for i, g := range m.Grids {
+		if g.Group != i {
+			return nil, fmt.Errorf("wire: shard state grid %d carries group %d; grids must be dense and ordered", i, g.Group)
+		}
+		proto, err := protoFromName(g.Proto)
+		if err != nil {
+			return nil, fmt.Errorf("wire: shard state grid %d: %w", i, err)
+		}
+		out[i] = fo.PartialState{
+			Proto:    proto,
+			Epsilon:  m.Epsilon,
+			L:        g.L,
+			N:        g.N,
+			Rejected: g.Rejected,
+			Counts:   append([]int64(nil), g.Counts...),
+		}
+	}
+	return out, nil
+}
