@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-cluster bench-smoke chaos-cluster
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-smoke chaos-cluster chaos-archive
 
 build:
 	$(GO) build ./...
@@ -29,18 +29,32 @@ bench-query:
 bench-cluster:
 	$(GO) run ./cmd/felipbench -cluster -cout BENCH_PR4.json
 
+# Cold-restart benchmark: time-to-serving for WAL replay vs archive snapshot
+# restore over the same finalized round, written to BENCH_PR5.json.
+bench-restart:
+	$(GO) run ./cmd/felipbench -restart -rout BENCH_PR5.json
+
 # All benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
 # /tmp so a smoke run never clobbers the checked-in numbers.
 bench-smoke:
-	$(GO) run ./cmd/felipbench -kernel -query -cluster -smoke -reps 1 \
+	$(GO) run ./cmd/felipbench -kernel -query -cluster -restart -smoke -reps 1 \
 		-out /tmp/BENCH_smoke_kernel.json -qout /tmp/BENCH_smoke_query.json \
-		-cout /tmp/BENCH_smoke_cluster.json
+		-cout /tmp/BENCH_smoke_cluster.json -rout /tmp/BENCH_smoke_restart.json
 
 # Cluster chaos drill: kill a durable shard mid-round, restart it from its
 # WAL, truncate the coordinator's state pulls, and require bit-identical
 # answers — under the race detector.
 chaos-cluster:
 	$(GO) test -race -run 'TestClusterChaos|TestShardStateRepullAfterCrash' -v ./internal/cluster
+
+# Archive chaos drill: corrupted and torn snapshots skipped on open, a crash
+# in the window between snapshot fsync and WAL truncation recovered without
+# double-counting, and a coordinator kill -9 survived with bit-identical
+# current and historical answers — under the race detector.
+chaos-archive:
+	$(GO) test -race -v \
+		-run 'TestOpenSkipsCorruptSnapshots|TestEnvelopeRejectsDamage|TestCrashBetweenSnapshotAndTruncate|TestArchiveRestartSnapshotPlusTail|TestCoordinatorArchiveRestart' \
+		./internal/archive ./internal/httpapi ./internal/cluster
 
 # Raw go-bench microbenchmarks for the frequency-oracle kernel.
 bench-fo:

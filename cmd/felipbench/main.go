@@ -15,6 +15,7 @@
 //	felipbench -kernel                # OLH aggregation-kernel benchmark → BENCH_PR2.json
 //	felipbench -query                 # concurrent read-path benchmark → BENCH_PR3.json
 //	felipbench -cluster               # shard-scaling ingest benchmark → BENCH_PR4.json
+//	felipbench -restart               # cold-restart recovery benchmark → BENCH_PR5.json
 //	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
@@ -47,7 +48,9 @@ func main() {
 		qout    = flag.String("qout", "BENCH_PR3.json", "output path for the -query JSON report")
 		cbench  = flag.Bool("cluster", false, "benchmark sharded ingest scaling (1/2/4 shards) and exit")
 		cout    = flag.String("cout", "BENCH_PR4.json", "output path for the -cluster JSON report")
-		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster benchmarks to CI-smoke sizes")
+		rbench  = flag.Bool("restart", false, "benchmark cold-restart recovery (WAL replay vs archive snapshot) and exit")
+		rout    = flag.String("rout", "BENCH_PR5.json", "output path for the -restart JSON report")
+		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
 
@@ -56,7 +59,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*qbench && !*cbench {
+		if !*qbench && !*cbench && !*rbench {
 			return
 		}
 	}
@@ -65,12 +68,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*cbench {
+		if !*cbench && !*rbench {
 			return
 		}
 	}
 	if *cbench {
 		if err := runClusterBench(*cout, *reps, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*rbench {
+			return
+		}
+	}
+	if *rbench {
+		if err := runRestartBench(*rout, *reps, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

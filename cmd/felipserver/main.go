@@ -14,6 +14,16 @@
 //
 //	felipserver -addr :8377 -eps 1.0 -n 100000 -wal round.wal
 //
+// Add -archive to snapshot every finalized round into a directory: restarts
+// restore from the newest snapshot instead of replaying the whole WAL (only
+// the tail segments past the snapshot are replayed, and fully-snapshotted
+// segments are deleted), and every archived round stays queryable — GET
+// /v1/rounds lists them, and queries take a round (or rounds=a..b window)
+// parameter:
+//
+//	felipserver -addr :8377 -eps 1.0 -n 100000 -seed 7 \
+//	    -wal round.wal -archive rounds.archive -retain 8
+//
 // Or spin up a self-contained demo that simulates the population in-process,
 // finalizes, and then serves queries:
 //
@@ -52,12 +62,14 @@ import (
 	"syscall"
 	"time"
 
+	"felip/internal/archive"
 	"felip/internal/cluster"
 	"felip/internal/core"
 	"felip/internal/dataset"
 	"felip/internal/domain"
 	"felip/internal/httpapi"
 	"felip/internal/reportlog"
+	"felip/internal/wire"
 )
 
 func main() {
@@ -75,6 +87,8 @@ func main() {
 		simulate = flag.Int("simulate", 0, "simulate this many users in-process and finalize before serving")
 		simData  = flag.String("dataset", "ipums-sim", "generator for -simulate: uniform|normal|ipums-sim|loan-sim")
 		walPath  = flag.String("wal", "", "write-ahead log path; reports are durable and the round survives restarts (the plan flags and -seed must match across restarts)")
+		archDir  = flag.String("archive", "", "archive directory: every finalized round is snapshotted durably (and its WAL segments truncated), restarts restore from the newest snapshot plus only the WAL tail, and archived rounds stay queryable via round targeting and GET /v1/rounds")
+		retain   = flag.Int("retain", 0, "keep only the newest K archived rounds (0 = keep all)")
 		role     = flag.String("role", "standalone", "node role: standalone|shard|coordinator")
 		shards   = flag.String("shards", "", "comma-separated shard base URLs (coordinator role)")
 		shardID  = flag.String("shard-id", "", "shard name in cluster status roll-ups (shard role; default the listen address)")
@@ -105,7 +119,7 @@ func main() {
 	}
 
 	if *role == "coordinator" {
-		runCoordinator(schema, planN, opts, *addr, *shards, *walPath, *simulate, *seed)
+		runCoordinator(schema, planN, opts, *addr, *shards, *walPath, *archDir, *retain, *simulate, *seed)
 		return
 	}
 	if *role != "standalone" && *role != "shard" {
@@ -132,6 +146,7 @@ func main() {
 		log.Printf("felipserver: shard %q awaiting coordinator", id)
 	}
 
+	var segs *reportlog.Segments
 	if *walPath != "" {
 		if *simulate > 0 {
 			// Simulated reports are fed to the collector in-process and never
@@ -146,56 +161,122 @@ func main() {
 			log.Fatal("felipserver: -wal requires an explicit -seed so a restart rebuilds the same plan")
 		}
 		// Round 1 lives in the given file; round k in <file>.r<k>.
-		segPath := func(round int) string {
-			if round == 1 {
-				return *walPath
-			}
-			return fmt.Sprintf("%s.r%d", *walPath, round)
+		segs = reportlog.NewSegments(*walPath)
+	}
+
+	restored := 0
+	if *archDir != "" {
+		if *seed == 0 {
+			// Restoring a snapshot requires rebuilding the identical plan.
+			log.Fatal("felipserver: -archive requires an explicit -seed so a restart rebuilds the same plan")
 		}
-		l, recs, err := reportlog.Open(segPath(1))
+		store, err := archive.Open(*archDir, archive.Options{
+			RetainRounds:    *retain,
+			PlanFingerprint: srv.PlanFingerprint(),
+			Logf:            log.Printf,
+		})
 		if err != nil {
 			log.Fatal("felipserver: ", err)
 		}
-		if err := srv.UseWAL(l, recs); err != nil {
+		if err := srv.UseArchive(store, segs); err != nil {
 			log.Fatal("felipserver: ", err)
 		}
-		if len(recs) > 0 {
-			log.Printf("felipserver: replayed %d WAL records from %s", len(recs), segPath(1))
-		} else {
-			log.Printf("felipserver: opened fresh WAL at %s", segPath(1))
+		// Snapshot-first recovery: serve the newest archived round and replay
+		// only the WAL tail beyond it (below). This also re-truncates any
+		// stale segments a crash stranded between snapshot and truncate.
+		restored, err = srv.RestoreArchivedRound()
+		if err != nil {
+			log.Fatal("felipserver: ", err)
 		}
-		// Replay any later segments left by /v1/nextround before the restart.
-		for round := 2; ; round++ {
-			if _, err := os.Stat(segPath(round)); err != nil {
-				break
-			}
-			l, recs, err := reportlog.Open(segPath(round))
-			if err != nil {
-				log.Fatal("felipserver: ", err)
-			}
-			if _, err := srv.ResumeNextRound(l, recs); err != nil {
-				log.Fatal("felipserver: ", err)
-			}
-			log.Printf("felipserver: resumed round %d (%d WAL records from %s)", round, len(recs), segPath(round))
+		if restored > 0 {
+			log.Printf("felipserver: restored round %d from archive %s", restored, *archDir)
 		}
+	}
+
+	if segs != nil {
 		// /v1/nextround opens a fresh segment for each new collection round.
 		srv.SetWALFactory(func(round int) (*reportlog.Log, error) {
-			l, recs, err := reportlog.Open(segPath(round))
+			l, recs, err := segs.Open(round)
 			if err != nil {
 				return nil, err
 			}
 			if len(recs) > 0 {
 				l.Close()
-				return nil, fmt.Errorf("segment %s already has %d records; refusing to reuse it for a new round", segPath(round), len(recs))
+				return nil, fmt.Errorf("segment %s already has %d records; refusing to reuse it for a new round", segs.Path(round), len(recs))
 			}
 			return l, nil
 		})
+		if restored > 0 {
+			// Only the tail segments past the snapshot remain; replay them in
+			// order. MarkDurable first: with no tail at all, the next round
+			// must still open a segment.
+			srv.MarkDurable()
+			rounds, err := segs.Existing()
+			if err != nil {
+				log.Fatal("felipserver: ", err)
+			}
+			expect := restored + 1
+			for _, round := range rounds {
+				if round <= restored {
+					continue // covered by the snapshot; truncation is retried at the next finalize
+				}
+				if round != expect {
+					log.Fatalf("felipserver: wal segment chain has a gap: expected round %d, found %s", expect, segs.Path(round))
+				}
+				l, recs, err := segs.Open(round)
+				if err != nil {
+					log.Fatal("felipserver: ", err)
+				}
+				if _, err := srv.ResumeNextRound(l, recs); err != nil {
+					log.Fatal("felipserver: ", err)
+				}
+				log.Printf("felipserver: resumed round %d (%d WAL records from %s)", round, len(recs), segs.Path(round))
+				expect++
+			}
+		} else {
+			l, recs, err := segs.Open(1)
+			if err != nil {
+				log.Fatal("felipserver: ", err)
+			}
+			if err := srv.UseWAL(l, recs); err != nil {
+				log.Fatal("felipserver: ", err)
+			}
+			if len(recs) > 0 {
+				log.Printf("felipserver: replayed %d WAL records from %s", len(recs), segs.Path(1))
+			} else {
+				log.Printf("felipserver: opened fresh WAL at %s", segs.Path(1))
+			}
+			// Replay any later segments left by /v1/nextround before the restart.
+			for round := 2; ; round++ {
+				if _, err := os.Stat(segs.Path(round)); err != nil {
+					break
+				}
+				l, recs, err := segs.Open(round)
+				if err != nil {
+					log.Fatal("felipserver: ", err)
+				}
+				if _, err := srv.ResumeNextRound(l, recs); err != nil {
+					log.Fatal("felipserver: ", err)
+				}
+				log.Printf("felipserver: resumed round %d (%d WAL records from %s)", round, len(recs), segs.Path(round))
+			}
+		}
 		if err := srv.WarmupServing(); err != nil {
 			log.Fatal("felipserver: ", err)
 		}
+		if *archDir != "" {
+			// Backfill: a round finalized by WAL replay (its snapshot was never
+			// written, or the crash beat the archive) gets archived now, which
+			// also truncates the segments it covers.
+			if err := srv.ArchiveNow(); err != nil {
+				log.Printf("felipserver: archiving replayed round: %v", err)
+			}
+		}
 	}
 
-	if *simulate > 0 {
+	if *simulate > 0 && restored > 0 {
+		log.Printf("felipserver: round %d restored from archive; skipping -simulate", restored)
+	} else if *simulate > 0 {
 		log.Printf("felipserver: simulating %d %s users in-process", *simulate, *simData)
 		if err := httpapi.Simulate(srv, *simData, *simulate, *seed); err != nil {
 			log.Fatal("felipserver: ", err)
@@ -212,8 +293,9 @@ func main() {
 
 // runCoordinator starts the cluster merge coordinator: no local ingest, no
 // WAL — its durable state is the shards' — just the round lifecycle and the
-// merged query plane.
-func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, shards, walPath string, simulate int, seed uint64) {
+// merged query plane. With -archive, each merged round is also snapshotted so
+// a restarted coordinator re-serves its rounds without re-pulling the shards.
+func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, shards, walPath, archiveDir string, retain, simulate int, seed uint64) {
 	if walPath != "" {
 		log.Fatal("felipserver: the coordinator keeps no report log; -wal belongs on the shards")
 	}
@@ -233,11 +315,30 @@ func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, s
 	if len(bases) == 0 {
 		log.Fatal("felipserver: -role coordinator requires -shards")
 	}
+	var store *archive.Store
+	if archiveDir != "" {
+		// The plan is deterministic in the flags, so a throwaway collector
+		// yields the fingerprint the store must match.
+		col, err := core.NewCollector(schema, planN, opts)
+		if err != nil {
+			log.Fatal("felipserver: ", err)
+		}
+		fp := wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()).Fingerprint()
+		store, err = archive.Open(archiveDir, archive.Options{
+			RetainRounds:    retain,
+			PlanFingerprint: fp,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal("felipserver: ", err)
+		}
+	}
 	coord, err := cluster.New(cluster.Config{
-		Schema: schema,
-		N:      planN,
-		Opts:   opts,
-		Shards: bases,
+		Schema:  schema,
+		N:       planN,
+		Opts:    opts,
+		Shards:  bases,
+		Archive: store,
 		Retry: httpapi.RetryPolicy{
 			MaxAttempts: 5,
 			Timeout:     30 * time.Second,

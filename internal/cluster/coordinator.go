@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sync"
 
+	"felip/internal/archive"
 	"felip/internal/core"
 	"felip/internal/domain"
 	"felip/internal/httpapi"
@@ -35,6 +36,12 @@ type Config struct {
 	// Retry is the per-shard-call retry policy; state pulls and round
 	// transitions are idempotent, so retrying is always safe.
 	Retry httpapi.RetryPolicy
+	// Archive, when non-nil, persists every merged round: the coordinator
+	// restores the newest archived round at startup (answers stay
+	// bit-identical across a kill -9) and serves historical queries from the
+	// store. The store should be opened with the plan's fingerprint so a
+	// drifted configuration is refused.
+	Archive *archive.Store
 	// Logf is the operational log (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -68,6 +75,8 @@ type Coordinator struct {
 	bases   []string
 	clients []*httpapi.Client
 	qp      *httpapi.QueryPlane
+	// store archives merged rounds; nil = archiving disabled.
+	store *archive.Store
 
 	// lifecycle serializes FinalizeRound/AdvanceRound so two operators cannot
 	// interleave round transitions; mu guards the snapshot fields and is never
@@ -108,7 +117,68 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, base := range c.bases {
 		c.clients = append(c.clients, httpapi.DialRetrying(base, cfg.HTTPClient, cfg.Retry))
 	}
+	if cfg.Archive != nil {
+		c.store = cfg.Archive
+		c.qp.SetHistory(cfg.Archive)
+		if err := c.restoreLatest(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// restoreLatest rebuilds the serving plane from the newest archived merged
+// round, so a coordinator killed and restarted keeps answering — for the
+// restored round and every archived one — bit-identically to before the
+// crash. The round cursor lands on the restored round, finalized: if the
+// cluster had already advanced past it, the next idempotent AdvanceRound
+// simply catches the coordinator up (shards already in the target round
+// answer 200).
+func (c *Coordinator) restoreLatest() error {
+	latest := c.store.LatestRound()
+	if latest == 0 {
+		return nil
+	}
+	snap, err := c.store.Load(latest)
+	if err != nil {
+		return fmt.Errorf("cluster: restoring archived round %d: %w", latest, err)
+	}
+	eng, err := serve.FromSnapshot(snap.Aggregate)
+	if err == nil {
+		err = eng.Warmup()
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: rebuilding round %d engine from archive: %w", latest, err)
+	}
+	c.mu.Lock()
+	c.round = latest
+	c.finalized = true
+	c.finalN = snap.Reports
+	c.mu.Unlock()
+	c.qp.Serve(eng, latest)
+	c.logf("cluster: restored round %d from archive (%d reports)", latest, snap.Reports)
+	return nil
+}
+
+// archiveRound persists the merged round. Failures are logged, not returned:
+// the shards' sealed states remain re-pullable, so a failed archive write
+// never loses the round — re-running finalize after a restart reproduces it
+// exactly.
+func (c *Coordinator) archiveRound(col *core.Collector, agg *core.Aggregator, round int) {
+	snap := archive.RoundSnapshot{
+		Round:           round,
+		PlanFingerprint: c.plan.Fingerprint(),
+		Reports:         agg.N(),
+		Aggregate:       agg.Snapshot(),
+	}
+	if parts, err := col.ExportPartials(); err != nil {
+		c.logf("cluster: exporting merged round %d partial states for archive: %v", round, err)
+	} else {
+		snap.Partials = wire.GridStates(parts)
+	}
+	if err := c.store.WriteRound(snap); err != nil {
+		c.logf("cluster: archiving merged round %d: %v", round, err)
+	}
 }
 
 // Round reports the collection round the cluster is in (1-based).
@@ -217,6 +287,9 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 	// Swap in after the snapshot fields: a status probe may briefly see
 	// finalized without a served round, never the reverse.
 	c.qp.Serve(eng, round)
+	if c.store != nil {
+		c.archiveRound(col, agg, round)
+	}
 	return agg.N(), nil
 }
 
@@ -313,6 +386,7 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/query", c.qp.HandleQuery)
 	mux.HandleFunc("POST /v1/query", c.qp.HandleQueryBatch)
+	mux.HandleFunc("GET /v1/rounds", c.qp.HandleRounds(c.Round))
 	mux.HandleFunc("POST /v1/finalize", func(w http.ResponseWriter, r *http.Request) {
 		n, err := c.FinalizeRound(r.Context())
 		if err != nil {

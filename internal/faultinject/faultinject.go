@@ -186,6 +186,27 @@ func FlipByte(path string, off int64) error {
 	return err
 }
 
+// TornCopy copies the first n bytes of src to dst (the whole file when n
+// exceeds its size) — the partially written file a crash strands when a
+// writer skips the temp-file+rename discipline, or a snapshot caught mid-copy
+// by a backup tool.
+func TornCopy(src, dst string, n int64) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if _, err := io.CopyN(out, in, n); err != nil && err != io.EOF {
+		return err
+	}
+	return out.Sync()
+}
+
 // AppendGarbage appends raw bytes to the file at path — the half-written
 // record a crash strands after the last acknowledged report.
 func AppendGarbage(path string, b []byte) error {

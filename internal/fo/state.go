@@ -75,6 +75,24 @@ func (st PartialState) Check(proto Protocol, eps float64, L int) error {
 	return nil
 }
 
+// Equal reports whether two partial states carry the identical aggregation
+// state — same protocol, budget, domain, report counts, and count vector.
+// Archive round-trip tests use it to assert a snapshot restores the exact
+// integer state that was written.
+func (st PartialState) Equal(other PartialState) bool {
+	if st.Proto != other.Proto || st.Epsilon != other.Epsilon ||
+		st.L != other.L || st.N != other.N || st.Rejected != other.Rejected ||
+		len(st.Counts) != len(other.Counts) {
+		return false
+	}
+	for i, c := range st.Counts {
+		if c != other.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // clone returns a defensive copy of a count vector (nil-safe, always length L).
 func cloneCounts(counts []int64, L int) []int64 {
 	out := make([]int64, L)

@@ -267,6 +267,42 @@ func (c *Client) Query(ctx context.Context, where string) (wire.QueryResponse, e
 	return out, err
 }
 
+// QueryRound answers a WHERE expression from a specific collection round —
+// the currently served one or any round the server has archived. Servers
+// that predate round targeting ignore the parameter and answer from the
+// current round; the client detects that from the response's round stamp and
+// refuses to hand the caller the wrong round's numbers.
+func (c *Client) QueryRound(ctx context.Context, round int, where string) (wire.QueryResponse, error) {
+	if round < 1 {
+		return wire.QueryResponse{}, fmt.Errorf("httpapi: round %d out of range (rounds are 1-based)", round)
+	}
+	var out wire.QueryResponse
+	err := c.get(ctx, fmt.Sprintf("/v1/query?where=%s&round=%d", url.QueryEscape(where), round), &out)
+	if err != nil {
+		return out, err
+	}
+	if out.Round != round {
+		return out, fmt.Errorf("httpapi: asked for round %d but the server answered from round %d — it predates round targeting (no archive support); upgrade it or query without a round",
+			round, out.Round)
+	}
+	return out, nil
+}
+
+// Rounds lists every round the server can answer queries from (the served
+// round plus its archive). Servers that predate the archive don't expose the
+// endpoint; that comes back as a distinct error rather than an opaque 404.
+func (c *Client) Rounds(ctx context.Context) (wire.RoundsResponse, error) {
+	var out wire.RoundsResponse
+	status, err := c.do(ctx, http.MethodGet, "/v1/rounds", nil, &out)
+	if err != nil {
+		if status == http.StatusNotFound {
+			return out, fmt.Errorf("httpapi: server has no /v1/rounds endpoint — it predates the archive: %w", err)
+		}
+		return out, err
+	}
+	return out, nil
+}
+
 // QueryBatch answers many WHERE expressions in one round trip; the server
 // evaluates them concurrently against the same collection round. Per-query
 // failures come back in their result item, not as a call error.

@@ -161,8 +161,8 @@ func TestBatchQueryMatchesSingles(t *testing.T) {
 		"num0=0..15; cat0=0,1",
 		"num0=8..23; num1=4..27; cat1=0,1,2",
 		"cat0=0",
-		"not a query",     // parse error
-		"cat0=0..1",       // BETWEEN on categorical: answer error
+		"not a query", // parse error
+		"cat0=0..1",   // BETWEEN on categorical: answer error
 		"num0<=12; cat1=1,3",
 	}
 	batch, err := cl.QueryBatch(ctx, wheres)

@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"sync"
 
+	"felip/internal/archive"
 	"felip/internal/core"
 	"felip/internal/domain"
 	"felip/internal/metrics"
@@ -108,6 +109,20 @@ type Server struct {
 	// collector (malformed body, failed wire validation, oversized,
 	// idempotency-key conflicts). The collector counts plan-level rejects.
 	wireRejected int
+	// durable marks a server whose rounds must run against WAL segments.
+	// UseWAL sets it; MarkDurable sets it for a server recovered purely from
+	// an archive snapshot (its own segments were truncated, so there is no
+	// log to attach, but the next round must still open one).
+	durable bool
+	// restored marks a server whose serving plane came from an archive
+	// snapshot rather than live collection: the round is finalized but the
+	// collector is empty and no WAL segment backs it.
+	restored bool
+	// store archives finalized rounds; nil = archiving disabled. segments
+	// names the WAL segment chain so fully archived segments can be
+	// truncated — only ever after the covering snapshot is fsynced.
+	store    *archive.Store
+	segments *reportlog.Segments
 
 	// shardID names this server when it runs as a cluster shard; it travels
 	// in the shard-state message so the coordinator can attribute counters.
@@ -177,6 +192,7 @@ func (s *Server) UseWAL(l *reportlog.Log, records []reportlog.Record) error {
 	}
 	s.col.ResumeAssignment(s.col.N())
 	s.wal = l
+	s.durable = true
 	return nil
 }
 
@@ -287,7 +303,7 @@ func (s *Server) AdvanceRound(target int) (int, error) {
 		return 0, fmt.Errorf("httpapi: round %d not finalized; finalize before opening the next round", s.round)
 	}
 	var next *reportlog.Log
-	if s.wal != nil {
+	if s.durable {
 		if s.walFactory == nil {
 			return 0, fmt.Errorf("httpapi: durable server has no WAL factory for round %d (SetWALFactory)", s.round+1)
 		}
@@ -309,6 +325,7 @@ func (s *Server) AdvanceRound(target int) (int, error) {
 		}
 	}
 	s.wal = next
+	s.restored = false
 	return s.round, nil
 }
 
@@ -322,7 +339,7 @@ func (s *Server) ResumeNextRound(l *reportlog.Log, records []reportlog.Record) (
 	if s.closed {
 		return 0, fmt.Errorf("httpapi: server shutting down")
 	}
-	if s.wal == nil {
+	if s.wal == nil && !s.restored {
 		return 0, fmt.Errorf("httpapi: no write-ahead log attached (UseWAL first)")
 	}
 	if s.agg == nil {
@@ -337,8 +354,12 @@ func (s *Server) ResumeNextRound(l *reportlog.Log, records []reportlog.Record) (
 	s.col.ResumeAssignment(s.col.N())
 	old := s.wal
 	s.wal = l
-	if err := old.Close(); err != nil {
-		s.logf("httpapi: closing round %d log: %v", s.round-1, err)
+	s.durable = true
+	s.restored = false
+	if old != nil {
+		if err := old.Close(); err != nil {
+			s.logf("httpapi: closing round %d log: %v", s.round-1, err)
+		}
 	}
 	return s.round, nil
 }
@@ -379,6 +400,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/nextround", s.handleNextRound)
 	mux.HandleFunc("GET /v1/query", s.qp.HandleQuery)
 	mux.HandleFunc("POST /v1/query", s.qp.HandleQueryBatch)
+	mux.HandleFunc("GET /v1/rounds", s.qp.HandleRounds(func() int {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.round
+	}))
 	mux.HandleFunc("POST /v1/shard/state", s.handleShardState)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -569,29 +595,42 @@ func (s *Server) finalize() (int, error) {
 	}
 
 	s.mu.Lock()
-	defer func() {
+	settle := func() {
 		s.finalizing = nil
 		close(done)
 		s.mu.Unlock()
-	}()
+	}
 	if err != nil {
 		s.finalErr = err
+		settle()
 		return 0, err
 	}
 	if s.wal != nil {
 		if err := s.wal.Append(reportlog.FinalizeRecord(agg.N())); err != nil {
 			s.finalErr = fmt.Errorf("persisting finalization: %w", err)
+			settle()
 			return 0, s.finalErr
 		}
 		if err := s.wal.Sync(); err != nil {
 			s.finalErr = fmt.Errorf("syncing report log: %w", err)
+			settle()
 			return 0, s.finalErr
 		}
 	}
 	s.agg = agg
-	s.finalN = agg.N()
+	n := agg.N()
+	s.finalN = n
 	s.qp.Serve(eng, round)
-	return s.finalN, nil
+	store := s.store
+	settle()
+	// Archive outside the lock: snapshot fsync is disk I/O and must not block
+	// status or the next round's ingest. Ordering is what matters — the WAL
+	// finalize record is already synced, so a crash anywhere in here replays;
+	// and archiveRound truncates segments only after its snapshot is durable.
+	if store != nil {
+		s.archiveRound(col, agg, round)
+	}
+	return n, nil
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, _ *http.Request) {
@@ -663,6 +702,12 @@ type Status struct {
 	// write-ahead log since startup — nonzero means this process recovered
 	// from a crash.
 	WALReplayed int `json:"wal_replayed,omitempty"`
+	// Restored reports that the serving plane was recovered from an archive
+	// snapshot rather than rebuilt by WAL replay.
+	Restored bool `json:"restored,omitempty"`
+	// RoundsRetained is the number of rounds the archive currently holds
+	// (0 when archiving is disabled).
+	RoundsRetained int `json:"rounds_retained,omitempty"`
 	// Metrics is the process-wide instrument snapshot (fold/estimation
 	// timers and counters; see internal/metrics).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
@@ -675,22 +720,34 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Round:        s.round,
 		Finalized:    s.agg != nil,
 		Finalizing:   s.agg == nil && s.finalizing != nil,
-		Durable:      s.wal != nil,
+		Durable:      s.wal != nil || s.durable,
 		DedupEntries: len(s.dedup),
 		Rejected:     s.wireRejected,
 		ShardID:      s.shardID,
 		Sealed:       s.shardState != nil,
 		WALReplayed:  s.walReplayed,
+		Restored:     s.restored,
 	}
 	if s.wal != nil {
 		st.WALPos = s.wal.Pos()
 	}
+	finalN := s.finalN
+	store := s.store
 	s.mu.RUnlock()
 	if round, ok := s.qp.ServedRound(); ok {
 		st.ServedRound = round
 	}
+	if store != nil {
+		st.RoundsRetained = len(store.Rounds())
+	}
 	st.Rejected += col.Rejected()
-	st.Reports = col.N()
+	// A restored round's collector is empty; the snapshot's count is the
+	// round's report total.
+	if st.Finalized {
+		st.Reports = finalN
+	} else {
+		st.Reports = col.N()
+	}
 	st.Groups = len(s.plan.Grids)
 	st.GroupCounts = col.GroupCounts()
 	st.Metrics = metrics.Snapshot()

@@ -1,0 +1,121 @@
+package reportlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segments names the per-round write-ahead log segment chain of one server:
+// round 1 lives in the base file, round k in <base>.r<k>. The naming scheme
+// predates this type (cmd/felipserver invented it); Segments centralizes it
+// so the server, the archive recovery path, and the truncation policy all
+// agree on which file holds which round.
+type Segments struct {
+	base string
+}
+
+// NewSegments returns the segment chain rooted at base.
+func NewSegments(base string) *Segments {
+	return &Segments{base: base}
+}
+
+// Base returns the chain's root path (round 1's segment).
+func (s *Segments) Base() string { return s.base }
+
+// Path returns the segment file path for the given round.
+func (s *Segments) Path(round int) string {
+	if round == 1 {
+		return s.base
+	}
+	return fmt.Sprintf("%s.r%d", s.base, round)
+}
+
+// Open opens (creating if absent) the given round's segment, replaying its
+// intact records like Open does.
+func (s *Segments) Open(round int) (*Log, []Record, error) {
+	return Open(s.Path(round))
+}
+
+// Existing returns the rounds whose segment files are present on disk, in
+// ascending order. Gaps are legal: once a snapshot covers rounds 1..k their
+// segments are truncated, leaving only the tail.
+func (s *Segments) Existing() ([]int, error) {
+	dir, name := filepath.Split(s.base)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reportlog: listing segments: %w", err)
+	}
+	var rounds []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case e.Name() == name:
+			rounds = append(rounds, 1)
+		case strings.HasPrefix(e.Name(), name+".r"):
+			k, err := strconv.Atoi(strings.TrimPrefix(e.Name(), name+".r"))
+			if err != nil || k < 2 {
+				continue // not one of ours
+			}
+			rounds = append(rounds, k)
+		}
+	}
+	sort.Ints(rounds)
+	return rounds, nil
+}
+
+// TruncateThrough deletes every segment file for rounds <= round and returns
+// the rounds it removed. This is the WAL reclamation step of the archive
+// design, and its safety rests entirely on the caller honoring one ordering
+// invariant: a segment may only be truncated after a snapshot covering its
+// round has been fsynced to stable storage ("snapshot fsync happens-before
+// WAL truncate"). A crash between the snapshot and the truncate merely leaves
+// stale segments behind; recovery prefers the snapshot and re-runs the
+// truncation. The containing directory is synced so the removals themselves
+// are durable.
+func (s *Segments) TruncateThrough(round int) ([]int, error) {
+	existing, err := s.Existing()
+	if err != nil {
+		return nil, err
+	}
+	var removed []int
+	for _, k := range existing {
+		if k > round {
+			continue
+		}
+		if err := os.Remove(s.Path(k)); err != nil {
+			return removed, fmt.Errorf("reportlog: truncating segment %d: %w", k, err)
+		}
+		removed = append(removed, k)
+	}
+	if len(removed) > 0 {
+		if err := syncDir(filepath.Dir(s.base)); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("reportlog: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("reportlog: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -183,6 +183,19 @@ func NewEngine(agg *core.Aggregator) (*Engine, error) {
 	return e, nil
 }
 
+// FromSnapshot rebuilds a serving engine from a persisted round snapshot.
+// Because core.Snapshot captures the post-processed grids as exact float64
+// values (Go's JSON encoding round-trips float64 losslessly), the restored
+// engine answers bit-identically to the engine the round was serving when
+// the snapshot was taken.
+func FromSnapshot(s core.Snapshot) (*Engine, error) {
+	agg, err := core.Restore(s)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(agg)
+}
+
 // expandedSAT builds the summed-area table of a 2-D grid's uniform per-value
 // expansion: value (v, w) carries freq(cell)/(wx·wy), so a span sum over the
 // table equals Grid2D.Mass of the corresponding selection.

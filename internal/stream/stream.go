@@ -178,8 +178,7 @@ func (c *Collector) AnswerDecayed(q query.Query, halfLife float64) (float64, err
 	}
 	c.mu.RUnlock()
 	return c.weightedAnswer(q, func(w window) float64 {
-		age := float64(newest - w.Index)
-		return float64(w.N) * math.Exp2(-age/halfLife)
+		return DecayWeight(w.N, float64(newest-w.Index), halfLife)
 	})
 }
 
@@ -191,15 +190,45 @@ func (c *Collector) weightedAnswer(q query.Query, weight func(window) float64) (
 	if len(ws) == 0 {
 		return 0, fmt.Errorf("stream: no windows ingested")
 	}
+	items := make([]Item, len(ws))
+	for i, w := range ws {
+		items[i] = Item{Weight: weight(w), Answer: w.agg.Answer}
+	}
+	return WeightedAnswer(q, items)
+}
+
+// Item is one weighted answer source: a window, a round, or anything else
+// that can answer a query. Weight carries the source's contribution to the
+// aggregate (typically its population size, possibly decayed).
+type Item struct {
+	Weight float64
+	Answer func(query.Query) (float64, error)
+}
+
+// DecayWeight is the exponential-decay weight of a source of population n at
+// the given age (in windows or rounds): n·2^(−age/halfLife). It is the weight
+// AnswerDecayed applies per window, exported so the archive's historical
+// query plane decays rounds with identical semantics.
+func DecayWeight(n int, age, halfLife float64) float64 {
+	return float64(n) * math.Exp2(-age/halfLife)
+}
+
+// WeightedAnswer answers the query over every item, combining the answers as
+// the weighted mean Σ wᵢ·fᵢ / Σ wᵢ. Items must be supplied in a deterministic
+// order (windows oldest-first here; rounds ascending in the archive) so the
+// floating-point summation reproduces bit-for-bit across restarts.
+func WeightedAnswer(q query.Query, items []Item) (float64, error) {
+	if len(items) == 0 {
+		return 0, fmt.Errorf("stream: no windows ingested")
+	}
 	var num, den float64
-	for _, w := range ws {
-		f, err := w.agg.Answer(q)
+	for _, it := range items {
+		f, err := it.Answer(q)
 		if err != nil {
 			return 0, err
 		}
-		wt := weight(w)
-		num += wt * f
-		den += wt
+		num += it.Weight * f
+		den += it.Weight
 	}
 	if den == 0 {
 		return 0, fmt.Errorf("stream: zero total weight")

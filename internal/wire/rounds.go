@@ -1,0 +1,26 @@
+package wire
+
+// RoundInfo describes one collection round a server can answer queries from:
+// either the currently served round or an archived (time-travel) one.
+type RoundInfo struct {
+	Round   int `json:"round"`
+	Reports int `json:"reports"`
+	// SnapshotBytes is the on-disk size of the round's archive snapshot
+	// (0 for a round that is served but not archived).
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// Served marks the round the live query plane currently answers from.
+	Served bool `json:"served,omitempty"`
+	// Archived marks rounds restorable from the archive after a restart.
+	Archived bool `json:"archived,omitempty"`
+}
+
+// RoundsResponse is the GET /v1/rounds listing: every queryable round in
+// ascending order, plus the collection and serving cursors.
+type RoundsResponse struct {
+	Rounds []RoundInfo `json:"rounds"`
+	// Current is the round currently collecting reports.
+	Current int `json:"current"`
+	// Served is the round the query plane answers from (0 before the first
+	// finalize).
+	Served int `json:"served"`
+}

@@ -50,12 +50,54 @@ type ShardStateMessage struct {
 	// WALReplayed is how many report records the shard replayed from its
 	// write-ahead log since startup — nonzero means the shard recovered from
 	// a crash during this round.
-	WALReplayed int `json:"wal_replayed,omitempty"`
+	WALReplayed int            `json:"wal_replayed,omitempty"`
 	Grids       []GridStateDTO `json:"grids"`
 	// Checksum is CRC32-IEEE over the canonical serialization of every
 	// merge-relevant field (all of the above except WALReplayed, which is
 	// operational metadata and legitimately changes across a crash).
 	Checksum uint32 `json:"checksum"`
+}
+
+// GridStates encodes partial-aggregate states for the wire (or a durable
+// snapshot), in group order — the collector's export order.
+func GridStates(states []fo.PartialState) []GridStateDTO {
+	out := make([]GridStateDTO, 0, len(states))
+	for g, st := range states {
+		out = append(out, GridStateDTO{
+			Group:    g,
+			Proto:    protoName(st.Proto),
+			L:        st.L,
+			N:        st.N,
+			Rejected: st.Rejected,
+			Counts:   append([]int64(nil), st.Counts...),
+		})
+	}
+	return out
+}
+
+// ParseGridStates decodes per-grid partial aggregates, in group order. The
+// grids must be dense (group g at index g) — the shape GridStates produces
+// and the only shape a merge can consume positionally.
+func ParseGridStates(grids []GridStateDTO, eps float64) ([]fo.PartialState, error) {
+	out := make([]fo.PartialState, len(grids))
+	for i, g := range grids {
+		if g.Group != i {
+			return nil, fmt.Errorf("wire: grid state %d carries group %d; grids must be dense and ordered", i, g.Group)
+		}
+		proto, err := protoFromName(g.Proto)
+		if err != nil {
+			return nil, fmt.Errorf("wire: grid state %d: %w", i, err)
+		}
+		out[i] = fo.PartialState{
+			Proto:    proto,
+			Epsilon:  eps,
+			L:        g.L,
+			N:        g.N,
+			Rejected: g.Rejected,
+			Counts:   append([]int64(nil), g.Counts...),
+		}
+	}
+	return out, nil
 }
 
 // NewShardStateMessage encodes a sealed shard round for the wire. states must
@@ -68,17 +110,10 @@ func NewShardStateMessage(shardID string, round int, eps float64, rejected, walR
 		Epsilon:     eps,
 		Rejected:    rejected,
 		WALReplayed: walReplayed,
+		Grids:       GridStates(states),
 	}
-	for g, st := range states {
+	for _, st := range states {
 		m.Reports += st.N
-		m.Grids = append(m.Grids, GridStateDTO{
-			Group:    g,
-			Proto:    protoName(st.Proto),
-			L:        st.L,
-			N:        st.N,
-			Rejected: st.Rejected,
-			Counts:   append([]int64(nil), st.Counts...),
-		})
 	}
 	m.Checksum = m.Sum()
 	return m

@@ -6,8 +6,11 @@ package wire
 
 import (
 	cryptorand "crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
+	"math"
 
 	"felip/internal/core"
 	"felip/internal/domain"
@@ -69,8 +72,12 @@ type QueryResponse struct {
 
 // BatchQueryRequest asks the aggregator to answer many WHERE expressions in
 // one round trip (POST /v1/query); the server answers them concurrently.
+// Round optionally targets a specific archived collection round (0 = the
+// round currently serving); servers without an archive refuse any other
+// round rather than silently answering from the current one.
 type BatchQueryRequest struct {
 	Queries []string `json:"queries"`
+	Round   int      `json:"round,omitempty"`
 }
 
 // BatchQueryItem is one batch entry's outcome: either an estimate (with the
@@ -130,6 +137,46 @@ func NewPlanMessage(schema *domain.Schema, eps float64, specs []core.GridSpec) P
 		msg.Grids = append(msg.Grids, dto)
 	}
 	return msg
+}
+
+// Fingerprint returns a CRC32-IEEE over the plan's canonical serialization:
+// epsilon, every attribute, and every grid's axes and protocol in fixed
+// order. Two nodes (or two restarts of one node) produce the same fingerprint
+// iff they planned the identical round, so a durable snapshot stamped with it
+// can refuse to restore into a server whose flags drifted.
+func (m PlanMessage) Fingerprint() uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		put(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	put(math.Float64bits(m.Epsilon))
+	put(uint64(len(m.Attributes)))
+	for _, a := range m.Attributes {
+		str(a.Name)
+		str(a.Kind)
+		put(uint64(a.Size))
+	}
+	put(uint64(len(m.Grids)))
+	for _, g := range m.Grids {
+		put(uint64(uint32(int32(g.AttrX))))
+		put(uint64(uint32(int32(g.AttrY))))
+		str(g.Proto)
+		put(uint64(len(g.BoundsX)))
+		for _, b := range g.BoundsX {
+			put(uint64(uint32(int32(b))))
+		}
+		put(uint64(len(g.BoundsY)))
+		for _, b := range g.BoundsY {
+			put(uint64(uint32(int32(b))))
+		}
+	}
+	return h.Sum32()
 }
 
 // Schema reconstructs the schema from the plan.

@@ -145,7 +145,7 @@ func TestReportRoundTrip(t *testing.T) {
 func TestReportValidation(t *testing.T) {
 	ok := NewReportMessage(NewReportID(), core.Report{Group: 1, Proto: fo.GRR, Value: 2})
 	for name, mutate := range map[string]func(*ReportMessage){
-		"missing report_id":  func(m *ReportMessage) { m.ReportID = "" },
+		"missing report_id": func(m *ReportMessage) { m.ReportID = "" },
 		"oversized report_id": func(m *ReportMessage) {
 			for len(m.ReportID) <= MaxReportIDLen {
 				m.ReportID += "x"
