@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-smoke chaos-cluster chaos-archive
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-smoke chaos-cluster chaos-archive chaos-failover
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,15 @@ chaos-archive:
 	$(GO) test -race -v \
 		-run 'TestOpenSkipsCorruptSnapshots|TestEnvelopeRejectsDamage|TestCrashBetweenSnapshotAndTruncate|TestArchiveRestartSnapshotPlusTail|TestCoordinatorArchiveRestart' \
 		./internal/archive ./internal/httpapi ./internal/cluster
+
+# Failover chaos drill: kill a primary mid-round with its WAL shipped to a
+# follower, promote the follower after strict CRC-chain verification, reroute
+# devices via a membership refresh, and require bit-identical answers and a
+# bit-identical replayed shard state — under the race detector.
+chaos-failover:
+	$(GO) test -race -v \
+		-run 'TestClusterFailoverBitIdentical|TestPromotedFollowerStateBitIdentical|TestPromotionRefusedOnCorruptSegment|TestMembershipHeartbeatFlappingAroundTimeout|TestShardJoinsWhileRoundIsSealing' \
+		./internal/cluster
 
 # Raw go-bench microbenchmarks for the frequency-oracle kernel.
 bench-fo:

@@ -89,9 +89,14 @@ func main() {
 		walPath  = flag.String("wal", "", "write-ahead log path; reports are durable and the round survives restarts (the plan flags and -seed must match across restarts)")
 		archDir  = flag.String("archive", "", "archive directory: every finalized round is snapshotted durably (and its WAL segments truncated), restarts restore from the newest snapshot plus only the WAL tail, and archived rounds stay queryable via round targeting and GET /v1/rounds")
 		retain   = flag.Int("retain", 0, "keep only the newest K archived rounds (0 = keep all)")
-		role     = flag.String("role", "standalone", "node role: standalone|shard|coordinator")
-		shards   = flag.String("shards", "", "comma-separated shard base URLs (coordinator role)")
-		shardID  = flag.String("shard-id", "", "shard name in cluster status roll-ups (shard role; default the listen address)")
+		role     = flag.String("role", "standalone", "node role: standalone|shard|coordinator|follower")
+		shards   = flag.String("shards", "", "comma-separated shard base URLs (coordinator role; optional — shards may instead self-register)")
+		shardID  = flag.String("shard-id", "", "logical shard name (shard/follower role; default the listen address)")
+		register = flag.String("register", "", "coordinator base URL to register with and heartbeat to (shard/follower role)")
+		public   = flag.String("public", "", "this node's public base URL as other nodes should dial it (default http://<addr>)")
+		follow   = flag.String("follow", "", "primary base URL to replicate (follower role)")
+		beat     = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval to the coordinator (shard/follower role)")
+		beatTTL  = flag.Duration("heartbeat-timeout", 10*time.Second, "declare a registered shard dead after this much heartbeat silence and promote its follower (coordinator role; 0 disables)")
 	)
 	flag.Parse()
 
@@ -119,7 +124,11 @@ func main() {
 	}
 
 	if *role == "coordinator" {
-		runCoordinator(schema, planN, opts, *addr, *shards, *walPath, *archDir, *retain, *simulate, *seed)
+		runCoordinator(schema, planN, opts, *addr, *shards, *walPath, *archDir, *retain, *simulate, *seed, *beatTTL)
+		return
+	}
+	if *role == "follower" {
+		runFollower(schema, planN, opts, *addr, *shardID, *public, *follow, *register, *walPath, *beat, *seed)
 		return
 	}
 	if *role != "standalone" && *role != "shard" {
@@ -132,18 +141,37 @@ func main() {
 		log.Fatal("felipserver: ", err)
 	}
 	srv.SetLogger(log.Printf)
+	var shardName string
+	joined := 1
 	if *role == "shard" {
 		if *simulate > 0 {
 			// Simulation finalizes the round locally; a shard's round is closed
 			// by the coordinator's state pull instead.
 			log.Fatal("felipserver: -simulate is standalone-only; a shard's round is driven by its coordinator")
 		}
-		id := *shardID
-		if id == "" {
-			id = *addr
+		shardName = *shardID
+		if shardName == "" {
+			shardName = *addr
 		}
-		srv.SetShardID(id)
-		log.Printf("felipserver: shard %q awaiting coordinator", id)
+		srv.SetShardID(shardName)
+		if *register != "" {
+			// Register with the coordinator's membership before any local round
+			// state exists: the response names the first round this shard's
+			// reports count toward, and a fresh shard opens that round below.
+			coordCl := httpapi.DialRetrying(*register, nil, httpapi.RetryPolicy{MaxAttempts: 5, Timeout: 10 * time.Second})
+			resp, err := coordCl.RegisterShard(context.Background(), wire.RegisterMessage{
+				Name: shardName,
+				Base: publicBase(*addr, *public),
+				Role: wire.RolePrimary,
+			})
+			if err != nil {
+				log.Fatal("felipserver: registering with coordinator: ", err)
+			}
+			joined = resp.JoinRound
+			log.Printf("felipserver: shard %q registered with %s (epoch %d, joins round %d)",
+				shardName, *register, resp.Epoch, joined)
+		}
+		log.Printf("felipserver: shard %q awaiting coordinator", shardName)
 	}
 
 	var segs *reportlog.Segments
@@ -234,7 +262,21 @@ func main() {
 				expect++
 			}
 		} else {
-			l, recs, err := segs.Open(1)
+			// A shard that joined the cluster mid-deployment starts in its join
+			// round, and on a restart its segment chain starts wherever it
+			// joined — open the chain from its actual first round.
+			firstRound := joined
+			if rounds, err := segs.Existing(); err != nil {
+				log.Fatal("felipserver: ", err)
+			} else if len(rounds) > 0 {
+				firstRound = rounds[0]
+			}
+			if firstRound > 1 {
+				if err := srv.BeginAtRound(firstRound); err != nil {
+					log.Fatal("felipserver: ", err)
+				}
+			}
+			l, recs, err := segs.Open(firstRound)
 			if err != nil {
 				log.Fatal("felipserver: ", err)
 			}
@@ -242,12 +284,12 @@ func main() {
 				log.Fatal("felipserver: ", err)
 			}
 			if len(recs) > 0 {
-				log.Printf("felipserver: replayed %d WAL records from %s", len(recs), segs.Path(1))
+				log.Printf("felipserver: replayed %d WAL records from %s", len(recs), segs.Path(firstRound))
 			} else {
-				log.Printf("felipserver: opened fresh WAL at %s", segs.Path(1))
+				log.Printf("felipserver: opened fresh WAL at %s", segs.Path(firstRound))
 			}
 			// Replay any later segments left by /v1/nextround before the restart.
-			for round := 2; ; round++ {
+			for round := firstRound + 1; ; round++ {
 				if _, err := os.Stat(segs.Path(round)); err != nil {
 					break
 				}
@@ -261,6 +303,8 @@ func main() {
 				log.Printf("felipserver: resumed round %d (%d WAL records from %s)", round, len(recs), segs.Path(round))
 			}
 		}
+		// Followers replicate the segment chain over /v1/replica/wal.
+		srv.SetSegments(segs)
 		if err := srv.WarmupServing(); err != nil {
 			log.Fatal("felipserver: ", err)
 		}
@@ -284,6 +328,36 @@ func main() {
 		log.Printf("felipserver: round finalized; /v1/query is live")
 	}
 
+	if *role == "shard" && *register != "" {
+		// Heartbeat until shutdown so the coordinator never mistakes this shard
+		// for dead while it is serving.
+		hbCtx, hbCancel := context.WithCancel(context.Background())
+		defer hbCancel()
+		coordCl := httpapi.DialRetrying(*register, nil, httpapi.RetryPolicy{MaxAttempts: 2, Timeout: 5 * time.Second})
+		pub := publicBase(*addr, *public)
+		go func() {
+			t := time.NewTicker(*beat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-t.C:
+					_, err := coordCl.ShardHeartbeat(hbCtx, wire.HeartbeatMessage{
+						Name:   shardName,
+						Base:   pub,
+						Role:   wire.RolePrimary,
+						Round:  srv.Round(),
+						WALPos: srv.WALPos(),
+					})
+					if err != nil && hbCtx.Err() == nil {
+						log.Printf("felipserver: heartbeat to %s: %v", *register, err)
+					}
+				}
+			}
+		}()
+	}
+
 	// Sync and close the WAL last, after in-flight reports have drained, so
 	// every acknowledged report is on disk before the process exits.
 	serveLoop(srv.Handler(), *addr,
@@ -295,7 +369,7 @@ func main() {
 // WAL — its durable state is the shards' — just the round lifecycle and the
 // merged query plane. With -archive, each merged round is also snapshotted so
 // a restarted coordinator re-serves its rounds without re-pulling the shards.
-func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, shards, walPath, archiveDir string, retain, simulate int, seed uint64) {
+func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, shards, walPath, archiveDir string, retain, simulate int, seed uint64, beatTTL time.Duration) {
 	if walPath != "" {
 		log.Fatal("felipserver: the coordinator keeps no report log; -wal belongs on the shards")
 	}
@@ -311,9 +385,6 @@ func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, s
 		if s = strings.TrimSpace(s); s != "" {
 			bases = append(bases, s)
 		}
-	}
-	if len(bases) == 0 {
-		log.Fatal("felipserver: -role coordinator requires -shards")
 	}
 	var store *archive.Store
 	if archiveDir != "" {
@@ -334,11 +405,12 @@ func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, s
 		}
 	}
 	coord, err := cluster.New(cluster.Config{
-		Schema:  schema,
-		N:       planN,
-		Opts:    opts,
-		Shards:  bases,
-		Archive: store,
+		Schema:           schema,
+		N:                planN,
+		Opts:             opts,
+		Shards:           bases,
+		HeartbeatTimeout: beatTTL,
+		Archive:          store,
 		Retry: httpapi.RetryPolicy{
 			MaxAttempts: 5,
 			Timeout:     30 * time.Second,
@@ -348,10 +420,67 @@ func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, s
 	if err != nil {
 		log.Fatal("felipserver: ", err)
 	}
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	coord.StartLiveness(lctx, 0)
 	serveLoop(coord.Handler(), addr,
-		fmt.Sprintf("felipserver: coordinating %d shards, schema %v, ε=%v, listening on %s",
+		fmt.Sprintf("felipserver: coordinating %d static shards (dynamic registration open), schema %v, ε=%v, listening on %s",
 			len(bases), schema, opts.Epsilon, addr),
 		func() error { return nil })
+}
+
+// runFollower replicates one primary's WAL and stands by to take its place
+// when the coordinator says so.
+func runFollower(schema *domain.Schema, planN int, opts core.Options, addr, shardID, public, follow, register, walPath string, beat time.Duration, seed uint64) {
+	if shardID == "" {
+		log.Fatal("felipserver: -role follower requires -shard-id naming the logical shard it replicates")
+	}
+	if follow == "" || register == "" {
+		log.Fatal("felipserver: -role follower requires -follow (primary URL) and -register (coordinator URL)")
+	}
+	if walPath == "" {
+		log.Fatal("felipserver: -role follower requires -wal for the shipped segment chain")
+	}
+	if seed == 0 {
+		// A promoted follower must rebuild the identical plan.
+		log.Fatal("felipserver: -role follower requires an explicit -seed shared with the cluster")
+	}
+	f, err := cluster.NewFollower(cluster.FollowerConfig{
+		Schema:      schema,
+		N:           planN,
+		Opts:        opts,
+		Name:        shardID,
+		Base:        publicBase(addr, public),
+		Primary:     follow,
+		Coordinator: register,
+		WALPath:     walPath,
+		Retry:       httpapi.RetryPolicy{MaxAttempts: 2, Timeout: 10 * time.Second},
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal("felipserver: ", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := f.Register(ctx); err != nil {
+		log.Fatal("felipserver: registering follower: ", err)
+	}
+	f.Run(ctx, beat/4, beat)
+	serveLoop(f.Handler(), addr,
+		fmt.Sprintf("felipserver: follower for shard %q replicating %s, listening on %s", shardID, follow, addr),
+		func() error { return nil })
+}
+
+// publicBase derives the URL other nodes dial this one at: the -public flag
+// verbatim, or http://localhost<addr> for a bare ":port" listen address.
+func publicBase(addr, public string) string {
+	if public != "" {
+		return strings.TrimRight(public, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	return "http://" + addr
 }
 
 // serveLoop runs the HTTP server until SIGINT/SIGTERM, drains connections,

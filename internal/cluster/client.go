@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"sync"
 
 	"felip/internal/core"
 	"felip/internal/httpapi"
@@ -11,30 +13,123 @@ import (
 
 // Client is the cluster-aware device/analyst client: reports go straight to
 // the owning shard (no proxy hop through the coordinator on the hot path),
-// queries and lifecycle calls go to the coordinator. The shard is derived
-// from the report's idempotency key, so every retry — in-process or across a
-// device restart — lands on the same shard and its dedup index.
+// queries and lifecycle calls go to the coordinator. The owning shard is
+// picked by rendezvous hashing the report's idempotency key over the logical
+// shard *names*, so every retry — in-process or across a device restart —
+// lands on the same logical shard and its dedup index, even after a failover
+// moved that shard to a different node. The routing table is cached per
+// membership epoch and refreshed from the coordinator when a submission hits
+// a node that is gone (connection refused) or refuses the shard (409/503):
+// a stale table costs one refresh, never a lost report.
 type Client struct {
 	coord  *httpapi.Client
-	shards []*httpapi.Client
+	hc     *http.Client
+	policy httpapi.RetryPolicy
+
+	mu    sync.Mutex
+	epoch int64
+	names []string
+	bases map[string]string
+	dials map[string]*httpapi.Client
 }
 
-// NewClient dials the coordinator and every shard with the same transport and
-// retry policy. The shard order must match the coordinator's Config.Shards.
+// NewClient dials the coordinator and seeds the routing table from a static
+// base list, deriving the same shard0..shardN-1 logical names the coordinator
+// seeds from its Config.Shards — so static clients and the membership agree
+// on the routing domain without a fetch. The table still refreshes from the
+// coordinator's membership endpoint when routing goes stale.
 func NewClient(coordBase string, shardBases []string, hc *http.Client, policy httpapi.RetryPolicy) *Client {
-	c := &Client{coord: httpapi.DialRetrying(coordBase, hc, policy)}
-	for _, base := range shardBases {
-		c.shards = append(c.shards, httpapi.DialRetrying(base, hc, policy))
+	c := &Client{
+		coord:  httpapi.DialRetrying(coordBase, hc, policy),
+		hc:     hc,
+		policy: policy,
+		bases:  make(map[string]string),
+		dials:  make(map[string]*httpapi.Client),
+	}
+	for i, base := range shardBases {
+		name := StaticShardName(i)
+		c.names = append(c.names, name)
+		c.bases[name] = base
 	}
 	return c
 }
 
-// Shards reports the cluster's shard count.
-func (c *Client) Shards() int { return len(c.shards) }
+// DialCluster dials the coordinator and fetches the live membership as the
+// initial routing table — the elastic-cluster entry point: a device needs
+// only the coordinator's address.
+func DialCluster(ctx context.Context, coordBase string, hc *http.Client, policy httpapi.RetryPolicy) (*Client, error) {
+	c := NewClient(coordBase, nil, hc, policy)
+	if err := c.Refresh(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
 
-// Shard returns the shard client that owns the given report ID.
+// Refresh replaces the routing table with the coordinator's current
+// membership snapshot.
+func (c *Client) Refresh(ctx context.Context) error {
+	msg, err := c.coord.Membership(ctx)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.apply(msg)
+	c.mu.Unlock()
+	return nil
+}
+
+// apply installs a membership snapshot. Caller holds c.mu.
+func (c *Client) apply(msg wire.MembershipMessage) {
+	c.epoch = msg.Epoch
+	c.names = msg.Names()
+	c.bases = make(map[string]string, len(msg.Members))
+	for _, m := range msg.Members {
+		c.bases[m.Name] = m.Base
+	}
+}
+
+// Epoch reports the membership epoch the routing table was built from (0 for
+// a static table that has never refreshed).
+func (c *Client) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Shards reports the routing table's logical shard count.
+func (c *Client) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.names)
+}
+
+// route picks the owning logical shard's current base and dialed client.
+func (c *Client) route(reportID string) (base string, cl *httpapi.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := RendezvousFor(reportID, c.names)
+	if i < 0 {
+		return "", nil
+	}
+	base = c.bases[c.names[i]]
+	return base, c.dialLocked(base)
+}
+
+// dialLocked returns the cached client for a base. Caller holds c.mu.
+func (c *Client) dialLocked(base string) *httpapi.Client {
+	cl, ok := c.dials[base]
+	if !ok {
+		cl = httpapi.DialRetrying(base, c.hc, c.policy)
+		c.dials[base] = cl
+	}
+	return cl
+}
+
+// Shard returns the shard client that currently serves the given report ID's
+// logical shard.
 func (c *Client) Shard(reportID string) *httpapi.Client {
-	return c.shards[ShardFor(reportID, len(c.shards))]
+	_, cl := c.route(reportID)
+	return cl
 }
 
 // Plan fetches the published collection plan from the coordinator (every
@@ -51,11 +146,42 @@ func (c *Client) Report(ctx context.Context, rep core.Report) error {
 }
 
 // ReportWithID submits a report under a caller-chosen idempotency key to the
-// key's shard. duplicate reports whether the shard had already counted the
-// key. Callers deriving the report's group should use httpapi.DeriveGroup on
-// the same key — group and shard hashes are independent by construction.
+// key's logical shard. duplicate reports whether the shard had already
+// counted the key. If the submission fails — the node is gone, or answers
+// that it no longer serves the shard — the client refreshes its membership
+// from the coordinator and, when that moved the shard to a different node,
+// retries the report once against the new one. Callers deriving the report's
+// group should use httpapi.DeriveGroup on the same key — group and shard
+// hashes are independent by construction.
 func (c *Client) ReportWithID(ctx context.Context, id string, rep core.Report) (duplicate bool, err error) {
-	return c.Shard(id).ReportWithID(ctx, id, rep)
+	base, cl := c.route(id)
+	if cl == nil {
+		if err := c.Refresh(ctx); err != nil {
+			return false, err
+		}
+		if base, cl = c.route(id); cl == nil {
+			return false, fmt.Errorf("cluster: no shards in routing table")
+		}
+	}
+	dup, err := cl.ReportWithID(ctx, id, rep)
+	if err == nil {
+		return dup, nil
+	}
+	// The submission failed after the transport client's own retries. The
+	// likeliest stale-routing causes — the primary died (connection refused)
+	// or was superseded — are indistinguishable from transient faults out
+	// here, so refresh unconditionally: if the membership moved the logical
+	// shard to a new node, resubmit the same key there (the replicated dedup
+	// index makes the resubmission exactly-once); if routing is unchanged,
+	// the original error stands.
+	if rerr := c.Refresh(ctx); rerr != nil {
+		return false, err
+	}
+	newBase, newCl := c.route(id)
+	if newCl == nil || newBase == base {
+		return false, err
+	}
+	return newCl.ReportWithID(ctx, id, rep)
 }
 
 // Finalize closes the round cluster-wide via the coordinator; returns the

@@ -36,23 +36,67 @@ import "hash/fnv"
 // coverage would collapse).
 const shardSalt = "felip-shard\x00"
 
-// ShardFor assigns a report to one of n shards by hashing its report ID —
-// stateless and idempotent, like httpapi.DeriveGroup: a device retrying the
-// same report always lands on the same shard, so the shard's idempotency
-// index can do its job.
-func ShardFor(reportID string, n int) int {
-	h := fnv.New64a()
-	h.Write([]byte(shardSalt))
-	h.Write([]byte(reportID))
-	x := h.Sum64()
-	// FNV-1a mod 2^k is a function of the byte stream's low bits alone (xor
-	// and multiply never propagate downward), so the salt by itself does NOT
-	// decorrelate this modulo from DeriveGroup's — a splitmix64-style
-	// finalizer spreads every input bit across the low bits first.
+// mix64 is a splitmix64-style finalizer. FNV-1a mod 2^k is a function of the
+// byte stream's low bits alone (xor and multiply never propagate downward),
+// so the salt by itself does NOT decorrelate a modulo from DeriveGroup's —
+// the finalizer spreads every input bit across the low bits first.
+func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return int(x % uint64(n))
+	return x
+}
+
+// ShardFor assigns a report to one of n shards by hashing its report ID —
+// stateless and idempotent, like httpapi.DeriveGroup: a device retrying the
+// same report always lands on the same shard, so the shard's idempotency
+// index can do its job.
+//
+// ShardFor is the fixed-fleet scheme (hash mod n): correct while the shard
+// list never changes, but adding shard n+1 reshuffles nearly every key.
+// Elastic deployments route with RendezvousFor over the live membership
+// instead.
+func ShardFor(reportID string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(shardSalt))
+	h.Write([]byte(reportID))
+	return int(mix64(h.Sum64()) % uint64(n))
+}
+
+// RendezvousFor assigns a report to one of the named logical shards by
+// highest-random-weight (rendezvous) hashing: each (shard name, key) pair is
+// hashed independently and the highest score owns the key. Two properties
+// make this the elastic cluster's router:
+//
+//   - Stability under growth: adding shard n+1 re-scores every key against
+//     one new name, so exactly the keys the new name wins — in expectation
+//     1/(n+1) of them — move, and every other key keeps its owner. Removing
+//     a name only redistributes that name's keys.
+//   - Identity, not address: the domain is logical shard *names*, which
+//     survive failover. A promoted follower inherits its primary's name, so
+//     every key — and every device retry carrying an idempotency key the old
+//     primary's replicated dedup index already knows — keeps routing to the
+//     same logical shard.
+//
+// The score hash reuses shardSalt + mix64, so rendezvous routing stays
+// decorrelated from httpapi.DeriveGroup's group assignment exactly like
+// ShardFor. Ties (astronomically unlikely) break toward the lexically
+// smallest name so every router agrees. names must be non-empty.
+func RendezvousFor(reportID string, names []string) int {
+	best := -1
+	var bestScore uint64
+	for i, name := range names {
+		h := fnv.New64a()
+		h.Write([]byte(shardSalt))
+		h.Write([]byte(name))
+		h.Write([]byte{0}) // separator: ("ab","c") must not collide with ("a","bc")
+		h.Write([]byte(reportID))
+		score := mix64(h.Sum64())
+		if best < 0 || score > bestScore || (score == bestScore && name < names[best]) {
+			best, bestScore = i, score
+		}
+	}
+	return best
 }

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"time"
 
 	"felip/internal/archive"
 	"felip/internal/core"
@@ -27,9 +28,17 @@ type Config struct {
 	Schema *domain.Schema
 	N      int
 	Opts   core.Options
-	// Shards are the shard servers' base URLs; their order is the cluster's
-	// shard numbering (ShardFor indexes into it).
+	// Shards are statically configured shard base URLs, seeded into the
+	// membership as logical shards shard0..shardN-1 — a fixed fleet exempt
+	// from heartbeat eviction. May be empty: an elastic cluster starts with
+	// no members and shards register themselves at POST /v1/shard/register.
 	Shards []string
+	// HeartbeatTimeout is how stale a registered shard's heartbeat may grow
+	// before the coordinator declares it dead and promotes its follower
+	// (0 disables liveness eviction; registrations are still accepted).
+	HeartbeatTimeout time.Duration
+	// Clock overrides the membership's time source (tests; nil = time.Now).
+	Clock func() time.Time
 	// HTTPClient carries the coordinator's shard calls (nil =
 	// http.DefaultClient).
 	HTTPClient *http.Client
@@ -49,8 +58,10 @@ type Config struct {
 // ShardInfo is the coordinator's per-shard roll-up, refreshed at each round
 // finalize from the shards' state messages.
 type ShardInfo struct {
-	// ID is the shard's self-reported name; Base its URL.
+	// ID is the shard's self-reported name; Name the logical membership name
+	// it is registered under; Base its URL at pull time.
 	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
 	Base string `json:"base"`
 	// Reports and Rejected are the shard's accepted and refused totals for
 	// the finalized round.
@@ -65,37 +76,45 @@ type ShardInfo struct {
 // serves the merged result. One coordinator owns the round lifecycle:
 // FinalizeRound pulls every shard's sealed partial state, merges the integer
 // counts, estimates exactly once, and swaps the merged engine into its query
-// plane; NextRound then walks every shard to the next round idempotently.
+// plane; NextRound then walks every shard to the next round idempotently. It
+// also owns the cluster's membership: shards register and heartbeat with it,
+// and when a primary's heartbeat lapses it promotes the shard's follower.
 type Coordinator struct {
-	schema  *domain.Schema
-	planN   int
-	opts    core.Options
-	plan    wire.PlanMessage
-	logf    func(format string, args ...any)
-	bases   []string
-	clients []*httpapi.Client
-	qp      *httpapi.QueryPlane
+	schema *domain.Schema
+	planN  int
+	opts   core.Options
+	plan   wire.PlanMessage
+	logf   func(format string, args ...any)
+	hc     *http.Client
+	retry  httpapi.RetryPolicy
+	qp     *httpapi.QueryPlane
 	// store archives merged rounds; nil = archiving disabled.
 	store *archive.Store
 
 	// lifecycle serializes FinalizeRound/AdvanceRound so two operators cannot
-	// interleave round transitions; mu guards the snapshot fields and is never
-	// held across a network call.
+	// interleave round transitions; mu guards the snapshot fields plus the
+	// membership and the dial cache, and is never held across a network call.
 	lifecycle sync.Mutex
 	mu        sync.Mutex
 	round     int
 	finalized bool
+	// sealing is true while a FinalizeRound is pulling shard states: a shard
+	// registering in that window joins the NEXT round, so the in-flight
+	// seal's pull set never changes under it.
+	sealing   bool
 	finalN    int
 	shards    []ShardInfo
+	members   *Membership
+	failovers int64
+	dials     map[string]*httpapi.Client
 }
 
-// New plans the round and dials the shards. The plan is computed locally —
-// deterministically identical to every shard's — so devices may fetch it from
-// the coordinator or any shard interchangeably.
+// New plans the round and seeds the membership from cfg.Shards (which may be
+// empty — an elastic cluster starts bare and shards register themselves).
+// The plan is computed locally — deterministically identical to every
+// shard's — so devices may fetch it from the coordinator or any shard
+// interchangeably.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, fmt.Errorf("cluster: no shards configured")
-	}
 	col, err := core.NewCollector(cfg.Schema, cfg.N, cfg.Opts)
 	if err != nil {
 		return nil, err
@@ -105,18 +124,20 @@ func New(cfg Config) (*Coordinator, error) {
 		logf = log.Printf
 	}
 	c := &Coordinator{
-		schema: cfg.Schema,
-		planN:  cfg.N,
-		opts:   cfg.Opts,
-		plan:   wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Specs()),
-		logf:   logf,
-		bases:  append([]string(nil), cfg.Shards...),
-		qp:     httpapi.NewQueryPlane(cfg.Schema, logf),
-		round:  1,
+		schema:  cfg.Schema,
+		planN:   cfg.N,
+		opts:    cfg.Opts,
+		plan:    wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Specs()),
+		logf:    logf,
+		hc:      cfg.HTTPClient,
+		retry:   cfg.Retry,
+		qp:      httpapi.NewQueryPlane(cfg.Schema, logf),
+		round:   1,
+		members: newMembership(cfg.Clock, cfg.HeartbeatTimeout),
+		dials:   make(map[string]*httpapi.Client),
 	}
-	for _, base := range c.bases {
-		c.clients = append(c.clients, httpapi.DialRetrying(base, cfg.HTTPClient, cfg.Retry))
-	}
+	c.members.seed(cfg.Shards, 1)
+	c.updateMembershipGaugesLocked()
 	if cfg.Archive != nil {
 		c.store = cfg.Archive
 		c.qp.SetHistory(cfg.Archive)
@@ -125,6 +146,16 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 	}
 	return c, nil
+}
+
+// dialLocked returns the cached client for a base URL. Caller holds c.mu.
+func (c *Coordinator) dialLocked(base string) *httpapi.Client {
+	cl, ok := c.dials[base]
+	if !ok {
+		cl = httpapi.DialRetrying(base, c.hc, c.retry)
+		c.dials[base] = cl
+	}
+	return cl
 }
 
 // restoreLatest rebuilds the serving plane from the newest archived merged
@@ -188,20 +219,157 @@ func (c *Coordinator) Round() int {
 	return c.round
 }
 
-// shardGauge names a per-shard metric; shards are identified by cluster index
-// so the gauge set is stable across shard restarts and renames.
+// RegisterShard applies a shard (or follower) registration. A primary that
+// registers while a round is sealing — or after it sealed — joins the next
+// round: the in-flight merge's pull set must not change under it, and the
+// response's JoinRound tells the shard which round to open locally
+// (httpapi.Server.BeginAtRound) so the cluster and the shard agree from the
+// first report.
+func (c *Coordinator) RegisterShard(msg wire.RegisterMessage) (wire.RegisterResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	join := c.round
+	if c.sealing || c.finalized {
+		join = c.round + 1
+	}
+	epoch, joined, err := c.members.register(msg, join)
+	if err != nil {
+		return wire.RegisterResponse{}, err
+	}
+	c.updateMembershipGaugesLocked()
+	c.logf("cluster: registered %s %q at %s (epoch %d, joins round %d)", msg.Role, msg.Name, msg.Base, epoch, joined)
+	return wire.RegisterResponse{Epoch: epoch, JoinRound: joined}, nil
+}
+
+// Heartbeat records a node's liveness report and refreshes the per-shard
+// replication-lag gauges.
+func (c *Coordinator) Heartbeat(msg wire.HeartbeatMessage) (wire.HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	epoch, err := c.members.heartbeat(msg)
+	if err != nil {
+		return wire.HeartbeatResponse{}, err
+	}
+	c.updateMembershipGaugesLocked()
+	return wire.HeartbeatResponse{Epoch: epoch}, nil
+}
+
+// MembershipSnapshot renders the routable membership for clients.
+func (c *Coordinator) MembershipSnapshot() wire.MembershipMessage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members.snapshot(c.round)
+}
+
+// Epoch reports the current membership epoch.
+func (c *Coordinator) Epoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members.epoch
+}
+
+// updateMembershipGaugesLocked refreshes the membership gauges. Caller holds
+// c.mu.
+func (c *Coordinator) updateMembershipGaugesLocked() {
+	metrics.GetGauge("cluster.members").Set(int64(len(c.members.order)))
+	metrics.GetGauge("cluster.epoch").Set(c.members.epoch)
+	metrics.GetGauge("cluster.failovers_total").Set(c.failovers)
+	for i, name := range c.members.order {
+		segs, _ := lagOf(c.members.members[name].follower)
+		shardGauge(i, "replication_lag_segments").Set(int64(segs))
+	}
+}
+
+// CheckLiveness evaluates every registered primary's heartbeat age and fails
+// over the lapsed ones that have a live follower: the follower is asked to
+// verify its shipped-segment CRC chain, replay it, and take over
+// (POST /v1/replica/promote); only after it acknowledges does the membership
+// swap the logical shard's address to the follower and bump the epoch, so
+// routing clients re-resolve the same shard name to the new node. A lapsed
+// primary without a live follower stays dead in place — rerouting its keys
+// would silently drop reports it already acknowledged. Returns the logical
+// shards that failed over. felipserver runs this on a timer; tests drive it
+// with an injected clock.
+func (c *Coordinator) CheckLiveness(ctx context.Context) ([]string, error) {
+	c.mu.Lock()
+	candidates := c.members.lapsed()
+	round := c.round
+	clients := make([]*httpapi.Client, len(candidates))
+	for i, cand := range candidates {
+		clients[i] = c.dialLocked(cand.followerBase)
+	}
+	c.mu.Unlock()
+
+	var promoted []string
+	var firstErr error
+	for i, cand := range candidates {
+		if err := ctx.Err(); err != nil {
+			return promoted, err
+		}
+		c.logf("cluster: shard %q heartbeat lapsed; promoting follower at %s", cand.name, cand.followerBase)
+		resp, err := clients[i].PromoteReplica(ctx, round)
+		if err != nil {
+			c.logf("cluster: promoting %q follower at %s: %v (will retry next liveness check)",
+				cand.name, cand.followerBase, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: promoting %q follower: %w", cand.name, err)
+			}
+			continue
+		}
+		c.mu.Lock()
+		if c.members.promote(cand.name, cand.followerBase) {
+			c.failovers++
+			promoted = append(promoted, cand.name)
+			c.updateMembershipGaugesLocked()
+			c.logf("cluster: promoted %q follower at %s (round %d, %d reports replayed, epoch %d)",
+				cand.name, cand.followerBase, resp.Round, resp.Replayed, c.members.epoch)
+		}
+		c.mu.Unlock()
+	}
+	return promoted, firstErr
+}
+
+// StartLiveness runs CheckLiveness on a ticker until the context is
+// cancelled. The interval defaults to a third of the heartbeat timeout.
+func (c *Coordinator) StartLiveness(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = c.members.timeout / 3
+	}
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := c.CheckLiveness(ctx); err != nil && ctx.Err() == nil {
+					c.logf("cluster: liveness check: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// shardGauge names a per-shard metric; shards are identified by membership
+// index so the gauge set is stable across shard restarts and renames.
 func shardGauge(i int, what string) *metrics.Gauge {
 	return metrics.GetGauge(fmt.Sprintf("cluster.shard%d.%s", i, what))
 }
 
 // FinalizeRound closes the round cluster-wide, exactly once: it pulls every
-// shard's sealed partial-aggregate state (the first pull is what seals the
-// shard), verifies each message's checksum and round, merges the integer
+// member shard's sealed partial-aggregate state (the first pull is what seals
+// the shard), verifies each message's checksum and round, merges the integer
 // count vectors into one collector, runs the estimation pipeline once over
 // the sums, and swaps the resulting engine into the query plane fully warmed.
 // Repeat calls return the same report count. The state pulls ride the
-// client's retry policy; a pull that keeps failing aborts the finalize, which
-// can simply be retried — no shard state is consumed by a failed attempt.
+// client's retry policy and honor ctx: the first pull to fail permanently
+// cancels its siblings, so one wedged or dead shard cannot hold the round
+// open past the caller's deadline. A failed finalize can simply be retried —
+// no shard state is consumed by a failed attempt.
 func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 	c.lifecycle.Lock()
 	defer c.lifecycle.Unlock()
@@ -212,25 +380,52 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 		return n, nil
 	}
 	round := c.round
+	c.sealing = true
+	set := c.members.pullSet(round)
+	if len(set) == 0 {
+		c.sealing = false
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no member shards to finalize round %d", round)
+	}
+	type target struct {
+		name, base string
+		cl         *httpapi.Client
+	}
+	targets := make([]target, len(set))
+	for i, m := range set {
+		targets[i] = target{name: m.name, base: m.base, cl: c.dialLocked(m.base)}
+	}
 	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.sealing = false
+		c.mu.Unlock()
+	}()
 
 	// Pull every shard's state concurrently; each pull seals its shard. The
-	// merge below runs in shard order, though order cannot matter: integer
+	// first permanent failure cancels the remaining pulls — a wedged shard
+	// must not keep the round open after the outcome is already decided. The
+	// merge below runs in member order, though order cannot matter: integer
 	// count addition commutes.
-	msgs := make([]wire.ShardStateMessage, len(c.clients))
-	errs := make([]error, len(c.clients))
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	msgs := make([]wire.ShardStateMessage, len(targets))
+	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
-	for i, cl := range c.clients {
+	for i, tg := range targets {
 		wg.Add(1)
-		go func(i int, cl *httpapi.Client) {
+		go func(i int, tg target) {
 			defer wg.Done()
-			msgs[i], errs[i] = cl.ShardState(ctx)
-		}(i, cl)
+			msgs[i], errs[i] = tg.cl.ShardState(pctx)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, tg)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return 0, fmt.Errorf("cluster: shard %d (%s) state pull: %w", i, c.bases[i], err)
+			return 0, fmt.Errorf("cluster: shard %q (%s) state pull: %w", targets[i].name, targets[i].base, err)
 		}
 	}
 
@@ -241,25 +436,26 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 	infos := make([]ShardInfo, len(msgs))
 	for i, msg := range msgs {
 		if msg.Round != round {
-			return 0, fmt.Errorf("cluster: shard %d (%s) is in round %d, coordinator in round %d",
-				i, c.bases[i], msg.Round, round)
+			return 0, fmt.Errorf("cluster: shard %q (%s) is in round %d, coordinator in round %d",
+				targets[i].name, targets[i].base, msg.Round, round)
 		}
 		states, err := msg.States()
 		if err != nil {
-			return 0, fmt.Errorf("cluster: shard %d (%s): %w", i, c.bases[i], err)
+			return 0, fmt.Errorf("cluster: shard %q (%s): %w", targets[i].name, targets[i].base, err)
 		}
 		if err := col.ImportPartials(states); err != nil {
-			return 0, fmt.Errorf("cluster: merging shard %d (%s): %w", i, c.bases[i], err)
+			return 0, fmt.Errorf("cluster: merging shard %q (%s): %w", targets[i].name, targets[i].base, err)
 		}
 		infos[i] = ShardInfo{
 			ID:          msg.ShardID,
-			Base:        c.bases[i],
+			Name:        targets[i].name,
+			Base:        targets[i].base,
 			Reports:     msg.Reports,
 			Rejected:    msg.Rejected,
 			WALReplayed: msg.WALReplayed,
 		}
-		c.logf("cluster: shard %d (%s) round %d: %d reports, %d rejected, %d wal-replayed",
-			i, msg.ShardID, round, msg.Reports, msg.Rejected, msg.WALReplayed)
+		c.logf("cluster: shard %q (%s) round %d: %d reports, %d rejected, %d wal-replayed",
+			msg.ShardID, targets[i].base, round, msg.Reports, msg.Rejected, msg.WALReplayed)
 	}
 
 	agg, err := col.Finalize()
@@ -295,10 +491,11 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 
 // AdvanceRound opens the next collection round cluster-wide. target names the
 // round the caller wants open (0 = current+1): an already-applied transition
-// succeeds without side effects, a skip is refused. Each shard is driven with
-// the same idempotent transition, so a coordinator that crashed after
-// advancing only some shards simply retries — shards already in the target
-// round answer 200 and the stragglers catch up.
+// succeeds without side effects, a skip is refused. Each member shard is
+// driven with the same idempotent transition, so a coordinator that crashed
+// after advancing only some shards simply retries — shards already in the
+// target round answer 200 and the stragglers catch up. Shards that joined
+// for the next round are already there, and answer 200 the same way.
 func (c *Coordinator) AdvanceRound(ctx context.Context, target int) (int, error) {
 	c.lifecycle.Lock()
 	defer c.lifecycle.Unlock()
@@ -315,14 +512,28 @@ func (c *Coordinator) AdvanceRound(ctx context.Context, target int) (int, error)
 		return 0, fmt.Errorf("cluster: round %d not finalized; finalize before opening the next round", cur)
 	}
 	next := cur + 1
-	for i, cl := range c.clients {
-		got, err := cl.NextRoundTo(ctx, next)
+	c.mu.Lock()
+	set := c.members.pullSet(next)
+	type target2 struct {
+		name, base string
+		cl         *httpapi.Client
+	}
+	targets := make([]target2, len(set))
+	for i, m := range set {
+		targets[i] = target2{name: m.name, base: m.base, cl: c.dialLocked(m.base)}
+	}
+	c.mu.Unlock()
+	for _, tg := range targets {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("cluster: advancing to round %d: %w", next, err)
+		}
+		got, err := tg.cl.NextRoundTo(ctx, next)
 		if err != nil {
-			return 0, fmt.Errorf("cluster: advancing shard %d (%s) to round %d: %w", i, c.bases[i], next, err)
+			return 0, fmt.Errorf("cluster: advancing shard %q (%s) to round %d: %w", tg.name, tg.base, next, err)
 		}
 		if got != next {
-			return 0, fmt.Errorf("cluster: shard %d (%s) reports round %d after transition to %d",
-				i, c.bases[i], got, next)
+			return 0, fmt.Errorf("cluster: shard %q (%s) reports round %d after transition to %d",
+				tg.name, tg.base, got, next)
 		}
 	}
 	c.mu.Lock()
@@ -349,23 +560,34 @@ type ClusterStatus struct {
 	Finalized   bool `json:"finalized"`
 	// Reports is the merged accepted-report total of the finalized round.
 	Reports int `json:"reports"`
+	// Epoch is the membership epoch; Members the live membership with
+	// per-shard replication lag; Failovers how many follower promotions this
+	// coordinator has performed.
+	Epoch     int64             `json:"epoch"`
+	Members   []wire.MemberInfo `json:"members,omitempty"`
+	Failovers int64             `json:"failovers"`
 	// Shards is the per-shard roll-up from the last finalize — including each
 	// shard's rejected-submission and WAL-replay counters, so one status call
 	// shows both misbehaving clients and crash recoveries anywhere in the
 	// cluster.
 	Shards []ShardInfo `json:"shards,omitempty"`
 	// Metrics is the process-wide instrument snapshot (includes the
-	// cluster.shardK.* gauges).
+	// cluster.shardK.* gauges plus cluster.members / cluster.epoch /
+	// cluster.failovers_total).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
-// Status reports the cluster round state and per-shard counters.
+// Status reports the cluster round state, membership, and per-shard counters.
 func (c *Coordinator) Status() ClusterStatus {
 	c.mu.Lock()
+	c.updateMembershipGaugesLocked()
 	st := ClusterStatus{
 		Round:     c.round,
 		Finalized: c.finalized,
 		Reports:   c.finalN,
+		Epoch:     c.members.epoch,
+		Members:   c.members.snapshot(c.round).Members,
+		Failovers: c.failovers,
 		Shards:    append([]ShardInfo(nil), c.shards...),
 	}
 	c.mu.Unlock()
@@ -378,7 +600,8 @@ func (c *Coordinator) Status() ClusterStatus {
 
 // Handler returns the coordinator's HTTP surface: the plan and query
 // endpoints a single-node server exposes (so analysts are oblivious to the
-// topology), plus cluster-wide finalize, round transition, and status.
+// topology), plus cluster-wide finalize, round transition, membership
+// (register/heartbeat/snapshot) and status.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/plan", func(w http.ResponseWriter, _ *http.Request) {
@@ -387,6 +610,35 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/query", c.qp.HandleQuery)
 	mux.HandleFunc("POST /v1/query", c.qp.HandleQueryBatch)
 	mux.HandleFunc("GET /v1/rounds", c.qp.HandleRounds(c.Round))
+	mux.HandleFunc("POST /v1/shard/register", func(w http.ResponseWriter, r *http.Request) {
+		var msg wire.RegisterMessage
+		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+			c.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid register body: %w", err))
+			return
+		}
+		resp, err := c.RegisterShard(msg)
+		if err != nil {
+			c.writeError(w, http.StatusConflict, err)
+			return
+		}
+		c.writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/shard/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var msg wire.HeartbeatMessage
+		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+			c.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid heartbeat body: %w", err))
+			return
+		}
+		resp, err := c.Heartbeat(msg)
+		if err != nil {
+			c.writeError(w, http.StatusConflict, err)
+			return
+		}
+		c.writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/membership", func(w http.ResponseWriter, _ *http.Request) {
+		c.writeJSON(w, http.StatusOK, c.MembershipSnapshot())
+	})
 	mux.HandleFunc("POST /v1/finalize", func(w http.ResponseWriter, r *http.Request) {
 		n, err := c.FinalizeRound(r.Context())
 		if err != nil {

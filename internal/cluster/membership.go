@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"felip/internal/wire"
+)
+
+// follower is a primary's attached replication target as the membership
+// tracks it: its address, its liveness, and the replication positions its
+// heartbeats carry (its own replayed position plus the primary position it
+// last observed — the gap between them is the lag the status page reports).
+type follower struct {
+	base         string
+	lastBeat     time.Time
+	round        int
+	pos          int64
+	primaryRound int
+	primaryPos   int64
+}
+
+// member is one logical shard. The name is the stable identity rendezvous
+// routing hashes and devices' idempotency keys stick to; the base is the
+// current primary's address and is what failover replaces.
+type member struct {
+	name string
+	base string
+	// static members were seeded from Config.Shards: a fixed fleet that
+	// predates heartbeating, exempt from liveness eviction.
+	static bool
+	// joinedRound is the first collection round this shard's reports count
+	// toward: a shard that registers while a round is sealing joins the next
+	// round, so the in-flight seal's pull set is never moved under it.
+	joinedRound int
+	lastBeat    time.Time
+	dead        bool
+	round       int
+	pos         int64
+	follower    *follower
+}
+
+// Membership is the coordinator's cluster-membership state machine: logical
+// shards keyed by name, each backed by a replaceable primary address and an
+// optional follower, versioned by an epoch that bumps on every routable
+// change (join, address replacement, promotion). Clients cache the routing
+// map and use the epoch to notice it went stale. All methods are
+// synchronized by the Coordinator's mu — Membership itself holds no lock so
+// the coordinator can make registration decisions and round state agree
+// under one critical section.
+type Membership struct {
+	now     func() time.Time
+	timeout time.Duration
+	epoch   int64
+	// order holds member names in join order: the stable indexing the
+	// per-shard gauges and status roll-ups use.
+	order   []string
+	members map[string]*member
+}
+
+// newMembership builds an empty membership. timeout <= 0 disables liveness
+// eviction (heartbeats are still recorded).
+func newMembership(now func() time.Time, timeout time.Duration) *Membership {
+	if now == nil {
+		now = time.Now
+	}
+	return &Membership{now: now, timeout: timeout, members: make(map[string]*member)}
+}
+
+// seed installs the fixed fleet from Config.Shards as static members named
+// shard0..shardN-1 — the names a legacy cluster.Client derives for itself, so
+// static and dynamic routing agree.
+func (ms *Membership) seed(bases []string, round int) {
+	for i, base := range bases {
+		name := StaticShardName(i)
+		ms.order = append(ms.order, name)
+		ms.members[name] = &member{name: name, base: base, static: true, joinedRound: round}
+	}
+	if len(bases) > 0 {
+		ms.epoch++
+	}
+}
+
+// StaticShardName names the i-th statically configured shard. Exported so
+// clients seeded from the same base list derive the same routing domain the
+// coordinator publishes.
+func StaticShardName(i int) string { return fmt.Sprintf("shard%d", i) }
+
+// register applies one registration. joinRound is the first round a new
+// primary's reports count toward (the coordinator computes it from its round
+// state). Idempotent: re-registering an identical (name, base, role) answers
+// the current epoch without bumping it, so a node retrying a lost
+// acknowledgment is harmless. A primary re-registering under its name with a
+// NEW base is accepted only while the old address is dead — that is a
+// replacement restart, and bumps the epoch so clients re-resolve.
+func (ms *Membership) register(msg wire.RegisterMessage, joinRound int) (int64, int, error) {
+	if err := msg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	now := ms.now()
+	if msg.Role == wire.RoleFollower {
+		target, ok := ms.members[msg.Follows]
+		if !ok {
+			return 0, 0, fmt.Errorf("cluster: follower %q follows unknown shard %q", msg.Name, msg.Follows)
+		}
+		if target.follower != nil && target.follower.base != msg.Base {
+			return 0, 0, fmt.Errorf("cluster: shard %q already has follower at %s", msg.Follows, target.follower.base)
+		}
+		if target.follower == nil {
+			target.follower = &follower{base: msg.Base}
+			ms.epoch++
+		}
+		target.follower.lastBeat = now
+		return ms.epoch, target.joinedRound, nil
+	}
+
+	if m, ok := ms.members[msg.Name]; ok {
+		if m.base == msg.Base {
+			// A retried or restarted registration of the same node: refresh
+			// liveness, keep the epoch.
+			m.lastBeat = now
+			m.dead = false
+			return ms.epoch, m.joinedRound, nil
+		}
+		if !m.dead {
+			return 0, 0, fmt.Errorf("cluster: shard %q already registered at %s (alive); refusing %s",
+				msg.Name, m.base, msg.Base)
+		}
+		// Replacement restart at a new address for a dead primary.
+		m.base = msg.Base
+		m.dead = false
+		m.lastBeat = now
+		ms.epoch++
+		return ms.epoch, m.joinedRound, nil
+	}
+	m := &member{name: msg.Name, base: msg.Base, joinedRound: joinRound, lastBeat: now}
+	ms.members[msg.Name] = m
+	ms.order = append(ms.order, msg.Name)
+	ms.epoch++
+	return ms.epoch, m.joinedRound, nil
+}
+
+// heartbeat records a liveness report. A beat from a primary the membership
+// believes dead revives it as long as no failover replaced its address — a
+// shard flapping around the timeout recovers by itself, but a beat from a
+// superseded primary is refused so a partitioned old primary learns it was
+// failed over instead of silently split-braining the shard.
+func (ms *Membership) heartbeat(msg wire.HeartbeatMessage) (int64, error) {
+	if err := msg.Validate(); err != nil {
+		return 0, err
+	}
+	now := ms.now()
+	if msg.Role == wire.RoleFollower {
+		for _, m := range ms.members {
+			if f := m.follower; f != nil && f.base == msg.Base {
+				f.lastBeat = now
+				f.round, f.pos = msg.Round, msg.WALPos
+				f.primaryRound, f.primaryPos = msg.PrimaryRound, msg.PrimaryPos
+				return ms.epoch, nil
+			}
+		}
+		return 0, fmt.Errorf("cluster: heartbeat from unregistered follower %q (%s); register first", msg.Name, msg.Base)
+	}
+	m, ok := ms.members[msg.Name]
+	if !ok {
+		return 0, fmt.Errorf("cluster: heartbeat from unregistered shard %q; register first", msg.Name)
+	}
+	if m.base != msg.Base {
+		return 0, fmt.Errorf("cluster: shard %q is served by %s now (heartbeat from superseded %s)",
+			msg.Name, m.base, msg.Base)
+	}
+	m.lastBeat = now
+	m.dead = false
+	m.round, m.pos = msg.Round, msg.WALPos
+	return ms.epoch, nil
+}
+
+// lapsed marks every dynamic primary whose heartbeat is older than the
+// timeout dead and returns the candidates eligible for promotion: lapsed
+// members with a follower whose own heartbeat is still fresh. Members that
+// lapse with no live follower stay in the routing set, dead — rerouting
+// their keys would silently reassign devices whose reports the dead shard
+// already acknowledged, so the honest behavior is to keep failing their
+// traffic until an operator (or a replacement registration) intervenes.
+func (ms *Membership) lapsed() (candidates []promotion) {
+	if ms.timeout <= 0 {
+		return nil
+	}
+	now := ms.now()
+	for _, name := range ms.order {
+		m := ms.members[name]
+		if m.static || now.Sub(m.lastBeat) <= ms.timeout {
+			continue
+		}
+		m.dead = true
+		if f := m.follower; f != nil && now.Sub(f.lastBeat) <= ms.timeout {
+			candidates = append(candidates, promotion{name: name, followerBase: f.base})
+		}
+	}
+	return candidates
+}
+
+// promotion names a failover the liveness check decided on: the logical
+// shard and the follower address to promote.
+type promotion struct {
+	name         string
+	followerBase string
+}
+
+// promote applies a completed failover: the follower's address becomes the
+// logical shard's primary address, the follower slot empties, and the epoch
+// bumps so routing clients re-resolve the name. Returns false if the
+// membership changed under the in-flight promotion (the old primary revived,
+// or another promotion won).
+func (ms *Membership) promote(name, followerBase string) bool {
+	m, ok := ms.members[name]
+	if !ok || m.follower == nil || m.follower.base != followerBase || !m.dead {
+		return false
+	}
+	m.base = followerBase
+	m.dead = false
+	m.lastBeat = ms.now()
+	m.round, m.pos = m.follower.round, m.follower.pos
+	m.follower = nil
+	ms.epoch++
+	return true
+}
+
+// pullSet returns the members whose partial states a finalize of the given
+// round must merge: every primary that joined by that round, in join order.
+// Dead members are included — their state is part of the round and a pull
+// that fails reports the loss instead of silently under-counting.
+func (ms *Membership) pullSet(round int) []*member {
+	var set []*member
+	for _, name := range ms.order {
+		if m := ms.members[name]; m.joinedRound <= round {
+			set = append(set, m)
+		}
+	}
+	return set
+}
+
+// lagOf computes a follower's replication lag: whole segments (rounds)
+// behind, plus bytes behind within the segment when caught up on rounds.
+func lagOf(f *follower) (segments int, bytes int64) {
+	if f == nil {
+		return 0, 0
+	}
+	segments = f.primaryRound - f.round
+	if segments < 0 {
+		segments = 0
+	}
+	if segments == 0 {
+		if bytes = f.primaryPos - f.pos; bytes < 0 {
+			bytes = 0
+		}
+	}
+	return segments, bytes
+}
+
+// snapshot renders the membership for the wire.
+func (ms *Membership) snapshot(round int) wire.MembershipMessage {
+	msg := wire.MembershipMessage{Epoch: ms.epoch, Round: round}
+	for _, name := range ms.order {
+		m := ms.members[name]
+		info := wire.MemberInfo{
+			Name:        m.name,
+			Base:        m.base,
+			Alive:       !m.dead,
+			Static:      m.static,
+			JoinedRound: m.joinedRound,
+		}
+		if m.follower != nil {
+			segs, bytes := lagOf(m.follower)
+			info.Follower = &wire.FollowerInfo{Base: m.follower.base, LagSegments: segs, LagBytes: bytes}
+		}
+		msg.Members = append(msg.Members, info)
+	}
+	return msg
+}

@@ -133,3 +133,71 @@ func (b *Blackout) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	return b.base.RoundTrip(req)
 }
+
+// PathBlackout is a fault-injecting http.RoundTripper that drops only the
+// requests whose URL path contains a blocked substring — the partial-failure
+// sibling of Blackout. It drills the failure modes a whole-host blackout
+// cannot: a shard whose ingest is alive but whose heartbeats are lost (the
+// asymmetric partition that makes a coordinator promote a healthy primary's
+// follower), or a follower whose replication pulls stall while everything
+// else flows (a lagging follower at promotion time). Safe for concurrent use.
+type PathBlackout struct {
+	base http.RoundTripper
+
+	mu      sync.Mutex
+	blocked map[string]bool
+	dropped int
+}
+
+// NewPathBlackout wraps base (nil = http.DefaultTransport).
+func NewPathBlackout(base http.RoundTripper) *PathBlackout {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &PathBlackout{base: base, blocked: make(map[string]bool)}
+}
+
+// Block makes every request whose path contains match fail as a refused
+// connection.
+func (p *PathBlackout) Block(match string) {
+	p.mu.Lock()
+	p.blocked[match] = true
+	p.mu.Unlock()
+}
+
+// Unblock restores the path.
+func (p *PathBlackout) Unblock(match string) {
+	p.mu.Lock()
+	delete(p.blocked, match)
+	p.mu.Unlock()
+}
+
+// Dropped reports how many requests were refused.
+func (p *PathBlackout) Dropped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// RoundTrip implements http.RoundTripper.
+func (p *PathBlackout) RoundTrip(req *http.Request) (*http.Response, error) {
+	p.mu.Lock()
+	var hit bool
+	for match := range p.blocked {
+		if strings.Contains(req.URL.Path, match) {
+			hit = true
+			break
+		}
+	}
+	if hit {
+		p.dropped++
+	}
+	p.mu.Unlock()
+	if hit {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: connection for %s refused (path blocked)", req.URL.Path)
+	}
+	return p.base.RoundTrip(req)
+}

@@ -121,6 +121,16 @@ func (e *apiError) Error() string {
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (int, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		// A caller whose round deadline already passed must not burn another
+		// attempt — the first exchange below would be issued even on a dead
+		// context, and against a wedged server each such attempt costs a full
+		// per-attempt timeout.
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return 0, fmt.Errorf("httpapi: %w (last error: %v)", err, lastErr)
+			}
+			return 0, fmt.Errorf("httpapi: %w", err)
+		}
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():

@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryHonorsCancelledContext: a caller whose round deadline already
+// passed must not burn another attempt — against a wedged server each
+// attempt costs a full per-attempt timeout, which is how a dead shard pull
+// used to outlive the round.
+func TestRetryHonorsCancelledContext(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+
+	cl := DialRetrying(ts.URL, nil, RetryPolicy{
+		MaxAttempts: 50,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Timeout:     30 * time.Second,
+		Seed:        5,
+	})
+
+	// Already-dead context: no attempt may be issued at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cl.Healthz(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context call returned %v, want context.Canceled", err)
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("dead-context call issued %d requests, want 0", n)
+	}
+
+	// A deadline expiring mid-retry stops the loop promptly instead of
+	// grinding through the remaining attempts' per-attempt timeouts.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	err := cl.Healthz(ctx2)
+	if err == nil {
+		t.Fatal("wedged call succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wedged call returned %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wedged call held the caller for %v past a 100ms deadline", elapsed)
+	}
+}

@@ -1,0 +1,178 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"felip/internal/reportlog"
+	"felip/internal/wire"
+)
+
+// This file is the replication surface a shard server exposes to its
+// follower, plus the client verbs the elastic-cluster membership protocol
+// rides on (register, heartbeat, membership, promote). The server side of
+// register/heartbeat/promote lives with their owners — the coordinator
+// (internal/cluster) and the follower — but every HTTP verb is defined here
+// so the wire contract has one home.
+
+// SetSegments names the server's WAL segment chain so the replication
+// endpoint can serve sealed (earlier-round) segments from disk. UseArchive
+// sets it implicitly; durable servers without an archive call this directly.
+func (s *Server) SetSegments(segs *reportlog.Segments) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segments = segs
+}
+
+// BeginAtRound fast-forwards a *fresh* server — no reports accepted, nothing
+// finalized, round 1 — to the given collection round. This is how a shard
+// that registers mid-deployment joins the cluster's current round (the
+// registration response names it) and how a follower taking over an empty
+// shard opens the right round: jumping a server with state would detach that
+// state from its round, so anything but a pristine server is refused.
+func (s *Server) BeginAtRound(round int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if round < 1 {
+		return fmt.Errorf("httpapi: round %d out of range (rounds are 1-based)", round)
+	}
+	if s.round != 1 || s.col.N() > 0 || s.agg != nil || s.shardState != nil || len(s.dedup) > 0 {
+		return fmt.Errorf("httpapi: cannot begin at round %d: round %d already has state", round, s.round)
+	}
+	s.round = round
+	return nil
+}
+
+// Round reports the collection round the server is in (1-based).
+func (s *Server) Round() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.round
+}
+
+// WALPos reports the current round's write-ahead-log end offset (0 when the
+// server is not durable) — what a primary's heartbeat carries so the
+// coordinator can compute its follower's replication lag.
+func (s *Server) WALPos() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Pos()
+}
+
+// handleReplicaWAL serves GET /v1/replica/wal?round=R&from=F — one chunk of
+// the server's write-ahead log for a follower to replicate. The current
+// round's bytes come from the live log under its lock; earlier rounds from
+// the sealed segment files. Bytes are served exactly as Append framed them
+// and checksummed end to end, so the follower's copy is bit-identical.
+func (s *Server) handleReplicaWAL(w http.ResponseWriter, r *http.Request) {
+	round, err := strconv.Atoi(r.URL.Query().Get("round"))
+	if err != nil || round < 1 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("replica wal: invalid round %q", r.URL.Query().Get("round")))
+		return
+	}
+	from := int64(0)
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = strconv.ParseInt(v, 10, 64); err != nil || from < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("replica wal: invalid offset %q", v))
+			return
+		}
+	}
+
+	s.mu.RLock()
+	cur, wal, segs, id := s.round, s.wal, s.segments, s.shardID
+	s.mu.RUnlock()
+
+	switch {
+	case round > cur:
+		s.writeError(w, http.StatusConflict, fmt.Errorf("replica wal: round %d not open (server in round %d)", round, cur))
+	case round == cur:
+		if wal == nil {
+			s.writeError(w, http.StatusConflict, fmt.Errorf("replica wal: server is not durable; replication requires a write-ahead log"))
+			return
+		}
+		data, pos, err := wal.ReadFrom(from)
+		if err != nil {
+			s.writeError(w, http.StatusConflict, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, wire.NewSegmentChunk(id, round, from, data, pos, false, cur))
+	default:
+		if segs == nil {
+			s.writeError(w, http.StatusConflict, fmt.Errorf("replica wal: no segment chain attached (SetSegments)"))
+			return
+		}
+		raw, err := os.ReadFile(segs.Path(round))
+		if os.IsNotExist(err) {
+			// An empty round never wrote a segment, and an archived round's
+			// segment was truncated. Either way there are no bytes: serve an
+			// empty sealed chunk so the follower can move on.
+			raw, err = nil, nil
+		}
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		pos := int64(len(raw))
+		if from > pos {
+			s.writeError(w, http.StatusConflict, fmt.Errorf("replica wal: offset %d beyond sealed segment end %d", from, pos))
+			return
+		}
+		s.writeJSON(w, http.StatusOK, wire.NewSegmentChunk(id, round, from, raw[from:], pos, true, cur))
+	}
+}
+
+// ReplicaWAL pulls one replication chunk from a primary and verifies its
+// checksum before returning it.
+func (c *Client) ReplicaWAL(ctx context.Context, round int, from int64) (wire.SegmentChunk, error) {
+	var chunk wire.SegmentChunk
+	err := c.get(ctx, fmt.Sprintf("/v1/replica/wal?round=%d&from=%d", round, from), &chunk)
+	if err != nil {
+		return wire.SegmentChunk{}, err
+	}
+	if err := chunk.Verify(); err != nil {
+		return wire.SegmentChunk{}, err
+	}
+	if chunk.Round != round || chunk.From != from {
+		return wire.SegmentChunk{}, fmt.Errorf("httpapi: asked for round %d offset %d, got round %d offset %d",
+			round, from, chunk.Round, chunk.From)
+	}
+	return chunk, nil
+}
+
+// RegisterShard announces a node to the coordinator's membership.
+func (c *Client) RegisterShard(ctx context.Context, msg wire.RegisterMessage) (wire.RegisterResponse, error) {
+	var out wire.RegisterResponse
+	_, err := c.post(ctx, "/v1/shard/register", msg, &out)
+	return out, err
+}
+
+// ShardHeartbeat reports a node's liveness (and replication positions) to the
+// coordinator.
+func (c *Client) ShardHeartbeat(ctx context.Context, msg wire.HeartbeatMessage) (wire.HeartbeatResponse, error) {
+	var out wire.HeartbeatResponse
+	_, err := c.post(ctx, "/v1/shard/heartbeat", msg, &out)
+	return out, err
+}
+
+// Membership fetches the coordinator's routable membership snapshot.
+func (c *Client) Membership(ctx context.Context) (wire.MembershipMessage, error) {
+	var out wire.MembershipMessage
+	err := c.get(ctx, "/v1/membership", &out)
+	return out, err
+}
+
+// PromoteReplica asks a follower to take over its logical shard for the
+// given round. The coordinator calls it when the primary's heartbeat lapses;
+// it is idempotent, so a promotion whose acknowledgment was lost can simply
+// be retried.
+func (c *Client) PromoteReplica(ctx context.Context, round int) (wire.PromoteResponse, error) {
+	var out wire.PromoteResponse
+	_, err := c.post(ctx, "/v1/replica/promote", wire.PromoteRequest{Round: round}, &out)
+	return out, err
+}

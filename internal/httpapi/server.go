@@ -406,6 +406,7 @@ func (s *Server) Handler() http.Handler {
 		return s.round
 	}))
 	mux.HandleFunc("POST /v1/shard/state", s.handleShardState)
+	mux.HandleFunc("GET /v1/replica/wal", s.handleReplicaWAL)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux

@@ -1,0 +1,124 @@
+package reportlog
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func shipRecord(id string) Record {
+	return Record{Type: TypeReport, ReportID: id, Group: 1, Proto: "grr", Value: 3, Seed: 7}
+}
+
+func TestReadFromServesAppendedBytesAndKeepsAppending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship.wal")
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(shipRecord(string(rune('a' + i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := l.Pos()
+	if err := l.Append(shipRecord("d")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full read from 0 parses back every record.
+	data, pos, err := l.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != l.Pos() || int64(len(data)) != pos {
+		t.Fatalf("ReadFrom(0) = %d bytes, end %d; log pos %d", len(data), pos, l.Pos())
+	}
+	got, err := VerifySegment(data)
+	if err != nil {
+		t.Fatalf("VerifySegment on shipped bytes: %v", err)
+	}
+	if len(got) != 4 || got[3].ReportID != "d" {
+		t.Fatalf("verified %d records, want 4 ending in d", len(got))
+	}
+
+	// Partial read starts exactly at the requested frame boundary.
+	tail, pos2, err := l.ReadFrom(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos2 != pos || int64(len(tail)) != pos-mid {
+		t.Fatalf("ReadFrom(%d) = %d bytes, end %d", mid, len(tail), pos2)
+	}
+	if tr, err := VerifySegment(tail); err != nil || len(tr) != 1 || tr[0].ReportID != "d" {
+		t.Fatalf("tail verify = %v records, err %v", tr, err)
+	}
+
+	// The read must not disturb the append position: a record appended after
+	// a ReadFrom must land intact at the end of the file.
+	if err := l.Append(shipRecord("e")); err != nil {
+		t.Fatalf("append after ReadFrom: %v", err)
+	}
+	all, _, err := l.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := VerifySegment(all)
+	if err != nil {
+		t.Fatalf("segment after interleaved read/append: %v", err)
+	}
+	if len(final) != 5 || final[4].ReportID != "e" {
+		t.Fatalf("replayed %d records after interleaved read/append, want 5 ending in e", len(final))
+	}
+}
+
+func TestReadFromRejectsOffsetPastEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(shipRecord("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.ReadFrom(l.Pos() + 1); err == nil {
+		t.Fatal("ReadFrom past end succeeded")
+	}
+}
+
+func TestVerifySegmentRejectsTornAndCorruptBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := l.Append(shipRecord(string(rune('a' + i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _, err := l.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// A torn tail — tolerated by Open, fatal for a shipped segment.
+	if _, err := VerifySegment(data[:len(data)-3]); err == nil {
+		t.Fatal("VerifySegment accepted a torn tail")
+	}
+	// A single flipped payload byte breaks the CRC chain.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-2] ^= 0x40
+	if _, err := VerifySegment(bad); err == nil {
+		t.Fatal("VerifySegment accepted a corrupted payload")
+	}
+	// Empty segments are trivially intact.
+	if recs, err := VerifySegment(nil); err != nil || len(recs) != 0 {
+		t.Fatalf("VerifySegment(nil) = %v, %v", recs, err)
+	}
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterMessageValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  RegisterMessage
+		ok   bool
+	}{
+		{"primary", RegisterMessage{Name: "s1", Base: "http://a", Role: RolePrimary}, true},
+		{"follower", RegisterMessage{Name: "s1", Base: "http://b", Role: RoleFollower, Follows: "s1"}, true},
+		{"no name", RegisterMessage{Base: "http://a", Role: RolePrimary}, false},
+		{"no base", RegisterMessage{Name: "s1", Role: RolePrimary}, false},
+		{"bad role", RegisterMessage{Name: "s1", Base: "http://a", Role: "observer"}, false},
+		{"primary follows", RegisterMessage{Name: "s1", Base: "http://a", Role: RolePrimary, Follows: "s2"}, false},
+		{"follower without target", RegisterMessage{Name: "s1", Base: "http://b", Role: RoleFollower}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.msg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestSegmentChunkVerify(t *testing.T) {
+	data := []byte("framed wal bytes")
+	chunk := NewSegmentChunk("shard0", 2, 10, data, 10+int64(len(data)), false, 2)
+	if err := chunk.Verify(); err != nil {
+		t.Fatalf("fresh chunk: %v", err)
+	}
+
+	flipped := chunk
+	flipped.Data = append([]byte(nil), data...)
+	flipped.Data[3] ^= 1
+	if err := flipped.Verify(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted data verified: %v", err)
+	}
+
+	short := chunk
+	short.Pos = chunk.Pos + 1
+	if err := short.Verify(); err == nil {
+		t.Fatal("inconsistent span verified")
+	}
+
+	empty := NewSegmentChunk("shard0", 1, 0, nil, 0, true, 3)
+	if err := empty.Verify(); err != nil {
+		t.Fatalf("empty sealed chunk: %v", err)
+	}
+}
