@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-smoke chaos-cluster chaos-archive chaos-failover
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle
 
 build:
 	$(GO) build ./...
@@ -34,12 +34,23 @@ bench-cluster:
 bench-restart:
 	$(GO) run ./cmd/felipbench -restart -rout BENCH_PR5.json
 
+# Batched binary ingest benchmark: frame path vs single-report JSON on one
+# durable shard (plus in-process allocs/report), written to BENCH_PR7.json.
+bench-ingest:
+	$(GO) run ./cmd/felipbench -ingest -iout BENCH_PR7.json
+
 # All benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
 # /tmp so a smoke run never clobbers the checked-in numbers.
 bench-smoke:
-	$(GO) run ./cmd/felipbench -kernel -query -cluster -restart -smoke -reps 1 \
+	$(GO) run ./cmd/felipbench -kernel -query -cluster -restart -ingest -smoke -reps 1 \
 		-out /tmp/BENCH_smoke_kernel.json -qout /tmp/BENCH_smoke_query.json \
-		-cout /tmp/BENCH_smoke_cluster.json -rout /tmp/BENCH_smoke_restart.json
+		-cout /tmp/BENCH_smoke_cluster.json -rout /tmp/BENCH_smoke_restart.json \
+		-iout /tmp/BENCH_smoke_ingest.json
+	@python3 -c "import json; r = json.load(open('/tmp/BENCH_smoke_ingest.json')); \
+	assert r['speedup'] >= 5, f\"batch ingest speedup {r['speedup']:.1f}x < 5x\"; \
+	assert r['allocs_per_report'] <= 4, f\"allocs/report regressed to {r['allocs_per_report']:.2f}\"; \
+	assert r['bit_identical'], 'ingest paths diverged'; \
+	print(f\"bench-ingest gate: {r['speedup']:.1f}x, {r['allocs_per_report']:.2f} allocs/report, bit-identical\")"
 
 # Cluster chaos drill: kill a durable shard mid-round, restart it from its
 # WAL, truncate the coordinator's state pulls, and require bit-identical
@@ -64,6 +75,15 @@ chaos-failover:
 	$(GO) test -race -v \
 		-run 'TestClusterFailoverBitIdentical|TestPromotedFollowerStateBitIdentical|TestPromotionRefusedOnCorruptSegment|TestMembershipHeartbeatFlappingAroundTimeout|TestShardJoinsWhileRoundIsSealing' \
 		./internal/cluster
+
+# Idle-round + batch-ingest chaos drill: restart and promotion replay chains
+# crossing a zero-report round, truncated-segment refusal, and batch frames
+# surviving mid-write crashes and seal straddling exactly-once — under the
+# race detector.
+chaos-idle:
+	$(GO) test -race -v \
+		-run 'TestRestartChainSpansIdleRound|TestEmptySealReplayRepullIdentical|TestPromotionChainSpansIdleRound|TestFollowerRefusesTruncatedArchivedRound|TestBatch' \
+		./internal/httpapi ./internal/cluster
 
 # Raw go-bench microbenchmarks for the frequency-oracle kernel.
 bench-fo:

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/httpapi"
+	"felip/internal/reportlog"
+	"felip/internal/wire"
+)
+
+// ingestReport is the BENCH_PR7.json shape: the batched binary ingest path
+// measured against the single-report JSON path over the identical report
+// multiset, on one durable shard.
+type ingestReport struct {
+	Timestamp   string  `json:"timestamp"`
+	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	N           int     `json:"n"`
+	BatchSize   int     `json:"batch_size"`
+	Epsilon     float64 `json:"epsilon"`
+	Reps        int     `json:"reps"`
+	Methodology string  `json:"methodology"`
+
+	// SingleRPS is the single-report JSON path's HTTP ingest throughput on
+	// one shard (reports/sec); BatchRPS the batch frame path's over the same
+	// multiset and the same WAL discipline. Speedup = BatchRPS / SingleRPS.
+	SingleRPS float64 `json:"single_rps_per_shard"`
+	BatchRPS  float64 `json:"batch_rps_per_shard"`
+	Speedup   float64 `json:"speedup"`
+
+	// InProcessRPS meters the server's decode→dedup→WAL→fold path directly
+	// (no HTTP), and AllocsPerReport its heap allocations per ingested
+	// report, measured over the same frames.
+	InProcessRPS    float64 `json:"in_process_rps"`
+	AllocsPerReport float64 `json:"allocs_per_report"`
+
+	// SyncsPerReport documents the durability term: the batch path issues
+	// one fsync per frame (1/batch per report); the single path acknowledges
+	// after a per-report WAL write with no explicit fsync, so the batch path
+	// is compared at equal-or-stronger durability.
+	SingleSyncsPerReport float64 `json:"single_syncs_per_report"`
+	BatchSyncsPerReport  float64 `json:"batch_syncs_per_report"`
+
+	// BitIdentical reports that both paths' finalized rounds answer the probe
+	// queries with float-for-float identical estimates.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+const ingestMethodology = "One durable shard (WAL attached, streaming OLH folds) ingests the same deterministic " +
+	"report multiset twice over real HTTP: once as per-report JSON POSTs to /v1/report, once as " +
+	"length-prefixed CRC-checked binary frames of batch_size reports to /v1/reports. Each " +
+	"repetition runs against a fresh server and a fresh WAL file; best repetition is reported. " +
+	"The batch path fsyncs once per frame before acknowledging; the single path acknowledges " +
+	"after an unsynced per-report write, so the speedup is measured at equal-or-stronger " +
+	"durability. Allocations are metered over the in-process ingest of the same frames " +
+	"(runtime.MemStats mallocs delta / reports). Both rounds finalize and must answer the probe " +
+	"queries bit-identically."
+
+var ingestProbes = []string{
+	"num0=0..15",
+	"num0=8..23",
+	"num1=4..11",
+	"cat0=0,1",
+	"num0=0..15; cat0=0,1",
+	"num1=16..31; cat1=2,3",
+}
+
+// newIngestServer boots a fresh durable shard over a fresh WAL segment.
+func newIngestServer(dir, tag string, rep int, schema *domain.Schema, n int, opts core.Options) (*httpapi.Server, *httptest.Server, error) {
+	srv, err := httpapi.NewServer(schema, n, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, recs, err := reportlog.Open(filepath.Join(dir, fmt.Sprintf("%s-%d.wal", tag, rep)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(recs) != 0 {
+		return nil, nil, fmt.Errorf("fresh WAL %s-%d already has %d records", tag, rep, len(recs))
+	}
+	if err := srv.UseWAL(l, recs); err != nil {
+		return nil, nil, err
+	}
+	return srv, httptest.NewServer(srv.Handler()), nil
+}
+
+// runIngestBench measures the batched binary ingest path against the
+// single-report JSON path and writes BENCH_PR7.json.
+func runIngestBench(outPath string, reps int, smoke bool) error {
+	n := 60_000
+	if smoke {
+		n = 8_000
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	const batchSize = 512
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 1201)
+	opts := core.Options{
+		Strategy:             core.OHG,
+		Epsilon:              1.2,
+		Seed:                 1213,
+		StreamingAggregation: true,
+	}
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "felipbench-ingest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	planner, err := core.NewCollector(schema, n, opts)
+	if err != nil {
+		return err
+	}
+	specs := planner.Specs()
+	device, err := core.NewClient(specs, opts.Epsilon, 1217)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "felipbench: -ingest generating %d reports\n", n)
+	reports := make([]wire.BatchReport, n)
+	for row := 0; row < n; row++ {
+		id := fmt.Sprintf("u-%d", row)
+		rep, err := device.Perturb(httpapi.DeriveGroup(id, len(specs)),
+			func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			return err
+		}
+		reports[row] = wire.BatchReport{ID: id, Report: rep}
+	}
+	frames := make([][]byte, 0, (n+batchSize-1)/batchSize)
+	for at := 0; at < n; at += batchSize {
+		end := at + batchSize
+		if end > n {
+			end = n
+		}
+		frame, err := wire.EncodeFrame(reports[at:end])
+		if err != nil {
+			return err
+		}
+		frames = append(frames, frame)
+	}
+
+	report := ingestReport{
+		Timestamp:            time.Now().UTC().Format(time.RFC3339),
+		GoVersion:            runtime.Version(),
+		NumCPU:               runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		N:                    n,
+		BatchSize:            batchSize,
+		Epsilon:              opts.Epsilon,
+		Reps:                 reps,
+		Methodology:          ingestMethodology,
+		SingleSyncsPerReport: 0,
+		BatchSyncsPerReport:  1.0 / float64(batchSize),
+	}
+
+	// ---- Single-report JSON path over HTTP.
+	var singleEsts []float64
+	bestSingle := 0.0
+	for rep := 0; rep < reps; rep++ {
+		srv, ts, err := newIngestServer(dir, "single", rep, schema, n, opts)
+		if err != nil {
+			return err
+		}
+		cl := httpapi.Dial(ts.URL, ts.Client())
+		start := time.Now()
+		for _, br := range reports {
+			if dup, err := cl.ReportWithID(ctx, br.ID, br.Report); err != nil || dup {
+				return fmt.Errorf("single ingest %q: dup=%v err=%v", br.ID, dup, err)
+			}
+		}
+		rps := float64(n) / time.Since(start).Seconds()
+		if rps > bestSingle {
+			bestSingle = rps
+		}
+		fmt.Fprintf(os.Stderr, "felipbench: -ingest single rep %d: %.0f reports/sec\n", rep, rps)
+		if rep == reps-1 {
+			if count, err := cl.Finalize(ctx); err != nil || count != n {
+				return fmt.Errorf("single finalize: %d, %v", count, err)
+			}
+			singleEsts, err = probeQueries(ctx, cl)
+			if err != nil {
+				return err
+			}
+		}
+		ts.Close()
+		srv.Close()
+	}
+
+	// ---- Batch frame path over HTTP, same multiset, same WAL discipline.
+	var batchEsts []float64
+	bestBatch := 0.0
+	for rep := 0; rep < reps; rep++ {
+		srv, ts, err := newIngestServer(dir, "batch", rep, schema, n, opts)
+		if err != nil {
+			return err
+		}
+		cl := httpapi.Dial(ts.URL, ts.Client())
+		start := time.Now()
+		at := 0
+		for _, frame := range frames {
+			count := batchSize
+			if at+count > n {
+				count = n - at
+			}
+			resp, err := cl.ReportFrame(ctx, frame, count)
+			if err != nil {
+				return fmt.Errorf("batch ingest frame at %d: %v", at, err)
+			}
+			if resp.Accepted != count {
+				return fmt.Errorf("frame at %d: %d/%d accepted (%+v)", at, resp.Accepted, count, resp)
+			}
+			at += count
+		}
+		rps := float64(n) / time.Since(start).Seconds()
+		if rps > bestBatch {
+			bestBatch = rps
+		}
+		fmt.Fprintf(os.Stderr, "felipbench: -ingest batch rep %d: %.0f reports/sec\n", rep, rps)
+		if rep == reps-1 {
+			if count, err := cl.Finalize(ctx); err != nil || count != n {
+				return fmt.Errorf("batch finalize: %d, %v", count, err)
+			}
+			batchEsts, err = probeQueries(ctx, cl)
+			if err != nil {
+				return err
+			}
+		}
+		ts.Close()
+		srv.Close()
+	}
+
+	// ---- In-process decode→dedup→WAL→fold, metering allocations.
+	{
+		srv, err := httpapi.NewServer(schema, n, opts)
+		if err != nil {
+			return err
+		}
+		l, recs, err := reportlog.Open(filepath.Join(dir, "inproc.wal"))
+		if err != nil {
+			return err
+		}
+		if err := srv.UseWAL(l, recs); err != nil {
+			return err
+		}
+		// One throwaway frame warms the pooled scratch so the steady state is
+		// what gets metered.
+		if _, _, err := srv.IngestFrame(frames[0]); err != nil {
+			return err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for _, frame := range frames[1:] {
+			if _, _, err := srv.IngestFrame(frame); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		srv.Close()
+		metered := n - wire.FrameReportCount(frames[0])
+		report.InProcessRPS = float64(metered) / elapsed.Seconds()
+		report.AllocsPerReport = float64(after.Mallocs-before.Mallocs) / float64(metered)
+		fmt.Fprintf(os.Stderr, "felipbench: -ingest in-process: %.0f reports/sec, %.2f allocs/report\n",
+			report.InProcessRPS, report.AllocsPerReport)
+	}
+
+	report.SingleRPS = bestSingle
+	report.BatchRPS = bestBatch
+	report.Speedup = bestBatch / bestSingle
+	report.BitIdentical = len(singleEsts) == len(batchEsts)
+	for i := range singleEsts {
+		if i < len(batchEsts) && singleEsts[i] != batchEsts[i] {
+			report.BitIdentical = false
+		}
+	}
+	if !report.BitIdentical {
+		return fmt.Errorf("ingest paths diverged: single %v vs batch %v", singleEsts, batchEsts)
+	}
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "felipbench: -ingest wrote %s (speedup %.1fx, %.2f allocs/report)\n",
+		outPath, report.Speedup, report.AllocsPerReport)
+	return nil
+}
+
+// probeQueries answers the fixed probe workload for the bit-identity check.
+func probeQueries(ctx context.Context, cl *httpapi.Client) ([]float64, error) {
+	ests := make([]float64, len(ingestProbes))
+	for i, where := range ingestProbes {
+		resp, err := cl.Query(ctx, where)
+		if err != nil {
+			return nil, fmt.Errorf("probe %q: %w", where, err)
+		}
+		ests[i] = resp.Estimate
+	}
+	return ests, nil
+}

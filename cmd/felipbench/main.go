@@ -16,6 +16,7 @@
 //	felipbench -query                 # concurrent read-path benchmark → BENCH_PR3.json
 //	felipbench -cluster               # shard-scaling ingest benchmark → BENCH_PR4.json
 //	felipbench -restart               # cold-restart recovery benchmark → BENCH_PR5.json
+//	felipbench -ingest                # batched binary ingest benchmark → BENCH_PR7.json
 //	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
@@ -50,6 +51,8 @@ func main() {
 		cout    = flag.String("cout", "BENCH_PR4.json", "output path for the -cluster JSON report")
 		rbench  = flag.Bool("restart", false, "benchmark cold-restart recovery (WAL replay vs archive snapshot) and exit")
 		rout    = flag.String("rout", "BENCH_PR5.json", "output path for the -restart JSON report")
+		ibench  = flag.Bool("ingest", false, "benchmark the batched binary ingest path against single-report JSON and exit")
+		iout    = flag.String("iout", "BENCH_PR7.json", "output path for the -ingest JSON report")
 		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
@@ -83,6 +86,15 @@ func main() {
 	}
 	if *rbench {
 		if err := runRestartBench(*rout, *reps, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*ibench {
+			return
+		}
+	}
+	if *ibench {
+		if err := runIngestBench(*iout, *reps, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,220 @@
+// Command felipload drives a running felipserver (or a whole cluster through
+// its coordinator) with a simulated device fleet: each device perturbs its
+// row under its own seed, reports ride the batched binary ingest path through
+// client-side batchers with size and age flush triggers, submission timing is
+// jittered, and a configurable fraction of HTTP exchanges is dropped by an
+// injected fault transport. Whatever the faults do, the exit criterion is the
+// ingest invariant: accepted + duplicate == devices — every device counted
+// exactly once.
+//
+// Usage:
+//
+//	felipserver -listen :8080 -wal /tmp/felip.wal &
+//	felipload -target http://localhost:8080 -devices 1000000
+//	felipload -coordinator http://localhost:9090 -devices 1000000  # cluster
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"felip/internal/cluster"
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/faultinject"
+	"felip/internal/httpapi"
+	"felip/internal/wire"
+	"net/http"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "http://localhost:8080", "single shard server base URL")
+		coordinator = flag.String("coordinator", "", "cluster coordinator base URL (overrides -target, routes frames by shard)")
+		devices     = flag.Int("devices", 1_000_000, "number of simulated devices (one report each)")
+		workers     = flag.Int("workers", 8, "concurrent submitting workers, each with its own batcher")
+		batch       = flag.Int("batch", 512, "batcher size flush trigger (reports per frame)")
+		maxAge      = flag.Duration("max-age", 250*time.Millisecond, "batcher age flush trigger")
+		jitter      = flag.Duration("jitter", 0, "max random per-device delay before submitting (0 = full speed)")
+		faultProb   = flag.Float64("fault", 0, "probability an HTTP exchange is dropped by the injected fault transport")
+		seed        = flag.Uint64("seed", 4242, "base seed for device perturbation, jitter and fault injection")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "overall run deadline")
+	)
+	flag.Parse()
+	if err := run(*target, *coordinator, *devices, *workers, *batch, *maxAge, *jitter, *faultProb, *seed, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "felipload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, coordinator string, devices, workers, batch int, maxAge, jitter time.Duration, faultProb float64, seed uint64, timeout time.Duration) error {
+	if devices < 1 || workers < 1 {
+		return fmt.Errorf("need at least one device and one worker")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	retry := httpapi.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   20 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Timeout:     30 * time.Second,
+		Seed:        seed,
+	}
+	// Faults are injected below the retry layer, so a dropped exchange costs
+	// a retry — exactly what a lossy fleet uplink costs — and the batcher's
+	// verbatim re-send keeps the resubmission exactly-once.
+	hc := &http.Client{}
+	if faultProb > 0 {
+		hc.Transport = faultinject.NewTransport(http.DefaultTransport, faultProb, seed+1)
+	}
+
+	// The plan (grid specs + epsilon) comes from whatever we are loading.
+	var sender httpapi.FrameSender
+	var planner interface {
+		Plan(ctx context.Context) (wire.PlanMessage, error)
+	}
+	if coordinator != "" {
+		ccl, err := cluster.DialCluster(ctx, coordinator, hc, retry)
+		if err != nil {
+			return err
+		}
+		sender, planner = ccl, ccl
+	} else {
+		cl := httpapi.DialRetrying(target, hc, retry)
+		sender, planner = cl, cl
+	}
+	plan, err := planner.Plan(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching plan: %w", err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		return err
+	}
+
+	// The fleet's private values: a synthetic population over the server's
+	// own schema, wrapped if devices > rows.
+	schema, err := plan.Schema()
+	if err != nil {
+		return err
+	}
+	rows := devices
+	if rows > 1_000_000 {
+		rows = 1_000_000
+	}
+	ds := dataset.NewNormal().Generate(schema, rows, seed+2)
+
+	fmt.Fprintf(os.Stderr, "felipload: %d devices, %d workers, batch %d, fault %.2f, jitter %s\n",
+		devices, workers, batch, faultProb, jitter)
+	start := time.Now()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    httpapi.BatcherStats
+		firstErr error
+	)
+	perWorker := (devices + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		from, to := w*perWorker, (w+1)*perWorker
+		if to > devices {
+			to = devices
+		}
+		if from >= to {
+			break
+		}
+		wg.Add(1)
+		go func(w, from, to int) {
+			defer wg.Done()
+			b := httpapi.NewBatcher(sender, httpapi.BatcherConfig{
+				MaxReports: batch,
+				MaxAge:     maxAge,
+				FlushCtx:   ctx,
+			})
+			rng := rand.New(rand.NewPCG(seed+10, uint64(w)))
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+			for dev := from; dev < to; dev++ {
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					break
+				}
+				if jitter > 0 {
+					time.Sleep(time.Duration(rng.Int64N(int64(jitter))))
+				}
+				id := fmt.Sprintf("load-%d", dev)
+				row := dev % rows
+				device, err := core.NewClient(specs, plan.Epsilon, seed+100+uint64(dev))
+				if err != nil {
+					fail(err)
+					break
+				}
+				rep, err := device.Perturb(httpapi.DeriveGroup(id, len(specs)),
+					func(attr int) int { return ds.Value(row, attr) })
+				if err != nil {
+					fail(err)
+					break
+				}
+				// Add flushes on the size trigger; a failed flush keeps the
+				// reports buffered under their keys, so just keep going — the
+				// next trigger (or Close) retries them.
+				if err := b.Add(ctx, id, rep); err != nil && ctx.Err() != nil {
+					fail(err)
+					break
+				}
+			}
+			// Drain the tail; retry while the deadline allows.
+			for b.Pending() > 0 {
+				if err := b.Flush(ctx); err == nil {
+					continue
+				}
+				if ctx.Err() != nil {
+					fail(fmt.Errorf("worker %d: %d reports undelivered at deadline", w, b.Pending()))
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			if err := b.Close(ctx); err != nil && b.Pending() > 0 {
+				fail(err)
+			}
+			st := b.Stats()
+			mu.Lock()
+			total.Accepted += st.Accepted
+			total.Duplicate += st.Duplicate
+			total.Conflict += st.Conflict
+			total.Rejected += st.Rejected
+			total.Frames += st.Frames
+			total.FlushFails += st.FlushFails
+			mu.Unlock()
+		}(w, from, to)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("felipload: %d devices in %s (%.0f reports/sec)\n",
+		devices, elapsed.Round(time.Millisecond), float64(devices)/elapsed.Seconds())
+	fmt.Printf("  accepted=%d duplicate=%d conflict=%d rejected=%d frames=%d flush_retries=%d\n",
+		total.Accepted, total.Duplicate, total.Conflict, total.Rejected, total.Frames, total.FlushFails)
+	if firstErr != nil {
+		return firstErr
+	}
+	// The ingest invariant under faults: retries may turn acceptances into
+	// duplicates, but every device settles exactly once.
+	if total.Accepted+total.Duplicate != devices {
+		return fmt.Errorf("exactly-once violated: accepted %d + duplicate %d != %d devices",
+			total.Accepted, total.Duplicate, devices)
+	}
+	fmt.Println("  exactly-once: accepted + duplicate == devices ✓")
+	return nil
+}

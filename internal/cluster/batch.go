@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"felip/internal/httpapi"
+	"felip/internal/wire"
+)
+
+// ReportBatch submits a mixed batch of reports cluster-wide: the reports are
+// grouped by their idempotency key's logical shard (the same rendezvous hash
+// single submissions route by, so a device's retry of any report — batched
+// or not — always lands on the shard holding its dedup entry) and each
+// shard's group ships as one binary frame. The returned response carries
+// per-report dispositions in the *caller's* order, reassembled from the
+// per-shard answers.
+//
+// Shard failures follow the single-report policy: a failed frame triggers
+// one membership refresh, and if that moved the shard to a new node the
+// frame is re-sent there verbatim — the replicated dedup index makes the
+// resubmission exactly-once. A frame that still fails leaves its reports'
+// dispositions at 0 in the response and the first such error is returned;
+// dispositions of the shards that answered are preserved, so the caller
+// retries only what is actually unsettled.
+func (c *Client) ReportBatch(ctx context.Context, reports []wire.BatchReport) (wire.BatchReportResponse, error) {
+	resp := wire.BatchReportResponse{Dispositions: make([]int, len(reports))}
+	if len(reports) == 0 {
+		return resp, fmt.Errorf("cluster: empty batch")
+	}
+
+	c.mu.Lock()
+	if len(c.names) == 0 {
+		c.mu.Unlock()
+		if err := c.Refresh(ctx); err != nil {
+			return resp, err
+		}
+		c.mu.Lock()
+	}
+	names := c.names
+	c.mu.Unlock()
+	if len(names) == 0 {
+		return resp, fmt.Errorf("cluster: no shards in routing table")
+	}
+
+	// Group by owning shard, remembering each report's slot in the caller's
+	// batch so the per-shard answers reassemble in order.
+	groups := make(map[string][]int)
+	for i, br := range reports {
+		if br.ID == "" {
+			return resp, fmt.Errorf("cluster: batch report %d missing report_id", i)
+		}
+		name := names[RendezvousFor(br.ID, names)]
+		groups[name] = append(groups[name], i)
+	}
+
+	var firstErr error
+	for name, idxs := range groups {
+		sub := make([]wire.BatchReport, len(idxs))
+		for j, i := range idxs {
+			sub[j] = reports[i]
+		}
+		shardResp, err := c.reportBatchShard(ctx, name, sub)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %s: %w", name, err)
+			}
+			continue
+		}
+		if resp.Round == 0 {
+			resp.Round = shardResp.Round
+		}
+		for j, i := range idxs {
+			resp.Dispositions[i] = shardResp.Dispositions[j]
+		}
+		resp.Accepted += shardResp.Accepted
+		resp.Duplicate += shardResp.Duplicate
+		resp.Conflict += shardResp.Conflict
+		resp.Rejected += shardResp.Rejected
+	}
+	return resp, firstErr
+}
+
+// reportBatchShard ships one shard's frame with the refresh-and-retry-once
+// policy single reports use.
+func (c *Client) reportBatchShard(ctx context.Context, name string, sub []wire.BatchReport) (wire.BatchReportResponse, error) {
+	base, cl := c.shardByName(name)
+	if cl == nil {
+		return wire.BatchReportResponse{}, fmt.Errorf("no route")
+	}
+	resp, err := cl.ReportBatch(ctx, sub)
+	if err == nil {
+		return resp, nil
+	}
+	if rerr := c.Refresh(ctx); rerr != nil {
+		return wire.BatchReportResponse{}, err
+	}
+	newBase, newCl := c.shardByName(name)
+	if newCl == nil || newBase == base {
+		return wire.BatchReportResponse{}, err
+	}
+	return newCl.ReportBatch(ctx, sub)
+}
+
+// shardByName resolves a logical shard name to its current node's client.
+func (c *Client) shardByName(name string) (base string, cl *httpapi.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base, ok := c.bases[name]
+	if !ok {
+		return "", nil
+	}
+	return base, c.dialLocked(base)
+}

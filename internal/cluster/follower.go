@@ -149,6 +149,15 @@ func (f *Follower) SyncOnce(ctx context.Context) (caughtUp bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	if chunk.Truncated {
+		// The primary archived this round and truncated its segment: the bytes
+		// this follower still needs are gone. Skipping ahead would leave a hole
+		// in the local chain and a later promotion would serve a history with
+		// reports silently missing — refuse, loudly, until an operator
+		// re-seeds the follower (or replaces it) from the archive snapshot.
+		return false, fmt.Errorf("cluster: follower %q: primary archived round %d and truncated its segment; cannot replicate an already-archived round — re-seed this follower from the archive",
+			f.cfg.Name, f.round)
+	}
 	if len(chunk.Data) > 0 {
 		file, err := os.OpenFile(f.segs.Path(f.round), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -1,0 +1,263 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"felip/internal/core"
+	"felip/internal/reportlog"
+	"felip/internal/wire"
+)
+
+// This file is the server half of the batched binary ingest path
+// (POST /v1/reports): one wire frame carries N reports, and the whole frame
+// is ingested under a single lock hold with a single WAL write and a single
+// fsync. The batch is a transport optimization, not a semantic unit — every
+// report inside it gets the byte-identical disposition it would get on the
+// single-report JSON path, and the final estimates cannot tell the two
+// ingest paths apart.
+//
+// Durability contract: a frame's accepted reports are appended to the WAL in
+// one Write and fsynced once before the 200 goes out. A crash before the
+// sync loses at most an unacknowledged frame; the client retries it and the
+// idempotency keys turn the re-ingest into duplicates. Holding s.mu across
+// the frame makes the batch atomic with respect to a concurrent seal or
+// finalize: a frame never straddles a round boundary.
+
+// maxBatchFrameBody caps a POST /v1/reports body: the largest legal frame plus
+// its header, with nothing to spare for a hostile length claim.
+const maxBatchFrameBody = wire.MaxFramePayload + 64
+
+// batchBodyPool recycles frame read buffers across batch requests so a
+// steady ingest load costs zero body allocations.
+var batchBodyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// stagedReport is one frame report that passed every admission check and
+// awaits the frame's single WAL write.
+type stagedReport struct {
+	id  string
+	key reportKey
+	rep core.Report
+}
+
+// batchScratch is the batch ingest path's reusable per-server scratch. It is
+// only touched while s.mu is held, so one set of buffers serves every
+// request without per-report allocations.
+type batchScratch struct {
+	reader wire.FrameReader
+	staged []stagedReport
+	// seen maps a report_id staged earlier in this frame to its staged index,
+	// so within-frame duplicates get the same duplicate/conflict answer as
+	// cross-request retries.
+	seen map[string]int
+	recs []reportlog.Record
+}
+
+// IngestFrame ingests one binary batch frame and returns the per-report
+// dispositions. A frame-level refusal (damage, malformed records, a closed
+// server, a failed WAL write) returns a non-nil error with the HTTP status
+// to answer; the whole frame is charged to the wire-rejection counter per
+// report, and no report of the frame was counted. On success every report
+// was classified exactly as the single-report path would have and the
+// accepted ones are durable.
+//
+// Exported so the benchmark harness can drive the decode→dedup→fold path
+// directly and meter its allocations.
+func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error) {
+	var resp wire.BatchReportResponse
+
+	s.mu.Lock()
+	b := &s.batch
+	n, err := b.reader.Reset(frame)
+	if err != nil {
+		s.wireRejected += wire.FrameReportCount(frame)
+		s.mu.Unlock()
+		return resp, http.StatusBadRequest, err
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return resp, http.StatusServiceUnavailable, fmt.Errorf("server shutting down")
+	}
+
+	b.staged = b.staged[:0]
+	if b.seen == nil {
+		b.seen = make(map[string]int)
+	} else {
+		clear(b.seen)
+	}
+	dispositions := make([]int, 0, n)
+	closedRound := s.agg != nil || s.finalizing != nil || s.shardState != nil || s.sealedEmpty
+
+	// Pass 1 — classify every report without mutating round state, so a
+	// malformed record discovered mid-frame can still refuse the whole frame
+	// with nothing counted.
+	for b.reader.Next() {
+		disp := 0
+		rep := b.reader.Report
+		key := reportKey{
+			group: rep.Group,
+			proto: wire.ProtoName(rep.Proto),
+			value: rep.Value,
+			seed:  rep.Seed,
+		}
+		if prev, dup := s.dedup[string(b.reader.ID)]; dup {
+			if prev == key {
+				disp = wire.DispositionDuplicate
+			} else {
+				disp = wire.DispositionConflict
+				s.wireRejected++
+			}
+		} else if j, dup := b.seen[string(b.reader.ID)]; dup {
+			if b.staged[j].key == key {
+				disp = wire.DispositionDuplicate
+			} else {
+				disp = wire.DispositionConflict
+				s.wireRejected++
+			}
+		} else if closedRound {
+			disp = wire.DispositionConflict
+		} else if err := s.col.Check(rep); err != nil {
+			if errors.Is(err, core.ErrFinalized) {
+				disp = wire.DispositionConflict
+			} else {
+				disp = wire.DispositionRejected
+			}
+		} else {
+			disp = wire.DispositionAccepted
+			id := string(b.reader.ID)
+			b.seen[id] = len(b.staged)
+			b.staged = append(b.staged, stagedReport{id: id, key: key, rep: rep})
+		}
+		dispositions = append(dispositions, disp)
+	}
+	if err := b.reader.Err(); err != nil {
+		// The envelope checksum held but a record inside lied: a buggy or
+		// hostile encoder. Refuse the frame wholesale — some reports may
+		// already have classified clean, but none were counted.
+		s.wireRejected += wire.FrameReportCount(frame)
+		s.mu.Unlock()
+		return resp, http.StatusBadRequest, err
+	}
+
+	// Pass 2 — one WAL write for the whole frame, then fold. A failed write
+	// refuses the frame before anything is counted, so the client's retry
+	// cannot double-count.
+	if len(b.staged) > 0 && s.wal != nil {
+		b.recs = b.recs[:0]
+		for i := range b.staged {
+			st := &b.staged[i]
+			b.recs = append(b.recs, reportlog.ReportRecord(st.id, st.rep.Group, st.key.proto, st.rep.Value, st.rep.Seed))
+		}
+		if err := s.wal.AppendBatch(b.recs); err != nil {
+			s.mu.Unlock()
+			s.logf("httpapi: wal batch append: %v", err)
+			return resp, http.StatusInternalServerError, fmt.Errorf("report log unavailable")
+		}
+	}
+	for i := range b.staged {
+		st := &b.staged[i]
+		if err := s.col.Add(st.rep); err != nil {
+			// Check passed under this same lock hold; unreachable short of a
+			// bug. Reports staged before this one are counted and logged —
+			// answer the frame as a server error so the client retries and the
+			// dedup index sorts it out.
+			s.mu.Unlock()
+			return resp, http.StatusInternalServerError, err
+		}
+		s.dedup[st.id] = st.key
+	}
+	accepted := len(b.staged)
+	wal := s.wal
+	resp.Round = s.round
+	s.mu.Unlock()
+
+	// One fsync per frame, outside the lock so concurrent frames overlap
+	// their disk waits with other shards' classification. The ack only goes
+	// out after the sync: a crash in between loses nothing acknowledged.
+	if accepted > 0 && wal != nil {
+		if err := wal.Sync(); err != nil {
+			s.logf("httpapi: wal batch sync: %v", err)
+			// Counted but not durable and not acknowledged; the retry turns
+			// into all-duplicates.
+			return resp, http.StatusInternalServerError, fmt.Errorf("report log unavailable")
+		}
+	}
+
+	for _, d := range dispositions {
+		switch d {
+		case wire.DispositionAccepted:
+			resp.Accepted++
+		case wire.DispositionDuplicate:
+			resp.Duplicate++
+		case wire.DispositionConflict:
+			resp.Conflict++
+		default:
+			resp.Rejected++
+		}
+	}
+	resp.Dispositions = dispositions
+	return resp, http.StatusOK, nil
+}
+
+// handleReportBatch serves POST /v1/reports: a binary wire frame in, a JSON
+// BatchReportResponse out.
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchFrameBody)
+	bufp := batchBodyPool.Get().(*[]byte)
+	defer batchBodyPool.Put(bufp)
+	buf, err := readAllInto((*bufp)[:0], r.Body)
+	*bufp = buf[:0]
+	if err != nil {
+		// An oversized or unreadable frame is N refused submissions, not one:
+		// charge the header's claim (or 1 if even that is gone).
+		s.countWireRejects(wire.FrameReportCount(buf))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch frame exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading batch frame: %w", err))
+		return
+	}
+	resp, status, err := s.IngestFrame(buf)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// countWireRejects charges n refused report submissions to the rejection
+// counter — a refused batch frame counts every report it claimed to carry.
+func (s *Server) countWireRejects(n int) {
+	s.mu.Lock()
+	s.wireRejected += n
+	s.mu.Unlock()
+}
+
+// readAllInto is io.ReadAll into a caller-owned buffer, so pooled buffers
+// absorb the growth across requests.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if err == io.EOF {
+				return buf, nil
+			}
+			return buf, err
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/faultinject"
+	"felip/internal/reportlog"
+	"felip/internal/wire"
+)
+
+// These tests pin the batch ingest path's idempotency under faults: whatever
+// the transport or the disk does to a frame, every device is counted exactly
+// once and the final estimates are bit-identical to the single-report path
+// over the same multiset.
+
+// batchDevice builds the deterministic report a given row's device submits.
+func batchDevice(t *testing.T, specs []core.GridSpec, eps float64, ds *dataset.Dataset, row int, devSeed uint64) wire.BatchReport {
+	t.Helper()
+	id := fmt.Sprintf("dev-%04d", row)
+	device, err := core.NewClient(specs, eps, devSeed+uint64(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := device.Perturb(DeriveGroup(id, len(specs)), func(attr int) int { return ds.Value(row, attr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.BatchReport{ID: id, Report: rep}
+}
+
+// TestBatchFrameInternalDuplicates: duplicates *within* one frame get the
+// same answers as cross-request retries — same payload is a duplicate, a
+// different payload under the same key is a conflict — and a report already
+// counted on the single-report JSON path is recognized by the batch path.
+func TestBatchFrameInternalDuplicates(t *testing.T) {
+	const n = 200
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 501)
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OHG, Epsilon: 1.7, Seed: 503})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := Dial(ts.URL, ts.Client())
+	ctx := context.Background()
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Row 0 arrives on the single-report path first.
+	r0 := batchDevice(t, specs, plan.Epsilon, ds, 0, 511)
+	if dup, err := cl.ReportWithID(ctx, r0.ID, r0.Report); err != nil || dup {
+		t.Fatalf("single-path warmup: dup=%v err=%v", dup, err)
+	}
+
+	r1 := batchDevice(t, specs, plan.Epsilon, ds, 1, 511)
+	r2 := batchDevice(t, specs, plan.Epsilon, ds, 2, 511)
+	r2forged := r2
+	r2forged.Report.Seed++ // same key, different payload: an equivocation
+	frame := []wire.BatchReport{
+		r0,       // counted already via /v1/report -> duplicate
+		r1,       // fresh -> accepted
+		r1,       // same payload again in the same frame -> duplicate
+		r2,       // fresh -> accepted
+		r2forged, // same key, different payload, same frame -> conflict
+	}
+	resp, err := cl.ReportBatch(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{
+		wire.DispositionDuplicate,
+		wire.DispositionAccepted,
+		wire.DispositionDuplicate,
+		wire.DispositionAccepted,
+		wire.DispositionConflict,
+	}
+	for i, d := range resp.Dispositions {
+		if d != want[i] {
+			t.Fatalf("disposition[%d] = %d, want %d (full: %v)", i, d, want[i], resp.Dispositions)
+		}
+	}
+	if resp.Accepted != 2 || resp.Duplicate != 2 || resp.Conflict != 1 {
+		t.Fatalf("tallies %+v", resp)
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != 3 {
+		t.Fatalf("server counted %d reports, want 3 (r0, r1, r2 exactly once each)", st.Reports)
+	}
+	// The conflicting equivocation was charged to the wire-rejection counter.
+	if st.Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", st.Rejected)
+	}
+}
+
+// TestBatchRejectCountsPerReport: a damaged frame is N refused submissions,
+// not one — the rejection counter must move by the header's report claim.
+func TestBatchRejectCountsPerReport(t *testing.T) {
+	const n = 100
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 521)
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OHG, Epsilon: 1.7, Seed: 523})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := Dial(ts.URL, ts.Client())
+	ctx := context.Background()
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 37
+	reports := make([]wire.BatchReport, batch)
+	for i := range reports {
+		reports[i] = batchDevice(t, specs, plan.Epsilon, ds, i, 527)
+	}
+	frame, err := wire.EncodeFrame(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] ^= 0xFF // corrupt the payload; the header still claims 37
+	if _, err := cl.ReportFrame(ctx, frame, batch); err == nil {
+		t.Fatal("damaged frame accepted")
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != batch {
+		t.Fatalf("rejected counter = %d after refusing a %d-report frame, want %d", st.Rejected, batch, batch)
+	}
+	if st.Reports != 0 {
+		t.Fatalf("damaged frame counted %d reports", st.Reports)
+	}
+}
+
+// TestBatchRetryAfterMidBatchCrash: the disk dies partway through a frame's
+// single WAL write. The server refuses the frame (nothing acknowledged), the
+// restart sheds the torn record and replays the complete prefix, and the
+// client's verbatim retry of the same frame bytes turns the survivors into
+// duplicates and counts the rest — every device exactly once, estimates
+// bit-identical to a clean single-report run.
+func TestBatchRetryAfterMidBatchCrash(t *testing.T) {
+	const (
+		n       = 400
+		batch   = 200
+		devSeed = 541
+	)
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 547)
+	opts := core.Options{Strategy: core.OHG, Epsilon: 1.6, Seed: 557}
+	ctx := context.Background()
+	walPath := filepath.Join(t.TempDir(), "batch.wal")
+
+	boot := func(crashAfter int64) (*Server, *httptest.Server, *Client) {
+		srv, err := NewServer(schema, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogger(t.Logf)
+		f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var file reportlog.File = f
+		if crashAfter > 0 {
+			file = faultinject.NewCrashFile(f, crashAfter)
+		}
+		l, recs, err := reportlog.OpenFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.UseWAL(l, recs); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return srv, ts, Dial(ts.URL, ts.Client())
+	}
+
+	// Encode the frame once; the retry must re-send these exact bytes.
+	srv1, ts1, cl1 := boot(3000) // dies ~3000 bytes into the batch append
+	plan, err := cl1.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := make([]wire.BatchReport, batch)
+	for i := range reports {
+		reports[i] = batchDevice(t, specs, plan.Epsilon, ds, i, devSeed)
+	}
+	frame, err := wire.EncodeFrame(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cl1.ReportFrame(ctx, frame, batch); err == nil {
+		t.Fatal("frame acknowledged despite the WAL dying mid-append")
+	}
+	ts1.Close()
+	_ = srv1.Close() // the crashed file refuses the shutdown sync; expected
+
+	// Restart on the real file: the torn record at the crash point is shed,
+	// the complete prefix replays.
+	srv2, ts2, cl2 := boot(0)
+	defer ts2.Close()
+	defer srv2.Close()
+	st, err := cl2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports <= 0 || st.Reports >= batch {
+		t.Fatalf("replayed %d reports, want a strict mid-batch prefix of %d (did the crash land inside the frame?)", st.Reports, batch)
+	}
+	survivors := st.Reports
+
+	// The client retries the identical frame bytes.
+	resp, err := cl2.ReportFrame(ctx, frame, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Duplicate != survivors || resp.Accepted != batch-survivors || resp.Conflict != 0 || resp.Rejected != 0 {
+		t.Fatalf("retry after crash: %+v with %d survivors", resp, survivors)
+	}
+	if st, _ := cl2.Status(ctx); st.Reports != batch {
+		t.Fatalf("after retry the server holds %d reports, want %d", st.Reports, batch)
+	}
+
+	// Bit-identical to the single-report path over the same multiset.
+	if count, err := cl2.Finalize(ctx); err != nil || count != batch {
+		t.Fatalf("finalize: %d, %v", count, err)
+	}
+	refSrv, err := NewServer(schema, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrv.SetLogger(t.Logf)
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer refTS.Close()
+	refCl := Dial(refTS.URL, refTS.Client())
+	for _, br := range reports {
+		if _, err := refCl.ReportWithID(ctx, br.ID, br.Report); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count, err := refCl.Finalize(ctx); err != nil || count != batch {
+		t.Fatalf("reference finalize: %d, %v", count, err)
+	}
+	for _, where := range []string{"num0=0..15", "num1=4..11", "cat0=0,1", "num0=8..23; cat1=1,2"} {
+		got, err := cl2.Query(ctx, where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refCl.Query(ctx, where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Estimate != want.Estimate {
+			t.Fatalf("query %q: batch-path %v != single-path %v", where, got.Estimate, want.Estimate)
+		}
+	}
+}
+
+// TestBatchStraddlingSeal: a frame is atomic with respect to a seal — and a
+// frame retried *after* the round sealed answers duplicate for everything the
+// round counted and conflict for everything it never saw, changing nothing.
+func TestBatchStraddlingSeal(t *testing.T) {
+	const n = 300
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 561)
+	opts := core.Options{Strategy: core.OHG, Epsilon: 1.6, Seed: 569}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	srv, err := NewServer(schema, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	srv.SetShardID("shard0")
+	segs := reportlog.NewSegments(filepath.Join(dir, "seal.wal"))
+	l, recs, err := segs.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.UseWAL(l, recs); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	cl := Dial(ts.URL, ts.Client())
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame 1 lands before the seal.
+	first := make([]wire.BatchReport, 80)
+	for i := range first {
+		first[i] = batchDevice(t, specs, plan.Epsilon, ds, i, 571)
+	}
+	resp, err := cl.ReportBatch(ctx, first)
+	if err != nil || resp.Accepted != len(first) {
+		t.Fatalf("pre-seal frame: %+v, %v", resp, err)
+	}
+
+	state, err := cl.ShardState(ctx) // seals round 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Reports != len(first) {
+		t.Fatalf("sealed with %d reports, want %d", state.Reports, len(first))
+	}
+
+	// The device fleet's retry straddles the seal: the same 80 reports plus
+	// 40 stragglers the round never saw, in one frame.
+	straddle := make([]wire.BatchReport, 0, 120)
+	straddle = append(straddle, first...)
+	for i := len(first); i < len(first)+40; i++ {
+		straddle = append(straddle, batchDevice(t, specs, plan.Epsilon, ds, i, 571))
+	}
+	resp, err = cl.ReportBatch(ctx, straddle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 0 || resp.Duplicate != len(first) || resp.Conflict != 40 || resp.Rejected != 0 {
+		t.Fatalf("straddling frame: %+v, want %d duplicates and 40 conflicts", resp, len(first))
+	}
+	for i, d := range resp.Dispositions {
+		want := wire.DispositionDuplicate
+		if i >= len(first) {
+			want = wire.DispositionConflict
+		}
+		if d != want {
+			t.Fatalf("disposition[%d] = %d, want %d", i, d, want)
+		}
+	}
+
+	// The seal's export is untouched: re-pulling yields the identical
+	// canonical checksum, so downstream merges cannot tell the retry happened.
+	after, err := cl.ShardState(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Checksum != state.Checksum || after.Reports != state.Reports {
+		t.Fatalf("straddling frame disturbed the sealed state: %08x/%d -> %08x/%d",
+			state.Checksum, state.Reports, after.Checksum, after.Reports)
+	}
+}

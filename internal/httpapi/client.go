@@ -115,10 +115,16 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("httpapi: %s", e.status)
 }
 
-// do performs one API call with retries, returning the final HTTP status.
-// body is re-sent verbatim on every attempt, so an idempotency key embedded
-// in it is automatically reused.
+// do performs one JSON API call with retries, returning the final HTTP
+// status. body is re-sent verbatim on every attempt, so an idempotency key
+// embedded in it is automatically reused.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	return c.doTyped(ctx, method, path, body, "application/json", out)
+}
+
+// doTyped is do with an explicit request content type — the batch ingest
+// path posts binary frames, not JSON. Responses are always JSON.
+func (c *Client) doTyped(ctx context.Context, method, path string, body []byte, contentType string, out any) (int, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		// A caller whose round deadline already passed must not burn another
@@ -138,7 +144,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			case <-time.After(c.backoff(attempt)):
 			}
 		}
-		status, retryable, err := c.attempt(ctx, method, path, body, out)
+		status, retryable, err := c.attempt(ctx, method, path, body, contentType, out)
 		if err == nil {
 			return status, nil
 		}
@@ -151,7 +157,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 }
 
 // attempt performs a single HTTP exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (status int, retryable bool, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string, out any) (status int, retryable bool, err error) {
 	actx := ctx
 	if c.retry.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -167,7 +173,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return 0, false, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -85,7 +85,7 @@ func (s *Server) handleReplicaWAL(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.RLock()
-	cur, wal, segs, id := s.round, s.wal, s.segments, s.shardID
+	cur, wal, segs, id, store := s.round, s.wal, s.segments, s.shardID, s.store
 	s.mu.RUnlock()
 
 	switch {
@@ -109,9 +109,18 @@ func (s *Server) handleReplicaWAL(w http.ResponseWriter, r *http.Request) {
 		}
 		raw, err := os.ReadFile(segs.Path(round))
 		if os.IsNotExist(err) {
-			// An empty round never wrote a segment, and an archived round's
-			// segment was truncated. Either way there are no bytes: serve an
-			// empty sealed chunk so the follower can move on.
+			// No segment file. Two very different histories end here: the round
+			// was archived and its segment truncated (the reports existed — a
+			// follower must not verify a chain that skips them), or the round
+			// genuinely never wrote a segment. The archive listing tells them
+			// apart; conflating the two was how a follower could promote with a
+			// hole in its history.
+			if store != nil {
+				if _, _, archived := store.Info(round); archived {
+					s.writeJSON(w, http.StatusOK, wire.NewTruncatedSegmentChunk(id, round, from, cur))
+					return
+				}
+			}
 			raw, err = nil, nil
 		}
 		if err != nil {

@@ -135,6 +135,14 @@ type Server struct {
 	// pull (a lost response, a coordinator restart) re-serves the identical
 	// message.
 	shardState *wire.ShardStateMessage
+	// sealedEmpty marks a round replayed from a finalize-of-zero WAL record:
+	// the round closed with no reports, so there is no aggregate to rebuild
+	// (Finalize refuses an empty round) but the round is over — reports are
+	// refused and the next round may open.
+	sealedEmpty bool
+
+	// batch is the POST /v1/reports scratch, reused across frames under mu.
+	batch batchScratch
 }
 
 // NewServer plans a round for an expected population of n users.
@@ -225,6 +233,15 @@ func (s *Server) replayLocked(records []reportlog.Record) error {
 			s.dedup[rec.ReportID] = keyOf(msg)
 			s.walReplayed++
 		case reportlog.TypeFinalize:
+			if rec.Reports == 0 && s.col.N() == 0 {
+				// The round was sealed empty. There is no aggregate to rebuild
+				// (Finalize refuses a round of zero reports) — seal the
+				// collector and mark the round closed so the replay chain can
+				// continue into the next segment.
+				s.col.Seal()
+				s.sealedEmpty = true
+				continue
+			}
 			if err := s.finalizeReplayLocked(); err != nil {
 				return fmt.Errorf("httpapi: wal record %d: refinalizing: %w", i, err)
 			}
@@ -271,6 +288,7 @@ func (s *Server) openRoundLocked() error {
 	s.finalErr = nil
 	s.wireRejected = 0
 	s.shardState = nil
+	s.sealedEmpty = false
 	return nil
 }
 
@@ -299,7 +317,7 @@ func (s *Server) AdvanceRound(target int) (int, error) {
 	if target != 0 && target != s.round+1 {
 		return 0, fmt.Errorf("httpapi: round is %d; cannot jump to round %d", s.round, target)
 	}
-	if s.agg == nil && s.shardState == nil {
+	if s.agg == nil && s.shardState == nil && !s.sealedEmpty {
 		return 0, fmt.Errorf("httpapi: round %d not finalized; finalize before opening the next round", s.round)
 	}
 	var next *reportlog.Log
@@ -342,7 +360,7 @@ func (s *Server) ResumeNextRound(l *reportlog.Log, records []reportlog.Record) (
 	if s.wal == nil && !s.restored {
 		return 0, fmt.Errorf("httpapi: no write-ahead log attached (UseWAL first)")
 	}
-	if s.agg == nil {
+	if s.agg == nil && !s.sealedEmpty {
 		return 0, fmt.Errorf("httpapi: round %d segment present but round %d never finalized", s.round+1, s.round)
 	}
 	if err := s.openRoundLocked(); err != nil {
@@ -396,6 +414,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/assign", s.handleAssign)
 	mux.HandleFunc("POST /v1/report", s.handleReport)
+	mux.HandleFunc("POST /v1/reports", s.handleReportBatch)
 	mux.HandleFunc("POST /v1/finalize", s.handleFinalize)
 	mux.HandleFunc("POST /v1/nextround", s.handleNextRound)
 	mux.HandleFunc("GET /v1/query", s.qp.HandleQuery)
@@ -433,7 +452,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	col := s.col
-	finalized := s.agg != nil || s.finalizing != nil || s.shardState != nil
+	finalized := s.agg != nil || s.finalizing != nil || s.shardState != nil || s.sealedEmpty
 	s.mu.RUnlock()
 	if finalized {
 		s.writeError(w, http.StatusConflict, fmt.Errorf("collection round already finalized"))
@@ -490,7 +509,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "duplicate"})
 		return
 	}
-	if s.agg != nil || s.finalizing != nil || s.shardState != nil {
+	if s.agg != nil || s.finalizing != nil || s.shardState != nil || s.sealedEmpty {
 		// Finalized, sealed as a shard, or a finalize is in flight: the round
 		// is closing and the
 		// collector may not have sealed itself yet, so refuse here — otherwise
@@ -725,7 +744,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		DedupEntries: len(s.dedup),
 		Rejected:     s.wireRejected,
 		ShardID:      s.shardID,
-		Sealed:       s.shardState != nil,
+		Sealed:       s.shardState != nil || s.sealedEmpty,
 		WALReplayed:  s.walReplayed,
 		Restored:     s.restored,
 	}

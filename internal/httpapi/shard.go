@@ -52,12 +52,13 @@ func (s *Server) handleShardState(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	if s.shardState == nil {
 		// Persist the seal so a crashed shard that already advanced rounds can
-		// replay this round as closed. An empty round writes no record:
-		// replaying a finalize over zero reports cannot estimate, and an empty
-		// sealed round reconstructs itself on the next pull anyway.
-		// s.agg != nil means the round already finalized (a crashed shard
-		// replaying its own finalize record) — the record is in the log.
-		if s.wal != nil && s.agg == nil && col.N() > 0 {
+		// replay this round as closed — including an empty round, whose
+		// FinalizeRecord(0) is what lets a replay chain cross an idle round
+		// (replay seals the collector instead of estimating; see replayLocked).
+		// s.agg != nil means the round already finalized and s.sealedEmpty
+		// means the empty seal was already replayed — either way the record is
+		// in the log.
+		if s.wal != nil && s.agg == nil && !s.sealedEmpty {
 			err := s.wal.Append(reportlog.FinalizeRecord(col.N()))
 			if err == nil {
 				err = s.wal.Sync()

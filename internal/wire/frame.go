@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"felip/internal/core"
+	"felip/internal/fo"
+)
+
+// This file is the batched binary ingest wire: a length-prefixed,
+// CRC32-checked frame carrying N ε-LDP reports in one POST /v1/reports
+// request. At millions of devices the ingest bottleneck is protocol
+// overhead — one JSON POST per report costs a request, a decoder
+// allocation, and a map churn each — so the batch path moves whole frames:
+// one HTTP exchange, one checksum, one WAL write, one fsync per N reports.
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   "FELIPBF1"                  (8 bytes)
+//	count   u32   number of reports
+//	paylen  u32   payload length in bytes
+//	crc     u32   CRC32-IEEE of the payload
+//	payload count records, each:
+//	  idlen u8    report_id length (1..MaxReportIDLen)
+//	  id    idlen bytes
+//	  proto u8    0=GRR 1=OLH 2=OUE
+//	  group u32
+//	  value u32
+//	  seed  u64
+//
+// The envelope discipline is the archive's FELIPSNP one — magic, explicit
+// length, checksum over the payload — so a torn or damaged frame is refused
+// before a single report inside it is trusted. Reports inside a frame keep
+// their individual idempotency keys: the batch is a transport optimization,
+// not a semantic unit, and every report gets the same accept/duplicate/
+// conflict disposition it would get on the single-report path.
+
+// FrameMagic opens every batch report frame.
+const FrameMagic = "FELIPBF1"
+
+// frameHeaderLen is magic + count u32 + paylen u32 + crc u32.
+const frameHeaderLen = len(FrameMagic) + 12
+
+// MaxFrameReports bounds the reports one frame may carry; a client batcher
+// flushes at or below it, and a server refuses a frame claiming more.
+const MaxFrameReports = 16384
+
+// MaxFramePayload bounds a frame's payload bytes (a report encodes to at
+// most 1+128+1+4+4+8 = 146 bytes, so the cap is generous for any legal
+// frame but refuses a hostile length field before any allocation).
+const MaxFramePayload = MaxFrameReports * 160
+
+// Per-report disposition codes in a BatchReportResponse, deliberately the
+// HTTP statuses the single-report path answers: a batch entry and a lone
+// POST /v1/report of the same report always agree.
+const (
+	DispositionAccepted  = 204 // counted now, durable before the ack
+	DispositionDuplicate = 200 // already counted under this key (honest retry)
+	DispositionConflict  = 409 // key reused with a different payload, or round closed
+	DispositionRejected  = 400 // failed wire or plan validation
+)
+
+// BatchReport is one report of a batch frame: the device's idempotency key
+// plus its ε-LDP report.
+type BatchReport struct {
+	ID     string
+	Report core.Report
+}
+
+// BatchReportResponse answers POST /v1/reports: per-report dispositions in
+// frame order plus the tallies. A device-side batcher treats Accepted and
+// Duplicate entries as settled and may drop them; Conflict and Rejected
+// entries are misbehavior (or a closed round) and retrying them verbatim
+// will not change the answer.
+type BatchReportResponse struct {
+	Round        int   `json:"round"`
+	Accepted     int   `json:"accepted"`
+	Duplicate    int   `json:"duplicate"`
+	Conflict     int   `json:"conflict"`
+	Rejected     int   `json:"rejected"`
+	Dispositions []int `json:"dispositions"`
+}
+
+func protoByte(p fo.Protocol) (byte, error) {
+	switch p {
+	case fo.GRR, fo.OLH, fo.OUE:
+		return byte(p), nil
+	default:
+		return 0, fmt.Errorf("wire: unknown protocol %v", p)
+	}
+}
+
+// AppendFrame encodes the reports as one binary frame appended to dst
+// (which may be nil) and returns the extended slice. Every report is
+// validated to the same wire-level invariants ReportMessage.Validate
+// enforces, so an encoded frame never carries a report the server would
+// refuse for shape alone.
+func AppendFrame(dst []byte, reports []BatchReport) ([]byte, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("wire: empty batch frame")
+	}
+	if len(reports) > MaxFrameReports {
+		return nil, fmt.Errorf("wire: batch of %d reports exceeds %d", len(reports), MaxFrameReports)
+	}
+	start := len(dst)
+	dst = append(dst, FrameMagic...)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(reports)))
+	dst = append(dst, hdr[:]...) // count + paylen + crc, patched below
+	payloadStart := len(dst)
+
+	var fixed [18]byte // proto + group + value + seed + idlen
+	for i, br := range reports {
+		if br.ID == "" {
+			return nil, fmt.Errorf("wire: batch report %d missing report_id", i)
+		}
+		if len(br.ID) > MaxReportIDLen {
+			return nil, fmt.Errorf("wire: batch report %d report_id of %d bytes exceeds %d", i, len(br.ID), MaxReportIDLen)
+		}
+		pb, err := protoByte(br.Report.Proto)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch report %d: %w", i, err)
+		}
+		if br.Report.Group < 0 {
+			return nil, fmt.Errorf("wire: batch report %d: negative group %d", i, br.Report.Group)
+		}
+		if br.Report.Value < 0 {
+			return nil, fmt.Errorf("wire: batch report %d: negative value %d", i, br.Report.Value)
+		}
+		fixed[0] = byte(len(br.ID))
+		dst = append(dst, fixed[0])
+		dst = append(dst, br.ID...)
+		fixed[0] = pb
+		binary.LittleEndian.PutUint32(fixed[1:5], uint32(br.Report.Group))
+		binary.LittleEndian.PutUint32(fixed[5:9], uint32(br.Report.Value))
+		binary.LittleEndian.PutUint64(fixed[9:17], br.Report.Seed)
+		dst = append(dst, fixed[:17]...)
+	}
+
+	payload := dst[payloadStart:]
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("wire: frame payload of %d bytes exceeds %d", len(payload), MaxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(dst[start+len(FrameMagic)+4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+len(FrameMagic)+8:], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// EncodeFrame is AppendFrame into a fresh buffer.
+func EncodeFrame(reports []BatchReport) ([]byte, error) {
+	return AppendFrame(nil, reports)
+}
+
+// FrameReportCount peeks a (possibly damaged) frame's claimed report count
+// without trusting anything past the header — what a server charges its
+// rejection counter with when the frame as a whole is refused: a refused
+// batch is N refused reports, not one refused request. Returns 1 when even
+// the header is unreadable (the claim itself is gone, but at least one
+// submission was refused).
+func FrameReportCount(b []byte) int {
+	if len(b) < frameHeaderLen || string(b[:len(FrameMagic)]) != FrameMagic {
+		return 1
+	}
+	n := int(binary.LittleEndian.Uint32(b[len(FrameMagic):]))
+	if n < 1 {
+		return 1
+	}
+	if n > MaxFrameReports {
+		return MaxFrameReports
+	}
+	return n
+}
+
+// FrameReader iterates a binary batch frame without allocating per report:
+// Reset validates the envelope (magic, bounds, checksum) up front, and each
+// Next fills the reader's reusable ID/Report fields in place — ID aliases
+// the frame buffer and is only valid until the following Next.
+type FrameReader struct {
+	payload []byte
+	count   int
+	next    int
+	off     int
+	err     error
+
+	// ID is the current report's idempotency key, aliasing the frame buffer.
+	ID []byte
+	// Report is the current report, decoded.
+	Report core.Report
+}
+
+// Reset validates the frame envelope and positions the reader at the first
+// report. Any damage — bad magic, hostile lengths, a checksum mismatch —
+// refuses the whole frame before a single report is surfaced.
+func (r *FrameReader) Reset(b []byte) (count int, err error) {
+	*r = FrameReader{}
+	if len(b) < frameHeaderLen {
+		return 0, fmt.Errorf("wire: frame of %d bytes is shorter than the %d-byte header", len(b), frameHeaderLen)
+	}
+	if string(b[:len(FrameMagic)]) != FrameMagic {
+		return 0, fmt.Errorf("wire: bad frame magic %q", b[:len(FrameMagic)])
+	}
+	n := int(binary.LittleEndian.Uint32(b[len(FrameMagic):]))
+	paylen := int(binary.LittleEndian.Uint32(b[len(FrameMagic)+4:]))
+	sum := binary.LittleEndian.Uint32(b[len(FrameMagic)+8:])
+	if n < 1 || n > MaxFrameReports {
+		return 0, fmt.Errorf("wire: frame claims %d reports (limit %d)", n, MaxFrameReports)
+	}
+	if paylen < 0 || paylen > MaxFramePayload {
+		return 0, fmt.Errorf("wire: frame claims %d payload bytes (limit %d)", paylen, MaxFramePayload)
+	}
+	if len(b) != frameHeaderLen+paylen {
+		return 0, fmt.Errorf("wire: frame of %d bytes does not match header+%d-byte payload", len(b), paylen)
+	}
+	payload := b[frameHeaderLen:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return 0, fmt.Errorf("wire: frame checksum %08x, header claims %08x", got, sum)
+	}
+	r.payload = payload
+	r.count = n
+	return n, nil
+}
+
+// Next decodes the next report into the reader's ID and Report fields.
+// Returns false at the end of the frame or on a malformed record (check
+// Err). A record-level parse failure poisons the whole frame: the envelope
+// checksum passed, so a bad record means a buggy or hostile encoder, not
+// line noise, and none of the frame's reports should be trusted.
+func (r *FrameReader) Next() bool {
+	if r.err != nil || r.next >= r.count {
+		return false
+	}
+	p, off := r.payload, r.off
+	if off >= len(p) {
+		r.err = fmt.Errorf("wire: frame record %d: payload exhausted after %d of %d reports", r.next, r.next, r.count)
+		return false
+	}
+	idLen := int(p[off])
+	off++
+	if idLen < 1 || idLen > MaxReportIDLen || off+idLen+17 > len(p) {
+		r.err = fmt.Errorf("wire: frame record %d: malformed (id length %d)", r.next, idLen)
+		return false
+	}
+	r.ID = p[off : off+idLen]
+	off += idLen
+	proto := fo.Protocol(p[off])
+	if proto != fo.GRR && proto != fo.OLH && proto != fo.OUE {
+		r.err = fmt.Errorf("wire: frame record %d: unknown protocol byte %d", r.next, p[off])
+		return false
+	}
+	r.Report = core.Report{
+		Proto: proto,
+		Group: int(int32(binary.LittleEndian.Uint32(p[off+1:]))),
+		Value: int(int32(binary.LittleEndian.Uint32(p[off+5:]))),
+		Seed:  binary.LittleEndian.Uint64(p[off+9:]),
+	}
+	r.off = off + 17
+	r.next++
+	if r.Report.Group < 0 || r.Report.Value < 0 {
+		r.err = fmt.Errorf("wire: frame record %d: negative group or value", r.next-1)
+		return false
+	}
+	if r.next == r.count && r.off != len(p) {
+		r.err = fmt.Errorf("wire: frame payload has %d trailing bytes after the last report", len(p)-r.off)
+		return false
+	}
+	return true
+}
+
+// Err returns the record-level decode failure, if iteration stopped on one.
+func (r *FrameReader) Err() error { return r.err }
+
+// ProtoName returns the wire name of a frame protocol byte's protocol —
+// what the dedup index keys payloads by, shared with the JSON path.
+func ProtoName(p fo.Protocol) string { return protoName(p) }

@@ -156,6 +156,12 @@ type SegmentChunk struct {
 	// again (the primary has moved to a later round); a follower that has
 	// consumed through Pos may advance to the next segment.
 	Sealed bool `json:"sealed"`
+	// Truncated means the round's segment bytes no longer exist on the
+	// primary — they were archived into a snapshot and the segment file was
+	// truncated. A truncated chunk carries no data and is NOT the same as an
+	// empty round: a follower cannot verify or replay this round's history
+	// from the primary's log and must refuse to silently skip it.
+	Truncated bool `json:"truncated,omitempty"`
 	// CurrentRound is the primary's open collection round.
 	CurrentRound int `json:"current_round"`
 }
@@ -172,6 +178,16 @@ func NewSegmentChunk(shardID string, round int, from int64, data []byte, pos int
 		Sealed:       sealed,
 		CurrentRound: currentRound,
 	}
+}
+
+// NewTruncatedSegmentChunk marks a round whose segment bytes were archived
+// away on the primary: there is nothing left to ship, and the follower must
+// treat the round as unverifiable from the log, not as empty. Pos equals
+// From because the original segment length is gone with the bytes.
+func NewTruncatedSegmentChunk(shardID string, round int, from int64, currentRound int) SegmentChunk {
+	c := NewSegmentChunk(shardID, round, from, nil, from, true, currentRound)
+	c.Truncated = true
+	return c
 }
 
 // Verify checks the chunk's internal consistency and checksum. A follower
