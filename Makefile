@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-modes bench-modes-smoke bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,28 @@ bench-restart:
 # durable shard (plus in-process allocs/report), written to BENCH_PR7.json.
 bench-ingest:
 	$(GO) run ./cmd/felipbench -ingest -iout BENCH_PR7.json
+
+# Reporting-mode shootout: FELIP vs SPL vs RS+FD accuracy (MSE against true
+# frequencies) and wire bytes across ε and dimensionality, written to
+# BENCH_PR8.json.
+bench-modes:
+	$(GO) run ./cmd/felipbench -modes -mout BENCH_PR8.json
+
+# bench-modes at CI-smoke sizes, with a sanity gate: the shootout must cover
+# all three modes, SPL and RS+FD must pay the m-fold wire cost, and FELIP must
+# be at least as accurate as SPL at the highest-ε cells.
+bench-modes-smoke:
+	$(GO) run ./cmd/felipbench -modes -smoke -mout /tmp/BENCH_smoke_modes.json
+	@python3 -c "import json; r = json.load(open('/tmp/BENCH_smoke_modes.json')); \
+	cells = r['cells']; modes = {c['mode'] for c in cells}; \
+	assert modes == {'FELIP', 'SPL', 'RS+FD'}, f'modes covered: {modes}'; \
+	assert len({c['epsilon'] for c in cells}) >= 2 and len({c['attrs'] for c in cells}) >= 2, 'sweep too small'; \
+	felip = {(c['epsilon'], c['attrs']): c for c in cells if c['mode'] == 'FELIP'}; \
+	spl = {(c['epsilon'], c['attrs']): c for c in cells if c['mode'] == 'SPL'}; \
+	assert all(s['wire_bytes'] > f['wire_bytes'] for (k, s), f in ((i, felip[i[0]]) for i in spl.items())), 'SPL should pay more wire bytes than FELIP'; \
+	top = max(c['epsilon'] for c in cells); \
+	assert all(felip[k]['mse'] <= spl[k]['mse'] * 1.05 for k in felip if k[0] == top), 'FELIP lost to SPL at the top epsilon'; \
+	print(f'bench-modes gate: {len(cells)} cells, 3 modes, FELIP accuracy holds at eps={top}')"
 
 # All benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
 # /tmp so a smoke run never clobbers the checked-in numbers.

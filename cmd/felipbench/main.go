@@ -17,6 +17,7 @@
 //	felipbench -cluster               # shard-scaling ingest benchmark → BENCH_PR4.json
 //	felipbench -restart               # cold-restart recovery benchmark → BENCH_PR5.json
 //	felipbench -ingest                # batched binary ingest benchmark → BENCH_PR7.json
+//	felipbench -modes                 # FELIP/SPL/RS+FD mode shootout → BENCH_PR8.json
 //	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
@@ -53,7 +54,9 @@ func main() {
 		rout    = flag.String("rout", "BENCH_PR5.json", "output path for the -restart JSON report")
 		ibench  = flag.Bool("ingest", false, "benchmark the batched binary ingest path against single-report JSON and exit")
 		iout    = flag.String("iout", "BENCH_PR7.json", "output path for the -ingest JSON report")
-		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart benchmarks to CI-smoke sizes")
+		mbench  = flag.Bool("modes", false, "run the FELIP/SPL/RS+FD reporting-mode shootout and exit")
+		mout    = flag.String("mout", "BENCH_PR8.json", "output path for the -modes JSON report")
+		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart/-modes benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
 
@@ -62,7 +65,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*qbench && !*cbench && !*rbench {
+		if !*qbench && !*cbench && !*rbench && !*ibench && !*mbench {
 			return
 		}
 	}
@@ -71,7 +74,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*cbench && !*rbench {
+		if !*cbench && !*rbench && !*ibench && !*mbench {
 			return
 		}
 	}
@@ -80,7 +83,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*rbench {
+		if !*rbench && !*ibench && !*mbench {
 			return
 		}
 	}
@@ -89,12 +92,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*ibench {
+		if !*ibench && !*mbench {
 			return
 		}
 	}
 	if *ibench {
 		if err := runIngestBench(*iout, *reps, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*mbench {
+			return
+		}
+	}
+	if *mbench {
+		if err := runModesBench(*mout, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

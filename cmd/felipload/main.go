@@ -27,6 +27,7 @@ import (
 	"felip/internal/core"
 	"felip/internal/dataset"
 	"felip/internal/faultinject"
+	"felip/internal/fo"
 	"felip/internal/httpapi"
 	"felip/internal/wire"
 	"net/http"
@@ -42,17 +43,18 @@ func main() {
 		maxAge      = flag.Duration("max-age", 250*time.Millisecond, "batcher age flush trigger")
 		jitter      = flag.Duration("jitter", 0, "max random per-device delay before submitting (0 = full speed)")
 		faultProb   = flag.Float64("fault", 0, "probability an HTTP exchange is dropped by the injected fault transport")
+		modeFlag    = flag.String("mode", "", "reporting mode to load with (FELIP, SPL, RS+FD); empty follows the server's published plan")
 		seed        = flag.Uint64("seed", 4242, "base seed for device perturbation, jitter and fault injection")
 		timeout     = flag.Duration("timeout", 10*time.Minute, "overall run deadline")
 	)
 	flag.Parse()
-	if err := run(*target, *coordinator, *devices, *workers, *batch, *maxAge, *jitter, *faultProb, *seed, *timeout); err != nil {
+	if err := run(*target, *coordinator, *devices, *workers, *batch, *maxAge, *jitter, *faultProb, *modeFlag, *seed, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "felipload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target, coordinator string, devices, workers, batch int, maxAge, jitter time.Duration, faultProb float64, seed uint64, timeout time.Duration) error {
+func run(target, coordinator string, devices, workers, batch int, maxAge, jitter time.Duration, faultProb float64, modeFlag string, seed uint64, timeout time.Duration) error {
 	if devices < 1 || workers < 1 {
 		return fmt.Errorf("need at least one device and one worker")
 	}
@@ -97,6 +99,27 @@ func run(target, coordinator string, devices, workers, batch int, maxAge, jitter
 	if err != nil {
 		return err
 	}
+	// The mode comes from the plan; -mode asserts it so a fleet configured for
+	// one pipeline fails fast against a server running another instead of
+	// having every frame refused at ingest.
+	mode, err := plan.ReportMode()
+	if err != nil {
+		return err
+	}
+	if modeFlag != "" {
+		want, err := fo.ParseReportMode(modeFlag)
+		if err != nil {
+			return err
+		}
+		if want != mode {
+			return fmt.Errorf("-mode %v, but the server's plan runs %v", want, mode)
+		}
+	}
+	// FELIP devices send one report; SPL and RS+FD devices send one per grid.
+	reportsPerUser := 1
+	if mode != fo.ModeFELIP {
+		reportsPerUser = len(specs)
+	}
 
 	// The fleet's private values: a synthetic population over the server's
 	// own schema, wrapped if devices > rows.
@@ -110,8 +133,8 @@ func run(target, coordinator string, devices, workers, batch int, maxAge, jitter
 	}
 	ds := dataset.NewNormal().Generate(schema, rows, seed+2)
 
-	fmt.Fprintf(os.Stderr, "felipload: %d devices, %d workers, batch %d, fault %.2f, jitter %s\n",
-		devices, workers, batch, faultProb, jitter)
+	fmt.Fprintf(os.Stderr, "felipload: %d devices, mode %v (%d reports/device), %d workers, batch %d, fault %.2f, jitter %s\n",
+		devices, mode, reportsPerUser, workers, batch, faultProb, jitter)
 	start := time.Now()
 
 	var (
@@ -133,6 +156,7 @@ func run(target, coordinator string, devices, workers, batch int, maxAge, jitter
 		go func(w, from, to int) {
 			defer wg.Done()
 			b := httpapi.NewBatcher(sender, httpapi.BatcherConfig{
+				Mode:       mode,
 				MaxReports: batch,
 				MaxAge:     maxAge,
 				FlushCtx:   ctx,
@@ -155,12 +179,12 @@ func run(target, coordinator string, devices, workers, batch int, maxAge, jitter
 				}
 				id := fmt.Sprintf("load-%d", dev)
 				row := dev % rows
-				device, err := core.NewClient(specs, plan.Epsilon, seed+100+uint64(dev))
+				device, err := core.NewModeClient(specs, mode, plan.Epsilon, seed+100+uint64(dev))
 				if err != nil {
 					fail(err)
 					break
 				}
-				rep, err := device.Perturb(httpapi.DeriveGroup(id, len(specs)),
+				reps, err := device.PerturbAll(httpapi.DeriveGroup(id, len(specs)),
 					func(attr int) int { return ds.Value(row, attr) })
 				if err != nil {
 					fail(err)
@@ -168,10 +192,17 @@ func run(target, coordinator string, devices, workers, batch int, maxAge, jitter
 				}
 				// Add flushes on the size trigger; a failed flush keeps the
 				// reports buffered under their keys, so just keep going — the
-				// next trigger (or Close) retries them.
-				if err := b.Add(ctx, id, rep); err != nil && ctx.Err() != nil {
-					fail(err)
-					break
+				// next trigger (or Close) retries them. Each of a device's
+				// sub-reports gets its own stable idempotency key.
+				for j, rep := range reps {
+					subID := id
+					if reportsPerUser > 1 {
+						subID = fmt.Sprintf("load-%d-%d", dev, j)
+					}
+					if err := b.AddMode(ctx, subID, rep); err != nil && ctx.Err() != nil {
+						fail(err)
+						break
+					}
 				}
 			}
 			// Drain the tail; retry while the deadline allows.
@@ -196,25 +227,29 @@ func run(target, coordinator string, devices, workers, batch int, maxAge, jitter
 			total.Rejected += st.Rejected
 			total.Frames += st.Frames
 			total.FlushFails += st.FlushFails
+			total.FrameBytes += st.FrameBytes
 			mu.Unlock()
 		}(w, from, to)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("felipload: %d devices in %s (%.0f reports/sec)\n",
-		devices, elapsed.Round(time.Millisecond), float64(devices)/elapsed.Seconds())
+	reports := devices * reportsPerUser
+	fmt.Printf("felipload: %d devices (%d %v reports) in %s (%.0f reports/sec)\n",
+		devices, reports, mode, elapsed.Round(time.Millisecond), float64(reports)/elapsed.Seconds())
 	fmt.Printf("  accepted=%d duplicate=%d conflict=%d rejected=%d frames=%d flush_retries=%d\n",
 		total.Accepted, total.Duplicate, total.Conflict, total.Rejected, total.Frames, total.FlushFails)
+	fmt.Printf("  wire: %d frame bytes (%.1f bytes/report)\n",
+		total.FrameBytes, float64(total.FrameBytes)/float64(reports))
 	if firstErr != nil {
 		return firstErr
 	}
 	// The ingest invariant under faults: retries may turn acceptances into
-	// duplicates, but every device settles exactly once.
-	if total.Accepted+total.Duplicate != devices {
-		return fmt.Errorf("exactly-once violated: accepted %d + duplicate %d != %d devices",
-			total.Accepted, total.Duplicate, devices)
+	// duplicates, but every report settles exactly once.
+	if total.Accepted+total.Duplicate != reports {
+		return fmt.Errorf("exactly-once violated: accepted %d + duplicate %d != %d reports (%d devices x %d)",
+			total.Accepted, total.Duplicate, reports, devices, reportsPerUser)
 	}
-	fmt.Println("  exactly-once: accepted + duplicate == devices ✓")
+	fmt.Println("  exactly-once: accepted + duplicate == devices x reports/device ✓")
 	return nil
 }

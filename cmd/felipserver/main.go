@@ -67,6 +67,7 @@ import (
 	"felip/internal/core"
 	"felip/internal/dataset"
 	"felip/internal/domain"
+	"felip/internal/fo"
 	"felip/internal/httpapi"
 	"felip/internal/reportlog"
 	"felip/internal/wire"
@@ -78,6 +79,7 @@ func main() {
 		eps      = flag.Float64("eps", 1.0, "privacy budget ε")
 		n        = flag.Int("n", 100000, "expected population size (used for grid planning)")
 		strategy = flag.String("strategy", "OHG", "FELIP strategy: OUG|OHG")
+		modeFlag = flag.String("mode", "", "reporting mode: FELIP (default), SPL, or RS+FD — the whole deployment (coordinator, shards, followers) must agree")
 		kNum     = flag.Int("knum", 3, "number of numerical attributes")
 		dNum     = flag.Int("dnum", 64, "numerical domain size")
 		kCat     = flag.Int("kcat", 3, "number of categorical attributes")
@@ -116,11 +118,17 @@ func main() {
 	if *simulate > 0 {
 		planN = *simulate
 	}
+	mode, err := fo.ParseReportMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "felipserver: %v\n", err)
+		os.Exit(2)
+	}
 	opts := core.Options{
 		Strategy:    strat,
 		Epsilon:     *eps,
 		Selectivity: *sel,
 		Seed:        *seed,
+		Mode:        mode,
 	}
 
 	if *role == "coordinator" {
@@ -394,7 +402,7 @@ func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, s
 		if err != nil {
 			log.Fatal("felipserver: ", err)
 		}
-		fp := wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()).Fingerprint()
+		fp := wire.NewPlanMessage(schema, col.Epsilon(), col.Mode(), col.Specs()).Fingerprint()
 		store, err = archive.Open(archiveDir, archive.Options{
 			RetainRounds:    retain,
 			PlanFingerprint: fp,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"felip/internal/fo"
 	"felip/internal/httpapi"
 	"felip/internal/wire"
 )
@@ -24,6 +25,14 @@ import (
 // dispositions of the shards that answered are preserved, so the caller
 // retries only what is actually unsettled.
 func (c *Client) ReportBatch(ctx context.Context, reports []wire.BatchReport) (wire.BatchReportResponse, error) {
+	return c.ReportBatchMode(ctx, fo.ModeFELIP, reports)
+}
+
+// ReportBatchMode is ReportBatch under a reporting mode: each shard's group
+// ships as one mode-claiming frame (v1 bytes for FELIP, v2 with attribute
+// indices otherwise), so the cluster path and the single-node path refuse and
+// accept identically.
+func (c *Client) ReportBatchMode(ctx context.Context, mode fo.ReportMode, reports []wire.BatchReport) (wire.BatchReportResponse, error) {
 	resp := wire.BatchReportResponse{Dispositions: make([]int, len(reports))}
 	if len(reports) == 0 {
 		return resp, fmt.Errorf("cluster: empty batch")
@@ -60,7 +69,7 @@ func (c *Client) ReportBatch(ctx context.Context, reports []wire.BatchReport) (w
 		for j, i := range idxs {
 			sub[j] = reports[i]
 		}
-		shardResp, err := c.reportBatchShard(ctx, name, sub)
+		shardResp, err := c.reportBatchShard(ctx, mode, name, sub)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: shard %s: %w", name, err)
@@ -83,12 +92,12 @@ func (c *Client) ReportBatch(ctx context.Context, reports []wire.BatchReport) (w
 
 // reportBatchShard ships one shard's frame with the refresh-and-retry-once
 // policy single reports use.
-func (c *Client) reportBatchShard(ctx context.Context, name string, sub []wire.BatchReport) (wire.BatchReportResponse, error) {
+func (c *Client) reportBatchShard(ctx context.Context, mode fo.ReportMode, name string, sub []wire.BatchReport) (wire.BatchReportResponse, error) {
 	base, cl := c.shardByName(name)
 	if cl == nil {
 		return wire.BatchReportResponse{}, fmt.Errorf("no route")
 	}
-	resp, err := cl.ReportBatch(ctx, sub)
+	resp, err := cl.ReportBatchMode(ctx, mode, sub)
 	if err == nil {
 		return resp, nil
 	}
@@ -99,7 +108,7 @@ func (c *Client) reportBatchShard(ctx context.Context, name string, sub []wire.B
 	if newCl == nil || newBase == base {
 		return wire.BatchReportResponse{}, err
 	}
-	return newCl.ReportBatch(ctx, sub)
+	return newCl.ReportBatchMode(ctx, mode, sub)
 }
 
 // shardByName resolves a logical shard name to its current node's client.

@@ -14,6 +14,7 @@ import (
 	"felip/internal/archive"
 	"felip/internal/core"
 	"felip/internal/domain"
+	"felip/internal/fo"
 	"felip/internal/httpapi"
 	"felip/internal/metrics"
 	"felip/internal/serve"
@@ -70,6 +71,10 @@ type ShardInfo struct {
 	// WALReplayed is the shard's crash-recovery counter: report records it
 	// replayed from its write-ahead log since startup.
 	WALReplayed int `json:"wal_replayed"`
+	// Mode is the reporting mode the shard ran the round under ("FELIP",
+	// "SPL", "RS+FD"). Always the coordinator's own mode — a shard claiming
+	// another mode fails the merge before any ShardInfo is published.
+	Mode string `json:"mode"`
 }
 
 // Coordinator drives collection rounds across a fleet of shard servers and
@@ -84,10 +89,13 @@ type Coordinator struct {
 	planN  int
 	opts   core.Options
 	plan   wire.PlanMessage
-	logf   func(format string, args ...any)
-	hc     *http.Client
-	retry  httpapi.RetryPolicy
-	qp     *httpapi.QueryPlane
+	// mode is the cluster's reporting mode, fixed by the plan. Every shard
+	// state pulled at finalize must claim it; a mixed-mode merge is refused.
+	mode  fo.ReportMode
+	logf  func(format string, args ...any)
+	hc    *http.Client
+	retry httpapi.RetryPolicy
+	qp    *httpapi.QueryPlane
 	// store archives merged rounds; nil = archiving disabled.
 	store *archive.Store
 
@@ -127,7 +135,8 @@ func New(cfg Config) (*Coordinator, error) {
 		schema:  cfg.Schema,
 		planN:   cfg.N,
 		opts:    cfg.Opts,
-		plan:    wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Specs()),
+		plan:    wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Mode(), col.Specs()),
+		mode:    col.Mode(),
 		logf:    logf,
 		hc:      cfg.HTTPClient,
 		retry:   cfg.Retry,
@@ -439,6 +448,19 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 			return 0, fmt.Errorf("cluster: shard %q (%s) is in round %d, coordinator in round %d",
 				targets[i].name, targets[i].base, msg.Round, round)
 		}
+		// Refuse a mixed-mode merge loudly: partial counts folded under
+		// different reporting modes were perturbed at different budgets (and,
+		// for RS+FD, mixed with fake data), so summing them would silently
+		// corrupt every estimate. Checksums already verified, so a mismatch is
+		// a misconfigured shard, not line damage.
+		shardMode, err := msg.ReportMode()
+		if err != nil {
+			return 0, fmt.Errorf("cluster: shard %q (%s): %w", targets[i].name, targets[i].base, err)
+		}
+		if shardMode != c.mode {
+			return 0, fmt.Errorf("cluster: shard %q (%s) ran round %d in mode %v; the cluster plan runs %v — refusing the mixed-mode merge",
+				targets[i].name, targets[i].base, round, shardMode, c.mode)
+		}
 		states, err := msg.States()
 		if err != nil {
 			return 0, fmt.Errorf("cluster: shard %q (%s): %w", targets[i].name, targets[i].base, err)
@@ -453,6 +475,7 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 			Reports:     msg.Reports,
 			Rejected:    msg.Rejected,
 			WALReplayed: msg.WALReplayed,
+			Mode:        shardMode.String(),
 		}
 		c.logf("cluster: shard %q (%s) round %d: %d reports, %d rejected, %d wal-replayed",
 			msg.ShardID, targets[i].base, round, msg.Reports, msg.Rejected, msg.WALReplayed)
@@ -474,6 +497,11 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 		shardGauge(i, "reports").Set(int64(info.Reports))
 		shardGauge(i, "rejected").Set(int64(info.Rejected))
 		shardGauge(i, "wal_replayed").Set(int64(info.WALReplayed))
+		// Per-mode accepted/rejected gauges: one mode per round, so the
+		// mode-qualified gauges mirror the totals under the mode's name and an
+		// operator dashboard can break traffic down without parsing ShardInfo.
+		shardGauge(i, "accepted."+info.Mode).Set(int64(info.Reports))
+		shardGauge(i, "rejected."+info.Mode).Set(int64(info.Rejected))
 	}
 	c.mu.Lock()
 	c.finalized = true
@@ -558,6 +586,9 @@ type ClusterStatus struct {
 	Round       int  `json:"round"`
 	ServedRound int  `json:"served_round,omitempty"`
 	Finalized   bool `json:"finalized"`
+	// Mode is the cluster's reporting mode ("FELIP", "SPL", "RS+FD") — fixed
+	// by the plan and enforced against every shard at merge time.
+	Mode string `json:"mode"`
 	// Reports is the merged accepted-report total of the finalized round.
 	Reports int `json:"reports"`
 	// Epoch is the membership epoch; Members the live membership with
@@ -583,6 +614,7 @@ func (c *Coordinator) Status() ClusterStatus {
 	c.updateMembershipGaugesLocked()
 	st := ClusterStatus{
 		Round:     c.round,
+		Mode:      c.mode.String(),
 		Finalized: c.finalized,
 		Reports:   c.finalN,
 		Epoch:     c.members.epoch,

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/httpapi"
+)
+
+// A shard that ran its round under a different reporting mode must be refused
+// at merge time: its reports were perturbed under a different per-report
+// budget (and, under RS+FD, carry fake data the FELIP inversion knows nothing
+// about), so folding its partials would silently corrupt the round. The
+// coordinator refuses loudly instead.
+func TestMixedModeMergeRefused(t *testing.T) {
+	const n = 600
+	ctx := context.Background()
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 71)
+	felipOpts := core.Options{Strategy: core.OHG, Epsilon: 1.4, Seed: 73}
+	splOpts := felipOpts
+	splOpts.Mode = fo.ModeSPL
+
+	// Shard 0 runs the cluster's FELIP plan; shard 1 is misconfigured to SPL.
+	var bases []string
+	var srvs []*httpapi.Server
+	for i, opts := range []core.Options{felipOpts, splOpts} {
+		srv, err := httpapi.NewServer(schema, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogger(t.Logf)
+		srv.SetShardID(fmt.Sprintf("shard-%d", i))
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		srvs = append(srvs, srv)
+		bases = append(bases, ts.URL)
+	}
+	coord, err := New(Config{
+		Schema: schema,
+		N:      n,
+		Opts:   felipOpts,
+		Shards: bases,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed each shard reports valid under its own mode, so the refusal can
+	// only come from the merge-time mode check, not from empty shards or
+	// per-report validation.
+	for i, srv := range srvs {
+		mode := fo.ModeFELIP
+		if i == 1 {
+			mode = fo.ModeSPL
+		}
+		cl := httpapi.Dial(bases[i], nil)
+		plan, err := cl.Plan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := plan.Specs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		device, err := core.NewModeClient(specs, mode, plan.Epsilon, 75+uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < n/2; row++ {
+			id := fmt.Sprintf("mm-%d-%d", i, row)
+			reps, err := device.PerturbAll(httpapi.DeriveGroup(id, len(specs)),
+				func(attr int) int { return ds.Value(row, attr) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, rep := range reps {
+				if _, err := cl.ReportModeWithID(ctx, fmt.Sprintf("%s-%d", id, j), mode, rep); err != nil {
+					t.Fatalf("shard %d row %d: %v", i, row, err)
+				}
+			}
+		}
+		_ = srv
+	}
+
+	if _, err := coord.FinalizeRound(ctx); err == nil {
+		t.Fatal("coordinator merged a FELIP shard with an SPL shard")
+	} else if !strings.Contains(err.Error(), "mixed-mode") {
+		t.Fatalf("refusal does not name the mixed-mode merge: %v", err)
+	}
+}

@@ -56,11 +56,16 @@ func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
 	m := len(specs)
 	rng := fo.NewRand(opts.Seed)
 
-	// Group sizes and per-grid report streams.
+	// Group sizes and per-grid report streams, per reporting mode. The legacy
+	// DivideBudget ablation is the SPL stream shape on the FELIP-shaped plan
+	// (BuildPlan saw Mode == ModeFELIP), so Theorem 5.1 is compared at
+	// matched grids; Mode == ModeSPL runs the same streams on SPL-planned
+	// grids.
 	var groupValues [][]int
 	var groupEps float64
-	if opts.DivideBudget {
-		// Ablation mode: every user reports every grid with ε/m.
+	switch {
+	case opts.DivideBudget || opts.Mode == fo.ModeSPL:
+		// Budget split: every user reports every grid with ε/m.
 		groupEps = opts.Epsilon / float64(m)
 		groupValues = make([][]int, m)
 		for g := range specs {
@@ -71,7 +76,27 @@ func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
 			}
 			groupValues[g] = vals
 		}
-	} else {
+	case opts.Mode == fo.ModeRSFD:
+		// RS+FD: every user reports every grid at the amplified ε'; one
+		// uniformly-sampled grid carries the true cell, the rest uniform fake
+		// cells. All sampling runs on the round rng row-by-row, so the round
+		// is deterministic under its seed.
+		groupEps = fo.AmplifiedEpsilon(opts.Epsilon, m)
+		groupValues = make([][]int, m)
+		for g := range specs {
+			groupValues[g] = make([]int, n)
+		}
+		for row := 0; row < n; row++ {
+			realG := rng.IntN(m)
+			for g := range specs {
+				if g == realG {
+					groupValues[g][row] = specs[g].CellOf(func(attr int) int { return ds.Value(row, attr) })
+				} else {
+					groupValues[g][row] = rng.IntN(specs[g].L())
+				}
+			}
+		}
+	default:
 		// The paper's design: partition users uniformly into m groups.
 		groupEps = opts.Epsilon
 		assign := ds.Split(m, rng)
@@ -94,7 +119,14 @@ func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
 	}
 	freqs, err := estimateGrids(len(specs), func(g int) ([]float64, error) {
 		spec := specs[g]
-		est, err := fo.Estimate(spec.Proto, groupEps, spec.L(), groupValues[g], seeds[g])
+		var est []float64
+		var err error
+		if opts.Mode == fo.ModeRSFD {
+			// Perturb at ε' and invert the fake-data mix at estimation.
+			est, err = fo.EstimateRSFD(spec.Proto, opts.Epsilon, spec.L(), m, groupValues[g], seeds[g])
+		} else {
+			est, err = fo.Estimate(spec.Proto, groupEps, spec.L(), groupValues[g], seeds[g])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: grid %v: %w", spec, err)
 		}
@@ -128,7 +160,14 @@ func assembleAggregator(schema *domain.Schema, opts Options, specs []GridSpec, n
 	}
 	for g, spec := range specs {
 		freq := freqs[g]
-		var0 := spec.Proto.Variance(groupEps, spec.L(), max(groupNs[g], 1))
+		var var0 float64
+		if opts.Mode == fo.ModeRSFD {
+			// The fake-data inversion inflates the per-cell variance beyond the
+			// raw ε' protocol variance; use the corrected form.
+			var0 = fo.RSFDVariance(spec.Proto, opts.Epsilon, spec.L(), len(specs), max(groupNs[g], 1))
+		} else {
+			var0 = spec.Proto.Variance(groupEps, spec.L(), max(groupNs[g], 1))
+		}
 		if spec.Is1D() {
 			g1 := grid.NewGrid1D(spec.AttrX, spec.AxisX)
 			if err := g1.SetFreq(freq); err != nil {

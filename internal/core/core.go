@@ -45,6 +45,17 @@ func (s Strategy) String() string {
 	}
 }
 
+// ReportMode re-exports fo.ReportMode: how the population spends its budget
+// across the plan's grids. The zero value is ModeFELIP, the paper's design.
+type ReportMode = fo.ReportMode
+
+// The three reporting designs (see fo.ReportMode).
+const (
+	ModeFELIP = fo.ModeFELIP
+	ModeSPL   = fo.ModeSPL
+	ModeRSFD  = fo.ModeRSFD
+)
+
 // Options configures one FELIP collection round.
 type Options struct {
 	// Strategy is OUG or OHG.
@@ -63,9 +74,19 @@ type Options struct {
 	// ForceProtocol disables the adaptive frequency oracle and uses the given
 	// protocol for every grid (the OUG-OLH / OHG-OLH ablations of §6.3).
 	ForceProtocol *fo.Protocol
-	// DivideBudget switches from dividing users (the paper's choice, Theorem
-	// 5.1) to dividing the privacy budget: every user reports every grid with
-	// ε/m. Exists to reproduce the partitioning ablation.
+	// Mode selects the reporting design: FELIP divides users across grids
+	// (the paper's choice, Theorem 5.1, and the zero-value default), SPL
+	// divides the budget ε/m across all grids, RS+FD sends every grid from
+	// every user at the amplified ε' with fake data on the unsampled grids.
+	// Non-FELIP modes plan their grids with mode-aware noise formulas.
+	Mode ReportMode
+	// DivideBudget reproduces the §5.1 partitioning ablation in Collect:
+	// every user reports every grid with ε/m *on the FELIP-shaped plan*, so
+	// the comparison isolates the division strategy at matched grids. This
+	// differs from Mode == ModeSPL, which re-plans the grids for the ε/m
+	// per-report budget. The incremental Collector has no matched-plan
+	// ablation: it treats DivideBudget as Mode == ModeSPL. Combining
+	// DivideBudget with a non-FELIP Mode is an error.
 	DivideBudget bool
 	// PostProcessRounds is the number of consistency ↔ Norm-Sub alternations
 	// (§5.4). Default 3.
@@ -99,6 +120,14 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Strategy != OUG && o.Strategy != OHG {
 		return o, fmt.Errorf("core: unknown strategy %v", o.Strategy)
+	}
+	switch o.Mode {
+	case fo.ModeFELIP, fo.ModeSPL, fo.ModeRSFD:
+	default:
+		return o, fmt.Errorf("core: unknown report mode %v", o.Mode)
+	}
+	if o.DivideBudget && o.Mode != fo.ModeFELIP {
+		return o, fmt.Errorf("core: DivideBudget conflicts with mode %v", o.Mode)
 	}
 	if o.Selectivity == 0 {
 		o.Selectivity = 0.5

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"felip/internal/dataset"
+)
+
+// hashAgg fingerprints an aggregator's post-processed grid frequencies: an
+// FNV-64a over every float64's bit pattern in spec order. Any change to the
+// planning, perturbation, estimation or post-processing float stream moves
+// the hash.
+func hashAgg(a *Aggregator) (uint64, []float64) {
+	h := fnv.New64a()
+	var buf [8]byte
+	var samples []float64
+	for _, sp := range a.specs {
+		var freq []float64
+		if sp.Is1D() {
+			freq = a.grids1[sp.AttrX].Freq
+		} else {
+			freq = a.grids2[[2]int{sp.AttrX, sp.AttrY}].Freq
+		}
+		for _, f := range freq {
+			bits := math.Float64bits(f)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		if len(freq) > 0 {
+			samples = append(samples, freq[0])
+		}
+	}
+	return h.Sum64(), samples
+}
+
+// TestFELIPBitIdentical pins the default FELIP path to the exact output it
+// produced before the ReportMode refactor: the hashes below were captured on
+// the pre-refactor tree with the identical datasets, seeds and options. A
+// mismatch means the refactor changed the FELIP float stream — which the
+// mode abstraction must never do.
+func TestFELIPBitIdentical(t *testing.T) {
+	ds := dataset.NewNormal().Generate(mixedSchema(), 4000, 123)
+	for _, tc := range []struct {
+		name       string
+		opts       Options
+		wantHash   uint64
+		wantSample float64
+	}{
+		{"OUG", Options{Strategy: OUG, Epsilon: 1, Seed: 42}, 0xffd5ce6b3fefc5a5, 0.52108800178306014},
+		{"OHG", Options{Strategy: OHG, Epsilon: 1, Seed: 42}, 0xb5ce71ca5f0dc4a6, 0.093992098307303373},
+		// The §5.1 matched-plan budget ablation rides the FELIP plan shape and
+		// must stay pinned too.
+		{"OHG-budget", Options{Strategy: OHG, Epsilon: 1, Seed: 42, DivideBudget: true}, 0x521eba9b35abb579, 0.67880196130841575},
+	} {
+		agg, err := Collect(ds, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, samples := hashAgg(agg)
+		if h != tc.wantHash {
+			t.Errorf("%s: grid hash %#x, pre-refactor golden %#x", tc.name, h, tc.wantHash)
+		}
+		if len(samples) == 0 || samples[0] != tc.wantSample {
+			t.Errorf("%s: first cell %v, pre-refactor golden %v", tc.name, samples, tc.wantSample)
+		}
+	}
+}
+
+// TestIncrementalFELIPBitIdentical pins the incremental (Collector/Client)
+// FELIP path the same way.
+func TestIncrementalFELIPBitIdentical(t *testing.T) {
+	ds := dataset.NewNormal().Generate(mixedSchema(), 4000, 123)
+	col, err := NewCollector(mixedSchema(), 3000, Options{Strategy: OHG, Epsilon: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(col.Specs(), col.Epsilon(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev := 0; dev < 3000; dev++ {
+		row := dev
+		rep, err := cl.Perturb(col.AssignGroup(), func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, err := col.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, samples := hashAgg(agg)
+	const wantHash = 0x47cf6dffd2b6d185
+	const wantSample = 0.48261113404096367
+	if h != wantHash {
+		t.Errorf("incremental grid hash %#x, pre-refactor golden %#x", h, wantHash)
+	}
+	if len(samples) < 3 || samples[2] != wantSample {
+		t.Errorf("incremental samples %v, pre-refactor golden samples[2]=%v", samples, wantSample)
+	}
+}
+
+// TestModeCollectDeterministic pins the new modes to determinism: the same
+// seed must reproduce the identical float stream, and SPL/RS+FD must differ
+// from FELIP (they are different designs, not aliases).
+func TestModeCollectDeterministic(t *testing.T) {
+	ds := dataset.NewNormal().Generate(mixedSchema(), 4000, 123)
+	felipHash, _ := func() (uint64, []float64) {
+		agg, err := Collect(ds, Options{Strategy: OHG, Epsilon: 1, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hashAgg(agg)
+	}()
+	for _, mode := range []ReportMode{ModeSPL, ModeRSFD} {
+		run := func() uint64 {
+			agg, err := Collect(ds, Options{Strategy: OHG, Epsilon: 1, Seed: 42, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, _ := hashAgg(agg)
+			return h
+		}
+		h1, h2 := run(), run()
+		if h1 != h2 {
+			t.Errorf("%v: same seed produced %#x then %#x", mode, h1, h2)
+		}
+		if h1 == felipHash {
+			t.Errorf("%v: output identical to FELIP", mode)
+		}
+	}
+}

@@ -39,23 +39,44 @@ type Report struct {
 	Seed uint64
 }
 
+// ModeReport is one wire-level submission under a reporting mode: the ε-LDP
+// report plus the grid's primary attribute id, which non-FELIP modes carry on
+// the wire so the server can cross-check each of a user's m reports against
+// the plan.
+type ModeReport struct {
+	Report
+	// Attr is the grid's primary (x-axis) schema attribute index.
+	Attr int
+}
+
 // Client is the user-side of FELIP: it holds the grid plan published by the
-// aggregator and produces one ε-LDP report for a user's record. A Client can
-// serve any number of users; each Perturb call uses fresh randomness.
+// aggregator and produces the ε-LDP report(s) for a user's record under the
+// round's reporting mode. A Client can serve any number of users; each
+// Perturb/PerturbAll call uses fresh randomness.
 //
 // Client is not safe for concurrent use; create one per goroutine (they are
 // cheap) or synchronize externally.
 type Client struct {
 	specs []GridSpec
-	eps   float64
-	rng   *fo.Rand
-	grr   map[int]*fo.GRRClient
-	olh   map[int]*fo.OLHClient
+	mode  fo.ReportMode
+	// eps is the per-report budget: the round's ε under FELIP, ε/m under SPL,
+	// the amplified ε' under RS+FD.
+	eps float64
+	rng *fo.Rand
+	grr map[int]*fo.GRRClient
+	olh map[int]*fo.OLHClient
 }
 
-// NewClient builds a client from the published plan. seed controls the
-// perturbation randomness (0 draws a fresh seed).
+// NewClient builds a FELIP-mode client from the published plan. seed controls
+// the perturbation randomness (0 draws a fresh seed).
 func NewClient(specs []GridSpec, eps float64, seed uint64) (*Client, error) {
+	return NewModeClient(specs, fo.ModeFELIP, eps, seed)
+}
+
+// NewModeClient builds a client for the round's reporting mode. eps is the
+// round's end-to-end budget ε as published in the plan; the client derives
+// each report's budget from the mode (ε, ε/m or the amplified ε').
+func NewModeClient(specs []GridSpec, mode fo.ReportMode, eps float64, seed uint64) (*Client, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: empty grid plan")
 	}
@@ -67,7 +88,8 @@ func NewClient(specs []GridSpec, eps float64, seed uint64) (*Client, error) {
 	}
 	return &Client{
 		specs: specs,
-		eps:   eps,
+		mode:  mode,
+		eps:   fo.ReportEpsilon(mode, eps, len(specs)),
 		rng:   fo.NewRand(seed),
 		grr:   make(map[int]*fo.GRRClient),
 		olh:   make(map[int]*fo.OLHClient),
@@ -77,16 +99,72 @@ func NewClient(specs []GridSpec, eps float64, seed uint64) (*Client, error) {
 // Groups returns the number of user groups m in the plan.
 func (c *Client) Groups() int { return len(c.specs) }
 
+// Mode returns the client's reporting mode.
+func (c *Client) Mode() fo.ReportMode { return c.mode }
+
 // Perturb produces the ε-LDP report of a user assigned to the given group.
 // record returns the user's true value for a schema attribute index; only
 // the group's grid attributes are read, and only the perturbed cell leaves
-// the client.
+// the client. Perturb is the FELIP-mode path — SPL and RS+FD users submit
+// one report per grid via PerturbAll.
 func (c *Client) Perturb(group int, record func(attr int) int) (Report, error) {
+	if c.mode != fo.ModeFELIP {
+		return Report{}, fmt.Errorf("core: Perturb is FELIP-only; mode %v clients use PerturbAll", c.mode)
+	}
 	if group < 0 || group >= len(c.specs) {
 		return Report{}, fmt.Errorf("core: group %d outside plan of %d grids", group, len(c.specs))
 	}
+	return c.perturbCell(group, c.specs[group].CellOf(record))
+}
+
+// PerturbAll produces every report the user's record generates under the
+// client's mode: one report for the assigned group under FELIP, one report
+// per grid under SPL (each at ε/m) and RS+FD (each at ε', one true grid
+// sampled uniformly, fake data elsewhere). group is only read in FELIP mode.
+func (c *Client) PerturbAll(group int, record func(attr int) int) ([]ModeReport, error) {
+	switch c.mode {
+	case fo.ModeFELIP:
+		if group < 0 || group >= len(c.specs) {
+			return nil, fmt.Errorf("core: group %d outside plan of %d grids", group, len(c.specs))
+		}
+		rep, err := c.perturbCell(group, c.specs[group].CellOf(record))
+		if err != nil {
+			return nil, err
+		}
+		return []ModeReport{{Report: rep, Attr: c.specs[group].AttrX}}, nil
+	case fo.ModeSPL:
+		out := make([]ModeReport, 0, len(c.specs))
+		for g, spec := range c.specs {
+			rep, err := c.perturbCell(g, spec.CellOf(record))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ModeReport{Report: rep, Attr: spec.AttrX})
+		}
+		return out, nil
+	case fo.ModeRSFD:
+		realG := c.rng.IntN(len(c.specs))
+		out := make([]ModeReport, 0, len(c.specs))
+		for g, spec := range c.specs {
+			cell := spec.CellOf(record)
+			if g != realG {
+				cell = c.rng.IntN(spec.L())
+			}
+			rep, err := c.perturbCell(g, cell)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ModeReport{Report: rep, Attr: spec.AttrX})
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: unknown report mode %v", c.mode)
+	}
+}
+
+// perturbCell perturbs one grid cell under the client's per-report budget.
+func (c *Client) perturbCell(group, cell int) (Report, error) {
 	spec := c.specs[group]
-	cell := spec.CellOf(record)
 	switch spec.Proto {
 	case fo.GRR:
 		cl, ok := c.grr[group]
@@ -131,6 +209,10 @@ type Collector struct {
 	schema *domain.Schema
 	opts   Options
 	specs  []GridSpec
+	// reportEps is the budget each individual report is perturbed at: ε under
+	// FELIP, ε/m under SPL, the amplified ε' under RS+FD. Aggregators,
+	// validation and partial-state checks all run at this budget.
+	reportEps float64
 
 	mu        sync.Mutex
 	nextGroup int
@@ -162,30 +244,38 @@ func NewCollector(schema *domain.Schema, n int, opts Options) (*Collector, error
 	if err != nil {
 		return nil, err
 	}
+	// Budget-split plans ride the SPL mode: the incremental collector has no
+	// matched-plan ablation (reports arrive from real clients against the
+	// published plan), so DivideBudget means the real thing — every user
+	// reports every grid, each report at ε/m, on SPL-planned grids.
 	if opts.DivideBudget {
-		return nil, fmt.Errorf("core: the incremental collector divides users, not the budget")
+		opts.DivideBudget = false
+		opts.Mode = fo.ModeSPL
 	}
 	specs, err := BuildPlan(schema, n, opts)
 	if err != nil {
 		return nil, err
 	}
+	// The aggregators run at the per-report budget in every mode.
+	reportEps := fo.ReportEpsilon(opts.Mode, opts.Epsilon, len(specs))
 	c := &Collector{
-		schema:  schema,
-		opts:    opts,
-		specs:   specs,
-		rng:     fo.NewRand(opts.Seed),
-		grrAggs: make(map[int]*fo.GRRAggregator),
-		olhAggs: make(map[int]*fo.OLHAggregator),
+		schema:    schema,
+		opts:      opts,
+		specs:     specs,
+		reportEps: reportEps,
+		rng:       fo.NewRand(opts.Seed),
+		grrAggs:   make(map[int]*fo.GRRAggregator),
+		olhAggs:   make(map[int]*fo.OLHAggregator),
 	}
 	for g, spec := range specs {
 		switch spec.Proto {
 		case fo.GRR:
-			c.grrAggs[g] = fo.NewGRRAggregator(opts.Epsilon, spec.L())
+			c.grrAggs[g] = fo.NewGRRAggregator(reportEps, spec.L())
 		case fo.OLH:
 			if opts.StreamingAggregation {
-				c.olhAggs[g] = fo.NewOLHAggregatorStreaming(opts.Epsilon, spec.L())
+				c.olhAggs[g] = fo.NewOLHAggregatorStreaming(reportEps, spec.L())
 			} else {
-				c.olhAggs[g] = fo.NewOLHAggregator(opts.Epsilon, spec.L())
+				c.olhAggs[g] = fo.NewOLHAggregator(reportEps, spec.L())
 			}
 		default:
 			return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
@@ -201,8 +291,15 @@ func (c *Collector) Specs() []GridSpec {
 	return out
 }
 
-// Epsilon returns the round's privacy budget.
+// Epsilon returns the round's end-to-end (per-user) privacy budget ε.
 func (c *Collector) Epsilon() float64 { return c.opts.Epsilon }
+
+// Mode returns the round's reporting mode.
+func (c *Collector) Mode() fo.ReportMode { return c.opts.Mode }
+
+// ReportEpsilon returns the budget each individual report is perturbed at
+// under the round's mode (ε, ε/m or the amplified ε').
+func (c *Collector) ReportEpsilon() float64 { return c.reportEps }
 
 // AssignGroup hands out the next user's group. Round-robin keeps the groups
 // balanced, matching the paper's uniform population division.
@@ -243,7 +340,7 @@ func (c *Collector) validateLocked(rep Report) error {
 			return fmt.Errorf("core: GRR report %d outside [0,%d)", rep.Value, spec.L())
 		}
 	case fo.OLH:
-		g := fo.OptimalG(c.opts.Epsilon)
+		g := fo.OptimalG(c.reportEps)
 		if rep.Value < 0 || rep.Value >= g {
 			return fmt.Errorf("core: OLH report %d outside [0,%d)", rep.Value, g)
 		}
@@ -417,7 +514,7 @@ func (c *Collector) ImportPartials(states []fo.PartialState) error {
 	total := 0
 	for g, st := range states {
 		spec := c.specs[g]
-		if err := st.Check(spec.Proto, c.opts.Epsilon, spec.L()); err != nil {
+		if err := st.Check(spec.Proto, c.reportEps, spec.L()); err != nil {
 			return fmt.Errorf("core: grid %d: %w", g, err)
 		}
 		total += st.N
@@ -479,6 +576,26 @@ func (c *Collector) Finalize() (*Aggregator, error) {
 	start := time.Now()
 	groupNs := make([]int, len(specs))
 	freqs, err := estimateGrids(len(specs), func(g int) ([]float64, error) {
+		if c.opts.Mode == fo.ModeRSFD {
+			// RS+FD estimates from the raw support counts: the standard
+			// estimator at ε' is biased by the fake-data mix, so the
+			// aggregator's counts are exported and inverted instead.
+			var st fo.PartialState
+			var err error
+			switch specs[g].Proto {
+			case fo.GRR:
+				st, err = grrAggs[g].ExportState()
+			case fo.OLH:
+				st, err = olhAggs[g].ExportState()
+			default:
+				return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", specs[g].Proto)
+			}
+			if err != nil {
+				return nil, err
+			}
+			groupNs[g] = st.N
+			return fo.RSFDEstimates(specs[g].Proto, c.opts.Epsilon, specs[g].L(), len(specs), st.Counts, st.N)
+		}
 		switch specs[g].Proto {
 		case fo.GRR:
 			groupNs[g] = grrAggs[g].N()
@@ -492,7 +609,13 @@ func (c *Collector) Finalize() (*Aggregator, error) {
 	})
 	var agg *Aggregator
 	if err == nil {
-		agg, err = assembleAggregator(c.schema, c.opts, specs, added, freqs, groupNs, c.opts.Epsilon)
+		// Under SPL and RS+FD every user contributed one report per grid, so
+		// the population behind the round is added/m, not added.
+		population := added
+		if c.opts.Mode != fo.ModeFELIP {
+			population = added / len(specs)
+		}
+		agg, err = assembleAggregator(c.schema, c.opts, specs, population, freqs, groupNs, c.reportEps)
 	}
 	finalizeTimer.Observe(time.Since(start))
 

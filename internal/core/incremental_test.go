@@ -40,8 +40,15 @@ func TestNewCollectorValidation(t *testing.T) {
 	if _, err := NewCollector(mixedSchema(), 10000, Options{Strategy: OHG}); err == nil {
 		t.Error("eps=0 accepted")
 	}
-	if _, err := NewCollector(mixedSchema(), 10000, Options{Strategy: OHG, Epsilon: 1, DivideBudget: true}); err == nil {
-		t.Error("budget division accepted by incremental collector")
+	// Budget-split plans are routed through the SPL mode rather than refused.
+	col, err := NewCollector(mixedSchema(), 10000, Options{Strategy: OHG, Epsilon: 1, DivideBudget: true})
+	if err != nil {
+		t.Errorf("budget division should route through SPL mode: %v", err)
+	} else if col.Mode() != ModeSPL {
+		t.Errorf("DivideBudget collector mode = %v, want SPL", col.Mode())
+	}
+	if _, err := NewCollector(mixedSchema(), 10000, Options{Strategy: OHG, Epsilon: 1, DivideBudget: true, Mode: ModeRSFD}); err == nil {
+		t.Error("DivideBudget + RS+FD accepted")
 	}
 	if _, err := NewCollector(mixedSchema(), 0, Options{Strategy: OHG, Epsilon: 1}); err == nil {
 		t.Error("n=0 accepted")

@@ -82,6 +82,7 @@ func BuildPlan(schema *domain.Schema, n int, opts Options) ([]GridSpec, error) {
 		M:       m,
 		Alpha1:  opts.Alpha1,
 		Alpha2:  opts.Alpha2,
+		Mode:    opts.Mode,
 	}
 
 	specs := make([]GridSpec, 0, m)

@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"fmt"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/wire"
+)
+
+// This file is the reporting-mode shootout: FELIP's divide-users design
+// against SPL (every user reports every grid at ε/m) and RS+FD (every user
+// reports every grid at the amplified ε', fake data on the unsampled grids),
+// run through the real client→wire pipeline so each mode is charged its true
+// wire cost, not just its statistical error.
+
+// ModeCell is one shootout cell: a population reporting under one mode at one
+// (ε, dimensionality) point.
+type ModeCell struct {
+	// Mode names the reporting design (FELIP, SPL, RS+FD).
+	Mode string `json:"mode"`
+	// Epsilon is the end-to-end per-user budget ε.
+	Epsilon float64 `json:"epsilon"`
+	// Attrs is the schema dimensionality d.
+	Attrs int `json:"attrs"`
+	// Domain is the per-attribute domain size.
+	Domain int `json:"domain"`
+	// N is the population size.
+	N int `json:"n"`
+	// Grids is the plan size m (reports per user for SPL and RS+FD).
+	Grids int `json:"grids"`
+	// Reports is the total report count the population shipped.
+	Reports int `json:"reports"`
+	// WireBytes is the total encoded frame traffic the reports cost on the
+	// batched binary path, mode framing included.
+	WireBytes int64 `json:"wire_bytes"`
+	// BytesPerUser is WireBytes / N.
+	BytesPerUser float64 `json:"bytes_per_user"`
+	// MSE is the mean squared error of the estimated per-attribute value
+	// frequencies against the dataset's true frequencies.
+	MSE float64 `json:"mse"`
+}
+
+// ModeShootoutConfig parameterizes the sweep. Zero values take the defaults
+// noted per field.
+type ModeShootoutConfig struct {
+	// N is the population per cell (default 20000).
+	N int
+	// Epsilons is the ε sweep (default 0.5 and 2.0).
+	Epsilons []float64
+	// Dims is the dimensionality sweep (default 4 and 8 attributes).
+	Dims []int
+	// Domain is the per-attribute domain size (default 32).
+	Domain int
+	// BatchReports is the frame size the wire cost is metered at
+	// (default 512, the Batcher's default flush trigger).
+	BatchReports int
+	// Seed makes the sweep deterministic (default 1).
+	Seed uint64
+	// Progress, when non-nil, receives one line per finished cell.
+	Progress func(string)
+}
+
+func (c ModeShootoutConfig) withDefaults() ModeShootoutConfig {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{0.5, 2.0}
+	}
+	if len(c.Dims) == 0 {
+		c.Dims = []int{4, 8}
+	}
+	if c.Domain <= 0 {
+		c.Domain = 32
+	}
+	if c.BatchReports <= 0 || c.BatchReports > wire.MaxFrameReports {
+		c.BatchReports = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// shootoutModes is the fixed three-way comparison, FELIP first.
+var shootoutModes = []fo.ReportMode{fo.ModeFELIP, fo.ModeSPL, fo.ModeRSFD}
+
+// RunModeShootout sweeps every (ε, d) point across the three reporting modes.
+// Each cell runs the full incremental pipeline — plan, per-user mode client,
+// batch frames, collector fold, estimation — and scores the result against
+// the same dataset, so within a (ε, d) point only the mode differs.
+func RunModeShootout(cfg ModeShootoutConfig) ([]ModeCell, error) {
+	cfg = cfg.withDefaults()
+	var cells []ModeCell
+	for _, d := range cfg.Dims {
+		for _, eps := range cfg.Epsilons {
+			for _, mode := range shootoutModes {
+				cell, err := runModeCell(cfg, d, eps, mode)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: mode %v d=%d eps=%g: %w", mode, d, eps, err)
+				}
+				cells = append(cells, cell)
+				if cfg.Progress != nil {
+					cfg.Progress(fmt.Sprintf("modes: d=%d eps=%g %-5s mse=%.3e bytes/user=%.1f",
+						d, eps, cell.Mode, cell.MSE, cell.BytesPerUser))
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// runModeCell runs one population through one mode end to end.
+func runModeCell(cfg ModeShootoutConfig, d int, eps float64, mode fo.ReportMode) (ModeCell, error) {
+	schema := dataset.NumericSchema(d, cfg.Domain)
+	gen, err := dataset.ByName("normal")
+	if err != nil {
+		return ModeCell{}, err
+	}
+	// The dataset depends only on (d, seed): every mode at a (ε, d) point
+	// estimates the same ground truth.
+	ds := gen.Generate(schema, cfg.N, cfg.Seed+uint64(d))
+
+	col, err := core.NewCollector(schema, cfg.N, core.Options{
+		Strategy: core.OUG,
+		Epsilon:  eps,
+		Mode:     mode,
+		Seed:     cfg.Seed + 10,
+	})
+	if err != nil {
+		return ModeCell{}, err
+	}
+	specs := col.Specs()
+	client, err := core.NewModeClient(specs, mode, eps, cfg.Seed+100)
+	if err != nil {
+		return ModeCell{}, err
+	}
+
+	var (
+		wireBytes int64
+		reports   int
+		batch     = make([]wire.BatchReport, 0, cfg.BatchReports)
+	)
+	flush := func() {
+		if len(batch) > 0 {
+			wireBytes += int64(wire.FrameSizeMode(mode, batch))
+			batch = batch[:0]
+		}
+	}
+	for u := 0; u < cfg.N; u++ {
+		group := col.AssignGroup()
+		reps, err := client.PerturbAll(group, func(attr int) int { return ds.Value(u, attr) })
+		if err != nil {
+			return ModeCell{}, err
+		}
+		for j, rep := range reps {
+			if err := col.Add(rep.Report); err != nil {
+				return ModeCell{}, err
+			}
+			batch = append(batch, wire.BatchReport{
+				ID:     fmt.Sprintf("u-%d-%d", u, j),
+				Report: rep.Report,
+				Attr:   rep.Attr,
+			})
+			if len(batch) == cfg.BatchReports {
+				flush()
+			}
+			reports++
+		}
+	}
+	flush()
+
+	agg, err := col.Finalize()
+	if err != nil {
+		return ModeCell{}, err
+	}
+	mse, err := marginalMSE(agg, ds, schema.Len())
+	if err != nil {
+		return ModeCell{}, err
+	}
+	return ModeCell{
+		Mode:         mode.String(),
+		Epsilon:      eps,
+		Attrs:        d,
+		Domain:       cfg.Domain,
+		N:            cfg.N,
+		Grids:        len(specs),
+		Reports:      reports,
+		WireBytes:    wireBytes,
+		BytesPerUser: float64(wireBytes) / float64(cfg.N),
+		MSE:          mse,
+	}, nil
+}
+
+// marginalMSE scores the aggregator's per-attribute value-frequency estimates
+// against the dataset's exact frequencies: the mean of (est − true)² over
+// every (attribute, value) pair.
+func marginalMSE(agg *core.Aggregator, ds *dataset.Dataset, attrs int) (float64, error) {
+	var sum float64
+	var count int
+	for attr := 0; attr < attrs; attr++ {
+		var est []float64
+		if g1, ok := agg.Grid1D(attr); ok {
+			est = g1.ValueMarginal()
+		} else if pair, ok := agg.CoveringGrid2D(attr); ok {
+			g2, ok := agg.Grid2D(pair[0], pair[1])
+			if !ok {
+				return 0, fmt.Errorf("experiment: covering grid (%d,%d) missing", pair[0], pair[1])
+			}
+			marg, err := g2.ValueMarginal(attr)
+			if err != nil {
+				return 0, err
+			}
+			est = marg
+		} else {
+			return 0, fmt.Errorf("experiment: no grid covers attribute %d", attr)
+		}
+		truth := make([]float64, len(est))
+		col := ds.Col(attr)
+		for _, v := range col {
+			if int(v) < len(truth) {
+				truth[int(v)]++
+			}
+		}
+		n := float64(len(col))
+		for v := range est {
+			diff := est[v] - truth[v]/n
+			sum += diff * diff
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("experiment: empty marginal comparison")
+	}
+	return sum / float64(count), nil
+}

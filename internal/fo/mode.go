@@ -1,0 +1,82 @@
+package fo
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReportMode selects how a multidimensional population spends its privacy
+// budget across the plan's m grids (paper §3; Arcolezi et al.,
+// arXiv:2205.02648 for RS+FD).
+//
+// The three modes trade reports-per-user against per-report budget:
+//
+//   - FELIP divides the *users*: each user is assigned one grid and reports
+//     only that grid at the full ε. One report per user, n/m users per grid.
+//   - SPL divides the *budget*: each user reports every grid, each report
+//     perturbed at ε/m. m reports per user, n users per grid.
+//   - RS+FD samples one grid uniformly per user to carry the true value and
+//     fills the other m−1 grids with uniform fake data; every report is
+//     perturbed at the amplified budget ε' = ln(m·(e^ε−1)+1). m reports per
+//     user, n users per grid, and the estimator inverts the fake-data mix.
+type ReportMode uint8
+
+const (
+	// ModeFELIP is the paper's user-division design (the default).
+	ModeFELIP ReportMode = iota
+	// ModeSPL splits the budget ε/m across all grids.
+	ModeSPL
+	// ModeRSFD is random sampling plus fake data at amplified ε'.
+	ModeRSFD
+)
+
+// String returns the conventional mode name.
+func (m ReportMode) String() string {
+	switch m {
+	case ModeFELIP:
+		return "FELIP"
+	case ModeSPL:
+		return "SPL"
+	case ModeRSFD:
+		return "RS+FD"
+	default:
+		return fmt.Sprintf("ReportMode(%d)", uint8(m))
+	}
+}
+
+// ParseReportMode parses a wire-level mode name. The empty string is FELIP:
+// v1 peers never sent a mode, and every v1 artifact (JSON report, WAL record,
+// shard checksum) must keep meaning the FELIP path.
+func ParseReportMode(s string) (ReportMode, error) {
+	switch s {
+	case "", "FELIP":
+		return ModeFELIP, nil
+	case "SPL":
+		return ModeSPL, nil
+	case "RS+FD", "RSFD":
+		return ModeRSFD, nil
+	default:
+		return ModeFELIP, fmt.Errorf("fo: unknown report mode %q", s)
+	}
+}
+
+// AmplifiedEpsilon returns RS+FD's per-report budget ε' = ln(m·(e^ε−1)+1)
+// (Arcolezi et al., Thm 1): because only one of the m reports carries the
+// true value and the rest are data-independent fakes, each report may be
+// perturbed at ε' > ε while the user's end-to-end guarantee stays ε.
+func AmplifiedEpsilon(eps float64, m int) float64 {
+	return math.Log(float64(m)*(math.Exp(eps)-1) + 1)
+}
+
+// ReportEpsilon returns the budget each individual report is perturbed at
+// under the given mode, for a plan of m grids and an end-to-end budget eps.
+func ReportEpsilon(mode ReportMode, eps float64, m int) float64 {
+	switch mode {
+	case ModeSPL:
+		return eps / float64(m)
+	case ModeRSFD:
+		return AmplifiedEpsilon(eps, m)
+	default:
+		return eps
+	}
+}

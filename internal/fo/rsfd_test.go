@@ -1,0 +1,157 @@
+package fo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseReportMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ReportMode
+		ok   bool
+	}{
+		{"", ModeFELIP, true},
+		{"FELIP", ModeFELIP, true},
+		{"SPL", ModeSPL, true},
+		{"RS+FD", ModeRSFD, true},
+		{"RSFD", ModeRSFD, true},
+		{"nope", ModeFELIP, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseReportMode(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseReportMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseReportMode(%q) accepted", tc.in)
+		}
+	}
+	for _, m := range []ReportMode{ModeFELIP, ModeSPL, ModeRSFD} {
+		back, err := ParseReportMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v: got %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestAmplifiedEpsilon(t *testing.T) {
+	if got := AmplifiedEpsilon(1.5, 1); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("m=1 must not amplify: got %v", got)
+	}
+	prev := 0.0
+	for m := 1; m <= 8; m++ {
+		amp := AmplifiedEpsilon(1, m)
+		if amp <= prev {
+			t.Fatalf("amplified epsilon must increase in m: m=%d got %v after %v", m, amp, prev)
+		}
+		prev = amp
+	}
+	// ε' must stay below the naive m·ε bound that full composition would need.
+	if amp := AmplifiedEpsilon(1, 4); amp >= 4 {
+		t.Fatalf("amplification exceeded composition bound: %v", amp)
+	}
+}
+
+func TestReportEpsilon(t *testing.T) {
+	if got := ReportEpsilon(ModeFELIP, 2, 4); got != 2 {
+		t.Errorf("FELIP report epsilon = %v, want 2", got)
+	}
+	if got := ReportEpsilon(ModeSPL, 2, 4); got != 0.5 {
+		t.Errorf("SPL report epsilon = %v, want 0.5", got)
+	}
+	if got := ReportEpsilon(ModeRSFD, 2, 4); math.Abs(got-AmplifiedEpsilon(2, 4)) > 1e-15 {
+		t.Errorf("RS+FD report epsilon = %v, want amplified", got)
+	}
+}
+
+func TestRSFDPQ(t *testing.T) {
+	for _, proto := range []Protocol{GRR, OLH, OUE} {
+		p, q, err := RSFDPQ(proto, 1.2, 16)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !(p > q) || p <= 0 || q <= 0 || p > 1 || q > 1 {
+			t.Fatalf("%v: implausible (p,q) = (%v,%v)", proto, p, q)
+		}
+	}
+	if _, _, err := RSFDPQ(GRR, -1, 16); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+// TestRSFDUnbiased simulates the full RS+FD round for one grid of a plan of
+// m grids — sampling the real grid per user, fake data otherwise — and checks
+// the inverted estimates land on the true frequencies.
+func TestRSFDUnbiased(t *testing.T) {
+	const (
+		n   = 200_000
+		L   = 8
+		m   = 3
+		eps = 1.0
+	)
+	// True population: value v with weight v+1 (normalized).
+	truth := make([]float64, L)
+	var wsum float64
+	for v := 0; v < L; v++ {
+		truth[v] = float64(v + 1)
+		wsum += truth[v]
+	}
+	for v := range truth {
+		truth[v] /= wsum
+	}
+	for _, proto := range []Protocol{GRR, OLH, OUE} {
+		r := NewRand(99)
+		values := make([]int, n)
+		for i := range values {
+			// Draw the user's true value from the skewed distribution.
+			u := r.Float64() * wsum
+			v := 0
+			for acc := truth[0] * wsum; u > acc && v < L-1; {
+				v++
+				acc += truth[v] * wsum
+			}
+			if r.IntN(m) == 0 {
+				values[i] = v // this grid is the user's sampled real grid
+			} else {
+				values[i] = r.IntN(L) // uniform fake data
+			}
+		}
+		est, err := EstimateRSFD(proto, eps, L, m, values, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		for v := 0; v < L; v++ {
+			if math.Abs(est[v]-truth[v]) > 0.05 {
+				t.Errorf("%v: est[%d] = %v, truth %v", proto, v, est[v], truth[v])
+			}
+		}
+	}
+}
+
+func TestRSFDVariancePositive(t *testing.T) {
+	for _, proto := range []Protocol{GRR, OLH, OUE} {
+		v := RSFDVariance(proto, 1, 16, 3, 10_000)
+		if !(v > 0) || math.IsInf(v, 0) {
+			t.Errorf("%v: variance %v", proto, v)
+		}
+		// More grids → more fake data and a bigger inversion factor; variance
+		// must not shrink with m at fixed everything else.
+		if v2 := RSFDVariance(proto, 1, 16, 6, 10_000); v2 <= v {
+			t.Errorf("%v: variance should grow with m: m=3 %v, m=6 %v", proto, v, v2)
+		}
+	}
+}
+
+func TestRSFDEstimatesValidation(t *testing.T) {
+	if _, err := RSFDEstimates(GRR, 1, 4, 0, make([]int64, 4), 10); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := RSFDEstimates(GRR, 1, 4, 2, make([]int64, 3), 10); err == nil {
+		t.Error("short counts accepted")
+	}
+	est, err := RSFDEstimates(GRR, 1, 4, 2, make([]int64, 4), 0)
+	if err != nil || len(est) != 4 {
+		t.Errorf("n=0: %v, %v", est, err)
+	}
+}

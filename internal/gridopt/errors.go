@@ -27,6 +27,11 @@ type Params struct {
 	Alpha1 float64
 	// Alpha2 scales the 2-D non-uniformity error (paper α₂ = 0.03).
 	Alpha2 float64
+	// Mode selects the reporting design the noise terms are computed for:
+	// FELIP divides users (n/m per grid at ε), SPL divides budget (n per grid
+	// at ε/m), RS+FD sends every grid from every user at the amplified ε'.
+	// The zero value is ModeFELIP, keeping every existing call site exact.
+	Mode fo.ReportMode
 }
 
 // WithDefaults fills zero alphas with the paper's constants.
@@ -40,18 +45,55 @@ func (p Params) WithDefaults() Params {
 	return p
 }
 
-// noiseOLH returns the per-cell squared noise+sampling error under OLH with
-// the population split into M groups: 4·m·e^ε / (n·(e^ε−1)²).
-func (p Params) noiseOLH() float64 {
-	ee := math.Exp(p.Epsilon)
-	return 4 * float64(p.M) * ee / (float64(p.N) * (ee - 1) * (ee - 1))
+// noiseOLH returns the per-cell squared noise error under OLH for a grid with
+// L total cells. FELIP splits the population into M groups, inflating the
+// variance m-fold: 4·m·e^ε / (n·(e^ε−1)²). SPL keeps all n users per grid but
+// perturbs at ε/m. RS+FD keeps all n users at the amplified ε' and pays the
+// fake-data inversion factor instead.
+func (p Params) noiseOLH(L float64) float64 {
+	switch p.Mode {
+	case fo.ModeSPL:
+		ee := math.Exp(p.Epsilon / float64(p.M))
+		return 4 * ee / (float64(p.N) * (ee - 1) * (ee - 1))
+	case fo.ModeRSFD:
+		return p.noiseRSFD(fo.OLH, L)
+	default:
+		ee := math.Exp(p.Epsilon)
+		return 4 * float64(p.M) * ee / (float64(p.N) * (ee - 1) * (ee - 1))
+	}
 }
 
-// noiseGRR returns the per-cell squared noise+sampling error under GRR for a
-// grid with L total cells: m·(e^ε+L−2) / (n·(e^ε−1)²).
+// noiseGRR returns the per-cell squared noise error under GRR for a grid with
+// L total cells: FELIP m·(e^ε+L−2) / (n·(e^ε−1)²), SPL the same at ε/m with
+// no group factor, RS+FD the fake-data-corrected variance at ε'.
 func (p Params) noiseGRR(L float64) float64 {
-	ee := math.Exp(p.Epsilon)
-	return float64(p.M) * (ee + L - 2) / (float64(p.N) * (ee - 1) * (ee - 1))
+	switch p.Mode {
+	case fo.ModeSPL:
+		ee := math.Exp(p.Epsilon / float64(p.M))
+		return (ee + L - 2) / (float64(p.N) * (ee - 1) * (ee - 1))
+	case fo.ModeRSFD:
+		return p.noiseRSFD(fo.GRR, L)
+	default:
+		ee := math.Exp(p.Epsilon)
+		return float64(p.M) * (ee + L - 2) / (float64(p.N) * (ee - 1) * (ee - 1))
+	}
+}
+
+// noiseRSFD is fo.RSFDVariance in continuous-L form, so the grid optimizer
+// can evaluate the RS+FD objective at fractional cell counts during the
+// golden-section search. At integer L it matches fo.RSFDVariance exactly.
+func (p Params) noiseRSFD(proto fo.Protocol, L float64) float64 {
+	ee := math.Exp(fo.AmplifiedEpsilon(p.Epsilon, p.M))
+	var pp, q float64
+	if proto == fo.GRR {
+		pp, q = ee/(ee+L-1), 1/(ee+L-1)
+	} else {
+		g := float64(fo.OptimalG(fo.AmplifiedEpsilon(p.Epsilon, p.M)))
+		pp, q = ee/(ee+g-1), 1/g
+	}
+	m := float64(p.M)
+	p0 := q + (pp-q)*(m-1)/(m*L)
+	return m * m * p0 * (1 - p0) / (float64(p.N) * (pp - q) * (pp - q))
 }
 
 // Err1D returns the expected squared error of a 1-D numerical grid with l
@@ -64,7 +106,7 @@ func (p Params) Err1D(proto fo.Protocol, rx, l float64) float64 {
 	case fo.GRR:
 		noise = p.noiseGRR(l)
 	default:
-		noise = p.noiseOLH()
+		noise = p.noiseOLH(l)
 	}
 	return bias*bias + l*rx*noise
 }
@@ -80,7 +122,7 @@ func (p Params) Err2DNumNum(proto fo.Protocol, rx, ry, lx, ly float64) float64 {
 	case fo.GRR:
 		noise = p.noiseGRR(lx * ly)
 	default:
-		noise = p.noiseOLH()
+		noise = p.noiseOLH(lx * ly)
 	}
 	return bias*bias + lx*rx*ly*ry*noise
 }
@@ -96,7 +138,7 @@ func (p Params) Err2DCatNum(proto fo.Protocol, rx, ry, lx, ly float64) float64 {
 	case fo.GRR:
 		noise = p.noiseGRR(lx * ly)
 	default:
-		noise = p.noiseOLH()
+		noise = p.noiseOLH(lx * ly)
 	}
 	return bias*bias + lx*rx*ly*ry*noise
 }
@@ -109,6 +151,6 @@ func (p Params) ErrExact(proto fo.Protocol, r, L float64) float64 {
 	case fo.GRR:
 		return L * r * p.noiseGRR(L)
 	default:
-		return L * r * p.noiseOLH()
+		return L * r * p.noiseOLH(L)
 	}
 }

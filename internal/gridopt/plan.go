@@ -58,6 +58,29 @@ func Optimal1DGRR(p Params, rx float64, d int) float64 {
 	return Bisect(deriv, 1, float64(d))
 }
 
+// seed1D returns the continuous minimizer minimizeInt is seeded with for the
+// 1-D numerical objective. FELIP has closed forms (Eqs 5–6); the SPL and
+// RS+FD objectives have different noise shapes, so their seed is a direct
+// golden-section search of the mode-aware objective over [1, d].
+func seed1D(p Params, proto fo.Protocol, rx float64, d int) float64 {
+	if p.Mode != fo.ModeFELIP {
+		return GoldenSection(func(l float64) float64 { return p.Err1D(proto, rx, l) }, 1, float64(d))
+	}
+	if proto == fo.GRR {
+		return Optimal1DGRR(p, rx, d)
+	}
+	return Optimal1DOLH(p, rx)
+}
+
+// seed2DCatNum is seed1D's analogue for the numerical axis of a cat×num grid.
+func seed2DCatNum(p Params, proto fo.Protocol, rx, ry float64, dnum, dcat int) float64 {
+	ly := float64(dcat)
+	if p.Mode == fo.ModeFELIP && proto == fo.OLH {
+		return Optimal2DCatNumOLH(p, rx, ry, dcat)
+	}
+	return GoldenSection(func(lx float64) float64 { return p.Err2DCatNum(proto, rx, ry, lx, ly) }, 1, float64(dnum))
+}
+
 // Plan1DNumerical sizes a 1-D grid over a numerical attribute with domain d
 // and query selectivity rx, evaluating both protocols at their own optimal
 // size and keeping the better (adaptive frequency oracle, §5.3 extended with
@@ -68,11 +91,11 @@ func Plan1DNumerical(p Params, d int, rx float64) Plan {
 
 	lOLH, errOLH := minimizeInt(func(l float64) float64 {
 		return p.Err1D(fo.OLH, rx, l)
-	}, Optimal1DOLH(p, rx), d)
+	}, seed1D(p, fo.OLH, rx, d), d)
 
 	lGRR, errGRR := minimizeInt(func(l float64) float64 {
 		return p.Err1D(fo.GRR, rx, l)
-	}, Optimal1DGRR(p, rx, d), d)
+	}, seed1D(p, fo.GRR, rx, d), d)
 
 	if errGRR < errOLH {
 		return Plan{Proto: fo.GRR, Lx: lGRR, Ly: 1, Err: errGRR}
@@ -163,13 +186,11 @@ func Plan2DCatNum(p Params, dnum, dcat int, rx, ry float64) Plan {
 
 	lxO, errO := minimizeInt(func(lx float64) float64 {
 		return p.Err2DCatNum(fo.OLH, rx, ry, lx, ly)
-	}, Optimal2DCatNumOLH(p, rx, ry, dcat), dnum)
+	}, seed2DCatNum(p, fo.OLH, rx, ry, dnum, dcat), dnum)
 
 	lxG, errG := minimizeInt(func(lx float64) float64 {
 		return p.Err2DCatNum(fo.GRR, rx, ry, lx, ly)
-	}, GoldenSection(func(lx float64) float64 {
-		return p.Err2DCatNum(fo.GRR, rx, ry, lx, ly)
-	}, 1, float64(dnum)), dnum)
+	}, seed2DCatNum(p, fo.GRR, rx, ry, dnum, dcat), dnum)
 
 	if errG < errO {
 		return Plan{Proto: fo.GRR, Lx: lxG, Ly: dcat, Err: errG}
@@ -227,12 +248,7 @@ func ForcedPlan(p Params, proto fo.Protocol, a, b *domain.Attribute, ra, rb floa
 			return Plan{Proto: proto, Lx: a.Size, Ly: 1, Err: p.ErrExact(proto, clampSel(ra, a.Size), float64(a.Size))}
 		}
 		ra = clampSel(ra, a.Size)
-		var cont float64
-		if proto == fo.GRR {
-			cont = Optimal1DGRR(p, ra, a.Size)
-		} else {
-			cont = Optimal1DOLH(p, ra)
-		}
+		cont := seed1D(p, proto, ra, a.Size)
 		lx, err := minimizeInt(func(l float64) float64 { return p.Err1D(proto, ra, l) }, cont, a.Size)
 		return Plan{Proto: proto, Lx: lx, Ly: 1, Err: err}
 	}
@@ -247,12 +263,7 @@ func ForcedPlan(p Params, proto fo.Protocol, a, b *domain.Attribute, ra, rb floa
 	case a.IsNumerical(): // num × cat
 		ra, rb = clampSel(ra, a.Size), clampSel(rb, b.Size)
 		ly := float64(b.Size)
-		var cont float64
-		if proto == fo.OLH {
-			cont = Optimal2DCatNumOLH(p, ra, rb, b.Size)
-		} else {
-			cont = GoldenSection(func(lx float64) float64 { return p.Err2DCatNum(proto, ra, rb, lx, ly) }, 1, float64(a.Size))
-		}
+		cont := seed2DCatNum(p, proto, ra, rb, a.Size, b.Size)
 		lx, err := minimizeInt(func(lx float64) float64 { return p.Err2DCatNum(proto, ra, rb, lx, ly) }, cont, a.Size)
 		return Plan{Proto: proto, Lx: lx, Ly: b.Size, Err: err}
 	default: // cat × num

@@ -364,3 +364,59 @@ func TestPlanL(t *testing.T) {
 		t.Error("Plan.L wrong")
 	}
 }
+
+func TestModeAwareNoise(t *testing.T) {
+	base := Params{Epsilon: 1, N: 100_000, M: 4}.WithDefaults()
+	// The continuous RS+FD noise must agree with the fo package's variance at
+	// integer domain sizes — they are the same formula.
+	rs := base
+	rs.Mode = fo.ModeRSFD
+	for _, L := range []int{2, 16, 64} {
+		for _, proto := range []fo.Protocol{fo.GRR, fo.OLH} {
+			got := rs.noiseRSFD(proto, float64(L))
+			want := fo.RSFDVariance(proto, base.Epsilon, L, base.M, base.N)
+			if math.Abs(got-want) > 1e-15*want {
+				t.Errorf("noiseRSFD(%v, %d) = %g, fo.RSFDVariance = %g", proto, L, got, want)
+			}
+		}
+	}
+	// SPL noise at m=1 equals FELIP noise at m=1 (no split to make).
+	one := Params{Epsilon: 1, N: 100_000, M: 1}.WithDefaults()
+	spl := one
+	spl.Mode = fo.ModeSPL
+	if a, b := one.noiseOLH(16), spl.noiseOLH(16); math.Abs(a-b) > 1e-18 {
+		t.Errorf("m=1: FELIP %g vs SPL %g", a, b)
+	}
+	// SPL at m>1 perturbs at ε/m with full n; FELIP at ε with n/m. Both must
+	// be strictly noisier than m=1.
+	for _, mode := range []fo.ReportMode{fo.ModeFELIP, fo.ModeSPL, fo.ModeRSFD} {
+		p4 := Params{Epsilon: 1, N: 100_000, M: 4, Mode: mode}.WithDefaults()
+		if p4.noiseOLH(16) <= one.noiseOLH(16) {
+			t.Errorf("%v: m=4 noise %g not above m=1 noise %g", mode, p4.noiseOLH(16), one.noiseOLH(16))
+		}
+	}
+}
+
+func TestModePlansValid(t *testing.T) {
+	num := domain.Attribute{Name: "x", Kind: domain.Numerical, Size: 128}
+	cat := domain.Attribute{Name: "c", Kind: domain.Categorical, Size: 8}
+	for _, mode := range []fo.ReportMode{fo.ModeSPL, fo.ModeRSFD} {
+		p := Params{Epsilon: 1, N: 50_000, M: 3, Mode: mode}
+		for name, pl := range map[string]Plan{
+			"1d-num":  Plan1D(p, num, 0.5),
+			"1d-cat":  Plan1D(p, cat, 0.5),
+			"2d-nn":   Plan2D(p, num, num, 0.5, 0.5),
+			"2d-nc":   Plan2D(p, num, cat, 0.5, 0.5),
+			"2d-cc":   Plan2D(p, cat, cat, 0.5, 0.5),
+			"forced":  ForcedPlan(p, fo.OLH, &num, nil, 0.5, 0),
+			"forced2": ForcedPlan(p, fo.GRR, &num, &cat, 0.5, 0.5),
+		} {
+			if pl.Lx < 1 || pl.Ly < 1 || pl.Lx > 128 || pl.Ly > 128 {
+				t.Errorf("%v/%s: implausible plan %+v", mode, name, pl)
+			}
+			if !(pl.Err > 0) || math.IsInf(pl.Err, 0) || math.IsNaN(pl.Err) {
+				t.Errorf("%v/%s: bad err %v", mode, name, pl.Err)
+			}
+		}
+	}
+}

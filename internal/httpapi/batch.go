@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"felip/internal/core"
+	"felip/internal/fo"
 	"felip/internal/reportlog"
 	"felip/internal/wire"
 )
@@ -79,8 +80,19 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 	n, err := b.reader.Reset(frame)
 	if err != nil {
 		s.wireRejected += wire.FrameReportCount(frame)
+		s.modeRejected[s.mode.String()] += wire.FrameReportCount(frame)
 		s.mu.Unlock()
 		return resp, http.StatusBadRequest, err
+	}
+	if b.reader.Mode != s.mode {
+		// A frame claims its mode once for all its reports; a foreign-mode
+		// frame is refused wholesale — its reports were perturbed under a
+		// different budget and none of them can be folded here.
+		s.wireRejected += n
+		s.modeRejected[b.reader.Mode.String()] += n
+		s.mu.Unlock()
+		return resp, http.StatusBadRequest,
+			fmt.Errorf("frame claims mode %v; the round's plan runs %v", b.reader.Mode, s.mode)
 	}
 	if s.closed {
 		s.mu.Unlock()
@@ -114,6 +126,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 			} else {
 				disp = wire.DispositionConflict
 				s.wireRejected++
+				s.modeRejected[s.mode.String()]++
 			}
 		} else if j, dup := b.seen[string(b.reader.ID)]; dup {
 			if b.staged[j].key == key {
@@ -121,6 +134,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 			} else {
 				disp = wire.DispositionConflict
 				s.wireRejected++
+				s.modeRejected[s.mode.String()]++
 			}
 		} else if closedRound {
 			disp = wire.DispositionConflict
@@ -130,6 +144,12 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 			} else {
 				disp = wire.DispositionRejected
 			}
+		} else if s.mode != fo.ModeFELIP && b.reader.Attr != s.specAttrs[rep.Group] {
+			// Check proved the group in range; a v2 record whose attr does not
+			// name that group's attribute is a confused encoder.
+			disp = wire.DispositionRejected
+			s.wireRejected++
+			s.modeRejected[s.mode.String()]++
 		} else {
 			disp = wire.DispositionAccepted
 			id := string(b.reader.ID)
@@ -143,6 +163,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 		// hostile encoder. Refuse the frame wholesale — some reports may
 		// already have classified clean, but none were counted.
 		s.wireRejected += wire.FrameReportCount(frame)
+		s.modeRejected[s.mode.String()] += wire.FrameReportCount(frame)
 		s.mu.Unlock()
 		return resp, http.StatusBadRequest, err
 	}
@@ -154,7 +175,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 		b.recs = b.recs[:0]
 		for i := range b.staged {
 			st := &b.staged[i]
-			b.recs = append(b.recs, reportlog.ReportRecord(st.id, st.rep.Group, st.key.proto, st.rep.Value, st.rep.Seed))
+			b.recs = append(b.recs, reportlog.ReportRecordMode(st.id, st.rep.Group, st.key.proto, st.rep.Value, st.rep.Seed, s.modeName))
 		}
 		if err := s.wal.AppendBatch(b.recs); err != nil {
 			s.mu.Unlock()
@@ -174,6 +195,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 		}
 		s.dedup[st.id] = st.key
 	}
+	s.modeAccepted[s.mode.String()] += len(b.staged)
 	accepted := len(b.staged)
 	wal := s.wal
 	resp.Round = s.round

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"felip/internal/core"
+	"felip/internal/fo"
 	"felip/internal/wire"
 )
 
@@ -24,6 +25,17 @@ const frameContentType = "application/x-felip-frame"
 // on transport or frame-level refusal.
 func (c *Client) ReportBatch(ctx context.Context, reports []wire.BatchReport) (wire.BatchReportResponse, error) {
 	frame, err := wire.EncodeFrame(reports)
+	if err != nil {
+		return wire.BatchReportResponse{}, err
+	}
+	return c.ReportFrame(ctx, frame, len(reports))
+}
+
+// ReportBatchMode is ReportBatch under a reporting mode: FELIP batches ship
+// the identical v1 frame bytes, SPL and RS+FD batches ship a v2 frame
+// carrying the mode and each report's attribute index.
+func (c *Client) ReportBatchMode(ctx context.Context, mode fo.ReportMode, reports []wire.BatchReport) (wire.BatchReportResponse, error) {
+	frame, err := wire.EncodeFrameMode(mode, reports)
 	if err != nil {
 		return wire.BatchReportResponse{}, err
 	}
@@ -51,8 +63,20 @@ type FrameSender interface {
 	ReportBatch(ctx context.Context, reports []wire.BatchReport) (wire.BatchReportResponse, error)
 }
 
+// ModeFrameSender is the mode-aware submission half: a Batcher configured
+// with a non-FELIP mode requires its sender to implement it (both *Client and
+// the cluster's routing client do).
+type ModeFrameSender interface {
+	FrameSender
+	ReportBatchMode(ctx context.Context, mode fo.ReportMode, reports []wire.BatchReport) (wire.BatchReportResponse, error)
+}
+
 // BatcherConfig tunes a Batcher's flush triggers.
 type BatcherConfig struct {
+	// Mode is the reporting mode the batcher's frames claim (default FELIP,
+	// which ships v1 frames). Non-FELIP modes need a ModeFrameSender and every
+	// Add must carry the report's attribute index (use AddMode).
+	Mode fo.ReportMode
 	// MaxReports flushes when this many reports are buffered (default 512,
 	// capped at wire.MaxFrameReports).
 	MaxReports int
@@ -77,6 +101,10 @@ type BatcherStats struct {
 	Rejected   int
 	Frames     int
 	FlushFails int
+	// FrameBytes is the total encoded size of every successfully shipped
+	// frame — the wire cost of this batcher's traffic, which is what the
+	// mode shootout compares across FELIP/SPL/RS+FD.
+	FrameBytes int64
 }
 
 // Batcher coalesces single reports into batch frames with size and age flush
@@ -97,7 +125,14 @@ type Batcher struct {
 }
 
 // NewBatcher builds a batcher submitting through send (typically a *Client).
+// A non-FELIP cfg.Mode panics unless send implements ModeFrameSender — a
+// misconfiguration, not a runtime condition.
 func NewBatcher(send FrameSender, cfg BatcherConfig) *Batcher {
+	if cfg.Mode != fo.ModeFELIP {
+		if _, ok := send.(ModeFrameSender); !ok {
+			panic(fmt.Sprintf("httpapi: batcher mode %v needs a ModeFrameSender, got %T", cfg.Mode, send))
+		}
+	}
 	if cfg.MaxReports <= 0 {
 		cfg.MaxReports = 512
 	}
@@ -117,7 +152,18 @@ func NewBatcher(send FrameSender, cfg BatcherConfig) *Batcher {
 // report's idempotency key and must be stable across any caller-side
 // resubmission of the same report.
 func (b *Batcher) Add(ctx context.Context, id string, rep core.Report) error {
-	if id == "" {
+	return b.add(ctx, wire.BatchReport{ID: id, Report: rep})
+}
+
+// AddMode buffers one mode-produced report, attribute index included — what
+// non-FELIP frames carry per record. Works for FELIP too (the attr simply
+// never reaches the v1 wire).
+func (b *Batcher) AddMode(ctx context.Context, id string, rep core.ModeReport) error {
+	return b.add(ctx, wire.BatchReport{ID: id, Report: rep.Report, Attr: rep.Attr})
+}
+
+func (b *Batcher) add(ctx context.Context, br wire.BatchReport) error {
+	if br.ID == "" {
 		return fmt.Errorf("httpapi: batcher needs an idempotency key per report")
 	}
 	b.mu.Lock()
@@ -125,7 +171,7 @@ func (b *Batcher) Add(ctx context.Context, id string, rep core.Report) error {
 		b.mu.Unlock()
 		return fmt.Errorf("httpapi: batcher closed")
 	}
-	b.buf = append(b.buf, wire.BatchReport{ID: id, Report: rep})
+	b.buf = append(b.buf, br)
 	if len(b.buf) >= b.cfg.MaxReports {
 		return b.flushLocked(ctx) // unlocks
 	}
@@ -196,7 +242,13 @@ func (b *Batcher) flushLocked(ctx context.Context) error {
 		b.timer = nil
 	}
 	batch := b.buf
-	resp, err := b.send.ReportBatch(ctx, batch)
+	var resp wire.BatchReportResponse
+	var err error
+	if b.cfg.Mode != fo.ModeFELIP {
+		resp, err = b.send.(ModeFrameSender).ReportBatchMode(ctx, b.cfg.Mode, batch)
+	} else {
+		resp, err = b.send.ReportBatch(ctx, batch)
+	}
 	if err != nil {
 		b.stats.FlushFails++
 		if len(b.buf) > 0 {
@@ -214,6 +266,7 @@ func (b *Batcher) flushLocked(ctx context.Context) error {
 		b.timer = time.AfterFunc(b.cfg.MaxAge, b.ageFlush)
 	}
 	b.stats.Frames++
+	b.stats.FrameBytes += int64(wire.FrameSizeMode(b.cfg.Mode, batch))
 	b.stats.Accepted += resp.Accepted
 	b.stats.Duplicate += resp.Duplicate
 	b.stats.Conflict += resp.Conflict

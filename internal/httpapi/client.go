@@ -267,6 +267,15 @@ func (c *Client) ReportWithID(ctx context.Context, id string, rep core.Report) (
 	return status == http.StatusOK, err
 }
 
+// ReportModeWithID submits one mode-produced report under a caller-chosen
+// idempotency key. FELIP reports send the byte-identical v1 message; SPL and
+// RS+FD reports carry the mode name and the grid's attribute index, which the
+// server cross-checks against the round's plan.
+func (c *Client) ReportModeWithID(ctx context.Context, id string, mode fo.ReportMode, rep core.ModeReport) (duplicate bool, err error) {
+	status, err := c.post(ctx, "/v1/report", wire.NewModeReportMessage(id, mode, rep), nil)
+	return status == http.StatusOK, err
+}
+
 // Finalize closes the collection round; returns the accepted report count.
 func (c *Client) Finalize(ctx context.Context) (int, error) {
 	var out struct {

@@ -1,0 +1,241 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/reportlog"
+	"felip/internal/wire"
+)
+
+// modeServer boots a non-durable server running the given reporting mode.
+func modeServer(t *testing.T, mode fo.ReportMode, n int) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OUG, Epsilon: 2, Seed: 41, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, Dial(ts.URL, ts.Client())
+}
+
+// SPL and RS+FD rounds run end to end over HTTP: the plan advertises the
+// mode, each device ships one report per grid through both ingest paths, the
+// per-mode counters account for every acceptance, and the round finalizes.
+func TestModeEndToEndOverHTTP(t *testing.T) {
+	const n = 120
+	ctx := context.Background()
+	ds := dataset.NewNormal().Generate(dataset.MixedSchema(2, 32, 2, 4), n, 43)
+
+	for _, mode := range []fo.ReportMode{fo.ModeSPL, fo.ModeRSFD} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, _, cl := modeServer(t, mode, n)
+			plan, err := cl.Plan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planMode, err := plan.ReportMode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if planMode != mode {
+				t.Fatalf("plan advertises mode %v, want %v", planMode, mode)
+			}
+			specs, err := plan.Specs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := len(specs)
+			device, err := core.NewModeClient(specs, mode, plan.Epsilon, 45)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Half the population through the batch frame path, half through
+			// single JSON reports — both must land in the same counters.
+			b := NewBatcher(cl, BatcherConfig{Mode: mode, FlushCtx: ctx})
+			for dev := 0; dev < n; dev++ {
+				reps, err := device.PerturbAll(0, func(attr int) int { return ds.Value(dev, attr) })
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(reps) != m {
+					t.Fatalf("mode %v produced %d reports, want one per grid (%d)", mode, len(reps), m)
+				}
+				for j, rep := range reps {
+					id := fmt.Sprintf("dev-%d-%d", dev, j)
+					if dev%2 == 0 {
+						if err := b.AddMode(ctx, id, rep); err != nil {
+							t.Fatal(err)
+						}
+					} else if _, err := cl.ReportModeWithID(ctx, id, mode, rep); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := b.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if st := b.Stats(); st.FrameBytes == 0 {
+				t.Fatal("batcher shipped frames but metered 0 wire bytes")
+			}
+
+			st, err := cl.Status(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Mode != mode.String() {
+				t.Fatalf("status mode %q, want %q", st.Mode, mode)
+			}
+			if got := st.ModeAccepted[mode.String()]; got != n*m {
+				t.Fatalf("mode_accepted[%v] = %d, want %d", mode, got, n*m)
+			}
+			if st.Reports != n*m {
+				t.Fatalf("reports = %d, want %d", st.Reports, n*m)
+			}
+
+			// A device configured for the wrong pipeline knocks: refused, and
+			// charged to the mode it claimed.
+			rep, err := device.PerturbAll(0, func(attr int) int { return ds.Value(0, attr) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.ReportWithID(ctx, "stray-felip", rep[0].Report); err == nil {
+				t.Fatalf("FELIP report accepted by a %v round", mode)
+			}
+			st, err = cl.Status(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := st.ModeRejected["FELIP"]; got != 1 {
+				t.Fatalf("mode_rejected[FELIP] = %d, want 1 (got %+v)", got, st.ModeRejected)
+			}
+
+			// Finalize answers the estimated user population: n, not the n·m
+			// raw reports it was folded from.
+			if total, err := cl.Finalize(ctx); err != nil || total != n {
+				t.Fatalf("finalize: total=%d err=%v, want %d users", total, err, n)
+			}
+		})
+	}
+}
+
+// A FELIP round must refuse a whole SPL frame at the envelope, charging every
+// report it claimed to the claimed mode's rejection counter.
+func TestModeFrameRefusedByFELIPRound(t *testing.T) {
+	ctx := context.Background()
+	srv, _, cl := modeServer(t, fo.ModeFELIP, 100)
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := core.NewModeClient(specs, fo.ModeSPL, plan.Epsilon, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := device.PerturbAll(0, func(attr int) int { return attr })
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]wire.BatchReport, len(reps))
+	for i, rep := range reps {
+		batch[i] = wire.BatchReport{ID: fmt.Sprintf("spl-%d", i), Report: rep.Report, Attr: rep.Attr}
+	}
+	frame, err := wire.EncodeFrameMode(fo.ModeSPL, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.IngestFrame(frame); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("SPL frame ingested by FELIP round: %v", err)
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ModeRejected["SPL"]; got != len(batch) {
+		t.Fatalf("mode_rejected[SPL] = %d, want %d", got, len(batch))
+	}
+	if got := st.ModeAccepted["FELIP"]; got != 0 {
+		t.Fatalf("mode_accepted[FELIP] = %d, want 0", got)
+	}
+}
+
+// A WAL segment recorded before the mode refactor — report records with no
+// mode field at all — must replay into a FELIP round unchanged, counted under
+// FELIP in the per-mode ledger.
+func TestV1WALSegmentReplaysAsFELIP(t *testing.T) {
+	const n = 60
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "v1.wal")
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 51)
+
+	// Recreate the v1 writer: the same plan the durable server will build,
+	// with records appended via the mode-less v1 constructor.
+	planner, err := core.NewCollector(schema, n, core.Options{Strategy: core.OHG, Epsilon: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	device, err := core.NewClient(planner.Specs(), planner.Epsilon(), 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := reportlog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	for i := 0; i < n; i++ {
+		group := i % len(planner.Specs())
+		rep, err := device.Perturb(group, func(attr int) int { return ds.Value(i, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := reportlog.ReportRecord(fmt.Sprintf("v1-dev-%d", i), rep.Group, rep.Proto.String(), rep.Value, rep.Seed)
+		if rec.Mode != "" {
+			t.Fatalf("v1 record constructor set a mode: %+v", rec)
+		}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// durableServer builds the identical plan (same schema, options, seed)
+	// and replays the segment.
+	_, _, cl := durableServer(t, path, n)
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != n || st.WALReplayed != n {
+		t.Fatalf("replayed v1 segment: reports=%d wal_replayed=%d, want %d", st.Reports, st.WALReplayed, n)
+	}
+	if st.Mode != "FELIP" {
+		t.Fatalf("round mode %q after v1 replay, want FELIP", st.Mode)
+	}
+	if got := st.ModeAccepted["FELIP"]; got != n {
+		t.Fatalf("mode_accepted[FELIP] = %d, want %d (got %+v)", got, n, st.ModeAccepted)
+	}
+	if _, err := cl.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"felip/internal/archive"
 	"felip/internal/core"
 	"felip/internal/domain"
+	"felip/internal/fo"
 	"felip/internal/metrics"
 	"felip/internal/reportlog"
 	"felip/internal/serve"
@@ -82,6 +83,14 @@ type Server struct {
 	opts   core.Options
 	plan   wire.PlanMessage
 	logf   func(format string, args ...any)
+	// mode is the round's reporting mode; every report must claim it (FELIP
+	// reports claim it by omission). modeName is its wire spelling ("" for
+	// FELIP) and specAttrs each group's primary attribute index, against which
+	// non-FELIP reports' attr fields are validated. All three are fixed by the
+	// plan, which is identical every round.
+	mode      fo.ReportMode
+	modeName  string
+	specAttrs []int
 
 	// qp answers /v1/query from the last finalized round's engine; empty
 	// until the first round finalizes.
@@ -109,6 +118,13 @@ type Server struct {
 	// collector (malformed body, failed wire validation, oversized,
 	// idempotency-key conflicts). The collector counts plan-level rejects.
 	wireRejected int
+	// modeAccepted/modeRejected split the round's accepted and refused report
+	// submissions by the reporting mode they claimed on the wire (display
+	// names; unparseable claims charge the round's own mode). With one mode
+	// per round the accepted map has a single key, but the rejected map shows
+	// exactly which foreign-mode traffic is being refused.
+	modeAccepted map[string]int
+	modeRejected map[string]int
 	// durable marks a server whose rounds must run against WAL segments.
 	// UseWAL sets it; MarkDurable sets it for a server recovered purely from
 	// an archive snapshot (its own segments were truncated, so there is no
@@ -151,16 +167,26 @@ func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error)
 	if err != nil {
 		return nil, err
 	}
+	specs := col.Specs()
+	specAttrs := make([]int, len(specs))
+	for i, sp := range specs {
+		specAttrs[i] = sp.AttrX
+	}
 	return &Server{
-		schema: schema,
-		planN:  n,
-		opts:   opts,
-		col:    col,
-		round:  1,
-		plan:   wire.NewPlanMessage(schema, col.Epsilon(), col.Specs()),
-		logf:   log.Printf,
-		qp:     NewQueryPlane(schema, log.Printf),
-		dedup:  make(map[string]reportKey),
+		schema:       schema,
+		planN:        n,
+		opts:         opts,
+		col:          col,
+		round:        1,
+		plan:         wire.NewPlanMessage(schema, col.Epsilon(), col.Mode(), specs),
+		mode:         col.Mode(),
+		modeName:     wire.ModeName(col.Mode()),
+		specAttrs:    specAttrs,
+		logf:         log.Printf,
+		qp:           NewQueryPlane(schema, log.Printf),
+		dedup:        make(map[string]reportKey),
+		modeAccepted: make(map[string]int),
+		modeRejected: make(map[string]int),
 	}, nil
 }
 
@@ -213,6 +239,18 @@ func (s *Server) replayLocked(records []reportlog.Record) error {
 			if _, dup := s.dedup[rec.ReportID]; dup {
 				return fmt.Errorf("httpapi: wal record %d: duplicate report_id %q", i, rec.ReportID)
 			}
+			// A record's mode must match the round's plan: a segment written
+			// under a different mode holds reports perturbed at a different
+			// budget, and replaying them would silently corrupt the estimates.
+			// Records without a mode (every v1 segment) replay as FELIP.
+			recMode, err := fo.ParseReportMode(rec.Mode)
+			if err != nil {
+				return fmt.Errorf("httpapi: wal record %d: %w", i, err)
+			}
+			if recMode != s.mode {
+				return fmt.Errorf("httpapi: wal record %d: mode %v does not match the round's plan mode %v",
+					i, recMode, s.mode)
+			}
 			msg := wire.ReportMessage{
 				ReportID: rec.ReportID,
 				Group:    rec.Group,
@@ -231,6 +269,7 @@ func (s *Server) replayLocked(records []reportlog.Record) error {
 				return fmt.Errorf("httpapi: wal record %d: %w", i, err)
 			}
 			s.dedup[rec.ReportID] = keyOf(msg)
+			s.modeAccepted[s.mode.String()]++
 			s.walReplayed++
 		case reportlog.TypeFinalize:
 			if rec.Reports == 0 && s.col.N() == 0 {
@@ -287,6 +326,8 @@ func (s *Server) openRoundLocked() error {
 	s.finalN = 0
 	s.finalErr = nil
 	s.wireRejected = 0
+	clear(s.modeAccepted)
+	clear(s.modeRejected)
 	s.shardState = nil
 	s.sealedEmpty = false
 	return nil
@@ -462,10 +503,16 @@ func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 }
 
 // countWireReject records a report submission refused before it reached the
-// collector's plan validation.
-func (s *Server) countWireReject() {
+// collector's plan validation, charged to the round's own mode.
+func (s *Server) countWireReject() { s.countWireRejectMode(s.mode.String()) }
+
+// countWireRejectMode is countWireReject charged to a specific mode's
+// counter — a report refused for claiming a foreign mode is charged to the
+// mode it claimed, so the operator can see whose traffic is being refused.
+func (s *Server) countWireRejectMode(key string) {
 	s.mu.Lock()
 	s.wireRejected++
+	s.modeRejected[key]++
 	s.mu.Unlock()
 }
 
@@ -494,11 +541,34 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Validate already proved the claim parses.
+	repMode, _ := fo.ParseReportMode(msg.Mode)
+	if repMode != s.mode {
+		s.countWireRejectMode(repMode.String())
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("report claims mode %v; the round's plan runs %v", repMode, s.mode))
+		return
+	}
+	if s.mode != fo.ModeFELIP {
+		if msg.Attr == nil {
+			s.countWireReject()
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("%v report missing attr", s.mode))
+			return
+		}
+		if msg.Group >= 0 && msg.Group < len(s.specAttrs) && *msg.Attr != s.specAttrs[msg.Group] {
+			s.countWireReject()
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("report attr %d does not match group %d's attribute %d",
+					*msg.Attr, msg.Group, s.specAttrs[msg.Group]))
+			return
+		}
+	}
 
 	s.mu.Lock()
 	if prev, seen := s.dedup[msg.ReportID]; seen {
 		if prev != keyOf(msg) {
 			s.wireRejected++
+			s.modeRejected[s.mode.String()]++
 			s.mu.Unlock()
 			s.writeError(w, http.StatusConflict,
 				fmt.Errorf("report_id %q reused with a different payload", msg.ReportID))
@@ -540,7 +610,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.wal != nil {
-		rec := reportlog.ReportRecord(msg.ReportID, msg.Group, msg.Proto, msg.Value, msg.Seed)
+		rec := reportlog.ReportRecordMode(msg.ReportID, msg.Group, msg.Proto, msg.Value, msg.Seed, s.modeName)
 		if err := s.wal.Append(rec); err != nil {
 			s.mu.Unlock()
 			s.logf("httpapi: wal append: %v", err)
@@ -557,6 +627,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dedup[msg.ReportID] = keyOf(msg)
+	s.modeAccepted[s.mode.String()]++
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -707,6 +778,14 @@ type Status struct {
 	// misbehaving or malicious clients; before this counter they were
 	// dropped invisibly.
 	Rejected int `json:"rejected"`
+	// Mode is the round's reporting mode ("FELIP", "SPL", "RS+FD").
+	Mode string `json:"mode"`
+	// ModeAccepted and ModeRejected split the accepted and wire-refused
+	// submissions by the mode the report claimed. A round runs one mode, so
+	// nonzero rejected counts under another mode mean clients configured for
+	// the wrong pipeline are knocking.
+	ModeAccepted map[string]int `json:"mode_accepted,omitempty"`
+	ModeRejected map[string]int `json:"mode_rejected,omitempty"`
 	// Durable reports whether a write-ahead log is attached.
 	Durable bool `json:"durable"`
 	// WALPos is the log's end offset in bytes (0 when not durable).
@@ -743,10 +822,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Durable:      s.wal != nil || s.durable,
 		DedupEntries: len(s.dedup),
 		Rejected:     s.wireRejected,
+		Mode:         s.mode.String(),
 		ShardID:      s.shardID,
 		Sealed:       s.shardState != nil || s.sealedEmpty,
 		WALReplayed:  s.walReplayed,
 		Restored:     s.restored,
+	}
+	if len(s.modeAccepted) > 0 {
+		st.ModeAccepted = make(map[string]int, len(s.modeAccepted))
+		for k, v := range s.modeAccepted {
+			st.ModeAccepted[k] = v
+		}
+	}
+	if len(s.modeRejected) > 0 {
+		st.ModeRejected = make(map[string]int, len(s.modeRejected))
+		for k, v := range s.modeRejected {
+			st.ModeRejected[k] = v
+		}
 	}
 	if s.wal != nil {
 		st.WALPos = s.wal.Pos()

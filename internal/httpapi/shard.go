@@ -70,7 +70,7 @@ func (s *Server) handleShardState(w http.ResponseWriter, _ *http.Request) {
 				return
 			}
 		}
-		msg := wire.NewShardStateMessage(s.shardID, s.round, s.opts.Epsilon,
+		msg := wire.NewShardStateMessage(s.shardID, s.round, s.opts.Epsilon, col.Mode(),
 			s.wireRejected+col.Rejected(), s.walReplayed, states)
 		s.shardState = &msg
 	}

@@ -29,17 +29,19 @@ func Simulate(s *Server, genName string, users int, seed uint64) error {
 	col := s.col
 	s.mu.RUnlock()
 	ds := gen.Generate(s.schema, users, seed)
-	device, err := core.NewClient(col.Specs(), col.Epsilon(), seed+1)
+	device, err := core.NewModeClient(col.Specs(), col.Mode(), col.Epsilon(), seed+1)
 	if err != nil {
 		return err
 	}
 	for row := 0; row < users; row++ {
-		rep, err := device.Perturb(col.AssignGroup(), func(attr int) int { return ds.Value(row, attr) })
+		reps, err := device.PerturbAll(col.AssignGroup(), func(attr int) int { return ds.Value(row, attr) })
 		if err != nil {
 			return err
 		}
-		if err := col.Add(rep); err != nil {
-			return err
+		for _, rep := range reps {
+			if err := col.Add(rep.Report); err != nil {
+				return err
+			}
 		}
 	}
 	_, err = s.finalize()

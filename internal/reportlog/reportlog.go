@@ -42,6 +42,11 @@ type Record struct {
 	Proto    string `json:"proto,omitempty"`
 	Value    int    `json:"value,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
+	// Mode is the report's reporting mode in wire name form; "" is FELIP, so
+	// every v1 segment (written before modes existed) replays as FELIP and
+	// FELIP rounds keep writing byte-identical v1 records. Replay validates it
+	// against the round's plan.
+	Mode string `json:"mode,omitempty"`
 	// Reports is the accepted-report count at finalization (TypeFinalize).
 	Reports int `json:"reports,omitempty"`
 }
@@ -204,7 +209,7 @@ func appendFramedRecord(buf []byte, rec *Record) ([]byte, error) {
 	frameStart := len(buf)
 	buf = append(buf, make([]byte, headerLen)...)
 	payloadStart := len(buf)
-	if rec.Type == TypeReport && jsonSafe(rec.ReportID) && jsonSafe(rec.Proto) {
+	if rec.Type == TypeReport && jsonSafe(rec.ReportID) && jsonSafe(rec.Proto) && jsonSafe(rec.Mode) {
 		buf = append(buf, `{"type":"report","report_id":"`...)
 		buf = append(buf, rec.ReportID...)
 		buf = append(buf, `","group":`...)
@@ -215,6 +220,11 @@ func appendFramedRecord(buf []byte, rec *Record) ([]byte, error) {
 		buf = strconv.AppendInt(buf, int64(rec.Value), 10)
 		buf = append(buf, `,"seed":`...)
 		buf = strconv.AppendUint(buf, rec.Seed, 10)
+		if rec.Mode != "" {
+			buf = append(buf, `,"mode":"`...)
+			buf = append(buf, rec.Mode...)
+			buf = append(buf, '"')
+		}
 		buf = append(buf, '}')
 	} else {
 		payload, err := json.Marshal(rec)
@@ -270,9 +280,17 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// ReportRecord builds the Record for one accepted report.
+// ReportRecord builds the Record for one accepted report (FELIP mode — the
+// only mode v1 segments could hold).
 func ReportRecord(id string, group int, proto string, value int, seed uint64) Record {
 	return Record{Type: TypeReport, ReportID: id, Group: group, Proto: proto, Value: value, Seed: seed}
+}
+
+// ReportRecordMode builds the Record for one accepted report under a
+// reporting mode (wire name form; "" = FELIP, producing a byte-identical v1
+// record).
+func ReportRecordMode(id string, group int, proto string, value int, seed uint64, mode string) Record {
+	return Record{Type: TypeReport, ReportID: id, Group: group, Proto: proto, Value: value, Seed: seed, Mode: mode}
 }
 
 // FinalizeRecord builds the Record closing a round of n accepted reports.

@@ -37,11 +37,37 @@ import (
 // not a semantic unit, and every report gets the same accept/duplicate/
 // conflict disposition it would get on the single-report path.
 
-// FrameMagic opens every batch report frame.
+// FrameMagic opens every v1 batch report frame.
 const FrameMagic = "FELIPBF1"
+
+// FrameMagicV2 opens a v2 frame: the header gains a mode byte and every
+// record a u16 attribute index, so SPL and RS+FD batches carry their mode on
+// the wire. FELIP batches keep emitting v1 frames byte-identically (see
+// EncodeFrameMode), and v1 frames always decode as FELIP mode.
+//
+//	magic   "FELIPBF2"                  (8 bytes)
+//	mode    u8    0=FELIP 1=SPL 2=RS+FD
+//	count   u32   number of reports
+//	paylen  u32   payload length in bytes
+//	crc     u32   CRC32-IEEE of the payload
+//	payload count records, each:
+//	  idlen u8    report_id length (1..MaxReportIDLen)
+//	  id    idlen bytes
+//	  proto u8    0=GRR 1=OLH 2=OUE
+//	  group u32
+//	  value u32
+//	  seed  u64
+//	  attr  u16   grid's primary attribute index
+const FrameMagicV2 = "FELIPBF2"
 
 // frameHeaderLen is magic + count u32 + paylen u32 + crc u32.
 const frameHeaderLen = len(FrameMagic) + 12
+
+// frameHeaderLenV2 adds the mode byte.
+const frameHeaderLenV2 = len(FrameMagicV2) + 13
+
+// MaxFrameAttr bounds a record's attribute index: it travels as a u16.
+const MaxFrameAttr = 1<<16 - 1
 
 // MaxFrameReports bounds the reports one frame may carry; a client batcher
 // flushes at or below it, and a server refuses a frame claiming more.
@@ -63,10 +89,12 @@ const (
 )
 
 // BatchReport is one report of a batch frame: the device's idempotency key
-// plus its ε-LDP report.
+// plus its ε-LDP report. Attr is the grid's primary attribute index; it only
+// travels in v2 frames (non-FELIP modes) and is ignored by the v1 encoder.
 type BatchReport struct {
 	ID     string
 	Report core.Report
+	Attr   int
 }
 
 // BatchReportResponse answers POST /v1/reports: per-report dispositions in
@@ -153,6 +181,93 @@ func EncodeFrame(reports []BatchReport) ([]byte, error) {
 	return AppendFrame(nil, reports)
 }
 
+// AppendFrameMode encodes the reports as one frame under the given reporting
+// mode. FELIP batches emit the v1 layout byte-for-byte — a mode-aware sender
+// talking to a v1 server (or shipping WAL bytes to a v1 follower) stays
+// wire-compatible — while SPL and RS+FD batches emit a v2 frame carrying the
+// mode and each record's attribute index.
+func AppendFrameMode(dst []byte, mode fo.ReportMode, reports []BatchReport) ([]byte, error) {
+	if mode == fo.ModeFELIP {
+		return AppendFrame(dst, reports)
+	}
+	if mode != fo.ModeSPL && mode != fo.ModeRSFD {
+		return nil, fmt.Errorf("wire: unknown report mode %v", mode)
+	}
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("wire: empty batch frame")
+	}
+	if len(reports) > MaxFrameReports {
+		return nil, fmt.Errorf("wire: batch of %d reports exceeds %d", len(reports), MaxFrameReports)
+	}
+	start := len(dst)
+	dst = append(dst, FrameMagicV2...)
+	dst = append(dst, byte(mode))
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(reports)))
+	dst = append(dst, hdr[:]...) // count + paylen + crc, patched below
+	payloadStart := len(dst)
+
+	var fixed [19]byte // proto + group + value + seed + attr
+	for i, br := range reports {
+		if br.ID == "" {
+			return nil, fmt.Errorf("wire: batch report %d missing report_id", i)
+		}
+		if len(br.ID) > MaxReportIDLen {
+			return nil, fmt.Errorf("wire: batch report %d report_id of %d bytes exceeds %d", i, len(br.ID), MaxReportIDLen)
+		}
+		pb, err := protoByte(br.Report.Proto)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch report %d: %w", i, err)
+		}
+		if br.Report.Group < 0 {
+			return nil, fmt.Errorf("wire: batch report %d: negative group %d", i, br.Report.Group)
+		}
+		if br.Report.Value < 0 {
+			return nil, fmt.Errorf("wire: batch report %d: negative value %d", i, br.Report.Value)
+		}
+		if br.Attr < 0 || br.Attr > MaxFrameAttr {
+			return nil, fmt.Errorf("wire: batch report %d: attr %d outside [0,%d]", i, br.Attr, MaxFrameAttr)
+		}
+		dst = append(dst, byte(len(br.ID)))
+		dst = append(dst, br.ID...)
+		fixed[0] = pb
+		binary.LittleEndian.PutUint32(fixed[1:5], uint32(br.Report.Group))
+		binary.LittleEndian.PutUint32(fixed[5:9], uint32(br.Report.Value))
+		binary.LittleEndian.PutUint64(fixed[9:17], br.Report.Seed)
+		binary.LittleEndian.PutUint16(fixed[17:19], uint16(br.Attr))
+		dst = append(dst, fixed[:]...)
+	}
+
+	payload := dst[payloadStart:]
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("wire: frame payload of %d bytes exceeds %d", len(payload), MaxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(dst[start+len(FrameMagicV2)+5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+len(FrameMagicV2)+9:], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// EncodeFrameMode is AppendFrameMode into a fresh buffer.
+func EncodeFrameMode(mode fo.ReportMode, reports []BatchReport) ([]byte, error) {
+	return AppendFrameMode(nil, mode, reports)
+}
+
+// FrameSizeMode returns the exact encoded size of the frame EncodeFrameMode
+// would produce, without encoding — what a batcher charges its wire-byte
+// accounting per flush.
+func FrameSizeMode(mode fo.ReportMode, reports []BatchReport) int {
+	recTail := 17 // proto + group + value + seed
+	size := frameHeaderLen
+	if mode != fo.ModeFELIP {
+		recTail = 19 // + attr u16
+		size = frameHeaderLenV2
+	}
+	for _, br := range reports {
+		size += 1 + len(br.ID) + recTail
+	}
+	return size
+}
+
 // FrameReportCount peeks a (possibly damaged) frame's claimed report count
 // without trusting anything past the header — what a server charges its
 // rejection counter with when the frame as a whole is refused: a refused
@@ -160,10 +275,17 @@ func EncodeFrame(reports []BatchReport) ([]byte, error) {
 // the header is unreadable (the claim itself is gone, but at least one
 // submission was refused).
 func FrameReportCount(b []byte) int {
-	if len(b) < frameHeaderLen || string(b[:len(FrameMagic)]) != FrameMagic {
+	countAt := -1
+	switch {
+	case len(b) >= frameHeaderLen && string(b[:len(FrameMagic)]) == FrameMagic:
+		countAt = len(FrameMagic)
+	case len(b) >= frameHeaderLenV2 && string(b[:len(FrameMagicV2)]) == FrameMagicV2:
+		countAt = len(FrameMagicV2) + 1 // skip the mode byte
+	}
+	if countAt < 0 {
 		return 1
 	}
-	n := int(binary.LittleEndian.Uint32(b[len(FrameMagic):]))
+	n := int(binary.LittleEndian.Uint32(b[countAt:]))
 	if n < 1 {
 		return 1
 	}
@@ -182,38 +304,65 @@ type FrameReader struct {
 	count   int
 	next    int
 	off     int
+	v2      bool
 	err     error
 
+	// Mode is the frame's reporting mode: the v2 header's mode byte, or
+	// ModeFELIP for every v1 frame.
+	Mode fo.ReportMode
 	// ID is the current report's idempotency key, aliasing the frame buffer.
 	ID []byte
 	// Report is the current report, decoded.
 	Report core.Report
+	// Attr is the current report's attribute index (v2 frames), or -1 for v1
+	// records, which do not carry one.
+	Attr int
 }
 
 // Reset validates the frame envelope and positions the reader at the first
-// report. Any damage — bad magic, hostile lengths, a checksum mismatch —
-// refuses the whole frame before a single report is surfaced.
+// report. Both magics are accepted — a v1 frame reads back as Mode FELIP —
+// and any damage (bad magic, hostile lengths, a checksum mismatch, an
+// unknown mode byte) refuses the whole frame before a single report is
+// surfaced.
 func (r *FrameReader) Reset(b []byte) (count int, err error) {
-	*r = FrameReader{}
-	if len(b) < frameHeaderLen {
-		return 0, fmt.Errorf("wire: frame of %d bytes is shorter than the %d-byte header", len(b), frameHeaderLen)
-	}
-	if string(b[:len(FrameMagic)]) != FrameMagic {
+	*r = FrameReader{Attr: -1}
+	hdrLen := frameHeaderLen
+	countAt := len(FrameMagic)
+	switch {
+	case len(b) >= len(FrameMagic) && string(b[:len(FrameMagic)]) == FrameMagic:
+	case len(b) >= len(FrameMagicV2) && string(b[:len(FrameMagicV2)]) == FrameMagicV2:
+		r.v2 = true
+		hdrLen = frameHeaderLenV2
+		countAt = len(FrameMagicV2) + 1
+	default:
+		if len(b) < len(FrameMagic) {
+			return 0, fmt.Errorf("wire: frame of %d bytes is shorter than the %d-byte header", len(b), frameHeaderLen)
+		}
 		return 0, fmt.Errorf("wire: bad frame magic %q", b[:len(FrameMagic)])
 	}
-	n := int(binary.LittleEndian.Uint32(b[len(FrameMagic):]))
-	paylen := int(binary.LittleEndian.Uint32(b[len(FrameMagic)+4:]))
-	sum := binary.LittleEndian.Uint32(b[len(FrameMagic)+8:])
+	if len(b) < hdrLen {
+		return 0, fmt.Errorf("wire: frame of %d bytes is shorter than the %d-byte header", len(b), hdrLen)
+	}
+	if r.v2 {
+		mode := fo.ReportMode(b[len(FrameMagicV2)])
+		if mode != fo.ModeFELIP && mode != fo.ModeSPL && mode != fo.ModeRSFD {
+			return 0, fmt.Errorf("wire: frame claims unknown mode byte %d", b[len(FrameMagicV2)])
+		}
+		r.Mode = mode
+	}
+	n := int(binary.LittleEndian.Uint32(b[countAt:]))
+	paylen := int(binary.LittleEndian.Uint32(b[countAt+4:]))
+	sum := binary.LittleEndian.Uint32(b[countAt+8:])
 	if n < 1 || n > MaxFrameReports {
 		return 0, fmt.Errorf("wire: frame claims %d reports (limit %d)", n, MaxFrameReports)
 	}
 	if paylen < 0 || paylen > MaxFramePayload {
 		return 0, fmt.Errorf("wire: frame claims %d payload bytes (limit %d)", paylen, MaxFramePayload)
 	}
-	if len(b) != frameHeaderLen+paylen {
+	if len(b) != hdrLen+paylen {
 		return 0, fmt.Errorf("wire: frame of %d bytes does not match header+%d-byte payload", len(b), paylen)
 	}
-	payload := b[frameHeaderLen:]
+	payload := b[hdrLen:]
 	if got := crc32.ChecksumIEEE(payload); got != sum {
 		return 0, fmt.Errorf("wire: frame checksum %08x, header claims %08x", got, sum)
 	}
@@ -236,9 +385,13 @@ func (r *FrameReader) Next() bool {
 		r.err = fmt.Errorf("wire: frame record %d: payload exhausted after %d of %d reports", r.next, r.next, r.count)
 		return false
 	}
+	tail := 17 // proto + group + value + seed
+	if r.v2 {
+		tail = 19 // + attr u16
+	}
 	idLen := int(p[off])
 	off++
-	if idLen < 1 || idLen > MaxReportIDLen || off+idLen+17 > len(p) {
+	if idLen < 1 || idLen > MaxReportIDLen || off+idLen+tail > len(p) {
 		r.err = fmt.Errorf("wire: frame record %d: malformed (id length %d)", r.next, idLen)
 		return false
 	}
@@ -255,7 +408,10 @@ func (r *FrameReader) Next() bool {
 		Value: int(int32(binary.LittleEndian.Uint32(p[off+5:]))),
 		Seed:  binary.LittleEndian.Uint64(p[off+9:]),
 	}
-	r.off = off + 17
+	if r.v2 {
+		r.Attr = int(binary.LittleEndian.Uint16(p[off+17:]))
+	}
+	r.off = off + tail
 	r.next++
 	if r.Report.Group < 0 || r.Report.Value < 0 {
 		r.err = fmt.Errorf("wire: frame record %d: negative group or value", r.next-1)

@@ -41,6 +41,11 @@ type ShardStateMessage struct {
 	// Round is the collection round the state belongs to (1-based).
 	Round   int     `json:"round"`
 	Epsilon float64 `json:"epsilon"`
+	// Mode is the shard's reporting mode (ModeName form; "" = FELIP, keeping
+	// v1 messages and their checksums byte-identical). The coordinator refuses
+	// to merge shard states whose modes disagree with its own plan: partial
+	// counts folded under different perturbation budgets are not mergeable.
+	Mode string `json:"mode,omitempty"`
 	// Reports is the shard's accepted-report total (the sum of the grid Ns).
 	Reports int `json:"reports"`
 	// Rejected is the shard's refused-submission total (wire-level plus
@@ -102,12 +107,13 @@ func ParseGridStates(grids []GridStateDTO, eps float64) ([]fo.PartialState, erro
 
 // NewShardStateMessage encodes a sealed shard round for the wire. states must
 // be in group order (the collector's export order).
-func NewShardStateMessage(shardID string, round int, eps float64, rejected, walReplayed int, states []fo.PartialState) ShardStateMessage {
+func NewShardStateMessage(shardID string, round int, eps float64, mode fo.ReportMode, rejected, walReplayed int, states []fo.PartialState) ShardStateMessage {
 	m := ShardStateMessage{
 		Version:     ShardStateVersion,
 		ShardID:     shardID,
 		Round:       round,
 		Epsilon:     eps,
+		Mode:        ModeName(mode),
 		Rejected:    rejected,
 		WALReplayed: walReplayed,
 		Grids:       GridStates(states),
@@ -137,6 +143,12 @@ func (m ShardStateMessage) Sum() uint32 {
 	str(m.ShardID)
 	put(uint64(m.Round))
 	put(math.Float64bits(m.Epsilon))
+	// Mode entered the message after v1 shipped; folding it in only when set
+	// keeps every FELIP ("" mode) checksum identical to its v1 value.
+	if m.Mode != "" {
+		str("mode")
+		str(m.Mode)
+	}
 	put(uint64(m.Reports))
 	put(uint64(m.Rejected))
 	put(uint64(len(m.Grids)))
@@ -164,7 +176,16 @@ func (m ShardStateMessage) Verify() error {
 	if got := m.Sum(); got != m.Checksum {
 		return fmt.Errorf("wire: shard %q state checksum %08x, message claims %08x", m.ShardID, got, m.Checksum)
 	}
+	if _, err := fo.ParseReportMode(m.Mode); err != nil {
+		return fmt.Errorf("wire: shard %q state: %w", m.ShardID, err)
+	}
 	return nil
+}
+
+// ReportMode decodes the message's mode field ("" reads as FELIP, the only
+// mode v1 shards could run).
+func (m ShardStateMessage) ReportMode() (fo.ReportMode, error) {
+	return fo.ParseReportMode(m.Mode)
 }
 
 // States decodes the per-grid partial aggregates, in group order. The grids

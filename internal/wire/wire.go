@@ -37,11 +37,29 @@ type GridDTO struct {
 }
 
 // PlanMessage is the aggregator's published plan: everything a device needs
-// to produce its report.
+// to produce its report(s). Mode names the round's reporting mode ("SPL",
+// "RS+FD"); it is empty for FELIP so v1 plans keep their exact JSON and
+// fingerprint.
 type PlanMessage struct {
 	Epsilon    float64        `json:"epsilon"`
+	Mode       string         `json:"mode,omitempty"`
 	Attributes []AttributeDTO `json:"attributes"`
 	Grids      []GridDTO      `json:"grids"`
+}
+
+// ReportMode parses the plan's reporting mode (empty = FELIP).
+func (m PlanMessage) ReportMode() (fo.ReportMode, error) {
+	return fo.ParseReportMode(m.Mode)
+}
+
+// ModeName returns a mode's wire spelling: the empty string for FELIP (v1
+// artifacts never carried a mode and must keep decoding as FELIP), the
+// conventional name otherwise.
+func ModeName(mode fo.ReportMode) string {
+	if mode == fo.ModeFELIP {
+		return ""
+	}
+	return mode.String()
 }
 
 // ReportMessage is one user's ε-LDP report on the wire.
@@ -57,6 +75,13 @@ type ReportMessage struct {
 	Proto    string `json:"proto"`
 	Value    int    `json:"value"`
 	Seed     uint64 `json:"seed,omitempty"`
+	// Mode names the reporting mode the report was produced under; empty
+	// means FELIP, so v1 reports decode unchanged.
+	Mode string `json:"mode,omitempty"`
+	// Attr is the reported grid's primary attribute index; nil when absent
+	// (FELIP v1 clients never send it). Non-FELIP reports carry it so the
+	// server can cross-check each of a user's m reports against the plan.
+	Attr *int `json:"attr,omitempty"`
 }
 
 // QueryResponse carries a query answer. Round identifies the collection
@@ -113,9 +138,10 @@ func protoFromName(s string) (fo.Protocol, error) {
 	}
 }
 
-// NewPlanMessage encodes a schema and grid plan for publication.
-func NewPlanMessage(schema *domain.Schema, eps float64, specs []core.GridSpec) PlanMessage {
-	msg := PlanMessage{Epsilon: eps}
+// NewPlanMessage encodes a schema and grid plan for publication under the
+// round's reporting mode.
+func NewPlanMessage(schema *domain.Schema, eps float64, mode fo.ReportMode, specs []core.GridSpec) PlanMessage {
+	msg := PlanMessage{Epsilon: eps, Mode: ModeName(mode)}
 	for i := 0; i < schema.Len(); i++ {
 		a := schema.Attr(i)
 		msg.Attributes = append(msg.Attributes, AttributeDTO{
@@ -175,6 +201,12 @@ func (m PlanMessage) Fingerprint() uint32 {
 		for _, b := range g.BoundsY {
 			put(uint64(uint32(int32(b))))
 		}
+	}
+	// The mode joins the canonical form only when set, so every FELIP plan —
+	// including those fingerprinted by v1 snapshots — keeps its exact value.
+	if m.Mode != "" {
+		str("mode")
+		str(m.Mode)
 	}
 	return h.Sum32()
 }
@@ -244,6 +276,19 @@ func NewReportMessage(id string, r core.Report) ReportMessage {
 	return ReportMessage{ReportID: id, Group: r.Group, Proto: protoName(r.Proto), Value: r.Value, Seed: r.Seed}
 }
 
+// NewModeReportMessage encodes one mode-produced report: FELIP reports stay
+// byte-identical to NewReportMessage (no mode, no attr), non-FELIP reports
+// carry the mode name and the grid's attribute index.
+func NewModeReportMessage(id string, mode fo.ReportMode, r core.ModeReport) ReportMessage {
+	msg := NewReportMessage(id, r.Report)
+	if mode != fo.ModeFELIP {
+		msg.Mode = ModeName(mode)
+		attr := r.Attr
+		msg.Attr = &attr
+	}
+	return msg
+}
+
 // MaxReportIDLen bounds the device-chosen idempotency key.
 const MaxReportIDLen = 128
 
@@ -279,6 +324,12 @@ func (m ReportMessage) Validate() error {
 	}
 	if m.Value < 0 {
 		return fmt.Errorf("wire: negative report value %d", m.Value)
+	}
+	if _, err := fo.ParseReportMode(m.Mode); err != nil {
+		return err
+	}
+	if m.Attr != nil && *m.Attr < 0 {
+		return fmt.Errorf("wire: negative attr %d", *m.Attr)
 	}
 	return nil
 }
