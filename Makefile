@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-modes bench-modes-smoke bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-modes bench-modes-smoke bench-longitudinal bench-longitudinal-smoke bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle chaos-longitudinal
 
 build:
 	$(GO) build ./...
@@ -46,20 +46,42 @@ bench-modes:
 	$(GO) run ./cmd/felipbench -modes -mout BENCH_PR8.json
 
 # bench-modes at CI-smoke sizes, with a sanity gate: the shootout must cover
-# all three modes, SPL and RS+FD must pay the m-fold wire cost, and FELIP must
-# be at least as accurate as SPL at the highest-ε cells.
+# all three modes across at least two domain sizes, SPL and RS+FD must pay the
+# m-fold wire cost, and FELIP must be at least as accurate as SPL at the
+# highest-ε cells.
 bench-modes-smoke:
 	$(GO) run ./cmd/felipbench -modes -smoke -mout /tmp/BENCH_smoke_modes.json
 	@python3 -c "import json; r = json.load(open('/tmp/BENCH_smoke_modes.json')); \
 	cells = r['cells']; modes = {c['mode'] for c in cells}; \
 	assert modes == {'FELIP', 'SPL', 'RS+FD'}, f'modes covered: {modes}'; \
 	assert len({c['epsilon'] for c in cells}) >= 2 and len({c['attrs'] for c in cells}) >= 2, 'sweep too small'; \
-	felip = {(c['epsilon'], c['attrs']): c for c in cells if c['mode'] == 'FELIP'}; \
-	spl = {(c['epsilon'], c['attrs']): c for c in cells if c['mode'] == 'SPL'}; \
+	assert len({c['domain'] for c in cells}) >= 2, 'domain sweep missing'; \
+	felip = {(c['epsilon'], c['domain'], c['attrs']): c for c in cells if c['mode'] == 'FELIP'}; \
+	spl = {(c['epsilon'], c['domain'], c['attrs']): c for c in cells if c['mode'] == 'SPL'}; \
 	assert all(s['wire_bytes'] > f['wire_bytes'] for (k, s), f in ((i, felip[i[0]]) for i in spl.items())), 'SPL should pay more wire bytes than FELIP'; \
 	top = max(c['epsilon'] for c in cells); \
 	assert all(felip[k]['mse'] <= spl[k]['mse'] * 1.05 for k in felip if k[0] == top), 'FELIP lost to SPL at the top epsilon'; \
-	print(f'bench-modes gate: {len(cells)} cells, 3 modes, FELIP accuracy holds at eps={top}')"
+	print(f'bench-modes gate: {len(cells)} cells, 3 modes, {len({c[\"domain\"] for c in cells})} domains, FELIP accuracy holds at eps={top}')"
+
+# Longitudinal benchmark: memoized two-stage reporting vs the fresh-ε baseline
+# across rounds — per-round MSE and cumulative privacy spend, written to
+# BENCH_PR9.json.
+bench-longitudinal:
+	$(GO) run ./cmd/felipbench -longitudinal -lout BENCH_PR9.json
+
+# bench-longitudinal at CI-smoke sizes, with the PR's acceptance gate: the
+# memoized arm's mean per-round MSE must stay within 2x of the fresh-ε
+# baseline at equal per-round budget, and the cumulative spend must stay fixed
+# at ε_perm + ε_1 in every round while the baseline grows r·ε_1.
+bench-longitudinal-smoke:
+	$(GO) run ./cmd/felipbench -longitudinal -smoke -lout /tmp/BENCH_smoke_long.json
+	@python3 -c "import json; r = json.load(open('/tmp/BENCH_smoke_long.json')); \
+	results = r['results']; assert results, 'no budget points'; \
+	assert all(p['mse_ratio'] <= 2 for p in results), f'longitudinal MSE beyond 2x of fresh: {[p[\"mse_ratio\"] for p in results]}'; \
+	assert all(rd['eps_cum_longitudinal'] == p['eps_perm'] + p['eps1'] for p in results for rd in p['rounds']), 'cumulative spend drifted'; \
+	assert all(rd['eps_cum_fresh'] == rd['round'] * p['eps1'] for p in results for rd in p['rounds']), 'fresh baseline spend wrong'; \
+	assert all(p['eps_cum_final'] < p['eps_fresh_final'] for p in results), 'memoization did not beat fresh spend by the last round'; \
+	print(f'bench-longitudinal gate: {len(results)} budget points, mse ratios {[round(p[\"mse_ratio\"], 2) for p in results]}, cumulative spend fixed')"
 
 # All benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
 # /tmp so a smoke run never clobbers the checked-in numbers.
@@ -106,6 +128,16 @@ chaos-idle:
 	$(GO) test -race -v \
 		-run 'TestRestartChainSpansIdleRound|TestEmptySealReplayRepullIdentical|TestPromotionChainSpansIdleRound|TestFollowerRefusesTruncatedArchivedRound|TestBatch' \
 		./internal/httpapi ./internal/cluster
+
+# Longitudinal chaos drill: kill a device (and, at the HTTP layer, the server
+# and its memo-store handle) mid-sequence, restart both, and require the
+# memoized permanent value to survive bit-identically with no fresh ε_perm
+# spend — plus WAL cross-replay refusal in both directions — under the race
+# detector.
+chaos-longitudinal:
+	$(GO) test -race -v \
+		-run 'TestChaosDeviceRestartKeepsMemo|TestLongitudinalChaosRestartMidSequenceHTTP|TestLongitudinalWALCrossReplayRefused' \
+		./internal/longitudinal ./internal/httpapi
 
 # Raw go-bench microbenchmarks for the frequency-oracle kernel.
 bench-fo:

@@ -18,6 +18,7 @@
 //	felipbench -restart               # cold-restart recovery benchmark → BENCH_PR5.json
 //	felipbench -ingest                # batched binary ingest benchmark → BENCH_PR7.json
 //	felipbench -modes                 # FELIP/SPL/RS+FD mode shootout → BENCH_PR8.json
+//	felipbench -longitudinal          # memoized two-stage vs fresh-ε rounds → BENCH_PR9.json
 //	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
@@ -56,7 +57,9 @@ func main() {
 		iout    = flag.String("iout", "BENCH_PR7.json", "output path for the -ingest JSON report")
 		mbench  = flag.Bool("modes", false, "run the FELIP/SPL/RS+FD reporting-mode shootout and exit")
 		mout    = flag.String("mout", "BENCH_PR8.json", "output path for the -modes JSON report")
-		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart/-modes benchmarks to CI-smoke sizes")
+		lbench  = flag.Bool("longitudinal", false, "run the memoized two-stage vs fresh-ε longitudinal benchmark and exit")
+		lout    = flag.String("lout", "BENCH_PR9.json", "output path for the -longitudinal JSON report")
+		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart/-modes/-longitudinal benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
 
@@ -65,7 +68,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*qbench && !*cbench && !*rbench && !*ibench && !*mbench {
+		if !*qbench && !*cbench && !*rbench && !*ibench && !*mbench && !*lbench {
 			return
 		}
 	}
@@ -74,7 +77,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*cbench && !*rbench && !*ibench && !*mbench {
+		if !*cbench && !*rbench && !*ibench && !*mbench && !*lbench {
 			return
 		}
 	}
@@ -83,7 +86,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*rbench && !*ibench && !*mbench {
+		if !*rbench && !*ibench && !*mbench && !*lbench {
 			return
 		}
 	}
@@ -92,7 +95,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*ibench && !*mbench {
+		if !*ibench && !*mbench && !*lbench {
 			return
 		}
 	}
@@ -101,12 +104,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*mbench {
+		if !*mbench && !*lbench {
 			return
 		}
 	}
 	if *mbench {
 		if err := runModesBench(*mout, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*lbench {
+			return
+		}
+	}
+	if *lbench {
+		if err := runLongBench(*lout, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

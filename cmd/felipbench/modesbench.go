@@ -18,7 +18,7 @@ type modesReport struct {
 	GoVersion   string    `json:"go_version"`
 	NumCPU      int       `json:"num_cpu"`
 	N           int       `json:"n"`
-	Domain      int       `json:"domain"`
+	Domains     []int     `json:"domains"`
 	Epsilons    []float64 `json:"epsilons"`
 	Dims        []int     `json:"dims"`
 	Methodology string    `json:"methodology"`
@@ -32,8 +32,10 @@ const modesMethodology = "Every cell runs the full incremental pipeline on the s
 	"amplified ε' with uniform fake data off the sampled grid), meter the wire cost as " +
 	"512-report binary frames (v1 framing for FELIP, v2 mode framing otherwise), fold into " +
 	"the collector and finalize. MSE compares the estimated per-attribute value-frequency " +
-	"marginals against the dataset's exact frequencies, so within a (ε, d) point only the " +
-	"reporting mode differs."
+	"marginals against the dataset's exact frequencies, so within a (ε, domain, d) point " +
+	"only the reporting mode differs. The domain sweep varies per-attribute cell counts: " +
+	"GRR's variance grows with the domain while OLH's does not, so the mode ranking can " +
+	"flip between small and large domains."
 
 // runModesBench sweeps the three-way mode shootout and writes the JSON report.
 func runModesBench(outPath string, smoke bool) error {
@@ -41,14 +43,17 @@ func runModesBench(outPath string, smoke bool) error {
 		N:        50000,
 		Epsilons: []float64{0.5, 1.0, 2.0},
 		Dims:     []int{4, 8},
+		Domains:  []int{16, 32, 64},
 		Progress: func(line string) { fmt.Fprintln(os.Stderr, line) },
 	}
 	if smoke {
 		cfg.N = 8000
 		cfg.Epsilons = []float64{0.5, 2.0}
 		cfg.Dims = []int{3, 5}
+		cfg.Domains = []int{16, 32}
 	}
-	fmt.Fprintf(os.Stderr, "felipbench: mode shootout n=%d eps=%v dims=%v\n", cfg.N, cfg.Epsilons, cfg.Dims)
+	fmt.Fprintf(os.Stderr, "felipbench: mode shootout n=%d eps=%v dims=%v domains=%v\n",
+		cfg.N, cfg.Epsilons, cfg.Dims, cfg.Domains)
 
 	cells, err := experiment.RunModeShootout(cfg)
 	if err != nil {
@@ -59,17 +64,17 @@ func runModesBench(outPath string, smoke bool) error {
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 		N:           cfg.N,
-		Domain:      32,
+		Domains:     cfg.Domains,
 		Epsilons:    cfg.Epsilons,
 		Dims:        cfg.Dims,
 		Methodology: modesMethodology,
 		Cells:       cells,
 	}
 
-	fmt.Printf("%-6s %5s %3s %6s %9s %12s %12s\n", "mode", "eps", "d", "grids", "reports", "bytes/user", "mse")
+	fmt.Printf("%-6s %5s %6s %3s %6s %9s %12s %12s\n", "mode", "eps", "dom", "d", "grids", "reports", "bytes/user", "mse")
 	for _, c := range cells {
-		fmt.Printf("%-6s %5.2f %3d %6d %9d %12.1f %12.3e\n",
-			c.Mode, c.Epsilon, c.Attrs, c.Grids, c.Reports, c.BytesPerUser, c.MSE)
+		fmt.Printf("%-6s %5.2f %6d %3d %6d %9d %12.1f %12.3e\n",
+			c.Mode, c.Epsilon, c.Domain, c.Attrs, c.Grids, c.Reports, c.BytesPerUser, c.MSE)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -107,7 +107,7 @@ func runRestartBench(outPath string, reps int, smoke bool) error {
 		return err
 	}
 	specs := planner.Specs()
-	fp := wire.NewPlanMessage(schema, planner.Epsilon(), planner.Mode(), planner.Specs()).Fingerprint()
+	fp := wire.NewPlanMessage(schema, planner.Epsilon(), planner.Mode(), planner.Longitudinal(), planner.Specs()).Fingerprint()
 	device, err := core.NewClient(specs, opts.Epsilon, 1207)
 	if err != nil {
 		return err

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/faultinject"
+	"felip/internal/fo"
+	"felip/internal/httpapi"
+	"felip/internal/longitudinal"
+)
+
+// runLongitudinal drives the same device fleet through R collection rounds
+// against a server running a longitudinal plan: each device memoizes its
+// permanent ε_perm randomization exactly once (durably, in the shared memo
+// store, so a loader restart replays it instead of re-spending), then sends
+// one fresh per-round report per round over the JSON single-report path —
+// longitudinal rounds refuse batch frames by design. Between rounds the
+// loader finalizes and advances the server. The exit criterion is
+// exactly-once per device per round: accepted + duplicate == devices × rounds.
+func runLongitudinal(target string, devices, workers, rounds int, memoPath string,
+	jitter time.Duration, faultProb float64, seed uint64, timeout time.Duration) error {
+	if devices < 1 || workers < 1 || rounds < 1 {
+		return fmt.Errorf("need at least one device, one worker and one round")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	retry := httpapi.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   20 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Timeout:     30 * time.Second,
+		Seed:        seed,
+	}
+	hc := &http.Client{}
+	if faultProb > 0 {
+		hc.Transport = faultinject.NewTransport(http.DefaultTransport, faultProb, seed+1)
+	}
+	cl := httpapi.DialRetrying(target, hc, retry)
+
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching plan: %w", err)
+	}
+	if plan.Longitudinal == nil {
+		return fmt.Errorf("the server's plan is one-shot; start felipserver with -longitudinal (or drop -longitudinal here)")
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		return err
+	}
+	schema, err := plan.Schema()
+	if err != nil {
+		return err
+	}
+	fingerprint := fmt.Sprintf("%08x", plan.Fingerprint())
+
+	// One two-stage parametrization per grid; longitudinal plans force GRR.
+	stages := make([]longitudinal.Stages, len(specs))
+	for g, sp := range specs {
+		if sp.Proto != fo.GRR {
+			return fmt.Errorf("longitudinal plan grid %d uses %v; expected GRR", g, sp.Proto)
+		}
+		if stages[g], err = longitudinal.NewStages(*plan.Longitudinal, sp.L()); err != nil {
+			return err
+		}
+	}
+	store, err := longitudinal.OpenMemoStore(memoPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	rows := devices
+	if rows > 1_000_000 {
+		rows = 1_000_000
+	}
+	ds := dataset.NewNormal().Generate(schema, rows, seed+2)
+
+	acct := longitudinal.Accountant{Cfg: *plan.Longitudinal}
+	fmt.Fprintf(os.Stderr, "felipload: %d devices x %d longitudinal rounds (eps_perm=%g eps1=%g), %d workers, %d memos on open, fault %.2f\n",
+		devices, rounds, plan.Longitudinal.EpsPerm, plan.Longitudinal.Eps1, workers, store.Len(), faultProb)
+	start := time.Now()
+
+	var totalAccepted, totalDuplicate int
+	for round := 1; round <= rounds; round++ {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			accepted int
+			dup      int
+			firstErr error
+		)
+		perWorker := (devices + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			from, to := w*perWorker, (w+1)*perWorker
+			if to > devices {
+				to = devices
+			}
+			if from >= to {
+				break
+			}
+			wg.Add(1)
+			go func(w, from, to int) {
+				defer wg.Done()
+				// Per-worker randomness: the memo draw (first round only) and
+				// every per-round perturbation need fresh, device-independent
+				// randomness, but NOT fresh per round for the memo — NewDevice
+				// replays the stored value when one exists.
+				rng := fo.NewRand(seed + 100 + uint64(w))
+				jrng := rand.New(rand.NewPCG(seed+10, uint64(w)))
+				fail := func(err error) {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+				for dev := from; dev < to; dev++ {
+					if ctx.Err() != nil {
+						fail(ctx.Err())
+						return
+					}
+					if jitter > 0 {
+						time.Sleep(time.Duration(jrng.Int64N(int64(jitter))))
+					}
+					id := fmt.Sprintf("load-%d", dev)
+					group := httpapi.DeriveGroup(id, len(specs))
+					row := dev % rows
+					cell := specs[group].CellOf(func(attr int) int { return ds.Value(row, attr) })
+					d, err := longitudinal.NewDevice(id, fingerprint, group, cell, stages[group], store, rng)
+					if err != nil {
+						fail(err)
+						return
+					}
+					v, err := d.Report()
+					if err != nil {
+						fail(err)
+						return
+					}
+					duplicate, err := cl.ReportLongitudinalWithID(ctx, fmt.Sprintf("%s-r%d", id, round),
+						core.Report{Group: group, Proto: fo.GRR, Value: v})
+					if err != nil {
+						fail(err)
+						return
+					}
+					mu.Lock()
+					if duplicate {
+						dup++
+					} else {
+						accepted++
+					}
+					mu.Unlock()
+				}
+			}(w, from, to)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		if accepted+dup != devices {
+			return fmt.Errorf("round %d: exactly-once violated: accepted %d + duplicate %d != %d devices",
+				round, accepted, dup, devices)
+		}
+		count, err := cl.Finalize(ctx)
+		if err != nil {
+			return fmt.Errorf("round %d finalize: %w", round, err)
+		}
+		fmt.Printf("felipload: round %d: accepted=%d duplicate=%d finalized=%d eps_cum=%.2f (fresh baseline would be %.2f)\n",
+			round, accepted, dup, count, acct.Cumulative(round), acct.FreshCumulative(round))
+		totalAccepted += accepted
+		totalDuplicate += dup
+		if round < rounds {
+			if _, err := cl.NextRound(ctx); err != nil {
+				return fmt.Errorf("advancing to round %d: %w", round+1, err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	reports := devices * rounds
+	fmt.Printf("felipload: %d devices x %d rounds (%d reports) in %s (%.0f reports/sec)\n",
+		devices, rounds, reports, elapsed.Round(time.Millisecond), float64(reports)/elapsed.Seconds())
+	fmt.Printf("  memo store: %d devices memoized (fixed across rounds — no fresh eps_perm spend)\n", store.Len())
+	fmt.Printf("  privacy: per-round eps=%.2f, cumulative eps=%.2f after %d rounds (fresh baseline %.2f)\n",
+		acct.PerRound(), acct.Cumulative(rounds), rounds, acct.FreshCumulative(rounds))
+	if totalAccepted+totalDuplicate != reports {
+		return fmt.Errorf("exactly-once violated: accepted %d + duplicate %d != %d (%d devices x %d rounds)",
+			totalAccepted, totalDuplicate, reports, devices, rounds)
+	}
+	fmt.Println("  exactly-once: accepted + duplicate == devices x rounds ✓")
+	return nil
+}

@@ -9,9 +9,16 @@
 //
 // Usage:
 //
+// With -longitudinal the same fleet reports across -rounds collection rounds:
+// each device memoizes its permanent randomization once in -memo (durable, so
+// loader restarts replay it instead of spending fresh ε_perm) and sends one
+// fresh per-round report per round on the JSON path, finalizing and advancing
+// the server between rounds — exactly once per device per round.
+//
 //	felipserver -listen :8080 -wal /tmp/felip.wal &
 //	felipload -target http://localhost:8080 -devices 1000000
 //	felipload -coordinator http://localhost:9090 -devices 1000000  # cluster
+//	felipload -target http://localhost:8080 -longitudinal -rounds 5 -memo /tmp/memos.jsonl
 package main
 
 import (
@@ -46,8 +53,22 @@ func main() {
 		modeFlag    = flag.String("mode", "", "reporting mode to load with (FELIP, SPL, RS+FD); empty follows the server's published plan")
 		seed        = flag.Uint64("seed", 4242, "base seed for device perturbation, jitter and fault injection")
 		timeout     = flag.Duration("timeout", 10*time.Minute, "overall run deadline")
+		long        = flag.Bool("longitudinal", false, "drive the same fleet across -rounds memoized two-stage rounds (requires a -longitudinal server)")
+		rounds      = flag.Int("rounds", 5, "collection rounds for -longitudinal")
+		memoPath    = flag.String("memo", "felip-memos.jsonl", "memo store path for -longitudinal (persists permanent randomizations across loader restarts)")
 	)
 	flag.Parse()
+	if *long {
+		if *coordinator != "" {
+			fmt.Fprintln(os.Stderr, "felipload: -longitudinal drives a single shard; -coordinator is not supported")
+			os.Exit(2)
+		}
+		if err := runLongitudinal(*target, *devices, *workers, *rounds, *memoPath, *jitter, *faultProb, *seed, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "felipload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*target, *coordinator, *devices, *workers, *batch, *maxAge, *jitter, *faultProb, *modeFlag, *seed, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "felipload:", err)
 		os.Exit(1)

@@ -99,6 +99,8 @@ func main() {
 		follow   = flag.String("follow", "", "primary base URL to replicate (follower role)")
 		beat     = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval to the coordinator (shard/follower role)")
 		beatTTL  = flag.Duration("heartbeat-timeout", 10*time.Second, "declare a registered shard dead after this much heartbeat silence and promote its follower (coordinator role; 0 disables)")
+		long     = flag.Bool("longitudinal", false, "run memoized two-stage longitudinal rounds: -eps is the per-round ε₁, devices report over POST /v1/report, batch frames are refused")
+		epsPerm  = flag.Float64("eps-perm", 0, "permanent-stage budget ε_perm for -longitudinal (must be ≥ -eps; default 2×ε)")
 	)
 	flag.Parse()
 
@@ -129,6 +131,16 @@ func main() {
 		Selectivity: *sel,
 		Seed:        *seed,
 		Mode:        mode,
+	}
+	if *long {
+		perm := *epsPerm
+		if perm == 0 {
+			perm = 2 * *eps
+		}
+		opts.Longitudinal = &fo.Longitudinal{EpsPerm: perm, Eps1: *eps}
+	} else if *epsPerm != 0 {
+		fmt.Fprintln(os.Stderr, "felipserver: -eps-perm only applies with -longitudinal")
+		os.Exit(2)
 	}
 
 	if *role == "coordinator" {
@@ -402,7 +414,7 @@ func runCoordinator(schema *domain.Schema, planN int, opts core.Options, addr, s
 		if err != nil {
 			log.Fatal("felipserver: ", err)
 		}
-		fp := wire.NewPlanMessage(schema, col.Epsilon(), col.Mode(), col.Specs()).Fingerprint()
+		fp := wire.NewPlanMessage(schema, col.Epsilon(), col.Mode(), col.Longitudinal(), col.Specs()).Fingerprint()
 		store, err = archive.Open(archiveDir, archive.Options{
 			RetainRounds:    retain,
 			PlanFingerprint: fp,

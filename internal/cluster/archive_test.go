@@ -35,7 +35,7 @@ func TestCoordinatorArchiveRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := wire.NewPlanMessage(schema, fpCol.Epsilon(), fpCol.Mode(), fpCol.Specs()).Fingerprint()
+	fp := wire.NewPlanMessage(schema, fpCol.Epsilon(), fpCol.Mode(), fpCol.Longitudinal(), fpCol.Specs()).Fingerprint()
 	openStore := func() *archive.Store {
 		st, err := archive.Open(dir, archive.Options{PlanFingerprint: fp, Logf: t.Logf})
 		if err != nil {

@@ -91,7 +91,11 @@ type Coordinator struct {
 	plan   wire.PlanMessage
 	// mode is the cluster's reporting mode, fixed by the plan. Every shard
 	// state pulled at finalize must claim it; a mixed-mode merge is refused.
-	mode  fo.ReportMode
+	mode fo.ReportMode
+	// long is the cluster's longitudinal two-stage configuration (nil =
+	// one-shot). Every shard state pulled at finalize must carry the identical
+	// budgets; a mixed longitudinal/one-shot merge is refused.
+	long  *fo.Longitudinal
 	logf  func(format string, args ...any)
 	hc    *http.Client
 	retry httpapi.RetryPolicy
@@ -135,8 +139,9 @@ func New(cfg Config) (*Coordinator, error) {
 		schema:  cfg.Schema,
 		planN:   cfg.N,
 		opts:    cfg.Opts,
-		plan:    wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Mode(), col.Specs()),
+		plan:    wire.NewPlanMessage(cfg.Schema, col.Epsilon(), col.Mode(), col.Longitudinal(), col.Specs()),
 		mode:    col.Mode(),
+		long:    col.Longitudinal(),
 		logf:    logf,
 		hc:      cfg.HTTPClient,
 		retry:   cfg.Retry,
@@ -369,6 +374,15 @@ func shardGauge(i int, what string) *metrics.Gauge {
 	return metrics.GetGauge(fmt.Sprintf("cluster.shard%d.%s", i, what))
 }
 
+// describeLongitudinal renders an optional longitudinal config for refusal
+// messages.
+func describeLongitudinal(l *fo.Longitudinal) string {
+	if l == nil {
+		return "one-shot"
+	}
+	return fmt.Sprintf("eps_perm=%v eps1=%v", l.EpsPerm, l.Eps1)
+}
+
 // FinalizeRound closes the round cluster-wide, exactly once: it pulls every
 // member shard's sealed partial-aggregate state (the first pull is what seals
 // the shard), verifies each message's checksum and round, merges the integer
@@ -460,6 +474,15 @@ func (c *Coordinator) FinalizeRound(ctx context.Context) (int, error) {
 		if shardMode != c.mode {
 			return 0, fmt.Errorf("cluster: shard %q (%s) ran round %d in mode %v; the cluster plan runs %v — refusing the mixed-mode merge",
 				targets[i].name, targets[i].base, round, shardMode, c.mode)
+		}
+		// Same discipline for the longitudinal plane: counts drawn through a
+		// memoized two-stage chain invert under (ε_perm, ε_1), not the one-shot
+		// channel, so a shard whose longitudinal parameters disagree with the
+		// plan's (or that ran one-shot against a longitudinal plan, or vice
+		// versa) cannot be summed into this round.
+		if !msg.Longitudinal.Equal(c.long) {
+			return 0, fmt.Errorf("cluster: shard %q (%s) ran round %d with longitudinal parameters %v; the cluster plan has %v — refusing the merge",
+				targets[i].name, targets[i].base, round, describeLongitudinal(msg.Longitudinal), describeLongitudinal(c.long))
 		}
 		states, err := msg.States()
 		if err != nil {

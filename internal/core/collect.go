@@ -9,8 +9,33 @@ import (
 	"felip/internal/estimate"
 	"felip/internal/fo"
 	"felip/internal/grid"
+	"felip/internal/longitudinal"
 	"felip/internal/postproc"
 )
+
+// estimateLongitudinal simulates one grid's two-stage longitudinal round:
+// every value is memoized at ε_perm (stage 1) and perturbed by the per-round
+// stage (stage 2), then the composed chain is inverted.
+func estimateLongitudinal(cfg fo.Longitudinal, L int, values []int, seed uint64) ([]float64, error) {
+	st, err := longitudinal.NewStages(cfg, L)
+	if err != nil {
+		return nil, err
+	}
+	r := fo.NewRand(seed)
+	counts := make([]int64, L)
+	for _, v := range values {
+		b, err := st.Memoize(v, r)
+		if err != nil {
+			return nil, err
+		}
+		y, err := st.Perturb(b, r)
+		if err != nil {
+			return nil, err
+		}
+		counts[y]++
+	}
+	return longitudinal.Estimates(cfg, L, counts, len(values))
+}
 
 // Aggregator is the server side of FELIP after a completed collection round:
 // it holds the post-processed grids and answers multidimensional queries.
@@ -121,7 +146,12 @@ func Collect(ds *dataset.Dataset, opts Options) (*Aggregator, error) {
 		spec := specs[g]
 		var est []float64
 		var err error
-		if opts.Mode == fo.ModeRSFD {
+		if opts.Longitudinal != nil {
+			// Simulate the two-stage chain: memoize once at ε_perm, perturb at
+			// the per-round stage, invert the composed channel. One round of
+			// Collect is the device population's first round.
+			est, err = estimateLongitudinal(*opts.Longitudinal, spec.L(), groupValues[g], seeds[g])
+		} else if opts.Mode == fo.ModeRSFD {
 			// Perturb at ε' and invert the fake-data mix at estimation.
 			est, err = fo.EstimateRSFD(spec.Proto, opts.Epsilon, spec.L(), m, groupValues[g], seeds[g])
 		} else {
@@ -161,7 +191,12 @@ func assembleAggregator(schema *domain.Schema, opts Options, specs []GridSpec, n
 	for g, spec := range specs {
 		freq := freqs[g]
 		var var0 float64
-		if opts.Mode == fo.ModeRSFD {
+		if opts.Longitudinal != nil {
+			// The composed per-round channel is GRR(ε_1), so this equals the
+			// GRR variance at the per-round budget — taken from the
+			// longitudinal inversion so estimator and weights cannot drift.
+			var0 = longitudinal.Variance(*opts.Longitudinal, spec.L(), max(groupNs[g], 1))
+		} else if opts.Mode == fo.ModeRSFD {
 			// The fake-data inversion inflates the per-cell variance beyond the
 			// raw ε' protocol variance; use the corrected form.
 			var0 = fo.RSFDVariance(spec.Proto, opts.Epsilon, spec.L(), len(specs), max(groupNs[g], 1))

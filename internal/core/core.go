@@ -80,6 +80,17 @@ type Options struct {
 	// every user at the amplified ε' with fake data on the unsampled grids.
 	// Non-FELIP modes plan their grids with mode-aware noise formulas.
 	Mode ReportMode
+	// Longitudinal enables memoized two-stage reporting for devices that
+	// report across many rounds (see internal/longitudinal): a permanent
+	// ε_perm randomization memoized per device, plus a per-round perturbation
+	// whose composed channel is exactly GRR(Epsilon). Under longitudinal,
+	// Epsilon IS the per-round budget ε_1 — planning, aggregation and
+	// estimation all run at it, with GRR forced on every grid (the two-stage
+	// chain is a GRR↦GRR composition). Eps1, if zero, is filled from Epsilon;
+	// setting both to different values is an error. Longitudinal requires
+	// Mode == ModeFELIP (one report per device per round) and no DivideBudget.
+	// Nil is the one-shot path, bit-identical to v1 behavior.
+	Longitudinal *fo.Longitudinal
 	// DivideBudget reproduces the §5.1 partitioning ablation in Collect:
 	// every user reports every grid with ε/m *on the FELIP-shaped plan*, so
 	// the comparison isolates the division strategy at matched grids. This
@@ -128,6 +139,30 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.DivideBudget && o.Mode != fo.ModeFELIP {
 		return o, fmt.Errorf("core: DivideBudget conflicts with mode %v", o.Mode)
+	}
+	if o.Longitudinal != nil {
+		if o.Mode != fo.ModeFELIP {
+			return o, fmt.Errorf("core: longitudinal reporting requires mode FELIP, got %v", o.Mode)
+		}
+		if o.DivideBudget {
+			return o, fmt.Errorf("core: longitudinal reporting conflicts with DivideBudget")
+		}
+		if o.ForceProtocol != nil && *o.ForceProtocol != fo.GRR {
+			return o, fmt.Errorf("core: longitudinal reporting is a GRR two-stage chain; cannot force %v", *o.ForceProtocol)
+		}
+		// Copy before filling defaults so the caller's struct is never mutated.
+		l := *o.Longitudinal
+		if l.Eps1 == 0 {
+			l.Eps1 = o.Epsilon
+		}
+		if l.Eps1 != o.Epsilon {
+			return o, fmt.Errorf("core: longitudinal eps1 %v disagrees with Epsilon %v (Epsilon is the per-round budget)",
+				l.Eps1, o.Epsilon)
+		}
+		if err := (&l).Validate(); err != nil {
+			return o, err
+		}
+		o.Longitudinal = &l
 	}
 	if o.Selectivity == 0 {
 		o.Selectivity = 0.5

@@ -8,6 +8,7 @@ import (
 
 	"felip/internal/domain"
 	"felip/internal/fo"
+	"felip/internal/longitudinal"
 	"felip/internal/metrics"
 )
 
@@ -297,6 +298,10 @@ func (c *Collector) Epsilon() float64 { return c.opts.Epsilon }
 // Mode returns the round's reporting mode.
 func (c *Collector) Mode() fo.ReportMode { return c.opts.Mode }
 
+// Longitudinal returns the round's two-stage memoized-reporting parameters,
+// or nil for a one-shot round.
+func (c *Collector) Longitudinal() *fo.Longitudinal { return c.opts.Longitudinal }
+
 // ReportEpsilon returns the budget each individual report is perturbed at
 // under the round's mode (ε, ε/m or the amplified ε').
 func (c *Collector) ReportEpsilon() float64 { return c.reportEps }
@@ -576,6 +581,18 @@ func (c *Collector) Finalize() (*Aggregator, error) {
 	start := time.Now()
 	groupNs := make([]int, len(specs))
 	freqs, err := estimateGrids(len(specs), func(g int) ([]float64, error) {
+		if c.opts.Longitudinal != nil {
+			// Longitudinal estimates invert the two-stage chain from the raw
+			// counts: the composed channel is GRR(ε_1), but the inversion is
+			// derived from the chain the clients actually ran (memoization at
+			// ε_perm composed with the per-round stage).
+			st, err := grrAggs[g].ExportState()
+			if err != nil {
+				return nil, err
+			}
+			groupNs[g] = st.N
+			return longitudinal.Estimates(*c.opts.Longitudinal, specs[g].L(), st.Counts, st.N)
+		}
 		if c.opts.Mode == fo.ModeRSFD {
 			// RS+FD estimates from the raw support counts: the standard
 			// estimator at ε' is biased by the fake-data mix, so the

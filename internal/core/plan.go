@@ -69,6 +69,13 @@ func BuildPlan(schema *domain.Schema, n int, opts Options) ([]GridSpec, error) {
 		return nil, fmt.Errorf("core: need at least 1 user")
 	}
 
+	if opts.Longitudinal != nil && opts.ForceProtocol == nil {
+		// The two-stage chain is GRR∘GRR; OLH has no memoizable per-round
+		// stage, so longitudinal plans force GRR on every grid (withDefaults
+		// already refused a conflicting ForceProtocol).
+		grr := fo.GRR
+		opts.ForceProtocol = &grr
+	}
 	pairs := schema.Pairs()
 	m := len(pairs)
 	var oneD []int

@@ -1,0 +1,254 @@
+package experiment
+
+import (
+	"fmt"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/domain"
+	"felip/internal/fo"
+	"felip/internal/longitudinal"
+)
+
+// This file is the longitudinal-privacy benchmark: the same device population
+// reporting across R rounds under memoized two-stage reporting (ε_perm once,
+// ε_1 per round, cumulative spend fixed) against the fresh-ε baseline (a new
+// GRR(ε_1) randomization every round, cumulative spend growing k·ε_1). Both
+// arms run the real plan → perturb → collector → estimate pipeline on the same
+// dataset and the same grids, so within a round only the reporting chain
+// differs.
+
+// LongitudinalRound is one collection round's scoreboard for both arms.
+type LongitudinalRound struct {
+	// Round is 1-based.
+	Round int `json:"round"`
+	// MSELongitudinal is the memoized two-stage arm's marginal MSE this round.
+	MSELongitudinal float64 `json:"mse_longitudinal"`
+	// MSEFresh is the fresh-ε baseline's marginal MSE this round.
+	MSEFresh float64 `json:"mse_fresh"`
+	// EpsCumLongitudinal is what an observer of rounds 1..Round learns under
+	// memoization: fixed at ε_perm + ε_1.
+	EpsCumLongitudinal float64 `json:"eps_cum_longitudinal"`
+	// EpsCumFresh is the same observer's knowledge under the baseline: Round·ε_1.
+	EpsCumFresh float64 `json:"eps_cum_fresh"`
+}
+
+// LongitudinalResult is one (ε_perm, ε_1) budget point's full trajectory.
+type LongitudinalResult struct {
+	EpsPerm float64 `json:"eps_perm"`
+	Eps1    float64 `json:"eps1"`
+	N       int     `json:"n"`
+	Attrs   int     `json:"attrs"`
+	Domain  int     `json:"domain"`
+	Grids   int     `json:"grids"`
+
+	Rounds []LongitudinalRound `json:"rounds"`
+
+	// MeanMSELongitudinal and MeanMSEFresh average the per-round MSEs; MSERatio
+	// is their quotient (longitudinal / fresh — the accuracy price of capping
+	// the cumulative spend; the composed channel is exactly GRR(ε_1), so the
+	// ratio should sit near 1).
+	MeanMSELongitudinal float64 `json:"mean_mse_longitudinal"`
+	MeanMSEFresh        float64 `json:"mean_mse_fresh"`
+	MSERatio            float64 `json:"mse_ratio"`
+	// EpsCumFinal and EpsFreshFinal are the two arms' cumulative spends after
+	// the last round.
+	EpsCumFinal   float64 `json:"eps_cum_final"`
+	EpsFreshFinal float64 `json:"eps_fresh_final"`
+}
+
+// LongitudinalConfig parameterizes the benchmark. Zero values take the
+// defaults noted per field.
+type LongitudinalConfig struct {
+	// N is the device population (default 20000); the same devices report in
+	// every round.
+	N int
+	// Rounds is the number of collection rounds R (default 10).
+	Rounds int
+	// Budgets is the (ε_perm, ε_1) sweep (default {2,1} and {4,1}).
+	Budgets []fo.Longitudinal
+	// Attrs is the schema dimensionality (default 4).
+	Attrs int
+	// Domain is the per-attribute domain size (default 32).
+	Domain int
+	// Seed makes the run deterministic (default 1).
+	Seed uint64
+	// Progress, when non-nil, receives one line per finished round.
+	Progress func(string)
+}
+
+func (c LongitudinalConfig) withDefaults() LongitudinalConfig {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = []fo.Longitudinal{
+			{EpsPerm: 2, Eps1: 1},
+			{EpsPerm: 4, Eps1: 1},
+		}
+	}
+	if c.Attrs <= 0 {
+		c.Attrs = 4
+	}
+	if c.Domain <= 0 {
+		c.Domain = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunLongitudinal runs every budget point through R rounds with both arms.
+func RunLongitudinal(cfg LongitudinalConfig) ([]LongitudinalResult, error) {
+	cfg = cfg.withDefaults()
+	results := make([]LongitudinalResult, 0, len(cfg.Budgets))
+	for _, budget := range cfg.Budgets {
+		res, err := runLongitudinalPoint(cfg, budget)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: longitudinal eps_perm=%g eps1=%g: %w",
+				budget.EpsPerm, budget.Eps1, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// runLongitudinalPoint runs one (ε_perm, ε_1) trajectory end to end.
+func runLongitudinalPoint(cfg LongitudinalConfig, budget fo.Longitudinal) (LongitudinalResult, error) {
+	schema := dataset.NumericSchema(cfg.Attrs, cfg.Domain)
+	gen, err := dataset.ByName("normal")
+	if err != nil {
+		return LongitudinalResult{}, err
+	}
+	// The population's true values are static across rounds — the
+	// longitudinal threat model — so the dataset is drawn once.
+	ds := gen.Generate(schema, cfg.N, cfg.Seed+7)
+
+	longOpts := core.Options{
+		Strategy:     core.OUG,
+		Epsilon:      budget.Eps1,
+		Seed:         cfg.Seed + 10,
+		Longitudinal: &fo.Longitudinal{EpsPerm: budget.EpsPerm, Eps1: budget.Eps1},
+	}
+	// The baseline runs the identical grids: GRR forced at the same per-round
+	// ε_1, only the chain in front of the collector differs.
+	grr := fo.GRR
+	freshOpts := core.Options{
+		Strategy:      core.OUG,
+		Epsilon:       budget.Eps1,
+		Seed:          cfg.Seed + 10,
+		ForceProtocol: &grr,
+	}
+
+	planner, err := core.NewCollector(schema, cfg.N, longOpts)
+	if err != nil {
+		return LongitudinalResult{}, err
+	}
+	specs := planner.Specs()
+	m := len(specs)
+
+	// Per-device fixed state: the group (FELIP's divide-users assignment must
+	// survive rounds — a device reports the same grid forever), the true cell,
+	// and the memoized permanent randomization drawn exactly once.
+	groups := make([]int, cfg.N)
+	cells := make([]int, cfg.N)
+	memos := make([]int, cfg.N)
+	longStages := make([]longitudinal.Stages, m)
+	freshStages := make([]longitudinal.Stages, m)
+	for g, sp := range specs {
+		if longStages[g], err = longitudinal.NewStages(budget, sp.L()); err != nil {
+			return LongitudinalResult{}, err
+		}
+		// With ε_perm = ε_1 the permanent stage alone is GRR(ε_1), so its
+		// Memoize doubles as the baseline's fresh per-round randomizer.
+		if freshStages[g], err = longitudinal.NewStages(fo.Longitudinal{EpsPerm: budget.Eps1, Eps1: budget.Eps1}, sp.L()); err != nil {
+			return LongitudinalResult{}, err
+		}
+	}
+	rng := fo.NewRand(cfg.Seed + 100)
+	for u := 0; u < cfg.N; u++ {
+		g := u % m
+		groups[u] = g
+		cells[u] = specs[g].CellOf(func(attr int) int { return ds.Value(u, attr) })
+		if memos[u], err = longStages[g].Memoize(cells[u], rng); err != nil {
+			return LongitudinalResult{}, err
+		}
+	}
+
+	acct := longitudinal.Accountant{Cfg: budget}
+	res := LongitudinalResult{
+		EpsPerm: budget.EpsPerm,
+		Eps1:    budget.Eps1,
+		N:       cfg.N,
+		Attrs:   cfg.Attrs,
+		Domain:  cfg.Domain,
+		Grids:   m,
+	}
+	for round := 1; round <= cfg.Rounds; round++ {
+		mseLong, err := runLongitudinalRound(schema, ds, cfg.N, longOpts, specs, groups, func(u int) (int, error) {
+			return longStages[groups[u]].Perturb(memos[u], rng)
+		})
+		if err != nil {
+			return LongitudinalResult{}, err
+		}
+		mseFresh, err := runLongitudinalRound(schema, ds, cfg.N, freshOpts, specs, groups, func(u int) (int, error) {
+			return freshStages[groups[u]].Memoize(cells[u], rng)
+		})
+		if err != nil {
+			return LongitudinalResult{}, err
+		}
+		r := LongitudinalRound{
+			Round:              round,
+			MSELongitudinal:    mseLong,
+			MSEFresh:           mseFresh,
+			EpsCumLongitudinal: acct.Cumulative(round),
+			EpsCumFresh:        acct.FreshCumulative(round),
+		}
+		res.Rounds = append(res.Rounds, r)
+		res.MeanMSELongitudinal += mseLong / float64(cfg.Rounds)
+		res.MeanMSEFresh += mseFresh / float64(cfg.Rounds)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf(
+				"longitudinal: eps_perm=%g eps1=%g round=%d mse=%.3e fresh=%.3e eps_cum=%.2f fresh_cum=%.2f",
+				budget.EpsPerm, budget.Eps1, round, mseLong, mseFresh, r.EpsCumLongitudinal, r.EpsCumFresh))
+		}
+	}
+	if res.MeanMSEFresh > 0 {
+		res.MSERatio = res.MeanMSELongitudinal / res.MeanMSEFresh
+	}
+	res.EpsCumFinal = acct.Cumulative(cfg.Rounds)
+	res.EpsFreshFinal = acct.FreshCumulative(cfg.Rounds)
+	return res, nil
+}
+
+// runLongitudinalRound folds one round's reports — produced by draw, whatever
+// chain it implements — into a fresh collector over the given plan and scores
+// the finalized estimates.
+func runLongitudinalRound(schema *domain.Schema, ds *dataset.Dataset, n int,
+	opts core.Options, specs []core.GridSpec, groups []int, draw func(u int) (int, error)) (float64, error) {
+	col, err := core.NewCollector(schema, n, opts)
+	if err != nil {
+		return 0, err
+	}
+	if got := len(col.Specs()); got != len(specs) {
+		return 0, fmt.Errorf("experiment: arm planned %d grids, expected %d (plans diverged)", got, len(specs))
+	}
+	for u := 0; u < n; u++ {
+		v, err := draw(u)
+		if err != nil {
+			return 0, err
+		}
+		if err := col.Add(core.Report{Group: groups[u], Proto: fo.GRR, Value: v}); err != nil {
+			return 0, err
+		}
+	}
+	agg, err := col.Finalize()
+	if err != nil {
+		return 0, err
+	}
+	return marginalMSE(agg, ds, schema.Len())
+}

@@ -51,7 +51,12 @@ type ModeShootoutConfig struct {
 	Epsilons []float64
 	// Dims is the dimensionality sweep (default 4 and 8 attributes).
 	Dims []int
-	// Domain is the per-attribute domain size (default 32).
+	// Domains is the per-attribute domain-size sweep (default just Domain).
+	// Domain size moves every mode's error differently — GRR's variance grows
+	// with the cell count while OLH's does not — so a fair shootout sweeps it.
+	Domains []int
+	// Domain is the per-attribute domain size when Domains is empty
+	// (default 32; kept for callers of the single-domain shape).
 	Domain int
 	// BatchReports is the frame size the wire cost is metered at
 	// (default 512, the Batcher's default flush trigger).
@@ -75,6 +80,9 @@ func (c ModeShootoutConfig) withDefaults() ModeShootoutConfig {
 	if c.Domain <= 0 {
 		c.Domain = 32
 	}
+	if len(c.Domains) == 0 {
+		c.Domains = []int{c.Domain}
+	}
 	if c.BatchReports <= 0 || c.BatchReports > wire.MaxFrameReports {
 		c.BatchReports = 512
 	}
@@ -94,17 +102,19 @@ var shootoutModes = []fo.ReportMode{fo.ModeFELIP, fo.ModeSPL, fo.ModeRSFD}
 func RunModeShootout(cfg ModeShootoutConfig) ([]ModeCell, error) {
 	cfg = cfg.withDefaults()
 	var cells []ModeCell
-	for _, d := range cfg.Dims {
-		for _, eps := range cfg.Epsilons {
-			for _, mode := range shootoutModes {
-				cell, err := runModeCell(cfg, d, eps, mode)
-				if err != nil {
-					return nil, fmt.Errorf("experiment: mode %v d=%d eps=%g: %w", mode, d, eps, err)
-				}
-				cells = append(cells, cell)
-				if cfg.Progress != nil {
-					cfg.Progress(fmt.Sprintf("modes: d=%d eps=%g %-5s mse=%.3e bytes/user=%.1f",
-						d, eps, cell.Mode, cell.MSE, cell.BytesPerUser))
+	for _, dom := range cfg.Domains {
+		for _, d := range cfg.Dims {
+			for _, eps := range cfg.Epsilons {
+				for _, mode := range shootoutModes {
+					cell, err := runModeCell(cfg, dom, d, eps, mode)
+					if err != nil {
+						return nil, fmt.Errorf("experiment: mode %v dom=%d d=%d eps=%g: %w", mode, dom, d, eps, err)
+					}
+					cells = append(cells, cell)
+					if cfg.Progress != nil {
+						cfg.Progress(fmt.Sprintf("modes: dom=%d d=%d eps=%g %-5s mse=%.3e bytes/user=%.1f",
+							dom, d, eps, cell.Mode, cell.MSE, cell.BytesPerUser))
+					}
 				}
 			}
 		}
@@ -113,15 +123,15 @@ func RunModeShootout(cfg ModeShootoutConfig) ([]ModeCell, error) {
 }
 
 // runModeCell runs one population through one mode end to end.
-func runModeCell(cfg ModeShootoutConfig, d int, eps float64, mode fo.ReportMode) (ModeCell, error) {
-	schema := dataset.NumericSchema(d, cfg.Domain)
+func runModeCell(cfg ModeShootoutConfig, domain, d int, eps float64, mode fo.ReportMode) (ModeCell, error) {
+	schema := dataset.NumericSchema(d, domain)
 	gen, err := dataset.ByName("normal")
 	if err != nil {
 		return ModeCell{}, err
 	}
-	// The dataset depends only on (d, seed): every mode at a (ε, d) point
-	// estimates the same ground truth.
-	ds := gen.Generate(schema, cfg.N, cfg.Seed+uint64(d))
+	// The dataset depends only on (domain, d, seed): every mode at a
+	// (ε, domain, d) point estimates the same ground truth.
+	ds := gen.Generate(schema, cfg.N, cfg.Seed+uint64(d)+uint64(domain)<<16)
 
 	col, err := core.NewCollector(schema, cfg.N, core.Options{
 		Strategy: core.OUG,
@@ -184,7 +194,7 @@ func runModeCell(cfg ModeShootoutConfig, d int, eps float64, mode fo.ReportMode)
 		Mode:         mode.String(),
 		Epsilon:      eps,
 		Attrs:        d,
-		Domain:       cfg.Domain,
+		Domain:       domain,
 		N:            cfg.N,
 		Grids:        len(specs),
 		Reports:      reports,

@@ -76,12 +76,32 @@ func RSFDEstimates(proto Protocol, eps float64, L, m int, counts []int64, n int)
 // probability induced by fake data alone. This is the quantity the grid
 // optimizer compares against FELIP's and SPL's noise variances.
 func RSFDVariance(proto Protocol, eps float64, L, m, n int) float64 {
-	p, q, err := RSFDPQ(proto, AmplifiedEpsilon(eps, m), L)
-	if err != nil {
+	if _, _, err := RSFDPQ(proto, AmplifiedEpsilon(eps, m), L); err != nil {
+		return math.Inf(1)
+	}
+	return RSFDVarianceCont(proto, eps, float64(L), m, n)
+}
+
+// RSFDVarianceCont is RSFDVariance in continuous-L form, for optimizers (the
+// grid planner's golden-section search) that evaluate the RS+FD objective at
+// fractional cell counts. At integer L it matches RSFDVariance exactly —
+// the expressions are identical, so the floats agree bit for bit.
+func RSFDVarianceCont(proto Protocol, eps, L float64, m, n int) float64 {
+	ee := math.Exp(AmplifiedEpsilon(eps, m))
+	var p, q float64
+	switch proto {
+	case GRR:
+		p, q = ee/(ee+L-1), 1/(ee+L-1)
+	case OLH:
+		g := float64(OptimalG(AmplifiedEpsilon(eps, m)))
+		p, q = ee/(ee+g-1), 1/g
+	case OUE:
+		p, q = 0.5, 1/(ee+1)
+	default:
 		return math.Inf(1)
 	}
 	mf := float64(m)
-	p0 := q + (p-q)*(mf-1)/(mf*float64(L))
+	p0 := q + (p-q)*(mf-1)/(mf*L)
 	return mf * mf * p0 * (1 - p0) / (float64(n) * (p - q) * (p - q))
 }
 

@@ -79,21 +79,13 @@ func (p Params) noiseGRR(L float64) float64 {
 	}
 }
 
-// noiseRSFD is fo.RSFDVariance in continuous-L form, so the grid optimizer
-// can evaluate the RS+FD objective at fractional cell counts during the
-// golden-section search. At integer L it matches fo.RSFDVariance exactly.
+// noiseRSFD consults fo.RSFDVarianceCont — the continuous-L form of the
+// estimator's own variance formula — so the planner and the estimator can
+// never drift apart: the m² fake-data inflation the aggregator pays is
+// exactly the quantity the golden-section search minimizes, which is what
+// lets RS+FD plans shrink their grids relative to per-report-budget sizing.
 func (p Params) noiseRSFD(proto fo.Protocol, L float64) float64 {
-	ee := math.Exp(fo.AmplifiedEpsilon(p.Epsilon, p.M))
-	var pp, q float64
-	if proto == fo.GRR {
-		pp, q = ee/(ee+L-1), 1/(ee+L-1)
-	} else {
-		g := float64(fo.OptimalG(fo.AmplifiedEpsilon(p.Epsilon, p.M)))
-		pp, q = ee/(ee+g-1), 1/g
-	}
-	m := float64(p.M)
-	p0 := q + (pp-q)*(m-1)/(m*L)
-	return m * m * p0 * (1 - p0) / (float64(p.N) * (pp - q) * (pp - q))
+	return fo.RSFDVarianceCont(proto, p.Epsilon, L, p.M, p.N)
 }
 
 // Err1D returns the expected squared error of a 1-D numerical grid with l

@@ -84,6 +84,18 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 		s.mu.Unlock()
 		return resp, http.StatusBadRequest, err
 	}
+	if s.longitudinal != nil {
+		// The binary frame format has no longitudinal marker, so a frame can
+		// only ever carry one-shot reports — and a longitudinal round must not
+		// fold those: they were perturbed through a different channel than the
+		// round's two-stage chain inverts. Refuse the frame wholesale; the
+		// longitudinal path is the single-report JSON endpoint.
+		s.wireRejected += n
+		s.modeRejected[s.mode.String()] += n
+		s.mu.Unlock()
+		return resp, http.StatusBadRequest,
+			fmt.Errorf("the round's plan is longitudinal; batch frames carry one-shot reports only — use POST /v1/report")
+	}
 	if b.reader.Mode != s.mode {
 		// A frame claims its mode once for all its reports; a foreign-mode
 		// frame is refused wholesale — its reports were perturbed under a

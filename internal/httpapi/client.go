@@ -276,6 +276,16 @@ func (c *Client) ReportModeWithID(ctx context.Context, id string, mode fo.Report
 	return status == http.StatusOK, err
 }
 
+// ReportLongitudinalWithID submits one memoized two-stage report under a
+// caller-chosen idempotency key. The key doubles as the device's stable
+// identity across rounds: a device persists it alongside its memo and reuses
+// it with a per-round suffix, so every round's submission is exactly-once.
+// The server refuses the report unless the round's plan is longitudinal.
+func (c *Client) ReportLongitudinalWithID(ctx context.Context, id string, rep core.Report) (duplicate bool, err error) {
+	status, err := c.post(ctx, "/v1/report", wire.NewLongitudinalReportMessage(id, rep), nil)
+	return status == http.StatusOK, err
+}
+
 // Finalize closes the collection round; returns the accepted report count.
 func (c *Client) Finalize(ctx context.Context) (int, error) {
 	var out struct {

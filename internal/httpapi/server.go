@@ -45,6 +45,7 @@ import (
 	"felip/internal/core"
 	"felip/internal/domain"
 	"felip/internal/fo"
+	"felip/internal/longitudinal"
 	"felip/internal/metrics"
 	"felip/internal/reportlog"
 	"felip/internal/serve"
@@ -91,6 +92,11 @@ type Server struct {
 	mode      fo.ReportMode
 	modeName  string
 	specAttrs []int
+	// longitudinal holds the round's two-stage memoized-reporting budgets
+	// (normalized by the collector), nil on a one-shot server. Every report
+	// must match the claim: a longitudinal round refuses one-shot reports and
+	// vice versa — mixing the two channels would corrupt the inversion.
+	longitudinal *fo.Longitudinal
 
 	// qp answers /v1/query from the last finalized round's engine; empty
 	// until the first round finalizes.
@@ -178,9 +184,10 @@ func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error)
 		opts:         opts,
 		col:          col,
 		round:        1,
-		plan:         wire.NewPlanMessage(schema, col.Epsilon(), col.Mode(), specs),
+		plan:         wire.NewPlanMessage(schema, col.Epsilon(), col.Mode(), col.Longitudinal(), specs),
 		mode:         col.Mode(),
 		modeName:     wire.ModeName(col.Mode()),
+		longitudinal: col.Longitudinal(),
 		specAttrs:    specAttrs,
 		logf:         log.Printf,
 		qp:           NewQueryPlane(schema, log.Printf),
@@ -250,6 +257,16 @@ func (s *Server) replayLocked(records []reportlog.Record) error {
 			if recMode != s.mode {
 				return fmt.Errorf("httpapi: wal record %d: mode %v does not match the round's plan mode %v",
 					i, recMode, s.mode)
+			}
+			// Same discipline for the longitudinal claim: a segment of
+			// two-stage reports must never fold into a one-shot round (their
+			// values went through the memoized chain, not GRR(ε)), and a
+			// one-shot segment must never fold into a longitudinal round.
+			if rec.Longitudinal != (s.longitudinal != nil) {
+				if rec.Longitudinal {
+					return fmt.Errorf("httpapi: wal record %d: longitudinal report against the round's one-shot plan", i)
+				}
+				return fmt.Errorf("httpapi: wal record %d: one-shot report against the round's longitudinal plan", i)
 			}
 			msg := wire.ReportMessage{
 				ReportID: rec.ReportID,
@@ -549,6 +566,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("report claims mode %v; the round's plan runs %v", repMode, s.mode))
 		return
 	}
+	if msg.Longitudinal != (s.longitudinal != nil) {
+		s.countWireReject()
+		if msg.Longitudinal {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("report claims longitudinal reporting; the round's plan is one-shot"))
+		} else {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("one-shot report refused: the round's plan is longitudinal (memoized two-stage)"))
+		}
+		return
+	}
 	if s.mode != fo.ModeFELIP {
 		if msg.Attr == nil {
 			s.countWireReject()
@@ -611,6 +639,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.wal != nil {
 		rec := reportlog.ReportRecordMode(msg.ReportID, msg.Group, msg.Proto, msg.Value, msg.Seed, s.modeName)
+		rec.Longitudinal = msg.Longitudinal
 		if err := s.wal.Append(rec); err != nil {
 			s.mu.Unlock()
 			s.logf("httpapi: wal append: %v", err)
@@ -780,6 +809,18 @@ type Status struct {
 	Rejected int `json:"rejected"`
 	// Mode is the round's reporting mode ("FELIP", "SPL", "RS+FD").
 	Mode string `json:"mode"`
+	// Longitudinal echoes the round's two-stage budgets when memoized
+	// reporting is on (absent otherwise), and the three accounting figures
+	// below state the privacy spend for a device that reported every round so
+	// far: EpsPerRound is what a single-round observer learns (ε_1),
+	// EpsCumulative what an unbounded all-rounds observer learns — fixed at
+	// ε_perm + ε_1, independent of Round — and EpsFreshEquivalent what the
+	// same device would have leaked under fresh-ε reporting at the same
+	// per-round budget (Round·ε_1, growing without bound).
+	Longitudinal       *fo.Longitudinal `json:"longitudinal,omitempty"`
+	EpsPerRound        float64          `json:"eps_per_round,omitempty"`
+	EpsCumulative      float64          `json:"eps_cumulative,omitempty"`
+	EpsFreshEquivalent float64          `json:"eps_fresh_equivalent,omitempty"`
 	// ModeAccepted and ModeRejected split the accepted and wire-refused
 	// submissions by the mode the report claimed. A round runs one mode, so
 	// nonzero rejected counts under another mode mean clients configured for
@@ -827,6 +868,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Sealed:       s.shardState != nil || s.sealedEmpty,
 		WALReplayed:  s.walReplayed,
 		Restored:     s.restored,
+	}
+	if s.longitudinal != nil {
+		acct := longitudinal.Accountant{Cfg: *s.longitudinal}
+		st.Longitudinal = s.longitudinal
+		st.EpsPerRound = acct.PerRound()
+		st.EpsCumulative = acct.Cumulative(s.round)
+		st.EpsFreshEquivalent = acct.FreshCumulative(s.round)
 	}
 	if len(s.modeAccepted) > 0 {
 		st.ModeAccepted = make(map[string]int, len(s.modeAccepted))

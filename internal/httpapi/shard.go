@@ -71,7 +71,7 @@ func (s *Server) handleShardState(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 		msg := wire.NewShardStateMessage(s.shardID, s.round, s.opts.Epsilon, col.Mode(),
-			s.wireRejected+col.Rejected(), s.walReplayed, states)
+			col.Longitudinal(), s.wireRejected+col.Rejected(), s.walReplayed, states)
 		s.shardState = &msg
 	}
 	msg := *s.shardState

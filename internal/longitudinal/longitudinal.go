@@ -1,0 +1,196 @@
+// Package longitudinal implements memoized two-stage LDP reporting for
+// devices that report across many collection rounds (Ding et al.'s
+// memoization; the L-GRR / LOLOHA family of Arcolezi et al.).
+//
+// One-shot LDP spends fresh ε every round, so a device reporting k rounds
+// leaks k·ε to an observer of all rounds. The two-stage design caps that:
+//
+//   - Stage 1 (permanent, run once per device): the true value v is
+//     randomized by GRR at ε_perm into B, and B is memoized — persisted on
+//     the device and replayed every round. All subsequent traffic is a
+//     function of B alone, so an unbounded observer of every round learns
+//     about v only through one ε_perm-DP release.
+//   - Stage 2 (fresh each round): B is perturbed by an explicit-(p₂, q₂)
+//     randomized response chosen so the composed channel v → report is
+//     *exactly* GRR(ε_1). A single round therefore reveals ε_1, and the
+//     server inverts the chain with the ordinary GRR(ε_1) estimator.
+//
+// The per-round stage parametrization: with p₁ = e^ε_perm/(e^ε_perm+L−1),
+// q₁ = (1−p₁)/(L−1) and the target composed truthful probability
+// p* = e^ε_1/(e^ε_1+L−1),
+//
+//	p₂ = (p* − q₁)/(p₁ − q₁),  q₂ = (1 − p₂)/(L − 1)
+//
+// gives P[report = v | value = v] = q₁ + p₂(p₁−q₁) = p* and, by
+// row-stochasticity, P[report = w | value = v] = (1−p*)/(L−1) for w ≠ v —
+// the GRR(ε_1) channel exactly. p₂ stays in (1/L, 1] iff 0 < ε_1 ≤ ε_perm,
+// which is why fo.Longitudinal.Validate refuses ε_1 > ε_perm.
+package longitudinal
+
+import (
+	"fmt"
+	"math"
+
+	"felip/internal/fo"
+)
+
+// Stages holds the derived two-stage GRR probabilities for one grid's cell
+// domain L: the permanent stage (P1, Q1) at ε_perm, the per-round stage
+// (P2, Q2), and the composed single-round channel (PStar, QStar), which
+// equals GRR(ε_1).
+type Stages struct {
+	L int
+	// P1 is the permanent stage's truthful probability, Q1 its per-value
+	// lying probability: GRR at ε_perm.
+	P1, Q1 float64
+	// P2 is the per-round probability of forwarding the memoized value
+	// unchanged; Q2 the probability of emitting any other fixed value.
+	P2, Q2 float64
+	// PStar and QStar are the composed channel v → report: exactly the
+	// GRR(ε_1) probabilities e^ε_1/(e^ε_1+L−1) and 1/(e^ε_1+L−1).
+	PStar, QStar float64
+}
+
+// NewStages derives the two-stage probabilities for domain size L. A
+// degenerate one-cell domain (the planner can emit 1×1 grids at small n) is a
+// noiseless pass-through — there is only one possible value, so both stages
+// forward it with probability 1 and the channel reveals nothing.
+func NewStages(cfg fo.Longitudinal, L int) (Stages, error) {
+	if err := (&cfg).Validate(); err != nil {
+		return Stages{}, err
+	}
+	if L < 1 {
+		return Stages{}, fmt.Errorf("longitudinal: domain size %d must be at least 1", L)
+	}
+	if L == 1 {
+		return Stages{L: 1, P1: 1, P2: 1, PStar: 1}, nil
+	}
+	lf := float64(L)
+	eePerm := math.Exp(cfg.EpsPerm)
+	p1 := eePerm / (eePerm + lf - 1)
+	q1 := (1 - p1) / (lf - 1)
+	ee1 := math.Exp(cfg.Eps1)
+	pStar := ee1 / (ee1 + lf - 1)
+	p2 := (pStar - q1) / (p1 - q1)
+	return Stages{
+		L:  L,
+		P1: p1, Q1: q1,
+		P2: p2, Q2: (1 - p2) / (lf - 1),
+		PStar: pStar, QStar: (1 - pStar) / (lf - 1),
+	}, nil
+}
+
+// Memoize runs the permanent stage once: GRR(ε_perm) on the true value v.
+// The caller must persist the result and never call Memoize again for the
+// same device — re-randomizing spends fresh ε_perm.
+func (s Stages) Memoize(v int, r *fo.Rand) (int, error) {
+	if v < 0 || v >= s.L {
+		return 0, fmt.Errorf("longitudinal: value %d outside domain [0,%d)", v, s.L)
+	}
+	if r.Float64() < s.P1 {
+		return v, nil
+	}
+	x := r.IntN(s.L - 1)
+	if x >= v {
+		x++
+	}
+	return x, nil
+}
+
+// Perturb runs the per-round stage on the memoized value b: with probability
+// P2 the memoized value is forwarded, otherwise a uniform other value is
+// emitted. Fresh randomness every round; the composition with Memoize is
+// exactly GRR(ε_1).
+func (s Stages) Perturb(b int, r *fo.Rand) (int, error) {
+	if b < 0 || b >= s.L {
+		return 0, fmt.Errorf("longitudinal: memoized value %d outside domain [0,%d)", b, s.L)
+	}
+	if r.Float64() < s.P2 {
+		return b, nil
+	}
+	x := r.IntN(s.L - 1)
+	if x >= b {
+		x++
+	}
+	return x, nil
+}
+
+// Estimates inverts the two-stage chain: with composed support probabilities
+// (p*, q*) = (Q1 + P2·(P1−Q1), (1−p*)/(L−1)), the unbiased estimator is
+// f̂_v = (c_v/n − q*)/(p* − q*). Because the composed channel equals
+// GRR(ε_1), this coincides with the one-shot GRR(ε_1) inversion — the grid
+// post-processing (IPF, norm-sub, response matrices) downstream is untouched.
+func Estimates(cfg fo.Longitudinal, L int, counts []int64, n int) ([]float64, error) {
+	s, err := NewStages(cfg, L)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != L {
+		return nil, fmt.Errorf("longitudinal: got %d counts for domain %d", len(counts), L)
+	}
+	est := make([]float64, L)
+	if n == 0 {
+		return est, nil
+	}
+	if L == 1 {
+		// One-cell domain: the chain is the identity, the frequency is c/n.
+		est[0] = float64(counts[0]) / float64(n)
+		return est, nil
+	}
+	// Compose the chain explicitly rather than re-deriving GRR(ε_1): the
+	// estimator inverts exactly the channel the client implements.
+	pStar := s.Q1 + s.P2*(s.P1-s.Q1)
+	qStar := (1 - pStar) / float64(L-1)
+	nf := float64(n)
+	for v, c := range counts {
+		est[v] = (float64(c)/nf - qStar) / (pStar - qStar)
+	}
+	return est, nil
+}
+
+// Variance returns Var[f̂_v] at f_v = 0 for one grid of the plan under
+// longitudinal reporting: q*(1−q*)/(n(p*−q*)²). Since the composed channel
+// is GRR(ε_1), this equals fo.GRR.Variance(ε_1, L, n) — the planner needs no
+// new noise formula, it sizes grids at ε_1 with GRR forced.
+func Variance(cfg fo.Longitudinal, L, n int) float64 {
+	s, err := NewStages(cfg, L)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if L == 1 {
+		return 0 // noiseless pass-through: the estimate is exact
+	}
+	pStar := s.Q1 + s.P2*(s.P1-s.Q1)
+	qStar := (1 - pStar) / float64(L-1)
+	return qStar * (1 - qStar) / (float64(n) * (pStar - qStar) * (pStar - qStar))
+}
+
+// Accountant reports the privacy spend of a longitudinal collection from the
+// two observer positions the DESIGN.md §16 page describes.
+type Accountant struct {
+	Cfg fo.Longitudinal
+}
+
+// PerRound is what an observer of any single round learns: the composed
+// channel is exactly ε_1-LDP.
+func (a Accountant) PerRound() float64 { return a.Cfg.Eps1 }
+
+// Cumulative is what an unbounded observer of all `rounds` rounds learns
+// about the device's (static) true value. Every round is a post-processing
+// of the one memoized ε_perm release plus per-round ε_1 noise; we report the
+// conservative fixed bound ε_perm + ε_1 — crucially independent of rounds.
+func (a Accountant) Cumulative(rounds int) float64 {
+	if rounds <= 0 {
+		return 0
+	}
+	return a.Cfg.EpsPerm + a.Cfg.Eps1
+}
+
+// FreshCumulative is the same observer's knowledge under the fresh-ε
+// baseline at equal per-round budget: k·ε_1, growing without bound.
+func (a Accountant) FreshCumulative(rounds int) float64 {
+	if rounds <= 0 {
+		return 0
+	}
+	return float64(rounds) * a.Cfg.Eps1
+}

@@ -1,0 +1,197 @@
+package longitudinal
+
+import (
+	"math"
+	"testing"
+
+	"felip/internal/fo"
+)
+
+func mustStages(t *testing.T, epsPerm, eps1 float64, L int) Stages {
+	t.Helper()
+	s, err := NewStages(fo.Longitudinal{EpsPerm: epsPerm, Eps1: eps1}, L)
+	if err != nil {
+		t.Fatalf("NewStages(%v, %v, %d): %v", epsPerm, eps1, L, err)
+	}
+	return s
+}
+
+// The whole design rests on the composed channel being exactly GRR(ε_1):
+// q1 + p2(p1−q1) = e^ε1/(e^ε1+L−1) and the off-diagonal (1−p*)/(L−1), with
+// ratio p*/q* = e^ε1.
+func TestComposedChannelIsExactlyEps1(t *testing.T) {
+	for _, tc := range []struct {
+		epsPerm, eps1 float64
+		L             int
+	}{
+		{2.0, 0.5, 2}, {2.0, 0.5, 3}, {2.0, 2.0, 16}, {1.0, 0.1, 32},
+		{4.0, 1.0, 128}, {0.5, 0.5, 5}, {8.0, 0.01, 7},
+	} {
+		s := mustStages(t, tc.epsPerm, tc.eps1, tc.L)
+		lf := float64(tc.L)
+		pStar := s.Q1 + s.P2*(s.P1-s.Q1)
+		// Off-diagonal directly: report w≠v ⟺ (B=v, flip to w) + (B=w, keep) + (B=u∉{v,w}, flip to w).
+		qStar := s.P1*s.Q2 + s.Q1*s.P2 + (lf-2)*s.Q1*s.Q2
+		want := math.Exp(tc.eps1) / (math.Exp(tc.eps1) + lf - 1)
+		if math.Abs(pStar-want) > 1e-12 {
+			t.Errorf("(%v,%v,L=%d): composed p* = %v, want GRR(eps1) p = %v", tc.epsPerm, tc.eps1, tc.L, pStar, want)
+		}
+		if math.Abs(qStar-(1-want)/(lf-1)) > 1e-12 {
+			t.Errorf("(%v,%v,L=%d): composed q* = %v, want %v", tc.epsPerm, tc.eps1, tc.L, qStar, (1-want)/(lf-1))
+		}
+		if ratio := pStar / qStar; math.Abs(ratio-math.Exp(tc.eps1)) > 1e-9 {
+			t.Errorf("(%v,%v,L=%d): composed ratio %v, want e^eps1 = %v", tc.epsPerm, tc.eps1, tc.L, ratio, math.Exp(tc.eps1))
+		}
+		// Both stages must be proper channels.
+		for _, pq := range [][2]float64{{s.P1, s.Q1}, {s.P2, s.Q2}} {
+			if sum := pq[0] + (lf-1)*pq[1]; math.Abs(sum-1) > 1e-12 {
+				t.Errorf("stage rows must sum to 1, got %v", sum)
+			}
+			if pq[0] < 0 || pq[0] > 1 || pq[1] < 0 || pq[1] > 1 {
+				t.Errorf("stage probabilities outside [0,1]: %v", pq)
+			}
+		}
+	}
+}
+
+func TestStagesRefusesEps1AboveEpsPerm(t *testing.T) {
+	if _, err := NewStages(fo.Longitudinal{EpsPerm: 1.0, Eps1: 1.5}, 8); err == nil {
+		t.Fatal("eps1 > eps_perm must be refused (p2 would exceed 1)")
+	}
+	if _, err := NewStages(fo.Longitudinal{EpsPerm: 0, Eps1: 0.5}, 8); err == nil {
+		t.Fatal("eps_perm = 0 must be refused")
+	}
+	if _, err := NewStages(fo.Longitudinal{EpsPerm: 1, Eps1: 0}, 8); err == nil {
+		t.Fatal("eps1 = 0 must be refused")
+	}
+	if _, err := NewStages(fo.Longitudinal{EpsPerm: 1, Eps1: 1}, 0); err == nil {
+		t.Fatal("domain of size 0 must be refused")
+	}
+	// A one-cell domain is legal (the planner can emit 1×1 grids at small n)
+	// and degenerates to a noiseless pass-through.
+	one, err := NewStages(fo.Longitudinal{EpsPerm: 1, Eps1: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.P1 != 1 || one.P2 != 1 || one.PStar != 1 {
+		t.Fatalf("one-cell stages %+v, want identity channel", one)
+	}
+	if est, err := Estimates(fo.Longitudinal{EpsPerm: 1, Eps1: 1}, 1, []int64{7}, 7); err != nil || est[0] != 1 {
+		t.Fatalf("one-cell estimate %v err=%v, want exactly [1]", est, err)
+	}
+	if v := Variance(fo.Longitudinal{EpsPerm: 1, Eps1: 1}, 1, 100); v != 0 {
+		t.Fatalf("one-cell variance %v, want 0", v)
+	}
+	// eps1 == eps_perm is the boundary: p2 = 1, the per-round stage forwards
+	// the memo verbatim.
+	s := mustStages(t, 2.0, 2.0, 8)
+	if math.Abs(s.P2-1) > 1e-12 {
+		t.Fatalf("at eps1 == eps_perm p2 should be 1, got %v", s.P2)
+	}
+}
+
+// The longitudinal inversion must agree with the one-shot GRR(ε_1)
+// aggregator on identical counts: same channel, same estimator.
+func TestEstimatesMatchGRREps1(t *testing.T) {
+	cfg := fo.Longitudinal{EpsPerm: 3.0, Eps1: 1.0}
+	const L, n = 16, 10000
+	counts := make([]int64, L)
+	r := fo.NewRand(7)
+	total := 0
+	for v := range counts {
+		c := int64(r.IntN(n / L * 2))
+		counts[v] = c
+		total += int(c)
+	}
+	got, err := Estimates(cfg, L, counts, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fo.NewGRRAggregator(cfg.Eps1, L)
+	for v, c := range counts {
+		for i := int64(0); i < c; i++ {
+			agg.Add(v)
+		}
+	}
+	want := agg.Estimates()
+	for v := range got {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("value %d: longitudinal estimate %v != GRR(eps1) estimate %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestVarianceMatchesGRREps1(t *testing.T) {
+	cfg := fo.Longitudinal{EpsPerm: 2.5, Eps1: 0.8}
+	for _, L := range []int{2, 8, 64} {
+		got := Variance(cfg, L, 5000)
+		want := fo.GRR.Variance(cfg.Eps1, L, 5000)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("L=%d: longitudinal variance %v != GRR(eps1) variance %v", L, got, want)
+		}
+	}
+}
+
+// End-to-end unbiasedness by simulation: memoize once, report many rounds,
+// invert each round; the per-round estimates must track the true frequencies
+// within sampling noise, in every round (not just the first).
+func TestSimulatedRoundsUnbiased(t *testing.T) {
+	cfg := fo.Longitudinal{EpsPerm: 3.0, Eps1: 1.5}
+	const L, n, rounds = 8, 40000, 5
+	s := mustStages(t, cfg.EpsPerm, cfg.Eps1, L)
+	r := fo.NewRand(42)
+
+	truth := make([]float64, L)
+	values := make([]int, n)
+	for i := range values {
+		v := i % L
+		if v >= L/2 {
+			v = 0 // skewed: half the mass on value 0
+		}
+		values[i] = v
+		truth[v] += 1.0 / n
+	}
+	memos := make([]int, n)
+	for i, v := range values {
+		b, err := s.Memoize(v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memos[i] = b
+	}
+	for round := 0; round < rounds; round++ {
+		counts := make([]int64, L)
+		for _, b := range memos {
+			y, err := s.Perturb(b, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[y]++
+		}
+		est, err := Estimates(cfg, L, counts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range truth {
+			if math.Abs(est[v]-truth[v]) > 0.03 {
+				t.Fatalf("round %d value %d: estimate %v too far from truth %v", round, v, est[v], truth[v])
+			}
+		}
+	}
+}
+
+func TestAccountantFixedCumulative(t *testing.T) {
+	a := Accountant{Cfg: fo.Longitudinal{EpsPerm: 2.0, Eps1: 0.5}}
+	if got := a.PerRound(); got != 0.5 {
+		t.Fatalf("per-round spend %v, want eps1", got)
+	}
+	if got := a.Cumulative(0); got != 0 {
+		t.Fatalf("cumulative before any round should be 0, got %v", got)
+	}
+	if a.Cumulative(1) != 2.5 || a.Cumulative(30) != 2.5 || a.Cumulative(1000) != 2.5 {
+		t.Fatal("cumulative spend must stay fixed at eps_perm + eps1 regardless of rounds")
+	}
+	if a.FreshCumulative(30) != 15.0 {
+		t.Fatalf("fresh baseline should grow k*eps1, got %v", a.FreshCumulative(30))
+	}
+}

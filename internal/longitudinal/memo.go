@@ -1,0 +1,181 @@
+package longitudinal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"felip/internal/fo"
+)
+
+// Entry is one device's memoized permanent randomization: the plan
+// fingerprint it was drawn under (a memo is only valid against the plan
+// whose grids and budgets produced it), the grid/group the device reports,
+// and the ε_perm-randomized cell value B.
+type Entry struct {
+	Device      string `json:"device"`
+	Fingerprint string `json:"fingerprint"`
+	Group       int    `json:"group"`
+	Value       int    `json:"value"`
+}
+
+// MemoStore persists permanent randomizations so a device that crashes and
+// restarts replays its memoized value instead of spending fresh ε_perm. The
+// store is an append-only JSONL file: one line per memoization, fsynced
+// before Put returns, so an entry handed to the caller is already durable —
+// a crash between Put and the first report never loses the spend.
+//
+// Safe for concurrent use (one process, many device goroutines).
+type MemoStore struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[string]Entry
+}
+
+// OpenMemoStore opens or creates the store at path and replays existing
+// entries. A torn final line (crash mid-append, no trailing newline or
+// unparseable bytes) is dropped: its entry was never acknowledged, so the
+// device legitimately re-memoizes.
+func OpenMemoStore(path string) (*MemoStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("longitudinal: read memo store: %w", err)
+	}
+	entries := make(map[string]Entry)
+	valid := 0
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // no newline: the append never finished
+		}
+		line := bytes.TrimSpace(data[valid : valid+nl])
+		if len(line) > 0 {
+			var e Entry
+			if err := json.Unmarshal(line, &e); err != nil || e.Device == "" {
+				break // torn tail: keep everything before it, truncate the rest
+			}
+			entries[e.Device] = e
+		}
+		valid += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("longitudinal: open memo store: %w", err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("longitudinal: trim torn memo tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &MemoStore{path: path, f: f, entries: entries}, nil
+}
+
+// Get returns the memoized entry for a device, if one exists.
+func (s *MemoStore) Get(device string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[device]
+	return e, ok
+}
+
+// Len returns the number of memoized devices.
+func (s *MemoStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Put durably records a device's permanent randomization. The entry is
+// appended and fsynced before Put returns; only then may the caller send a
+// report derived from it.
+func (s *MemoStore) Put(e Entry) error {
+	if e.Device == "" {
+		return fmt.Errorf("longitudinal: memo entry needs a device id")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.entries[e.Device]; ok {
+		if prev != e {
+			return fmt.Errorf("longitudinal: device %q already memoized (re-randomizing would spend fresh eps_perm)", e.Device)
+		}
+		return nil // idempotent re-put of the identical entry
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("longitudinal: append memo: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("longitudinal: sync memo store: %w", err)
+	}
+	s.entries[e.Device] = e
+	return nil
+}
+
+// Close releases the store's file handle.
+func (s *MemoStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Device drives one reporter through rounds: memoize-once (through the
+// store, durably, keyed by device id and plan fingerprint), then one fresh
+// per-round perturbation per Report call.
+type Device struct {
+	ID     string
+	Group  int
+	stages Stages
+	store  *MemoStore
+	memo   int
+	rng    *fo.Rand
+}
+
+// NewDevice binds a device to its grid's stages and the shared memo store.
+// If the store already holds an entry for (id, fingerprint) the memoized
+// value is reused — no ε_perm is spent; otherwise the true value is
+// randomized once at ε_perm and durably recorded before NewDevice returns.
+// A stored entry under a different plan fingerprint is an error: replaying a
+// memo against grids it was not drawn for would corrupt the inversion.
+func NewDevice(id, fingerprint string, group, value int, stages Stages, store *MemoStore, rng *fo.Rand) (*Device, error) {
+	d := &Device{ID: id, Group: group, stages: stages, store: store, rng: rng}
+	if e, ok := store.Get(id); ok {
+		if e.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("longitudinal: device %q memoized under plan %q, not %q",
+				id, e.Fingerprint, fingerprint)
+		}
+		if e.Group != group {
+			return nil, fmt.Errorf("longitudinal: device %q memoized for group %d, not %d",
+				id, e.Group, group)
+		}
+		d.memo = e.Value
+		return d, nil
+	}
+	b, err := stages.Memoize(value, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Put(Entry{Device: id, Fingerprint: fingerprint, Group: group, Value: b}); err != nil {
+		return nil, err
+	}
+	d.memo = b
+	return d, nil
+}
+
+// Memo exposes the memoized permanent value (tests assert it survives
+// restarts bit-identically).
+func (d *Device) Memo() int { return d.memo }
+
+// Report draws one per-round report from the memoized value.
+func (d *Device) Report() (int, error) {
+	return d.stages.Perturb(d.memo, d.rng)
+}

@@ -1,0 +1,160 @@
+package longitudinal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"felip/internal/fo"
+)
+
+// The satellite-e chaos drill: a device memoizes, is killed (store closed,
+// process state dropped), restarts against the same memo file — and the
+// memoized permanent value survives bit-identically, with no fresh ε_perm
+// randomization drawn. The rng assertion is the teeth: a re-memoization
+// would consume draws, so the restarted device's rng stream must be exactly
+// where a pure per-round reporter's would be.
+func TestChaosDeviceRestartKeepsMemo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memo.jsonl")
+	cfg := fo.Longitudinal{EpsPerm: 2.0, Eps1: 0.5}
+	s, err := NewStages(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenMemoStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDevice("dev-7", "plan-A", 3, 11, s, store, fo.NewRand(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := d.Memo()
+	if _, err := d.Report(); err != nil { // mid-sequence: one round reported
+		t.Fatal(err)
+	}
+	store.Close() // kill -9: the in-memory device and store are gone
+
+	// Restart. Same device id, same plan, fresh rng.
+	store2, err := OpenMemoStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Len() != 1 {
+		t.Fatalf("memo store lost entries across restart: %d", store2.Len())
+	}
+	rng := fo.NewRand(1234)
+	want := *rng // copy: what the stream looks like before NewDevice
+	d2, err := NewDevice("dev-7", "plan-A", 3, 11, s, store2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Memo() != memo {
+		t.Fatalf("memoized value changed across restart: %d -> %d", memo, d2.Memo())
+	}
+	if *rng != want {
+		t.Fatal("restart consumed randomness: a fresh eps_perm memoization was drawn")
+	}
+	if _, err := d2.Report(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoStoreRefusesForeignPlanAndGroup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memo.jsonl")
+	cfg := fo.Longitudinal{EpsPerm: 2.0, Eps1: 1.0}
+	s, err := NewStages(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenMemoStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := NewDevice("d1", "plan-A", 0, 2, s, store, fo.NewRand(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDevice("d1", "plan-B", 0, 2, s, store, fo.NewRand(2)); err == nil {
+		t.Fatal("memo drawn under plan-A must not be replayed against plan-B")
+	}
+	if _, err := NewDevice("d1", "plan-A", 1, 2, s, store, fo.NewRand(3)); err == nil {
+		t.Fatal("memo recorded for group 0 must not be replayed as group 1")
+	}
+}
+
+func TestMemoStoreDropsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memo.jsonl")
+	store, err := OpenMemoStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(Entry{Device: "a", Fingerprint: "f", Group: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(Entry{Device: "b", Fingerprint: "f", Group: 1, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// Crash mid-append: half a JSON line, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"device":"c","fing`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	store2, err := OpenMemoStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Len() != 2 {
+		t.Fatalf("want 2 surviving entries, got %d", store2.Len())
+	}
+	if _, ok := store2.Get("a"); !ok {
+		t.Fatal("entry a lost")
+	}
+	if e, ok := store2.Get("b"); !ok || e.Value != 2 {
+		t.Fatalf("entry b lost or damaged: %+v", e)
+	}
+	// And the tail was truncated, so new appends produce a clean file.
+	if err := store2.Put(Entry{Device: "c", Fingerprint: "f", Group: 2, Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	store2.Close()
+	store3, err := OpenMemoStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	if store3.Len() != 3 {
+		t.Fatalf("want 3 entries after re-append, got %d", store3.Len())
+	}
+}
+
+func TestMemoStoreRefusesRerandomize(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenMemoStore(filepath.Join(dir, "memo.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Put(Entry{Device: "d", Fingerprint: "f", Group: 0, Value: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(Entry{Device: "d", Fingerprint: "f", Group: 0, Value: 5}); err == nil {
+		t.Fatal("overwriting a memo with a different value must be refused")
+	}
+	if err := store.Put(Entry{Device: "d", Fingerprint: "f", Group: 0, Value: 4}); err != nil {
+		t.Fatalf("idempotent re-put of the identical entry should succeed: %v", err)
+	}
+}

@@ -47,6 +47,12 @@ type Record struct {
 	// FELIP rounds keep writing byte-identical v1 records. Replay validates it
 	// against the round's plan.
 	Mode string `json:"mode,omitempty"`
+	// Longitudinal marks a report produced by the memoized two-stage chain;
+	// absent (false) on every one-shot record, so v1 segments keep writing and
+	// replaying byte-identical records. Replay validates the flag against the
+	// round's plan: a longitudinal segment must never fold into a one-shot
+	// round, or vice versa.
+	Longitudinal bool `json:"longitudinal,omitempty"`
 	// Reports is the accepted-report count at finalization (TypeFinalize).
 	Reports int `json:"reports,omitempty"`
 }
@@ -225,6 +231,9 @@ func appendFramedRecord(buf []byte, rec *Record) ([]byte, error) {
 			buf = append(buf, rec.Mode...)
 			buf = append(buf, '"')
 		}
+		if rec.Longitudinal {
+			buf = append(buf, `,"longitudinal":true`...)
+		}
 		buf = append(buf, '}')
 	} else {
 		payload, err := json.Marshal(rec)
@@ -291,6 +300,12 @@ func ReportRecord(id string, group int, proto string, value int, seed uint64) Re
 // record).
 func ReportRecordMode(id string, group int, proto string, value int, seed uint64, mode string) Record {
 	return Record{Type: TypeReport, ReportID: id, Group: group, Proto: proto, Value: value, Seed: seed, Mode: mode}
+}
+
+// ReportRecordLongitudinal builds the Record for one accepted memoized
+// two-stage report.
+func ReportRecordLongitudinal(id string, group int, proto string, value int, seed uint64) Record {
+	return Record{Type: TypeReport, ReportID: id, Group: group, Proto: proto, Value: value, Seed: seed, Longitudinal: true}
 }
 
 // FinalizeRecord builds the Record closing a round of n accepted reports.

@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/fo"
+)
+
+// goldenPlan is a fixed plan literal whose fingerprint is pinned below. It
+// exists so the one-shot wire format can never drift: any change that alters
+// what a v1 (pre-longitudinal) plan hashes to breaks this test.
+func goldenPlan() PlanMessage {
+	return PlanMessage{
+		Epsilon: 1.5,
+		Attributes: []AttributeDTO{
+			{Name: "age", Kind: "numerical", Size: 64},
+			{Name: "color", Kind: "categorical", Size: 8},
+		},
+		Grids: []GridDTO{
+			{AttrX: 0, AttrY: 1, BoundsX: []int{8, 16, 24, 32, 40, 48, 56, 64}, BoundsY: []int{1, 2, 3, 4, 5, 6, 7, 8}, Proto: "GRR"},
+			{AttrX: 0, AttrY: -1, BoundsX: []int{16, 32, 48, 64}, Proto: "OLH"},
+		},
+	}
+}
+
+// TestPlanFingerprintPinnedOneShot pins the exact fingerprint a
+// non-longitudinal plan hashed to before the longitudinal field existed.
+// Absence of the field must stay bit-identical to v1 forever.
+func TestPlanFingerprintPinnedOneShot(t *testing.T) {
+	const want = 0x2097ce31
+	if got := goldenPlan().Fingerprint(); got != want {
+		t.Fatalf("one-shot plan fingerprint drifted: got 0x%08x, want 0x%08x", got, want)
+	}
+}
+
+// TestPlanLongitudinalChangesFingerprint verifies the longitudinal budgets are
+// bound into the fingerprint — a memo or archive keyed by the fingerprint can
+// never silently match a plan with different two-stage budgets.
+func TestPlanLongitudinalChangesFingerprint(t *testing.T) {
+	base := goldenPlan()
+	long := base
+	long.Longitudinal = &fo.Longitudinal{EpsPerm: 2.0, Eps1: 1.5}
+	if long.Fingerprint() == base.Fingerprint() {
+		t.Fatal("longitudinal plan fingerprints identically to the one-shot plan")
+	}
+	other := base
+	other.Longitudinal = &fo.Longitudinal{EpsPerm: 3.0, Eps1: 1.5}
+	if other.Fingerprint() == long.Fingerprint() {
+		t.Fatal("different eps_perm produced the same fingerprint")
+	}
+}
+
+// TestPlanJSONOmitsLongitudinalWhenNil verifies a one-shot plan's JSON carries
+// no trace of the longitudinal field — the byte-identity contract for v1
+// clients that hash or diff the plan body.
+func TestPlanJSONOmitsLongitudinalWhenNil(t *testing.T) {
+	buf, err := json.Marshal(goldenPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf, []byte("longitudinal")) {
+		t.Fatalf("one-shot plan JSON mentions longitudinal: %s", buf)
+	}
+}
+
+// TestPlanLongitudinalRoundTrip verifies the budgets survive the wire.
+func TestPlanLongitudinalRoundTrip(t *testing.T) {
+	msg := goldenPlan()
+	msg.Longitudinal = &fo.Longitudinal{EpsPerm: 2.5, Eps1: 1.5}
+	buf, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded PlanMessage
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Longitudinal.Equal(msg.Longitudinal) {
+		t.Fatalf("longitudinal round trip %+v -> %+v", msg.Longitudinal, decoded.Longitudinal)
+	}
+	if decoded.Fingerprint() != msg.Fingerprint() {
+		t.Fatal("fingerprint changed across JSON round trip")
+	}
+}
+
+// TestShardStateSumPinnedOneShot pins the exact checksum a non-longitudinal
+// shard state summed to before the longitudinal field existed.
+func TestShardStateSumPinnedOneShot(t *testing.T) {
+	const want = 0xb670a23b
+	st := NewShardStateMessage("shard-golden", 3, 1.5, fo.ModeFELIP, nil, 2, 1, []fo.PartialState{
+		{Proto: fo.GRR, Epsilon: 1.5, L: 4, N: 10, Rejected: 1, Counts: []int64{4, 3, 2, 1}},
+	})
+	if got := st.Sum(); got != want {
+		t.Fatalf("one-shot shard state checksum drifted: got 0x%08x, want 0x%08x", got, want)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf, []byte("longitudinal")) {
+		t.Fatalf("one-shot shard state JSON mentions longitudinal: %s", buf)
+	}
+}
+
+// TestShardStateLongitudinalBoundIntoSum verifies the budgets change the
+// checksum and survive a JSON round trip with Verify still passing.
+func TestShardStateLongitudinalBoundIntoSum(t *testing.T) {
+	parts := []fo.PartialState{
+		{Proto: fo.GRR, Epsilon: 1.5, L: 4, N: 10, Rejected: 1, Counts: []int64{4, 3, 2, 1}},
+	}
+	long := &fo.Longitudinal{EpsPerm: 2.0, Eps1: 1.5}
+	st := NewShardStateMessage("shard-golden", 3, 1.5, fo.ModeFELIP, long, 2, 1, parts)
+	bare := NewShardStateMessage("shard-golden", 3, 1.5, fo.ModeFELIP, nil, 2, 1, parts)
+	if st.Sum() == bare.Sum() {
+		t.Fatal("longitudinal budgets not bound into the shard state checksum")
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ShardStateMessage
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Longitudinal.Equal(long) {
+		t.Fatalf("longitudinal round trip %+v -> %+v", long, decoded.Longitudinal)
+	}
+}
+
+// TestShardStateVerifyRefusesInvalidLongitudinal verifies a state claiming
+// impossible budgets (ε_1 > ε_perm) fails verification even with a consistent
+// checksum — a misconfigured shard must be caught before the merge.
+func TestShardStateVerifyRefusesInvalidLongitudinal(t *testing.T) {
+	st := NewShardStateMessage("s1", 1, 2.0, fo.ModeFELIP,
+		&fo.Longitudinal{EpsPerm: 1.0, Eps1: 2.0}, 0, 0, []fo.PartialState{
+			{Proto: fo.GRR, Epsilon: 2.0, L: 4, N: 0, Counts: []int64{0, 0, 0, 0}},
+		})
+	if err := st.Verify(); err == nil {
+		t.Fatal("shard state with eps1 > eps_perm verified")
+	}
+}
+
+// TestLongitudinalReportMessage verifies the report encoding: the claim
+// travels, validates as GRR-only, and refuses to coexist with a mode.
+func TestLongitudinalReportMessage(t *testing.T) {
+	msg := NewLongitudinalReportMessage("dev-1-r3", core.Report{Group: 2, Proto: fo.GRR, Value: 5})
+	if !msg.Longitudinal {
+		t.Fatal("longitudinal claim missing")
+	}
+	if err := msg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ReportMessage
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Longitudinal {
+		t.Fatal("longitudinal claim lost in round trip")
+	}
+
+	bad := msg
+	bad.Mode = "SPL"
+	if err := bad.Validate(); err == nil {
+		t.Error("longitudinal report claiming a mode accepted")
+	}
+	bad = msg
+	bad.Proto = "OLH"
+	if err := bad.Validate(); err == nil {
+		t.Error("longitudinal OLH report accepted")
+	}
+
+	oneShot := NewReportMessage("dev-2", core.Report{Group: 0, Proto: fo.GRR, Value: 1})
+	buf, err = json.Marshal(oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf, []byte("longitudinal")) {
+		t.Fatalf("one-shot report JSON mentions longitudinal: %s", buf)
+	}
+}

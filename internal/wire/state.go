@@ -46,6 +46,12 @@ type ShardStateMessage struct {
 	// to merge shard states whose modes disagree with its own plan: partial
 	// counts folded under different perturbation budgets are not mergeable.
 	Mode string `json:"mode,omitempty"`
+	// Longitudinal carries the shard's two-stage memoized-reporting budgets;
+	// nil on every one-shot shard (keeping v1 messages and checksums
+	// byte-identical). The coordinator refuses to merge shard states whose
+	// longitudinal parameters disagree with its own: counts drawn through
+	// different two-stage chains invert differently.
+	Longitudinal *fo.Longitudinal `json:"longitudinal,omitempty"`
 	// Reports is the shard's accepted-report total (the sum of the grid Ns).
 	Reports int `json:"reports"`
 	// Rejected is the shard's refused-submission total (wire-level plus
@@ -107,16 +113,17 @@ func ParseGridStates(grids []GridStateDTO, eps float64) ([]fo.PartialState, erro
 
 // NewShardStateMessage encodes a sealed shard round for the wire. states must
 // be in group order (the collector's export order).
-func NewShardStateMessage(shardID string, round int, eps float64, mode fo.ReportMode, rejected, walReplayed int, states []fo.PartialState) ShardStateMessage {
+func NewShardStateMessage(shardID string, round int, eps float64, mode fo.ReportMode, long *fo.Longitudinal, rejected, walReplayed int, states []fo.PartialState) ShardStateMessage {
 	m := ShardStateMessage{
-		Version:     ShardStateVersion,
-		ShardID:     shardID,
-		Round:       round,
-		Epsilon:     eps,
-		Mode:        ModeName(mode),
-		Rejected:    rejected,
-		WALReplayed: walReplayed,
-		Grids:       GridStates(states),
+		Version:      ShardStateVersion,
+		ShardID:      shardID,
+		Round:        round,
+		Epsilon:      eps,
+		Mode:         ModeName(mode),
+		Longitudinal: long,
+		Rejected:     rejected,
+		WALReplayed:  walReplayed,
+		Grids:        GridStates(states),
 	}
 	for _, st := range states {
 		m.Reports += st.N
@@ -149,6 +156,13 @@ func (m ShardStateMessage) Sum() uint32 {
 		str("mode")
 		str(m.Mode)
 	}
+	// Same discipline for the longitudinal budgets: absent (nil) leaves every
+	// one-shot checksum at its v1 value; present binds both stage budgets.
+	if m.Longitudinal != nil {
+		str("longitudinal")
+		put(math.Float64bits(m.Longitudinal.EpsPerm))
+		put(math.Float64bits(m.Longitudinal.Eps1))
+	}
 	put(uint64(m.Reports))
 	put(uint64(m.Rejected))
 	put(uint64(len(m.Grids)))
@@ -177,6 +191,9 @@ func (m ShardStateMessage) Verify() error {
 		return fmt.Errorf("wire: shard %q state checksum %08x, message claims %08x", m.ShardID, got, m.Checksum)
 	}
 	if _, err := fo.ParseReportMode(m.Mode); err != nil {
+		return fmt.Errorf("wire: shard %q state: %w", m.ShardID, err)
+	}
+	if err := m.Longitudinal.Validate(); err != nil {
 		return fmt.Errorf("wire: shard %q state: %w", m.ShardID, err)
 	}
 	return nil

@@ -136,7 +136,7 @@ func TestShardStateWireMergeEquivalence(t *testing.T) {
 			}
 			total := 0
 			for i, sh := range shardAggs {
-				msg := NewShardStateMessage("shard-0", 1, eps, fo.ModeFELIP, 0, 0, []fo.PartialState{export(t, sh)})
+				msg := NewShardStateMessage("shard-0", 1, eps, fo.ModeFELIP, nil, 0, 0, []fo.PartialState{export(t, sh)})
 				// The full wire path: marshal, unmarshal, verify, decode.
 				raw, err := json.Marshal(msg)
 				if err != nil {
@@ -191,7 +191,7 @@ func TestShardStateChecksumCatchesCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := NewShardStateMessage("s1", 2, 1.0, fo.ModeFELIP, 1, 0, []fo.PartialState{st})
+	good := NewShardStateMessage("s1", 2, 1.0, fo.ModeFELIP, nil, 1, 0, []fo.PartialState{st})
 	if err := good.Verify(); err != nil {
 		t.Fatalf("freshly encoded state fails verify: %v", err)
 	}

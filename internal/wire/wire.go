@@ -41,10 +41,14 @@ type GridDTO struct {
 // "RS+FD"); it is empty for FELIP so v1 plans keep their exact JSON and
 // fingerprint.
 type PlanMessage struct {
-	Epsilon    float64        `json:"epsilon"`
-	Mode       string         `json:"mode,omitempty"`
-	Attributes []AttributeDTO `json:"attributes"`
-	Grids      []GridDTO      `json:"grids"`
+	Epsilon float64 `json:"epsilon"`
+	Mode    string  `json:"mode,omitempty"`
+	// Longitudinal carries the round's two-stage memoized-reporting budgets;
+	// absent (nil) on every one-shot plan, so v1 plans keep their exact JSON
+	// and fingerprint. When set, Epsilon is the per-round budget ε_1.
+	Longitudinal *fo.Longitudinal `json:"longitudinal,omitempty"`
+	Attributes   []AttributeDTO   `json:"attributes"`
+	Grids        []GridDTO        `json:"grids"`
 }
 
 // ReportMode parses the plan's reporting mode (empty = FELIP).
@@ -82,6 +86,11 @@ type ReportMessage struct {
 	// (FELIP v1 clients never send it). Non-FELIP reports carry it so the
 	// server can cross-check each of a user's m reports against the plan.
 	Attr *int `json:"attr,omitempty"`
+	// Longitudinal marks a report produced by the memoized two-stage chain.
+	// A longitudinal server refuses reports without the claim, and a one-shot
+	// server refuses reports carrying it: mixing the two within a round would
+	// corrupt the estimator's inversion. Absent on every v1 report.
+	Longitudinal bool `json:"longitudinal,omitempty"`
 }
 
 // QueryResponse carries a query answer. Round identifies the collection
@@ -139,9 +148,10 @@ func protoFromName(s string) (fo.Protocol, error) {
 }
 
 // NewPlanMessage encodes a schema and grid plan for publication under the
-// round's reporting mode.
-func NewPlanMessage(schema *domain.Schema, eps float64, mode fo.ReportMode, specs []core.GridSpec) PlanMessage {
-	msg := PlanMessage{Epsilon: eps, Mode: ModeName(mode)}
+// round's reporting mode and (optionally) longitudinal parameters; long is
+// nil for one-shot rounds, keeping the message byte-identical to v1.
+func NewPlanMessage(schema *domain.Schema, eps float64, mode fo.ReportMode, long *fo.Longitudinal, specs []core.GridSpec) PlanMessage {
+	msg := PlanMessage{Epsilon: eps, Mode: ModeName(mode), Longitudinal: long}
 	for i := 0; i < schema.Len(); i++ {
 		a := schema.Attr(i)
 		msg.Attributes = append(msg.Attributes, AttributeDTO{
@@ -207,6 +217,14 @@ func (m PlanMessage) Fingerprint() uint32 {
 	if m.Mode != "" {
 		str("mode")
 		str(m.Mode)
+	}
+	// Likewise the longitudinal budgets: one-shot plans (nil) keep their v1
+	// fingerprint; longitudinal plans bind ε_perm and ε_1 into it, so a memo
+	// or snapshot drawn under different budgets can never silently match.
+	if m.Longitudinal != nil {
+		str("longitudinal")
+		put(math.Float64bits(m.Longitudinal.EpsPerm))
+		put(math.Float64bits(m.Longitudinal.Eps1))
 	}
 	return h.Sum32()
 }
@@ -289,6 +307,16 @@ func NewModeReportMessage(id string, mode fo.ReportMode, r core.ModeReport) Repo
 	return msg
 }
 
+// NewLongitudinalReportMessage encodes one memoized two-stage report. The
+// longitudinal claim travels with the report so the server can refuse a
+// one-shot report into a longitudinal round (and vice versa) instead of
+// silently folding values drawn from a different channel.
+func NewLongitudinalReportMessage(id string, r core.Report) ReportMessage {
+	msg := NewReportMessage(id, r)
+	msg.Longitudinal = true
+	return msg
+}
+
 // MaxReportIDLen bounds the device-chosen idempotency key.
 const MaxReportIDLen = 128
 
@@ -330,6 +358,14 @@ func (m ReportMessage) Validate() error {
 	}
 	if m.Attr != nil && *m.Attr < 0 {
 		return fmt.Errorf("wire: negative attr %d", *m.Attr)
+	}
+	if m.Longitudinal {
+		if m.Mode != "" {
+			return fmt.Errorf("wire: longitudinal report cannot also claim mode %q", m.Mode)
+		}
+		if m.Proto != "GRR" {
+			return fmt.Errorf("wire: longitudinal reports are GRR two-stage chains, got %q", m.Proto)
+		}
 	}
 	return nil
 }

@@ -16,7 +16,7 @@ func testPlan(t *testing.T) ([]core.GridSpec, PlanMessage) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return specs, NewPlanMessage(schema, 1.0, fo.ModeFELIP, specs)
+	return specs, NewPlanMessage(schema, 1.0, fo.ModeFELIP, nil, specs)
 }
 
 func TestPlanRoundTrip(t *testing.T) {
