@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-modes bench-modes-smoke bench-longitudinal bench-longitudinal-smoke bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle chaos-longitudinal
+.PHONY: build test check bench bench-fo bench-query bench-cluster bench-restart bench-ingest bench-modes bench-modes-smoke bench-longitudinal bench-longitudinal-smoke bench-megadomain bench-megadomain-smoke bench-smoke chaos-cluster chaos-archive chaos-failover chaos-idle chaos-longitudinal
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,37 @@ bench-longitudinal-smoke:
 	assert all(rd['eps_cum_fresh'] == rd['round'] * p['eps1'] for p in results for rd in p['rounds']), 'fresh baseline spend wrong'; \
 	assert all(p['eps_cum_final'] < p['eps_fresh_final'] for p in results), 'memoization did not beat fresh spend by the last round'; \
 	print(f'bench-longitudinal gate: {len(results)} budget points, mse ratios {[round(p[\"mse_ratio\"], 2) for p in results]}, cumulative spend fixed')"
+
+# Mega-domain benchmark: every frequency oracle over 2^10..2^17 categorical
+# domains — estimation MSE × bytes on the wire — written to BENCH_PR10.json.
+bench-megadomain:
+	$(GO) run ./cmd/felipbench -megadomain -dout BENCH_PR10.json
+
+# bench-megadomain at CI-smoke sizes, with the PR's acceptance gates: HR must
+# cost at most 16 bytes/user on the wire at L=2^17 (against OUE's O(L)
+# bitset records) while keeping MSE within 2x of OLH at equal ε, and the AFO
+# must pick HR on mega-domains only.
+bench-megadomain-smoke:
+	$(GO) run ./cmd/felipbench -megadomain -smoke -dout /tmp/BENCH_smoke_megadomain.json
+	@python3 -c "import json; r = json.load(open('/tmp/BENCH_smoke_megadomain.json')); \
+	cells = r['cells']; assert cells, 'no cells'; \
+	protos = {c['proto'] for c in cells}; \
+	assert protos == {'GRR', 'OLH', 'OUE', 'HR'}, f'oracles covered: {protos}'; \
+	assert len({c['epsilon'] for c in cells}) >= 2 and len({c['domain'] for c in cells}) >= 3, 'sweep too small'; \
+	top = max(c['domain'] for c in cells); assert top >= 1 << 17, f'largest domain {top} < 2^17'; \
+	hr = {(c['domain'], c['epsilon']): c for c in cells if c['proto'] == 'HR'}; \
+	olh = {(c['domain'], c['epsilon']): c for c in cells if c['proto'] == 'OLH'}; \
+	oue = {(c['domain'], c['epsilon']): c for c in cells if c['proto'] == 'OUE'}; \
+	assert all(c['bytes_per_user'] <= 16 for (d, e), c in hr.items() if d == top), \
+	f'HR bytes/user at L=2^17: {[c[\"bytes_per_user\"] for (d, e), c in hr.items() if d == top]}'; \
+	assert all(c['mse'] <= olh[k]['mse'] * 2 for k, c in hr.items()), \
+	f'HR MSE beyond 2x OLH: {[(k, c[\"mse\"] / olh[k][\"mse\"]) for k, c in hr.items()]}'; \
+	assert all(c['bytes_per_user'] >= (d / 8) for (d, e), c in oue.items()), 'OUE wire cost not O(L)'; \
+	assert all(c['afo_choice'] == ('HR' if d >= 1 << 14 else 'OLH') for (d, e), c in hr.items()), \
+	f'AFO choices: {[(d, c[\"afo_choice\"]) for (d, e), c in hr.items()]}'; \
+	worst = max(c['mse'] / olh[k]['mse'] for k, c in hr.items()); \
+	b = max(c['bytes_per_user'] for (d, e), c in hr.items() if d == top); \
+	print(f'bench-megadomain gate: {len(cells)} cells, HR {b:.2f} bytes/user at L=2^17, worst HR/OLH mse ratio {worst:.2f}x')"
 
 # All benchmarks at CI-smoke sizes (seconds, not minutes); reports land in
 # /tmp so a smoke run never clobbers the checked-in numbers.

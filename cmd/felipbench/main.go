@@ -19,6 +19,7 @@
 //	felipbench -ingest                # batched binary ingest benchmark → BENCH_PR7.json
 //	felipbench -modes                 # FELIP/SPL/RS+FD mode shootout → BENCH_PR8.json
 //	felipbench -longitudinal          # memoized two-stage vs fresh-ε rounds → BENCH_PR9.json
+//	felipbench -megadomain            # mega-domain oracle shootout (MSE × wire bytes) → BENCH_PR10.json
 //	felipbench -kernel -query -smoke # both benchmarks at CI-smoke sizes
 package main
 
@@ -59,7 +60,9 @@ func main() {
 		mout    = flag.String("mout", "BENCH_PR8.json", "output path for the -modes JSON report")
 		lbench  = flag.Bool("longitudinal", false, "run the memoized two-stage vs fresh-ε longitudinal benchmark and exit")
 		lout    = flag.String("lout", "BENCH_PR9.json", "output path for the -longitudinal JSON report")
-		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart/-modes/-longitudinal benchmarks to CI-smoke sizes")
+		dbench  = flag.Bool("megadomain", false, "run the mega-domain frequency-oracle shootout and exit")
+		dout    = flag.String("dout", "BENCH_PR10.json", "output path for the -megadomain JSON report")
+		smoke   = flag.Bool("smoke", false, "shrink the -kernel/-query/-cluster/-restart/-modes/-longitudinal/-megadomain benchmarks to CI-smoke sizes")
 	)
 	flag.Parse()
 
@@ -68,7 +71,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*qbench && !*cbench && !*rbench && !*ibench && !*mbench && !*lbench {
+		if !*qbench && !*cbench && !*rbench && !*ibench && !*mbench && !*lbench && !*dbench {
 			return
 		}
 	}
@@ -77,7 +80,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*cbench && !*rbench && !*ibench && !*mbench && !*lbench {
+		if !*cbench && !*rbench && !*ibench && !*mbench && !*lbench && !*dbench {
 			return
 		}
 	}
@@ -86,7 +89,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*rbench && !*ibench && !*mbench && !*lbench {
+		if !*rbench && !*ibench && !*mbench && !*lbench && !*dbench {
 			return
 		}
 	}
@@ -95,7 +98,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*ibench && !*mbench && !*lbench {
+		if !*ibench && !*mbench && !*lbench && !*dbench {
 			return
 		}
 	}
@@ -104,7 +107,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*mbench && !*lbench {
+		if !*mbench && !*lbench && !*dbench {
 			return
 		}
 	}
@@ -113,12 +116,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}
-		if !*lbench {
+		if !*lbench && !*dbench {
 			return
 		}
 	}
 	if *lbench {
 		if err := runLongBench(*lout, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "felipbench:", err)
+			os.Exit(1)
+		}
+		if !*dbench {
+			return
+		}
+	}
+	if *dbench {
+		if err := runMegaDomainBench(*dout, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "felipbench:", err)
 			os.Exit(1)
 		}

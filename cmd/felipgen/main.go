@@ -8,6 +8,13 @@
 //	felipgen -dataset ipums-sim -n 10000 -out ipums.csv
 //	felipgen -dataset normal -n 100000 -knum 3 -dnum 64 -kcat 3 -dcat 8 -summary
 //	felipgen -queries 100 -lambdas 1,2,3 -qsel 0.5 | felipquery -batch
+//	felipgen -domain 131072 -n 200000 -zipf 1.1 -summary -out none
+//
+// -domain switches to mega-domain mode: one categorical attribute with the
+// given domain size (10^5+ values — the HR oracle's regime), Zipf-distributed,
+// written as a one-column CSV. Domains that large overflow the packed schema
+// datasets, so mega-domain mode has its own generator and ignores the
+// -dataset/-knum/-kcat family.
 package main
 
 import (
@@ -35,8 +42,15 @@ func main() {
 		queries = flag.Int("queries", 0, "emit this many random queries (compact WHERE form, one per line) instead of a dataset")
 		lambdas = flag.String("lambdas", "2", "comma-separated query dimensions for -queries, cycled")
 		qsel    = flag.Float64("qsel", 0.5, "per-attribute selectivity of generated queries")
+		domain  = flag.Int("domain", 0, "mega-domain mode: generate one Zipf categorical attribute with this domain size (>= 2)")
+		zipf    = flag.Float64("zipf", 1.1, "Zipf exponent for -domain mode")
 	)
 	flag.Parse()
+
+	if *domain > 0 {
+		megaDomain(*domain, *n, *zipf, *seed, *out, *summary)
+		return
+	}
 
 	schema := dataset.MixedSchema(*kNum, *dNum, *kCat, *dCat)
 
@@ -112,5 +126,58 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "felipgen: wrote %d rows to %s\n", ds.N(), *out)
+	}
+}
+
+// megaDomain runs -domain mode: one Zipf categorical attribute over a domain
+// too large for the packed schema datasets.
+func megaDomain(L, n int, s float64, seed uint64, out string, summary bool) {
+	md, err := dataset.GenerateMegaDomain(L, n, s, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "felipgen:", err)
+		os.Exit(2)
+	}
+	if summary {
+		freqs := md.Frequencies()
+		support := 0
+		for _, f := range freqs {
+			if f > 0 {
+				support++
+			}
+		}
+		var head float64
+		top := 10
+		if top > L {
+			top = L
+		}
+		for v := 0; v < top; v++ {
+			head += freqs[v]
+		}
+		fmt.Fprintf(os.Stderr, "value    categorical d=%-8d rows=%d support=%d head10=%.3f zipf=%.2f\n",
+			L, n, support, head, s)
+	}
+	switch out {
+	case "none":
+	case "", "-":
+		if err := md.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "felipgen:", err)
+			os.Exit(1)
+		}
+	default:
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "felipgen:", err)
+			os.Exit(1)
+		}
+		if err := md.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "felipgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "felipgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "felipgen: wrote %d rows to %s\n", md.N(), out)
 	}
 }

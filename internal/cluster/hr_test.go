@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/httpapi"
+)
+
+// TestClusterHRMergeBitIdentical: the HR oracle's partial states ride the
+// coordinator's checksummed state pull exactly like the other protocols'.
+// A 3-shard cluster folding HR reports shard-locally and merging at finalize
+// must answer every query bit-for-bit identically to one server that saw the
+// same report multiset — possible because the aggregator's plus/minus counts
+// are exact integers and the FWHT runs in integer arithmetic, so merge order
+// cannot perturb a single bit.
+func TestClusterHRMergeBitIdentical(t *testing.T) {
+	const (
+		k       = 3
+		n       = 1800
+		devSeed = 907
+	)
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 903)
+	hrProto := fo.HR
+	opts := core.Options{Strategy: core.OHG, Epsilon: 1.1, Seed: 901, ForceProtocol: &hrProto}
+	ctx := context.Background()
+
+	single := func() []float64 {
+		srv, err := httpapi.NewServer(schema, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogger(t.Logf)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		cl := httpapi.Dial(ts.URL, ts.Client())
+		plan, err := cl.Plan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := plan.Specs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range specs {
+			if spec.Proto != fo.HR {
+				t.Fatalf("forced-HR plan contains %v grid", spec.Proto)
+			}
+		}
+		for row := 0; row < n; row++ {
+			id, rep := deviceReport(t, specs, opts.Epsilon, ds, row, devSeed)
+			if _, err := cl.ReportWithID(ctx, id, rep); err != nil {
+				t.Fatalf("single row %d: %v", row, err)
+			}
+		}
+		if count, err := cl.Finalize(ctx); err != nil || count != n {
+			t.Fatalf("single finalize: %d, %v", count, err)
+		}
+		ests := make([]float64, len(clusterQueries))
+		for i, where := range clusterQueries {
+			resp, err := cl.Query(ctx, where)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests[i] = resp.Estimate
+		}
+		return ests
+	}()
+
+	h := newHarness(t, k, n, opts, nil, fastRetry(4))
+	plan, err := h.client.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < n; row++ {
+		id, rep := deviceReport(t, specs, opts.Epsilon, ds, row, devSeed)
+		if _, err := h.client.ReportWithID(ctx, id, rep); err != nil {
+			t.Fatalf("cluster row %d: %v", row, err)
+		}
+	}
+	count, err := h.client.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("cluster finalized %d reports, want %d", count, n)
+	}
+	for i, where := range clusterQueries {
+		resp, err := h.client.Query(ctx, where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Estimate != single[i] {
+			t.Fatalf("query %q: cluster %v != single %v (HR merge not bit-identical)",
+				where, resp.Estimate, single[i])
+		}
+	}
+}

@@ -33,10 +33,12 @@ type Report struct {
 	Group int
 	// Proto is the grid's frequency-oracle protocol.
 	Proto fo.Protocol
-	// Value is the GRR report (perturbed cell index) when Proto == GRR, or
-	// the GRR-perturbed hash when Proto == OLH.
+	// Value is the GRR report (perturbed cell index) when Proto == GRR, the
+	// GRR-perturbed hash when Proto == OLH, or the Hadamard row index when
+	// Proto == HR.
 	Value int
-	// Seed identifies the OLH hash function when Proto == OLH.
+	// Seed identifies the OLH hash function when Proto == OLH. For HR it
+	// carries the reported sign bit: 0 for +1, 1 for −1.
 	Seed uint64
 }
 
@@ -66,6 +68,7 @@ type Client struct {
 	rng *fo.Rand
 	grr map[int]*fo.GRRClient
 	olh map[int]*fo.OLHClient
+	hr  map[int]*fo.HRClient
 }
 
 // NewClient builds a FELIP-mode client from the published plan. seed controls
@@ -94,6 +97,7 @@ func NewModeClient(specs []GridSpec, mode fo.ReportMode, eps float64, seed uint6
 		rng:   fo.NewRand(seed),
 		grr:   make(map[int]*fo.GRRClient),
 		olh:   make(map[int]*fo.OLHClient),
+		hr:    make(map[int]*fo.HRClient),
 	}, nil
 }
 
@@ -197,6 +201,25 @@ func (c *Client) perturbCell(group, cell int) (Report, error) {
 			return Report{}, err
 		}
 		return Report{Group: group, Proto: fo.OLH, Value: int(rep.Value), Seed: rep.Seed}, nil
+	case fo.HR:
+		cl, ok := c.hr[group]
+		if !ok {
+			var err error
+			cl, err = fo.NewHRClient(c.eps, spec.L())
+			if err != nil {
+				return Report{}, err
+			}
+			c.hr[group] = cl
+		}
+		rep, err := cl.Perturb(cell, c.rng)
+		if err != nil {
+			return Report{}, err
+		}
+		var sign uint64
+		if rep.Sign < 0 {
+			sign = 1
+		}
+		return Report{Group: group, Proto: fo.HR, Value: rep.Row, Seed: sign}, nil
 	default:
 		return Report{}, fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
 	}
@@ -220,6 +243,7 @@ type Collector struct {
 	rng       *fo.Rand
 	grrAggs   map[int]*fo.GRRAggregator
 	olhAggs   map[int]*fo.OLHAggregator
+	hrAggs    map[int]*fo.HRAggregator
 	added     int
 	rejected  int
 	finalized bool
@@ -267,6 +291,7 @@ func NewCollector(schema *domain.Schema, n int, opts Options) (*Collector, error
 		rng:       fo.NewRand(opts.Seed),
 		grrAggs:   make(map[int]*fo.GRRAggregator),
 		olhAggs:   make(map[int]*fo.OLHAggregator),
+		hrAggs:    make(map[int]*fo.HRAggregator),
 	}
 	for g, spec := range specs {
 		switch spec.Proto {
@@ -278,6 +303,13 @@ func NewCollector(schema *domain.Schema, n int, opts Options) (*Collector, error
 			} else {
 				c.olhAggs[g] = fo.NewOLHAggregator(reportEps, spec.L())
 			}
+		case fo.HR:
+			// RS+FD's fake-data inversion has no HR form (the planner never
+			// emits one; only a forced protocol can get here).
+			if opts.Mode == fo.ModeRSFD {
+				return nil, fmt.Errorf("core: HR grids are not supported under RS+FD reporting")
+			}
+			c.hrAggs[g] = fo.NewHRAggregator(reportEps, spec.L())
 		default:
 			return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
 		}
@@ -349,6 +381,14 @@ func (c *Collector) validateLocked(rep Report) error {
 		if rep.Value < 0 || rep.Value >= g {
 			return fmt.Errorf("core: OLH report %d outside [0,%d)", rep.Value, g)
 		}
+	case fo.HR:
+		k := fo.HRPaddedSize(spec.L())
+		if rep.Value < 0 || rep.Value >= k {
+			return fmt.Errorf("core: HR row %d outside [0,%d)", rep.Value, k)
+		}
+		if rep.Seed > 1 {
+			return fmt.Errorf("core: HR sign bit %d outside {0,1}", rep.Seed)
+		}
 	}
 	return nil
 }
@@ -374,6 +414,8 @@ func (c *Collector) Add(rep Report) error {
 		c.grrAggs[rep.Group].Add(rep.Value)
 	case fo.OLH:
 		c.olhAggs[rep.Group].Add(fo.OLHReport{Seed: rep.Seed, Value: uint8(rep.Value)})
+	case fo.HR:
+		c.hrAggs[rep.Group].Add(fo.HRReport{Row: rep.Value, Sign: hrSign(rep.Seed)})
 	}
 	c.added++
 	return nil
@@ -400,7 +442,18 @@ func (c *Collector) Rejected() int {
 	for _, agg := range c.olhAggs {
 		total += agg.Rejected()
 	}
+	for _, agg := range c.hrAggs {
+		total += agg.Rejected()
+	}
 	return total
+}
+
+// hrSign maps the wire sign bit (Report.Seed) back to the HR report sign.
+func hrSign(bit uint64) int8 {
+	if bit == 0 {
+		return 1
+	}
+	return -1
 }
 
 // GroupCounts returns the number of reports accepted so far per group. The
@@ -416,6 +469,8 @@ func (c *Collector) GroupCounts() []int {
 			counts[g] = c.grrAggs[g].N()
 		case fo.OLH:
 			counts[g] = c.olhAggs[g].N()
+		case fo.HR:
+			counts[g] = c.hrAggs[g].N()
 		}
 	}
 	return counts
@@ -471,6 +526,7 @@ func (c *Collector) ExportPartials() ([]fo.PartialState, error) {
 	specs := c.specs
 	grrAggs := c.grrAggs
 	olhAggs := c.olhAggs
+	hrAggs := c.hrAggs
 	c.mu.Unlock()
 
 	// The per-grid exports run outside c.mu (an OLH export folds any pending
@@ -483,6 +539,8 @@ func (c *Collector) ExportPartials() ([]fo.PartialState, error) {
 			states[g], err = grrAggs[g].ExportState()
 		case fo.OLH:
 			states[g], err = olhAggs[g].ExportState()
+		case fo.HR:
+			states[g], err = hrAggs[g].ExportState()
 		default:
 			err = fmt.Errorf("core: plan uses unsupported report protocol %v", spec.Proto)
 		}
@@ -531,6 +589,8 @@ func (c *Collector) ImportPartials(states []fo.PartialState) error {
 			err = c.grrAggs[g].ImportState(st)
 		case fo.OLH:
 			err = c.olhAggs[g].ImportState(st)
+		case fo.HR:
+			err = c.hrAggs[g].ImportState(st)
 		}
 		if err != nil {
 			// Check passed above; this is unreachable short of a bug.
@@ -572,6 +632,7 @@ func (c *Collector) Finalize() (*Aggregator, error) {
 	specs := c.specs
 	grrAggs := c.grrAggs
 	olhAggs := c.olhAggs
+	hrAggs := c.hrAggs
 	c.mu.Unlock()
 
 	if hook := testHookFinalizeEstimation; hook != nil {
@@ -620,6 +681,9 @@ func (c *Collector) Finalize() (*Aggregator, error) {
 		case fo.OLH:
 			groupNs[g] = olhAggs[g].N()
 			return olhAggs[g].Estimates(), nil
+		case fo.HR:
+			groupNs[g] = hrAggs[g].N()
+			return hrAggs[g].Estimates(), nil
 		default:
 			return nil, fmt.Errorf("core: plan uses unsupported report protocol %v", specs[g].Proto)
 		}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"felip/internal/fo"
+)
+
+// Mega-domain generation: a single categorical attribute whose domain is far
+// past what Dataset's packed uint16 columns can hold (10^5+ values — URL
+// hosts, app ids, tokens). The paper's grids never reach that size because
+// FELIP bins numerical axes, but the HR oracle exists exactly for this
+// regime, so the generator lives beside the paper's evaluation shapes rather
+// than inside Dataset: one int slice, one Zipf profile, no schema.
+
+// MegaDomain is a single-column categorical sample over [0, L).
+type MegaDomain struct {
+	// L is the domain size.
+	L int
+	// Values holds one drawn value per row.
+	Values []int
+}
+
+// GenerateMegaDomain draws n Zipf(s)-distributed values over [0, L): value 0
+// most frequent, the tail polynomially rare. The same (L, n, s, seed) always
+// produces the identical sample.
+func GenerateMegaDomain(L, n int, s float64, seed uint64) (*MegaDomain, error) {
+	if L < 2 {
+		return nil, fmt.Errorf("dataset: mega-domain size %d, need >= 2", L)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: mega-domain rows %d, need > 0", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("dataset: Zipf exponent %v, need > 0", s)
+	}
+	shape := ZipfShape(s, 0)
+	r := fo.NewRand(seed)
+	m := &MegaDomain{L: L, Values: make([]int, n)}
+	for i := range m.Values {
+		m.Values[i] = shape(r, L, 0)
+	}
+	return m, nil
+}
+
+// N returns the number of rows.
+func (m *MegaDomain) N() int { return len(m.Values) }
+
+// Frequencies returns the empirical distribution over the full domain — the
+// ground truth a frequency oracle's estimates are scored against.
+func (m *MegaDomain) Frequencies() []float64 {
+	f := make([]float64, m.L)
+	inc := 1 / float64(len(m.Values))
+	for _, v := range m.Values {
+		f[v] += inc
+	}
+	return f
+}
+
+// WriteCSV writes the sample as a one-column CSV with header "value".
+func (m *MegaDomain) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "value"); err != nil {
+		return err
+	}
+	for _, v := range m.Values {
+		if _, err := fmt.Fprintln(bw, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,7 +1,7 @@
 // Package fo implements locally differentially private frequency oracles:
-// Generalized Randomized Response (GRR), Optimized Local Hashing (OLH) and
-// Optimized Unary Encoding (OUE), plus the adaptive selection rule used by
-// FELIP (paper §2.2, §5.3).
+// Generalized Randomized Response (GRR), Optimized Local Hashing (OLH),
+// Optimized Unary Encoding (OUE) and Hadamard Response (HR), plus the
+// adaptive selection rule used by FELIP (paper §2.2, §5.3).
 //
 // A frequency oracle is a pair of algorithms (Ψ, Φ): each user perturbs their
 // private value v ∈ [0, L) locally with Ψ and sends only the perturbed report;
@@ -28,6 +28,9 @@ const (
 	OLH
 	// OUE is Optimized Unary Encoding (perturbed one-hot bit vector).
 	OUE
+	// HR is Hadamard Response (implicit-matrix row index plus perturbed
+	// sign; O(log L) report bits for mega-domains).
+	HR
 )
 
 // String returns the conventional protocol name.
@@ -39,6 +42,8 @@ func (p Protocol) String() string {
 		return "OLH"
 	case OUE:
 		return "OUE"
+	case HR:
+		return "HR"
 	default:
 		return fmt.Sprintf("Protocol(%d)", uint8(p))
 	}
@@ -72,6 +77,8 @@ func (p Protocol) Variance(eps float64, L, n int) float64 {
 		return GRRVariance(eps, L, n)
 	case OUE:
 		return OUEVariance(eps, n)
+	case HR:
+		return HRVariance(eps, n)
 	default:
 		return OLHVariance(eps, n)
 	}
@@ -133,6 +140,21 @@ func Estimate(p Protocol, eps float64, L int, values []int, seed uint64) ([]floa
 			return nil, err
 		}
 		agg := NewOUEAggregator(eps, L)
+		r := NewRand(seed)
+		for _, v := range values {
+			rep, err := c.Perturb(v, r)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(rep)
+		}
+		return agg.Estimates(), nil
+	case HR:
+		c, err := NewHRClient(eps, L)
+		if err != nil {
+			return nil, err
+		}
+		agg := NewHRAggregator(eps, L)
 		r := NewRand(seed)
 		for _, v := range values {
 			rep, err := c.Perturb(v, r)

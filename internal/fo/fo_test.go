@@ -322,12 +322,12 @@ func TestChooseByVariance(t *testing.T) {
 }
 
 func TestProtocolString(t *testing.T) {
-	for p, want := range map[Protocol]string{GRR: "GRR", OLH: "OLH", OUE: "OUE", Protocol(7): "Protocol(7)"} {
+	for p, want := range map[Protocol]string{GRR: "GRR", OLH: "OLH", OUE: "OUE", HR: "HR", Protocol(7): "Protocol(7)"} {
 		if p.String() != want {
 			t.Errorf("String(%d) = %q, want %q", uint8(p), p.String(), want)
 		}
 	}
-	if Kind := Protocol(3).Variance(1, 10, 100); Kind != OLHVariance(1, 100) {
+	if Kind := Protocol(9).Variance(1, 10, 100); Kind != OLHVariance(1, 100) {
 		t.Error("unknown protocol variance should default to OLH")
 	}
 }

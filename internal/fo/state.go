@@ -27,7 +27,8 @@ type PartialState struct {
 	Proto Protocol
 	// Epsilon is the privacy budget the reports were perturbed under.
 	Epsilon float64
-	// L is the domain size; Counts has length L.
+	// L is the domain size; Counts has length L, except for HR where it has
+	// length 2·HRPaddedSize(L) (interleaved per-row plus/minus sign counts).
 	L int
 	// N is the number of reports folded into Counts.
 	N int
@@ -36,7 +37,8 @@ type PartialState struct {
 	Rejected int
 	// Counts is the integer count vector. For GRR it is the per-value report
 	// counts (summing to N); for OLH the per-value hash-support counts; for
-	// OUE the per-position bit counts.
+	// OUE the per-position bit counts; for HR the interleaved per-row sign
+	// counts (Counts[2j] = +1 reports on row j, Counts[2j+1] = −1 reports).
 	Counts []int64
 }
 
@@ -53,8 +55,15 @@ func (st PartialState) Check(proto Protocol, eps float64, L int) error {
 	if st.L != L {
 		return fmt.Errorf("fo: partial state domain %d, aggregator domain %d", st.L, L)
 	}
-	if len(st.Counts) != L {
-		return fmt.Errorf("fo: partial state carries %d counts for domain %d", len(st.Counts), L)
+	// HR counts live in the padded Hadamard order, two counters per row;
+	// every other protocol carries one counter per domain value.
+	want := L
+	if proto == HR {
+		want = 2 * HRPaddedSize(L)
+	}
+	if len(st.Counts) != want {
+		return fmt.Errorf("fo: partial state carries %d counts for domain %d (%v wants %d)",
+			len(st.Counts), L, proto, want)
 	}
 	if st.N < 0 || st.Rejected < 0 {
 		return fmt.Errorf("fo: partial state with negative report counts (n=%d rejected=%d)", st.N, st.Rejected)
@@ -66,11 +75,12 @@ func (st PartialState) Check(proto Protocol, eps float64, L int) error {
 		}
 		sum += c
 	}
-	// Each GRR report increments exactly one cell, so the counts must account
-	// for exactly the claimed reports. (OLH/OUE reports may support any number
-	// of values, so only the per-value bound applies there.)
-	if proto == GRR && sum != int64(st.N) {
-		return fmt.Errorf("fo: GRR partial state counts sum to %d for %d reports", sum, st.N)
+	// Each GRR report increments exactly one cell, and each HR report
+	// exactly one of its row's two sign counters, so the counts must account
+	// for exactly the claimed reports. (OLH/OUE reports may support any
+	// number of values, so only the per-value bound applies there.)
+	if (proto == GRR || proto == HR) && sum != int64(st.N) {
+		return fmt.Errorf("fo: %v partial state counts sum to %d for %d reports", proto, sum, st.N)
 	}
 	return nil
 }
@@ -152,6 +162,48 @@ func (a *OUEAggregator) ImportState(st PartialState) error {
 	}
 	a.n += st.N
 	a.rejected += st.Rejected
+	return nil
+}
+
+// ExportState snapshots the aggregator's exact partial-aggregate state: the
+// interleaved (plus, minus) sign counts over the padded Hadamard order. The
+// caller must have stopped feeding the aggregator (a sealed shard round).
+func (a *HRAggregator) ExportState() (PartialState, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	counts := make([]int64, 2*a.k)
+	for j := 0; j < a.k; j++ {
+		counts[2*j] = a.plus[j]
+		counts[2*j+1] = a.minus[j]
+	}
+	return PartialState{
+		Proto:    HR,
+		Epsilon:  a.eps,
+		L:        a.l,
+		N:        a.n,
+		Rejected: a.rejected,
+		Counts:   counts,
+	}, nil
+}
+
+// ImportState folds a shard's exported sign counts into this aggregator,
+// exactly: integer sign counts from disjoint report streams sum to the
+// counts one aggregator folding both streams would hold, so the merged
+// estimates are bit-identical to single-node folding. The state is
+// validated whole before any count is touched.
+func (a *HRAggregator) ImportState(st PartialState) error {
+	if err := st.Check(HR, a.eps, a.l); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	for j := 0; j < a.k; j++ {
+		a.plus[j] += st.Counts[2*j]
+		a.minus[j] += st.Counts[2*j+1]
+	}
+	a.n += st.N
+	a.rejected += st.Rejected
+	a.mu.Unlock()
+	hrStateImports.Inc()
 	return nil
 }
 

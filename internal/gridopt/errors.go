@@ -79,6 +79,26 @@ func (p Params) noiseGRR(L float64) float64 {
 	}
 }
 
+// noiseHR returns the per-cell squared noise error under HR. Like OLH it is
+// domain-independent: FELIP m·(e^ε+1)² / (n·(e^ε−1)²), SPL the same at ε/m
+// with no group factor. RS+FD's fake-data inversion is defined for GRR and
+// OLH only, so under that mode HR's noise is infinite — it can never enter
+// an RS+FD plan.
+func (p Params) noiseHR() float64 {
+	switch p.Mode {
+	case fo.ModeSPL:
+		ee := math.Exp(p.Epsilon / float64(p.M))
+		r := (ee + 1) / (ee - 1)
+		return r * r / float64(p.N)
+	case fo.ModeRSFD:
+		return math.Inf(1)
+	default:
+		ee := math.Exp(p.Epsilon)
+		r := (ee + 1) / (ee - 1)
+		return float64(p.M) * r * r / float64(p.N)
+	}
+}
+
 // noiseRSFD consults fo.RSFDVarianceCont — the continuous-L form of the
 // estimator's own variance formula — so the planner and the estimator can
 // never drift apart: the m² fake-data inflation the aggregator pays is
@@ -97,6 +117,8 @@ func (p Params) Err1D(proto fo.Protocol, rx, l float64) float64 {
 	switch proto {
 	case fo.GRR:
 		noise = p.noiseGRR(l)
+	case fo.HR:
+		noise = p.noiseHR()
 	default:
 		noise = p.noiseOLH(l)
 	}
@@ -113,6 +135,8 @@ func (p Params) Err2DNumNum(proto fo.Protocol, rx, ry, lx, ly float64) float64 {
 	switch proto {
 	case fo.GRR:
 		noise = p.noiseGRR(lx * ly)
+	case fo.HR:
+		noise = p.noiseHR()
 	default:
 		noise = p.noiseOLH(lx * ly)
 	}
@@ -129,6 +153,8 @@ func (p Params) Err2DCatNum(proto fo.Protocol, rx, ry, lx, ly float64) float64 {
 	switch proto {
 	case fo.GRR:
 		noise = p.noiseGRR(lx * ly)
+	case fo.HR:
+		noise = p.noiseHR()
 	default:
 		noise = p.noiseOLH(lx * ly)
 	}
@@ -142,6 +168,8 @@ func (p Params) ErrExact(proto fo.Protocol, r, L float64) float64 {
 	switch proto {
 	case fo.GRR:
 		return L * r * p.noiseGRR(L)
+	case fo.HR:
+		return L * r * p.noiseHR()
 	default:
 		return L * r * p.noiseOLH(L)
 	}

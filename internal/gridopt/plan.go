@@ -103,18 +103,39 @@ func Plan1DNumerical(p Params, d int, rx float64) Plan {
 	return Plan{Proto: fo.OLH, Lx: lOLH, Ly: 1, Err: errOLH}
 }
 
+// chooseExact applies the AFO rule to an exact (unbinned) categorical grid
+// with L total cells: GRR vs OLH on expected squared error, extended at
+// mega-domains with HR. At L ≥ fo.HRDomainThreshold OLH's server fold costs
+// O(n·L) hash evaluations and OUE reports carry L bits, while HR stays at
+// O(log L) report bits and O(1) fold work — so there HR replaces OLH as
+// long as its error stays within fo.HRMaxVarianceRatio of OLH's (a bound
+// that holds for ε ≤ ln(3+2√2) ≈ 1.76 and fails above, where the planner
+// falls back to OLH). Below the threshold HR is never selected: OLH
+// strictly dominates it on variance and is still cheap to fold.
+func chooseExact(p Params, r, L float64) (fo.Protocol, float64) {
+	errGRR := p.ErrExact(fo.GRR, r, L)
+	errOLH := p.ErrExact(fo.OLH, r, L)
+	proto, err := fo.OLH, errOLH
+	if L >= fo.HRDomainThreshold {
+		if errHR := p.ErrExact(fo.HR, r, L); errHR <= errOLH*fo.HRMaxVarianceRatio {
+			proto, err = fo.HR, errHR
+		}
+	}
+	if errGRR < err {
+		proto, err = fo.GRR, errGRR
+	}
+	return proto, err
+}
+
 // Plan1DCategorical sizes a 1-D grid over a categorical attribute: the grid
 // is always the full domain (l = d, §5.2), so only the protocol is chosen,
-// by the pure noise error over the ry·d cells a query touches.
+// by the pure noise error over the ry·d cells a query touches (with the
+// mega-domain HR extension, see chooseExact).
 func Plan1DCategorical(p Params, d int, ry float64) Plan {
 	p = p.WithDefaults()
 	ry = clampSel(ry, d)
-	errGRR := p.ErrExact(fo.GRR, ry, float64(d))
-	errOLH := p.ErrExact(fo.OLH, ry, float64(d))
-	if errGRR < errOLH {
-		return Plan{Proto: fo.GRR, Lx: d, Ly: 1, Err: errGRR}
-	}
-	return Plan{Proto: fo.OLH, Lx: d, Ly: 1, Err: errOLH}
+	proto, err := chooseExact(p, ry, float64(d))
+	return Plan{Proto: proto, Lx: d, Ly: 1, Err: err}
 }
 
 // optimal2DNumNum minimizes Eq 9/10 over (lx, ly) by alternating per-axis
@@ -204,12 +225,8 @@ func Plan2DCatCat(p Params, dx, dy int, rx, ry float64) Plan {
 	p = p.WithDefaults()
 	rx, ry = clampSel(rx, dx), clampSel(ry, dy)
 	L := float64(dx * dy)
-	errGRR := p.ErrExact(fo.GRR, rx*ry, L)
-	errOLH := p.ErrExact(fo.OLH, rx*ry, L)
-	if errGRR < errOLH {
-		return Plan{Proto: fo.GRR, Lx: dx, Ly: dy, Err: errGRR}
-	}
-	return Plan{Proto: fo.OLH, Lx: dx, Ly: dy, Err: errOLH}
+	proto, err := chooseExact(p, rx*ry, L)
+	return Plan{Proto: proto, Lx: dx, Ly: dy, Err: err}
 }
 
 // Plan2D dispatches on the attribute kinds. The x slot of the returned plan

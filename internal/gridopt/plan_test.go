@@ -420,3 +420,72 @@ func TestModePlansValid(t *testing.T) {
 		}
 	}
 }
+
+// TestAFOMegaDomainAblation pins the HR selection region, as a region rather
+// than an exact point: the planner must never pick HR below the domain
+// threshold (OLH strictly dominates there), must pick it on mega-domains at
+// moderate ε (where its variance stays within the bounded ratio of OLH's),
+// and must fall back to OLH on the same mega-domains once ε crosses
+// ln(3+2√2) ≈ 1.76, where the ratio bound fails.
+func TestAFOMegaDomainAblation(t *testing.T) {
+	base := Params{Epsilon: 1.0, N: 1_000_000, M: 18}.WithDefaults()
+
+	// Below the threshold: never HR, at any ε.
+	for _, d := range []int{64, 1024, 4096} {
+		for _, eps := range []float64{0.5, 1.0, 2.0} {
+			p := base
+			p.Epsilon = eps
+			if pl := Plan1DCategorical(p, d, 0.5); pl.Proto == fo.HR {
+				t.Errorf("d=%d eps=%v: HR selected below the domain threshold", d, eps)
+			}
+		}
+	}
+
+	// At and above the threshold with ε ≤ 1: HR replaces OLH.
+	for _, d := range []int{16384, 1 << 17} {
+		for _, eps := range []float64{0.5, 1.0} {
+			p := base
+			p.Epsilon = eps
+			if pl := Plan1DCategorical(p, d, 0.5); pl.Proto != fo.HR {
+				t.Errorf("d=%d eps=%v: got %v, want HR on a mega-domain", d, eps, pl.Proto)
+			}
+		}
+	}
+
+	// Same mega-domains at high ε: the variance-ratio bound fails and the
+	// planner falls back to OLH.
+	for _, eps := range []float64{2.0, 3.0} {
+		p := base
+		p.Epsilon = eps
+		if pl := Plan1DCategorical(p, 1<<17, 0.5); pl.Proto != fo.OLH {
+			t.Errorf("eps=%v: got %v, want OLH fallback above the crossover", eps, pl.Proto)
+		}
+	}
+
+	// The cat×cat planner applies the same rule to the product domain.
+	if pl := Plan2DCatCat(base, 512, 512, 0.5, 0.5); pl.Proto != fo.HR {
+		t.Errorf("512×512 cat grid: got %v, want HR (L = 2^18)", pl.Proto)
+	}
+	if pl := Plan2DCatCat(base, 16, 16, 0.5, 0.5); pl.Proto == fo.HR {
+		t.Error("16×16 cat grid: HR selected below the domain threshold")
+	}
+
+	// RS+FD's fake-data inversion is defined for GRR and OLH only: HR must
+	// never enter an RS+FD plan, mega-domain or not.
+	rsfd := base
+	rsfd.Mode = fo.ModeRSFD
+	if pl := Plan1DCategorical(rsfd, 1<<17, 0.5); pl.Proto == fo.HR {
+		t.Error("RS+FD plan selected HR")
+	}
+
+	// A forced-HR plan reports the same error model the adaptive path uses.
+	megaAttr := domain.Attribute{Name: "cat", Kind: domain.Categorical, Size: 1 << 17}
+	forced := ForcedPlan(base, fo.HR, &megaAttr, nil, 0.5, 0)
+	if forced.Proto != fo.HR || forced.Err <= 0 || math.IsInf(forced.Err, 1) {
+		t.Errorf("forced HR plan: %+v", forced)
+	}
+	adaptive := Plan1DCategorical(base, 1<<17, 0.5)
+	if adaptive.Err != forced.Err {
+		t.Errorf("adaptive HR err %v != forced HR err %v", adaptive.Err, forced.Err)
+	}
+}

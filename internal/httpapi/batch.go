@@ -47,6 +47,10 @@ type stagedReport struct {
 	id  string
 	key reportKey
 	rep core.Report
+	// bytes is the report's share of the frame — its record's encoded size,
+	// excluding the frame header — charged to the per-protocol wire counter
+	// only if the whole frame lands.
+	bytes int
 }
 
 // batchScratch is the batch ingest path's reusable per-server scratch. It is
@@ -166,7 +170,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 			disp = wire.DispositionAccepted
 			id := string(b.reader.ID)
 			b.seen[id] = len(b.staged)
-			b.staged = append(b.staged, stagedReport{id: id, key: key, rep: rep})
+			b.staged = append(b.staged, stagedReport{id: id, key: key, rep: rep, bytes: b.reader.RecordBytes()})
 		}
 		dispositions = append(dispositions, disp)
 	}
@@ -206,6 +210,7 @@ func (s *Server) IngestFrame(frame []byte) (wire.BatchReportResponse, int, error
 			return resp, http.StatusInternalServerError, err
 		}
 		s.dedup[st.id] = st.key
+		s.wireBytes[st.key.proto] += int64(st.bytes)
 	}
 	s.modeAccepted[s.mode.String()] += len(b.staged)
 	accepted := len(b.staged)

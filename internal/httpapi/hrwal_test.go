@@ -1,0 +1,137 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/reportlog"
+	"felip/internal/wire"
+)
+
+// TestWALReplayHRBitIdentical: HR reports ride the existing WAL record
+// format (the protocol travels as its name, "HR"), so a crashed server
+// replays them into the same plus/minus counters and finalizes to estimates
+// bit-identical to a server that never crashed. This is the replay half of
+// the compat guarantee: the WAL machinery needed no changes to carry the
+// fourth oracle.
+func TestWALReplayHRBitIdentical(t *testing.T) {
+	const n = 900
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 801)
+	hrProto := fo.HR
+	opts := core.Options{Strategy: core.OHG, Epsilon: 1.2, Seed: 803, ForceProtocol: &hrProto}
+	ctx := context.Background()
+	queries := []string{"num0=0..15", "num1=8..23", "cat0=0,1", "num0=8..23; cat1=2,3"}
+
+	newServer := func(walPath string) (*Server, *httptest.Server, *Client) {
+		srv, err := NewServer(schema, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogger(t.Logf)
+		if walPath != "" {
+			l, recs, err := reportlog.Open(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.UseWAL(l, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return srv, ts, Dial(ts.URL, ts.Client())
+	}
+
+	reports := func(cl *Client) {
+		plan, err := cl.Plan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs, err := plan.Specs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Half on the JSON path, half in one batch frame: both ingest paths
+		// must log HR records the replay understands.
+		frame := make([]wire.BatchReport, 0, n/2)
+		for row := 0; row < n; row++ {
+			id := fmt.Sprintf("user-%d", row)
+			device, err := core.NewClient(specs, plan.Epsilon, 811+uint64(row))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := device.Perturb(DeriveGroup(id, len(specs)), func(attr int) int { return ds.Value(row, attr) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Proto != fo.HR {
+				t.Fatalf("forced-HR plan produced %v report", rep.Proto)
+			}
+			if row%2 == 0 {
+				if dup, err := cl.ReportWithID(ctx, id, rep); err != nil || dup {
+					t.Fatalf("row %d: dup=%v err=%v", row, dup, err)
+				}
+			} else {
+				frame = append(frame, wire.BatchReport{ID: id, Report: rep})
+			}
+		}
+		resp, err := cl.ReportBatch(ctx, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted != len(frame) {
+			t.Fatalf("batch accepted %d of %d", resp.Accepted, len(frame))
+		}
+	}
+
+	// Control: no WAL, no crash.
+	_, tsControl, clControl := newServer("")
+	defer tsControl.Close()
+	reports(clControl)
+	if count, err := clControl.Finalize(ctx); err != nil || count != n {
+		t.Fatalf("control finalize: %d, %v", count, err)
+	}
+	control := make([]float64, len(queries))
+	for i, where := range queries {
+		resp, err := clControl.Query(ctx, where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		control[i] = resp.Estimate
+	}
+
+	// Durable: collect, crash before finalize, replay, finalize.
+	walPath := filepath.Join(t.TempDir(), "hr.wal")
+	_, ts1, cl1 := newServer(walPath)
+	reports(cl1)
+	ts1.Close() // crash: no graceful shutdown, nothing finalized
+
+	_, ts2, cl2 := newServer(walPath)
+	defer ts2.Close()
+	st, err := cl2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WALReplayed != n || st.Reports != n {
+		t.Fatalf("post-restart status: replayed=%d reports=%d, want %d", st.WALReplayed, st.Reports, n)
+	}
+	if count, err := cl2.Finalize(ctx); err != nil || count != n {
+		t.Fatalf("replayed finalize: %d, %v", count, err)
+	}
+	for i, where := range queries {
+		resp, err := cl2.Query(ctx, where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Estimate != control[i] {
+			t.Fatalf("query %q: replayed %v != control %v (WAL replay not bit-identical)",
+				where, resp.Estimate, control[i])
+		}
+	}
+}

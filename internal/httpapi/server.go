@@ -131,6 +131,15 @@ type Server struct {
 	// exactly which foreign-mode traffic is being refused.
 	modeAccepted map[string]int
 	modeRejected map[string]int
+	// wireBytes totals the accepted reports' on-the-wire bytes by protocol
+	// name since the round opened on this process: the JSON body on the
+	// single-report path, the frame record on the batch path (frame headers
+	// are shared transport overhead and are not attributed). It is the
+	// server-side mirror of the client batcher's FrameBytes accounting, and
+	// the operator's view of what each oracle's reports actually cost —
+	// at mega-domains the per-report size, not the variance, is the axis
+	// that separates HR from OUE/OLH.
+	wireBytes map[string]int64
 	// durable marks a server whose rounds must run against WAL segments.
 	// UseWAL sets it; MarkDurable sets it for a server recovered purely from
 	// an archive snapshot (its own segments were truncated, so there is no
@@ -194,6 +203,7 @@ func NewServer(schema *domain.Schema, n int, opts core.Options) (*Server, error)
 		dedup:        make(map[string]reportKey),
 		modeAccepted: make(map[string]int),
 		modeRejected: make(map[string]int),
+		wireBytes:    make(map[string]int64),
 	}, nil
 }
 
@@ -345,6 +355,7 @@ func (s *Server) openRoundLocked() error {
 	s.wireRejected = 0
 	clear(s.modeAccepted)
 	clear(s.modeRejected)
+	clear(s.wireBytes)
 	s.shardState = nil
 	s.sealedEmpty = false
 	return nil
@@ -533,10 +544,24 @@ func (s *Server) countWireRejectMode(key string) {
 	s.mu.Unlock()
 }
 
+// countingReader counts the bytes read through it — the single-report
+// path's measure of a report's on-the-wire cost.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxReportBody)
+	body := &countingReader{r: r.Body}
 	var msg wire.ReportMessage
-	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+	if err := json.NewDecoder(body).Decode(&msg); err != nil {
 		s.countWireReject()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -657,6 +682,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	s.dedup[msg.ReportID] = keyOf(msg)
 	s.modeAccepted[s.mode.String()]++
+	s.wireBytes[msg.Proto] += body.n
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -827,6 +853,12 @@ type Status struct {
 	// the wrong pipeline are knocking.
 	ModeAccepted map[string]int `json:"mode_accepted,omitempty"`
 	ModeRejected map[string]int `json:"mode_rejected,omitempty"`
+	// WireBytesTotal totals the accepted reports' on-the-wire bytes by
+	// protocol since the round opened on this process: JSON body bytes on
+	// the single-report path, frame record bytes on the batch path. At
+	// mega-domains this is the axis that separates HR (constant ~10-byte
+	// records) from the O(L) protocols.
+	WireBytesTotal map[string]int64 `json:"wire_bytes_total,omitempty"`
 	// Durable reports whether a write-ahead log is attached.
 	Durable bool `json:"durable"`
 	// WALPos is the log's end offset in bytes (0 when not durable).
@@ -886,6 +918,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		st.ModeRejected = make(map[string]int, len(s.modeRejected))
 		for k, v := range s.modeRejected {
 			st.ModeRejected[k] = v
+		}
+	}
+	if len(s.wireBytes) > 0 {
+		st.WireBytesTotal = make(map[string]int64, len(s.wireBytes))
+		for k, v := range s.wireBytes {
+			st.WireBytesTotal[k] = v
 		}
 	}
 	if s.wal != nil {

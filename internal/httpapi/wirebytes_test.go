@@ -1,0 +1,226 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/dataset"
+	"felip/internal/fo"
+	"felip/internal/wire"
+)
+
+// These tests pin the per-protocol wire-byte accounting surfaced as
+// wire_bytes_total in /v1/status: every accepted report is charged to the
+// protocol it rode in under — JSON body bytes on the single-report path,
+// frame record bytes on the batch path — and refused reports charge nothing.
+
+// recordBytes is the frame-record size a v1 FELIP batch report occupies on
+// the wire: 1 id-length byte + the id + the record tail (10 bytes for HR's
+// compact row/sign record, 17 for the full seed-carrying layout).
+func recordBytes(id string, proto fo.Protocol) int {
+	tail := 17
+	if proto == fo.HR {
+		tail = 10
+	}
+	return 1 + len(id) + tail
+}
+
+func TestWireBytesStatusAccounting(t *testing.T) {
+	const n = 400
+	schema := dataset.MixedSchema(2, 32, 2, 4)
+	ds := dataset.NewNormal().Generate(schema, n, 601)
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OHG, Epsilon: 1.5, Seed: 603})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := Dial(ts.URL, ts.Client())
+	ctx := context.Background()
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No reports yet: the map is absent, not empty.
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.WireBytesTotal) != 0 {
+		t.Fatalf("wire bytes before any report: %v", st.WireBytesTotal)
+	}
+
+	// Half the devices on the JSON path, half in one batch frame.
+	const jsonN, batchN = 40, 40
+	for row := 0; row < jsonN; row++ {
+		rep := batchDevice(t, specs, plan.Epsilon, ds, row, 611)
+		if dup, err := cl.ReportWithID(ctx, rep.ID, rep.Report); err != nil || dup {
+			t.Fatalf("json report %d: dup=%v err=%v", row, dup, err)
+		}
+	}
+	st, err = cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes := map[string]int64{}
+	var jsonTotal int64
+	for proto, b := range st.WireBytesTotal {
+		if b <= 0 {
+			t.Fatalf("proto %s charged %d bytes", proto, b)
+		}
+		jsonBytes[proto] = b
+		jsonTotal += b
+	}
+	// Every accepted JSON report paid at least its serialized skeleton
+	// ({"report_id":...}); the exact figure depends on value widths, so pin
+	// a conservative floor only.
+	if jsonTotal < jsonN*40 {
+		t.Fatalf("JSON path charged %d bytes for %d reports", jsonTotal, jsonN)
+	}
+
+	frame := make([]wire.BatchReport, 0, batchN)
+	wantDelta := map[string]int64{}
+	for row := jsonN; row < jsonN+batchN; row++ {
+		rep := batchDevice(t, specs, plan.Epsilon, ds, row, 611)
+		frame = append(frame, rep)
+		wantDelta[rep.Report.Proto.String()] += int64(recordBytes(rep.ID, rep.Report.Proto))
+	}
+	resp, err := cl.ReportBatch(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != batchN {
+		t.Fatalf("batch accepted %d of %d", resp.Accepted, batchN)
+	}
+	st, err = cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proto, want := range wantDelta {
+		got := st.WireBytesTotal[proto] - jsonBytes[proto]
+		if got != want {
+			t.Errorf("batch delta for %s = %d bytes, want %d", proto, got, want)
+		}
+	}
+
+	// A foreign-protocol report — a proto the plan never assigned to its
+	// group — is refused, counted, and charges nothing.
+	foreign := "HR"
+	if specs[0].Proto == fo.HR {
+		foreign = "GRR"
+	}
+	before := st.WireBytesTotal[foreign]
+	rejected := st.Rejected
+	msg := wire.ReportMessage{ReportID: "foreign-proto-1", Group: 0, Proto: foreign, Value: 0}
+	body, _ := json.Marshal(msg)
+	hr, err := ts.Client().Post(ts.URL+"/v1/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("foreign-protocol report answered %d, want 400", hr.StatusCode)
+	}
+	st, err = cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != rejected+1 {
+		t.Errorf("rejected counter %d, want %d", st.Rejected, rejected+1)
+	}
+	if st.WireBytesTotal[foreign] != before {
+		t.Errorf("refused %s report charged %d bytes", foreign, st.WireBytesTotal[foreign]-before)
+	}
+
+	// A fresh round starts its accounting from zero.
+	if _, err := cl.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.NextRound(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err = cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.WireBytesTotal) != 0 {
+		t.Fatalf("wire bytes survived the round boundary: %v", st.WireBytesTotal)
+	}
+}
+
+// TestWireBytesHRCompactRecords pins the acceptance axis at the transport
+// level: an HR report's frame record is the 10-byte compact form, so a
+// device with a ≤5-byte idempotency key stays at or under 16 bytes on the
+// wire regardless of the domain size.
+func TestWireBytesHRCompactRecords(t *testing.T) {
+	const n = 300
+	schema := dataset.MixedSchema(1, 16, 1, 8)
+	ds := dataset.NewNormal().Generate(schema, n, 701)
+	hrProto := fo.HR
+	srv, err := NewServer(schema, n, core.Options{Strategy: core.OHG, Epsilon: 1, Seed: 703, ForceProtocol: &hrProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(t.Logf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := Dial(ts.URL, ts.Client())
+	ctx := context.Background()
+	plan, err := cl.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := plan.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 64
+	frame := make([]wire.BatchReport, 0, batch)
+	var wantBytes int64
+	for row := 0; row < batch; row++ {
+		id := fmt.Sprintf("u%04d", row) // 5-byte key
+		device, err := core.NewClient(specs, plan.Epsilon, 711+uint64(row))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := device.Perturb(DeriveGroup(id, len(specs)), func(attr int) int { return ds.Value(row, attr) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Proto != fo.HR {
+			t.Fatalf("forced-HR plan produced %v report", rep.Proto)
+		}
+		frame = append(frame, wire.BatchReport{ID: id, Report: rep})
+		wantBytes += int64(recordBytes(id, fo.HR))
+	}
+	resp, err := cl.ReportBatch(ctx, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != batch {
+		t.Fatalf("accepted %d of %d", resp.Accepted, batch)
+	}
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.WireBytesTotal["HR"]; got != wantBytes {
+		t.Errorf("HR wire bytes = %d, want %d", got, wantBytes)
+	}
+	if perReport := st.WireBytesTotal["HR"] / batch; perReport > 16 {
+		t.Errorf("HR costs %d bytes/report on the wire, want <= 16", perReport)
+	}
+}

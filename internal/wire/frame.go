@@ -25,10 +25,16 @@ import (
 //	payload count records, each:
 //	  idlen u8    report_id length (1..MaxReportIDLen)
 //	  id    idlen bytes
-//	  proto u8    0=GRR 1=OLH 2=OUE
+//	  proto u8    0=GRR 1=OLH 2=OUE 3=HR
 //	  group u32
 //	  value u32
-//	  seed  u64
+//	  seed  u64   (HR records: sign u8 instead — see below)
+//
+// HR records are compact: an HR report carries only a Hadamard row index
+// (value) and a sign bit, so the u64 seed field shrinks to one sign byte
+// (0=+1, 1=−1) and an HR record tail is 10 bytes instead of 17. The
+// decoder branches on the proto byte it just read; records of the other
+// protocols keep their exact pre-HR byte layout.
 //
 // The envelope discipline is the archive's FELIPSNP one — magic, explicit
 // length, checksum over the payload — so a torn or damaged frame is refused
@@ -53,10 +59,10 @@ const FrameMagic = "FELIPBF1"
 //	payload count records, each:
 //	  idlen u8    report_id length (1..MaxReportIDLen)
 //	  id    idlen bytes
-//	  proto u8    0=GRR 1=OLH 2=OUE
+//	  proto u8    0=GRR 1=OLH 2=OUE 3=HR
 //	  group u32
 //	  value u32
-//	  seed  u64
+//	  seed  u64   (HR records: sign u8 instead)
 //	  attr  u16   grid's primary attribute index
 const FrameMagicV2 = "FELIPBF2"
 
@@ -113,7 +119,7 @@ type BatchReportResponse struct {
 
 func protoByte(p fo.Protocol) (byte, error) {
 	switch p {
-	case fo.GRR, fo.OLH, fo.OUE:
+	case fo.GRR, fo.OLH, fo.OUE, fo.HR:
 		return byte(p), nil
 	default:
 		return 0, fmt.Errorf("wire: unknown protocol %v", p)
@@ -163,8 +169,16 @@ func AppendFrame(dst []byte, reports []BatchReport) ([]byte, error) {
 		fixed[0] = pb
 		binary.LittleEndian.PutUint32(fixed[1:5], uint32(br.Report.Group))
 		binary.LittleEndian.PutUint32(fixed[5:9], uint32(br.Report.Value))
-		binary.LittleEndian.PutUint64(fixed[9:17], br.Report.Seed)
-		dst = append(dst, fixed[:17]...)
+		if br.Report.Proto == fo.HR {
+			if br.Report.Seed > 1 {
+				return nil, fmt.Errorf("wire: batch report %d: HR sign bit %d outside {0,1}", i, br.Report.Seed)
+			}
+			fixed[9] = byte(br.Report.Seed)
+			dst = append(dst, fixed[:10]...)
+		} else {
+			binary.LittleEndian.PutUint64(fixed[9:17], br.Report.Seed)
+			dst = append(dst, fixed[:17]...)
+		}
 	}
 
 	payload := dst[payloadStart:]
@@ -233,9 +247,18 @@ func AppendFrameMode(dst []byte, mode fo.ReportMode, reports []BatchReport) ([]b
 		fixed[0] = pb
 		binary.LittleEndian.PutUint32(fixed[1:5], uint32(br.Report.Group))
 		binary.LittleEndian.PutUint32(fixed[5:9], uint32(br.Report.Value))
-		binary.LittleEndian.PutUint64(fixed[9:17], br.Report.Seed)
-		binary.LittleEndian.PutUint16(fixed[17:19], uint16(br.Attr))
-		dst = append(dst, fixed[:]...)
+		if br.Report.Proto == fo.HR {
+			if br.Report.Seed > 1 {
+				return nil, fmt.Errorf("wire: batch report %d: HR sign bit %d outside {0,1}", i, br.Report.Seed)
+			}
+			fixed[9] = byte(br.Report.Seed)
+			binary.LittleEndian.PutUint16(fixed[10:12], uint16(br.Attr))
+			dst = append(dst, fixed[:12]...)
+		} else {
+			binary.LittleEndian.PutUint64(fixed[9:17], br.Report.Seed)
+			binary.LittleEndian.PutUint16(fixed[17:19], uint16(br.Attr))
+			dst = append(dst, fixed[:]...)
+		}
 	}
 
 	payload := dst[payloadStart:]
@@ -256,14 +279,18 @@ func EncodeFrameMode(mode fo.ReportMode, reports []BatchReport) ([]byte, error) 
 // would produce, without encoding — what a batcher charges its wire-byte
 // accounting per flush.
 func FrameSizeMode(mode fo.ReportMode, reports []BatchReport) int {
-	recTail := 17 // proto + group + value + seed
 	size := frameHeaderLen
+	attr := 0
 	if mode != fo.ModeFELIP {
-		recTail = 19 // + attr u16
+		attr = 2 // attr u16
 		size = frameHeaderLenV2
 	}
 	for _, br := range reports {
-		size += 1 + len(br.ID) + recTail
+		recTail := 17 // proto + group + value + seed
+		if br.Report.Proto == fo.HR {
+			recTail = 10 // proto + group + value + sign u8
+		}
+		size += 1 + len(br.ID) + recTail + attr
 	}
 	return size
 }
@@ -303,9 +330,10 @@ type FrameReader struct {
 	payload []byte
 	count   int
 	next    int
-	off     int
-	v2      bool
-	err     error
+	off      int
+	v2       bool
+	recBytes int
+	err      error
 
 	// Mode is the frame's reporting mode: the v2 header's mode byte, or
 	// ModeFELIP for every v1 frame.
@@ -385,32 +413,52 @@ func (r *FrameReader) Next() bool {
 		r.err = fmt.Errorf("wire: frame record %d: payload exhausted after %d of %d reports", r.next, r.next, r.count)
 		return false
 	}
-	tail := 17 // proto + group + value + seed
-	if r.v2 {
-		tail = 19 // + attr u16
-	}
 	idLen := int(p[off])
 	off++
-	if idLen < 1 || idLen > MaxReportIDLen || off+idLen+tail > len(p) {
+	if idLen < 1 || idLen > MaxReportIDLen || off+idLen+1 > len(p) {
 		r.err = fmt.Errorf("wire: frame record %d: malformed (id length %d)", r.next, idLen)
 		return false
 	}
 	r.ID = p[off : off+idLen]
 	off += idLen
 	proto := fo.Protocol(p[off])
-	if proto != fo.GRR && proto != fo.OLH && proto != fo.OUE {
+	if proto != fo.GRR && proto != fo.OLH && proto != fo.OUE && proto != fo.HR {
 		r.err = fmt.Errorf("wire: frame record %d: unknown protocol byte %d", r.next, p[off])
 		return false
+	}
+	// The record tail depends on the protocol just read: HR records are
+	// compact (one sign byte where the others carry a u64 seed).
+	tail := 17 // proto + group + value + seed
+	if proto == fo.HR {
+		tail = 10 // proto + group + value + sign u8
+	}
+	if r.v2 {
+		tail += 2 // + attr u16
+	}
+	if off+tail > len(p) {
+		r.err = fmt.Errorf("wire: frame record %d: truncated %v record", r.next, proto)
+		return false
+	}
+	var seed uint64
+	if proto == fo.HR {
+		if p[off+9] > 1 {
+			r.err = fmt.Errorf("wire: frame record %d: HR sign byte %d outside {0,1}", r.next, p[off+9])
+			return false
+		}
+		seed = uint64(p[off+9])
+	} else {
+		seed = binary.LittleEndian.Uint64(p[off+9:])
 	}
 	r.Report = core.Report{
 		Proto: proto,
 		Group: int(int32(binary.LittleEndian.Uint32(p[off+1:]))),
 		Value: int(int32(binary.LittleEndian.Uint32(p[off+5:]))),
-		Seed:  binary.LittleEndian.Uint64(p[off+9:]),
+		Seed:  seed,
 	}
 	if r.v2 {
-		r.Attr = int(binary.LittleEndian.Uint16(p[off+17:]))
+		r.Attr = int(binary.LittleEndian.Uint16(p[off+tail-2:]))
 	}
+	r.recBytes = 1 + idLen + tail
 	r.off = off + tail
 	r.next++
 	if r.Report.Group < 0 || r.Report.Value < 0 {
@@ -426,6 +474,11 @@ func (r *FrameReader) Next() bool {
 
 // Err returns the record-level decode failure, if iteration stopped on one.
 func (r *FrameReader) Err() error { return r.err }
+
+// RecordBytes returns the encoded size of the record the last Next decoded
+// (idlen byte + id + protocol-dependent tail) — what a server charges its
+// per-protocol wire-byte accounting for that report.
+func (r *FrameReader) RecordBytes() int { return r.recBytes }
 
 // ProtoName returns the wire name of a frame protocol byte's protocol —
 // what the dedup index keys payloads by, shared with the JSON path.

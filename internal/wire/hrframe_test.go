@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"felip/internal/core"
+	"felip/internal/fo"
+)
+
+// HR records ride the frame in a compact form: proto byte 3, then group u32,
+// row u32, sign u8 — 10 tail bytes against the 17 every other protocol's
+// seed-carrying record needs. These tests pin that layout the same way
+// goldenV1Frame pins the pre-HR format, and prove the compact records
+// coexist with full records inside one frame.
+
+// goldenHRFrame is a FELIPBF1 frame holding two HR records around a GRR one:
+// ids dev-a/dev-b/dev-c, groups 0/1/2, (row 9, sign −1), (value 3, seed 0),
+// (row 130977, sign +1). Recorded once; re-encoding must reproduce it
+// byte for byte forever.
+const goldenHRFrame = "46454c49504246310300000037000000869bab85056465762d610300000000090000000105" +
+	"6465762d620001000000030000000000000000000000056465762d630302000000a1ff010000"
+
+func hrFrameReports() []BatchReport {
+	return []BatchReport{
+		{ID: "dev-a", Report: core.Report{Group: 0, Proto: fo.HR, Value: 9, Seed: 1}},
+		{ID: "dev-b", Report: core.Report{Group: 1, Proto: fo.GRR, Value: 3, Seed: 0}},
+		{ID: "dev-c", Report: core.Report{Group: 2, Proto: fo.HR, Value: 130977, Seed: 0}},
+	}
+}
+
+func TestFrameHRGoldenPinned(t *testing.T) {
+	frame, err := hex.DecodeString(goldenHRFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hrFrameReports()
+	var r FrameReader
+	n, err := r.Reset(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || r.Mode != fo.ModeFELIP {
+		t.Fatalf("recorded HR frame: n=%d mode=%v", n, r.Mode)
+	}
+	// Per-record wire cost: 1 id-length byte + 5-byte id + tail (10 compact
+	// for HR, 17 full otherwise).
+	wantBytes := []int{16, 23, 16}
+	for i := 0; r.Next(); i++ {
+		if string(r.ID) != want[i].ID || r.Report != want[i].Report {
+			t.Fatalf("record %d: id=%q rep=%+v, want id=%q rep=%+v",
+				i, r.ID, r.Report, want[i].ID, want[i].Report)
+		}
+		if r.Attr != -1 {
+			t.Fatalf("record %d: FELIP record answered attr %d", i, r.Attr)
+		}
+		if got := r.RecordBytes(); got != wantBytes[i] {
+			t.Fatalf("record %d: RecordBytes = %d, want %d", i, got, wantBytes[i])
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	reencoded, err := EncodeFrame(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(reencoded) != goldenHRFrame {
+		t.Fatalf("HR frame encoding drifted:\n  want %s\n  got  %x", goldenHRFrame, reencoded)
+	}
+	if got := FrameSizeMode(fo.ModeFELIP, want); got != len(frame) {
+		t.Fatalf("FrameSizeMode = %d, want %d", got, len(frame))
+	}
+}
+
+// goldenHRModeFrame is a FELIPBF2 SPL frame with one HR record: id dev-a,
+// group 0, row 7, sign −1, attr 2. The v2 tail adds the u16 attr after the
+// sign byte (12 tail bytes).
+const goldenHRModeFrame = "46454c4950424632010100000012000000376f84cc056465762d61030000000007000000010200"
+
+func TestFrameModeHRGoldenPinned(t *testing.T) {
+	frame, err := hex.DecodeString(goldenHRModeFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BatchReport{
+		{ID: "dev-a", Attr: 2, Report: core.Report{Group: 0, Proto: fo.HR, Value: 7, Seed: 1}},
+	}
+	var r FrameReader
+	if _, err := r.Reset(frame); err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != fo.ModeSPL {
+		t.Fatalf("mode %v, want SPL", r.Mode)
+	}
+	if !r.Next() {
+		t.Fatalf("no record: %v", r.Err())
+	}
+	if string(r.ID) != "dev-a" || r.Report != want[0].Report || r.Attr != 2 {
+		t.Fatalf("decoded id=%q rep=%+v attr=%d", r.ID, r.Report, r.Attr)
+	}
+	if got := r.RecordBytes(); got != 1+5+12 {
+		t.Fatalf("v2 HR RecordBytes = %d, want 18", got)
+	}
+	reencoded, err := EncodeFrameMode(fo.ModeSPL, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(reencoded) != goldenHRModeFrame {
+		t.Fatalf("v2 HR encoding drifted:\n  want %s\n  got  %x", goldenHRModeFrame, reencoded)
+	}
+}
+
+// An HR report's seed field is a sign bit; the encoder refuses anything
+// outside {0, 1} rather than truncate it into a valid-looking record.
+func TestFrameHRRejectsBadSign(t *testing.T) {
+	bad := []BatchReport{
+		{ID: "dev-x", Report: core.Report{Group: 0, Proto: fo.HR, Value: 1, Seed: 2}},
+	}
+	if _, err := EncodeFrame(bad); err == nil {
+		t.Fatal("HR record with sign byte 2 encoded")
+	}
+	if _, err := EncodeFrameMode(fo.ModeSPL, bad); err == nil {
+		t.Fatal("v2 HR record with sign byte 2 encoded")
+	}
+}
+
+// The HR protocol name rides the JSON report path and the plan fingerprint:
+// a plan that swaps a grid to HR must hash differently, while the pre-HR
+// golden fingerprint (TestPlanFingerprintPinnedOneShot) stays bit-identical
+// with HR registered.
+func TestPlanFingerprintBindsHRProto(t *testing.T) {
+	base := goldenPlan()
+	hr := goldenPlan()
+	hr.Grids[1].Proto = "HR"
+	if base.Fingerprint() == hr.Fingerprint() {
+		t.Fatal("switching a grid to HR does not change the plan fingerprint")
+	}
+	msg := ReportMessage{ReportID: "r1", Group: 0, Proto: "HR", Value: 5, Seed: 1}
+	rep, err := msg.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Proto != fo.HR || rep.Value != 5 || rep.Seed != 1 {
+		t.Fatalf("HR report message decoded to %+v", rep)
+	}
+	if got := NewReportMessage("r1", rep); got.Proto != "HR" {
+		t.Fatalf("HR report message encodes proto %q", got.Proto)
+	}
+}

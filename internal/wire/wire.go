@@ -33,7 +33,7 @@ type GridDTO struct {
 	AttrY   int    `json:"attr_y"` // -1 for 1-D grids
 	BoundsX []int  `json:"bounds_x"`
 	BoundsY []int  `json:"bounds_y,omitempty"`
-	Proto   string `json:"proto"` // "GRR" | "OLH"
+	Proto   string `json:"proto"` // "GRR" | "OLH" | "HR"
 }
 
 // PlanMessage is the aggregator's published plan: everything a device needs
@@ -142,6 +142,8 @@ func protoFromName(s string) (fo.Protocol, error) {
 		return fo.OLH, nil
 	case "OUE":
 		return fo.OUE, nil
+	case "HR":
+		return fo.HR, nil
 	default:
 		return 0, fmt.Errorf("wire: unknown protocol %q", s)
 	}
